@@ -1,0 +1,148 @@
+// Ablations of Medes's design choices (beyond the paper's sensitivity
+// figures) — each isolates one mechanism DESIGN.md calls out:
+//
+//  A. Value-sampled vs random-offset fingerprints (vs Difference Engine,
+//     paper Section 8): random offsets are not content-defined, so shifted
+//     or relocated content fingerprints differently and dedup quality drops.
+//  B. Redundancy-elimination granularity (Section 4.1.2): eliminating at the
+//     64 B identification granularity would need per-chunk metadata —
+//     quantify the metadata blow-up that motivated page-granularity patches.
+//  C. Xdelta compression level (Section 4.1.2): level 1 vs 9 trades patch
+//     size against encode time; the paper chose 1 to keep restores fast.
+//  D. Restore-time optimisation (Section 4.2): pre-doing namespace/process-
+//     tree work at dedup time (650 ms -> ~140 ms claim).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace medes;
+
+namespace {
+
+struct AgentRig {
+  explicit AgentRig(DedupAgentOptions agent_opts = {})
+      : cluster([] {
+          ClusterOptions c;
+          c.num_nodes = 2;
+          c.node_memory_mb = 1e9;
+          c.bytes_per_mb = 32768;
+          return c;
+        }()),
+        fabric({}, [this](const PageLocation& loc) { return cluster.ReadBasePage(loc); }),
+        agent(cluster, registry, fabric, agent_opts) {}
+
+  Sandbox& Warm(const std::string& name, NodeId node) {
+    Sandbox& sb = cluster.Spawn(ProfileByName(name), node, 0);
+    cluster.MarkWarm(sb, 0);
+    return sb;
+  }
+
+  Cluster cluster;
+  FingerprintRegistry registry;
+  RdmaFabric fabric;
+  DedupAgent agent;
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("Design ablations", "Isolating Medes's individual mechanisms");
+
+  bench::Section("A. Value sampling vs random-offset fingerprints (Difference Engine)");
+  {
+    // The discriminating case is *shifted* content (ASLR's sub-page stack
+    // randomisation, allocator drift): content-defined selection re-finds
+    // the same chunks wherever they land; fixed random offsets do not.
+    LibraryPool pool(0x11b9, 32768);
+    MemoryImage base_img = BuildSandboxImage(ProfileByName("LinAlg"), pool, {.instance_seed = 1});
+    // A byte-identical image shifted by 16 B (pages re-tiled over the
+    // shifted stream — every page boundary moves).
+    std::vector<uint8_t> shifted(base_img.bytes().begin() + 16, base_img.bytes().end());
+    shifted.resize(base_img.SizeBytes() - kPageSize, 0);  // whole pages only
+    std::printf("%-18s %18s %18s\n", "sampling", "aligned-page hits", "shifted-page hits");
+    for (auto mode : {SamplingMode::kValueSampled, SamplingMode::kRandomOffsets}) {
+      FingerprintOptions fopts;
+      fopts.mode = mode;
+      PageFingerprinter fp(fopts);
+      FingerprintRegistry registry;
+      registry.InsertBaseSandbox(0, 1, fp.FingerprintImage(base_img.bytes(), kPageSize));
+      size_t aligned_hits = 0, shifted_hits = 0, pages = 0;
+      for (size_t p = 0; p + 1 < base_img.NumPages(); ++p) {
+        ++pages;
+        aligned_hits += registry.FindBasePage(fp.FingerprintPage(base_img.Page(p)), 0).has_value();
+        std::span<const uint8_t> sh(shifted.data() + p * kPageSize, kPageSize);
+        shifted_hits += registry.FindBasePage(fp.FingerprintPage(sh), 0).has_value();
+      }
+      std::printf("%-18s %16.1f%% %16.1f%%\n",
+                  mode == SamplingMode::kValueSampled ? "value-sampled" : "random-offsets",
+                  100.0 * static_cast<double>(aligned_hits) / static_cast<double>(pages),
+                  100.0 * static_cast<double>(shifted_hits) / static_cast<double>(pages));
+    }
+    std::printf("(paper Section 8: Difference Engine's random-offset fingerprints are less\n"
+                " effective at sub-page granularity; EndRE-style value sampling is robust)\n");
+  }
+
+  bench::Section("B. Elimination granularity: page patches vs per-chunk metadata");
+  {
+    // Paper Section 4.1.2: ~100 MB sandboxes => ~25K pages => 1.6M 64 B
+    // chunks; per-chunk metadata (location: 16 B + table overhead ~24 B)
+    // would dwarf per-page patch records.
+    for (double mb : {17.0, 48.0, 90.0}) {
+      const double pages = mb * 256;
+      const double chunks = mb * (1 << 20) / 64.0;
+      const double page_meta_mb = pages * 48 / (1024.0 * 1024.0);     // PatchRecord + slot
+      const double chunk_meta_mb = chunks * 40 / (1024.0 * 1024.0);   // per-chunk bookkeeping
+      std::printf("  %5.1f MB sandbox: %8.0f pages -> %6.2f MB metadata | %10.0f chunks -> "
+                  "%7.1f MB metadata (%.0fx)\n",
+                  mb, pages, page_meta_mb, chunks, chunk_meta_mb, chunk_meta_mb / page_meta_mb);
+    }
+  }
+
+  bench::Section("C. Xdelta compression level: patch size vs encode effort");
+  std::printf("%-8s %14s %16s %16s\n", "level", "avg patch (B)", "saved MB (10 fns)",
+              "encode wall (ms)");
+  for (int level : {0, 1, 3, 9}) {
+    DedupAgentOptions opts;
+    opts.delta.level = level;
+    AgentRig rig(opts);
+    for (const auto& p : FunctionBenchProfiles()) {
+      rig.agent.DesignateBase(rig.Warm(p.name, 0));
+    }
+    size_t patch_bytes = 0, pages = 0;
+    double saved = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& p : FunctionBenchProfiles()) {
+      DedupOpResult d = rig.agent.DedupOp(rig.Warm(p.name, 1), 1);
+      patch_bytes += d.patch_bytes;
+      pages += d.pages_deduped;
+      saved += static_cast<double>(d.saved_bytes) / 32768.0;
+    }
+    auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    std::printf("%-8d %14.0f %16.1f %16lld\n", level,
+                pages ? static_cast<double>(patch_bytes) / static_cast<double>(pages) : 0.0,
+                saved, static_cast<long long>(wall));
+  }
+  std::printf("(the paper runs level 1: higher levels trade encode effort for patch bytes;\n"
+              " level 0 disables matching entirely — only zero pages are eliminated)\n");
+
+  bench::Section("D. Restore-time optimisation: namespace/ptree work pre-done at dedup");
+  {
+    AgentRig rig;
+    rig.agent.DesignateBase(rig.Warm("LinAlg", 0));
+    Sandbox& sb = rig.Warm("LinAlg", 1);
+    rig.agent.DedupOp(sb, 1);
+    RestoreOpResult prepared = rig.agent.RestoreOp(sb, 2);
+    rig.cluster.MarkRunning(sb, 3);
+    rig.cluster.MarkWarm(sb, 4);
+    rig.agent.DedupOp(sb, 5);
+    sb.namespaces_prepared = false;  // ablate the optimisation
+    RestoreOpResult unprepared = rig.agent.RestoreOp(sb, 6);
+    std::printf("dedup start with optimisation   : %6.0f ms\n", ToMillis(prepared.total_time));
+    std::printf("dedup start without optimisation: %6.0f ms\n", ToMillis(unprepared.total_time));
+    std::printf("(paper Section 4.2: 650 ms -> ~140 ms)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 15 — sensitivity to the keep-dedup period (Section 7.8).
+//
+// The keep-dedup period controls how long a dedup sandbox stays in memory
+// before being purged. The paper sweeps 5-20 minutes (plus no-dedup): longer
+// periods first cut cold starts 10-38% (requests hit dedup starts instead),
+// but beyond a threshold stale dedup sandboxes occupy memory and cold starts
+// rise again.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace medes;
+
+int main() {
+  bench::Header("Figure 15: sensitivity to the keep-dedup period",
+                "Representative workload; keep-dedup in {none, 5, 10, 15, 20} min");
+  auto trace = bench::RepresentativeWorkload(30 * kMinute);
+
+  std::printf("%-14s %12s %13s %10s %12s\n", "keep-dedup", "cold starts", "dedup starts",
+              "evictions", "mean mem(MB)");
+  {
+    // "No Dedup": Medes with deduplication disabled = fixed keep-alive.
+    RunMetrics m =
+        ServerlessPlatform(bench::RepresentativeOptions(PolicyKind::kFixedKeepAlive)).Run(trace);
+    std::printf("%-14s %12lu %13lu %10lu %12.0f\n", "No Dedup", m.TotalColdStarts(),
+                bench::TotalDedupStarts(m), m.evictions, m.MeanMemoryMb());
+  }
+  for (int kd_min : {5, 10, 15, 20}) {
+    PlatformOptions opts = bench::RepresentativeOptions(PolicyKind::kMedes);
+    opts.medes.keep_dedup = kd_min * kMinute;
+    RunMetrics m = ServerlessPlatform(opts).Run(trace);
+    std::printf("KD-%-2d min     %12lu %13lu %10lu %12.0f\n", kd_min, m.TotalColdStarts(),
+                bench::TotalDedupStarts(m), m.evictions, m.MeanMemoryMb());
+  }
+  std::printf("\n(paper: cold starts improve 10-38%% as keep-dedup grows, then regress at 20 min\n"
+              " as stale dedup sandboxes cause memory-pressure evictions)\n");
+  return 0;
+}

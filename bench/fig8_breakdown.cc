@@ -1,0 +1,51 @@
+// Figure 8 — dedup start time breakdown vs cold start times (Section 7.2.1).
+//
+// For each FunctionBench function: designate a same-function base, dedup a
+// second sandbox, restore it, and report the three restore phases the paper
+// plots — base page reading (RDMA), original page computing (patch apply),
+// and sandbox restoration (CRIU) — against the function's cold start.
+// Paper expectation: dedup starts are consistently far below cold starts
+// (roughly 100-600 ms vs 0.5-4 s), dominated by the CRIU restore phase.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace medes;
+
+int main() {
+  bench::Header("Figure 8: dedup start breakdown vs cold starts",
+                "Per-function restore phases at represented scale");
+  ClusterOptions copts;
+  copts.num_nodes = 2;
+  copts.node_memory_mb = 1e9;  // no pressure: isolate the op timings
+  copts.bytes_per_mb = 65536;
+  Cluster cluster(copts);
+  FingerprintRegistry registry;
+  RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
+  DedupAgent agent(cluster, registry, fabric, {});
+
+  for (const auto& p : FunctionBenchProfiles()) {
+    Sandbox& base = cluster.Spawn(p, 0, 0);
+    cluster.MarkWarm(base, 0);
+    agent.DesignateBase(base);
+  }
+
+  std::printf("%-12s | %9s %10s %10s | %10s %9s | %7s\n", "function", "read(ms)", "compute(ms)",
+              "restore(ms)", "dedup(ms)", "cold(ms)", "speedup");
+  for (const auto& p : FunctionBenchProfiles()) {
+    Sandbox& sb = cluster.Spawn(p, 1, 0);  // remote node: real RDMA reads
+    cluster.MarkWarm(sb, 0);
+    agent.DedupOp(sb, 1);
+    RestoreOpResult r = agent.RestoreOp(sb, 2, /*verify=*/true);
+    std::printf("%-12s | %9.1f %10.1f %10.1f | %10.1f %9.0f | %6.1fx\n", p.name.c_str(),
+                ToMillis(r.read_base_time), ToMillis(r.compute_time),
+                ToMillis(r.sandbox_restore_time), ToMillis(r.total_time), ToMillis(p.cold_start),
+                static_cast<double>(p.cold_start) / static_cast<double>(r.total_time));
+  }
+  std::printf("\n(every restore above was verified byte-exact against the original image)\n");
+  std::printf("Restore-op optimisation (Section 4.2): pre-done namespace/process-tree work\n");
+  CheckpointCosts costs;
+  std::printf("  skipped per dedup start: %.0f ms (paper: 650 ms -> ~140 ms)\n",
+              ToMillis(costs.namespace_and_ptree));
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the byte-level machinery: SHA-1,
+// rolling-hash scans, page fingerprinting, delta encode/decode at several
+// similarity levels, and the Section 2 redundancy measurement.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "medes.h"
+
+namespace medes {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+std::vector<uint8_t> SimilarTo(const std::vector<uint8_t>& base, int mutations, uint64_t seed) {
+  auto out = base;
+  Rng rng(seed);
+  for (int i = 0; i < mutations; ++i) {
+    size_t off = rng.Below(out.size() - 8);
+    uint64_t v = rng.Next();
+    std::memcpy(out.data() + off, &v, 8);
+  }
+  return out;
+}
+
+void BM_Sha1_64B(benchmark::State& state) {
+  auto data = RandomBytes(64, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha1_64B);
+
+void BM_Sha1_4KiB(benchmark::State& state) {
+  auto data = RandomBytes(4096, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha1_4KiB);
+
+void BM_RollingHashScan(benchmark::State& state) {
+  auto data = RandomBytes(4096, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AllWindowHashes(data, 64));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_RollingHashScan);
+
+void BM_FingerprintPage(benchmark::State& state) {
+  PageFingerprinter fp({});
+  auto page = RandomBytes(4096, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.FingerprintPage(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_FingerprintPage);
+
+void BM_DeltaEncode(benchmark::State& state) {
+  auto base = RandomBytes(4096, 5);
+  auto target = SimilarTo(base, static_cast<int>(state.range(0)), 6);
+  DeltaOptions opts;
+  opts.level = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaEncode(base, target, opts));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_DeltaEncode)->Args({4, 1})->Args({4, 9})->Args({64, 1})->Args({64, 9});
+
+void BM_DeltaDecode(benchmark::State& state) {
+  auto base = RandomBytes(4096, 7);
+  auto target = SimilarTo(base, 16, 8);
+  auto delta = DeltaEncode(base, target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaDecode(base, delta));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_DeltaDecode);
+
+void BM_RedundancyMeasure1MiB(benchmark::State& state) {
+  auto a = RandomBytes(1 << 20, 9);
+  auto b = SimilarTo(a, 2000, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureRedundancy(a, b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_RedundancyMeasure1MiB);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  FingerprintRegistry registry;
+  PageFingerprinter fp({});
+  LibraryPool pool(1, 16384);
+  MemoryImage image = BuildSandboxImage(ProfileByName("LinAlg"), pool, {.instance_seed = 1});
+  registry.InsertBaseSandbox(0, 1, fp.FingerprintImage(image.bytes(), kPageSize));
+  MemoryImage probe_img = BuildSandboxImage(ProfileByName("LinAlg"), pool, {.instance_seed = 2});
+  auto probes = fp.FingerprintImage(probe_img.bytes(), kPageSize);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.FindBasePage(probes[i % probes.size()], 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_DedupOpVanilla(benchmark::State& state) {
+  ClusterOptions copts;
+  copts.num_nodes = 1;
+  copts.node_memory_mb = 1e9;
+  copts.bytes_per_mb = 8192;
+  Cluster cluster(copts);
+  FingerprintRegistry registry;
+  RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
+  DedupAgent agent(cluster, registry, fabric, {});
+  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), 0, 0);
+  cluster.MarkWarm(base, 0);
+  agent.DesignateBase(base);
+  for (auto _ : state) {
+    Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), 0, 0);
+    cluster.MarkWarm(sb, 0);
+    benchmark::DoNotOptimize(agent.DedupOp(sb, 0));
+    cluster.Purge(sb.id);
+  }
+}
+BENCHMARK(BM_DedupOpVanilla);
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,32 @@
+// Table 2 — execution time and memory footprint of the FunctionBench suite,
+// plus the library composition from Table 1 and the modelled cold/warm start
+// latencies the simulator uses.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace medes;
+
+int main() {
+  bench::Header("Table 2: FunctionBench profiles",
+                "Execution times and memory footprints (paper Table 2) + model parameters");
+  std::printf("%-12s %9s %8s %9s %9s  %s\n", "function", "exec(ms)", "mem(MB)", "cold(ms)",
+              "warm(ms)", "libraries");
+  for (const auto& p : FunctionBenchProfiles()) {
+    std::string libs;
+    for (const auto& lib : p.libraries) {
+      if (!libs.empty()) {
+        libs += ", ";
+      }
+      libs += lib;
+    }
+    std::printf("%-12s %9.0f %8.1f %9.0f %9.0f  %s\n", p.name.c_str(), ToMillis(p.exec_time),
+                p.memory_mb, ToMillis(p.cold_start), ToMillis(p.warm_start), libs.c_str());
+  }
+  std::printf("\nLibrary catalogue (represented clean-mapping sizes):\n");
+  for (const auto& lib : LibraryCatalogue()) {
+    std::printf("  %-16s %6.1f MB\n", lib.name.c_str(), lib.size_mb);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// policy_explorer: interactive exploration of the Section 5 sandbox
+// management policy.
+//
+// Prints, for a chosen function and load, the warm/dedup split the policy
+// picks across a sweep of latency targets (P1) and memory caps (P2), plus
+// the resulting average startup latency and memory footprint.
+//
+//   $ ./policy_explorer [function-name] [sandboxes] [lambda]
+//   $ ./policy_explorer RNNModel 20 4.0
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "medes.h"
+
+using namespace medes;
+
+int main(int argc, char** argv) {
+  const std::string fn_name = argc > 1 ? argv[1] : "LinAlg";
+  const int sandboxes = argc > 2 ? std::atoi(argv[2]) : 12;
+  const double lambda = argc > 3 ? std::atof(argv[3]) : 2.0;
+  const FunctionProfile& fn = ProfileByName(fn_name);
+
+  MedesPolicyInputs in;
+  in.total_sandboxes = sandboxes;
+  in.lambda_max = lambda;
+  in.warm_start_s = ToSeconds(fn.warm_start);
+  in.dedup_start_s = ToSeconds(fn.cold_start) / 5.0;  // pre-measurement estimate
+  in.reuse_warm_s = ToSeconds(fn.exec_time) + in.warm_start_s;
+  in.reuse_dedup_s = ToSeconds(fn.exec_time) + in.dedup_start_s;
+  in.warm_mb = fn.memory_mb;
+  in.dedup_mb = 0.55 * fn.memory_mb;
+  in.restore_overhead_mb = 0.25 * fn.memory_mb;
+
+  std::printf("function=%s  C=%d sandboxes  lambda_max=%.2f req/s\n", fn.name.c_str(), sandboxes,
+              lambda);
+  std::printf("sW=%.0f ms  sD=%.0f ms  mW=%.1f MB  mD+mR=%.1f MB\n\n", 1000 * in.warm_start_s,
+              1000 * in.dedup_start_s, in.warm_mb, in.dedup_mb + in.restore_overhead_mb);
+
+  std::printf("P1 (latency target): min memory s.t. S <= alpha * sW\n");
+  std::printf("%8s | %5s %5s | %12s %12s %s\n", "alpha", "W", "D", "S (ms)", "M (MB)", "feasible");
+  for (double alpha : {1.0, 1.5, 2.0, 2.5, 3.0, 5.0, 8.0, 15.0, 50.0}) {
+    MedesPolicyTargets t = SolveLatencyObjective(in, alpha);
+    if (t.feasible) {
+      std::printf("%8.1f | %5d %5d | %12.1f %12.1f yes\n", alpha, t.warm, t.dedup,
+                  1000 * AverageStartupLatency(in, t.warm, t.dedup),
+                  MemoryFootprintMb(in, t.warm, t.dedup));
+    } else {
+      std::printf("%8.1f | %5s %5s | %12s %12s NO -> aggressive-dedup fallback\n", alpha, "-",
+                  "-", "-", "-");
+    }
+  }
+
+  std::printf("\nP2 (memory cap): min S s.t. M <= M0\n");
+  std::printf("%9s | %5s %5s | %12s %12s %s\n", "M0 (MB)", "W", "D", "S (ms)", "M (MB)",
+              "feasible");
+  const double all_warm = MemoryFootprintMb(in, sandboxes, 0);
+  for (double frac : {1.1, 1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4}) {
+    double cap = frac * all_warm;
+    MedesPolicyTargets t = SolveMemoryObjective(in, cap);
+    if (t.feasible) {
+      std::printf("%9.0f | %5d %5d | %12.1f %12.1f yes\n", cap, t.warm, t.dedup,
+                  1000 * AverageStartupLatency(in, t.warm, t.dedup),
+                  MemoryFootprintMb(in, t.warm, t.dedup));
+    } else {
+      std::printf("%9.0f | %5s %5s | %12s %12s NO -> aggressive-dedup fallback\n", cap, "-", "-",
+                  "-", "-");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "checkpoint/checkpoint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace medes {
+
+namespace {
+bool IsZeroPage(std::span<const uint8_t> page) {
+  return std::all_of(page.begin(), page.end(), [](uint8_t b) { return b == 0; });
+}
+}  // namespace
+
+MemoryCheckpoint MemoryCheckpoint::Capture(const MemoryImage& image) {
+  MemoryCheckpoint cp;
+  cp.slots_.resize(image.NumPages());
+  for (size_t p = 0; p < image.NumPages(); ++p) {
+    std::span<const uint8_t> page = image.Page(p);
+    Slot& slot = cp.slots_[p];
+    if (IsZeroPage(page)) {
+      slot.state = PageSlotState::kZero;
+      slot.payload_size = 0;
+    } else {
+      slot.state = PageSlotState::kResident;
+      slot.payload.assign(page.begin(), page.end());
+      slot.payload_size = page.size();
+    }
+  }
+  return cp;
+}
+
+std::span<const uint8_t> MemoryCheckpoint::PageData(size_t page) const {
+  const Slot& slot = slots_.at(page);
+  if (slot.state != PageSlotState::kResident) {
+    throw std::logic_error("PageData: page not resident");
+  }
+  return slot.payload;
+}
+
+std::span<const uint8_t> MemoryCheckpoint::PatchData(size_t page) const {
+  const Slot& slot = slots_.at(page);
+  if (slot.state != PageSlotState::kPatched) {
+    throw std::logic_error("PatchData: page not patched");
+  }
+  return slot.payload;
+}
+
+void MemoryCheckpoint::ReplaceWithPatch(size_t page, std::vector<uint8_t> patch) {
+  Slot& slot = slots_.at(page);
+  if (slot.state != PageSlotState::kResident) {
+    throw std::logic_error("ReplaceWithPatch: page not resident");
+  }
+  slot.state = PageSlotState::kPatched;
+  slot.payload_size = patch.size();
+  slot.payload = payloads_dropped_ ? std::vector<uint8_t>{} : std::move(patch);
+}
+
+void MemoryCheckpoint::MarkZero(size_t page) {
+  Slot& slot = slots_.at(page);
+  slot.state = PageSlotState::kZero;
+  slot.payload_size = 0;
+  slot.payload.clear();
+}
+
+void MemoryCheckpoint::RestorePage(size_t page, std::vector<uint8_t> bytes) {
+  Slot& slot = slots_.at(page);
+  if (slot.state != PageSlotState::kPatched) {
+    throw std::logic_error("RestorePage: page not patched");
+  }
+  slot.state = PageSlotState::kResident;
+  slot.payload_size = bytes.size();
+  slot.payload = payloads_dropped_ ? std::vector<uint8_t>{} : std::move(bytes);
+}
+
+bool MemoryCheckpoint::FullyResident() const {
+  return std::all_of(slots_.begin(), slots_.end(), [](const Slot& s) {
+    return s.state != PageSlotState::kPatched;
+  });
+}
+
+std::vector<uint8_t> MemoryCheckpoint::ToBytes() const {
+  if (payloads_dropped_) {
+    throw std::logic_error("ToBytes: payloads were dropped");
+  }
+  std::vector<uint8_t> out(slots_.size() * kPageSize, 0);
+  for (size_t p = 0; p < slots_.size(); ++p) {
+    const Slot& slot = slots_[p];
+    switch (slot.state) {
+      case PageSlotState::kResident:
+        std::copy(slot.payload.begin(), slot.payload.end(), out.begin() + static_cast<ptrdiff_t>(p * kPageSize));
+        break;
+      case PageSlotState::kZero:
+        break;  // already zero
+      case PageSlotState::kPatched:
+        throw std::logic_error("ToBytes: page still patched");
+    }
+  }
+  return out;
+}
+
+void MemoryCheckpoint::DropPayloads() {
+  payloads_dropped_ = true;
+  for (Slot& slot : slots_) {
+    slot.payload.clear();
+    slot.payload.shrink_to_fit();
+  }
+}
+
+size_t MemoryCheckpoint::ResidentBytes() const {
+  size_t total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == PageSlotState::kResident) {
+      total += slot.payload_size;
+    }
+  }
+  return total;
+}
+
+size_t MemoryCheckpoint::PatchBytes() const {
+  size_t total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == PageSlotState::kPatched) {
+      total += slot.payload_size;
+    }
+  }
+  return total;
+}
+
+size_t MemoryCheckpoint::NumPatched() const {
+  return static_cast<size_t>(std::count_if(slots_.begin(), slots_.end(), [](const Slot& s) {
+    return s.state == PageSlotState::kPatched;
+  }));
+}
+
+size_t MemoryCheckpoint::NumZero() const {
+  return static_cast<size_t>(std::count_if(slots_.begin(), slots_.end(), [](const Slot& s) {
+    return s.state == PageSlotState::kZero;
+  }));
+}
+
+}  // namespace medes

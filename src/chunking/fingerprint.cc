@@ -1,0 +1,110 @@
+#include "chunking/fingerprint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chunking/rabin.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+
+namespace medes {
+
+PageFingerprinter::PageFingerprinter(FingerprintOptions options) : options_(options) {
+  if (options_.chunk_size == 0) {
+    throw std::invalid_argument("chunk_size must be positive");
+  }
+  if (options_.cardinality == 0) {
+    throw std::invalid_argument("cardinality must be positive");
+  }
+  if (options_.key_bits < 1 || options_.key_bits > 64) {
+    throw std::invalid_argument("key_bits must be in [1, 64]");
+  }
+}
+
+PageFingerprint PageFingerprinter::FingerprintPage(std::span<const uint8_t> page) const {
+  PageFingerprint fp;
+  const size_t w = options_.chunk_size;
+  if (page.size() < w) {
+    return fp;
+  }
+
+  // Candidate chunks: (selection priority, offset). Kept as the K smallest
+  // SHA-1 keys among value-selected windows so the fingerprint is an
+  // order-independent function of page content.
+  std::vector<SampledChunk> candidates;
+
+  auto add_candidate = [&](size_t offset) {
+    Sha1Digest digest = Sha1::Hash(page.subspan(offset, w));
+    candidates.push_back({TruncateKey(digest.Prefix64()), static_cast<uint32_t>(offset)});
+  };
+
+  if (options_.mode == SamplingMode::kRandomOffsets) {
+    // Difference Engine-style: fixed pseudo-random offsets, *not* content
+    // defined — the same page content shifted by a few bytes fingerprints
+    // completely differently.
+    Rng rng(options_.random_seed);
+    for (size_t i = 0; i < options_.cardinality; ++i) {
+      size_t offset = rng.Below(page.size() - w + 1);
+      add_candidate(offset);
+    }
+  } else {
+    RollingHash rh(w);
+    uint64_t h = rh.Init(page);
+    size_t last_selected_end = 0;  // avoid overlapping selected chunks
+    if ((h & options_.sample_mask) == options_.sample_pattern) {
+      add_candidate(0);
+      last_selected_end = w;
+    }
+    for (size_t i = w; i < page.size(); ++i) {
+      h = rh.Roll(h, page[i - w], page[i]);
+      size_t offset = i - w + 1;
+      if (offset < last_selected_end) {
+        continue;
+      }
+      if ((h & options_.sample_mask) == options_.sample_pattern) {
+        add_candidate(offset);
+        last_selected_end = offset + w;
+      }
+    }
+    if (candidates.size() < options_.cardinality) {
+      // Sparse/uniform pages select too few windows; fall back to fixed-stride
+      // chunks so every page still has a full-cardinality fingerprint.
+      for (size_t offset = 0; offset + w <= page.size() && candidates.size() < 4 * options_.cardinality;
+           offset += std::max<size_t>(w, page.size() / (options_.cardinality + 1))) {
+        add_candidate(offset);
+      }
+    }
+  }
+
+  // Keep the K smallest keys (deduplicated) — deterministic and unordered.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SampledChunk& a, const SampledChunk& b) {
+              return a.key < b.key || (a.key == b.key && a.offset < b.offset);
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const SampledChunk& a, const SampledChunk& b) {
+                                 return a.key == b.key;
+                               }),
+                   candidates.end());
+  if (candidates.size() > options_.cardinality) {
+    candidates.resize(options_.cardinality);
+  }
+  fp.chunks = std::move(candidates);
+  return fp;
+}
+
+std::vector<PageFingerprint> PageFingerprinter::FingerprintImage(std::span<const uint8_t> image,
+                                                                 size_t page_size) const {
+  std::vector<PageFingerprint> out;
+  if (page_size == 0) {
+    throw std::invalid_argument("page_size must be positive");
+  }
+  size_t pages = image.size() / page_size;
+  out.reserve(pages);
+  for (size_t p = 0; p < pages; ++p) {
+    out.push_back(FingerprintPage(image.subspan(p * page_size, page_size)));
+  }
+  return out;
+}
+
+}  // namespace medes

@@ -1,0 +1,40 @@
+#include "chunking/rabin.h"
+
+#include <stdexcept>
+
+namespace medes {
+
+RollingHash::RollingHash(size_t window) : window_(window), pow_(1) {
+  if (window == 0) {
+    throw std::invalid_argument("RollingHash: window must be positive");
+  }
+  for (size_t i = 1; i < window; ++i) {
+    pow_ *= kBase;
+  }
+}
+
+uint64_t RollingHash::Init(std::span<const uint8_t> data) {
+  uint64_t h = 0;
+  for (size_t i = 0; i < window_; ++i) {
+    h = h * kBase + data[i];
+  }
+  return h;
+}
+
+std::vector<uint64_t> AllWindowHashes(std::span<const uint8_t> data, size_t window) {
+  std::vector<uint64_t> out;
+  if (data.size() < window) {
+    return out;
+  }
+  out.reserve(data.size() - window + 1);
+  RollingHash rh(window);
+  uint64_t h = rh.Init(data);
+  out.push_back(h);
+  for (size_t i = window; i < data.size(); ++i) {
+    h = rh.Roll(h, data[i - window], data[i]);
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace medes

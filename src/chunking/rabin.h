@@ -1,0 +1,44 @@
+// Rolling Rabin-style polynomial hash over a fixed-size byte window.
+//
+// Used to scan every 64-byte window of a page in a single linear pass (paper
+// Section 4.1.2, "a single linear scan"): the hash of window [i+1, i+1+W) is
+// derived from the hash of [i, i+W) in O(1).
+#ifndef MEDES_CHUNKING_RABIN_H_
+#define MEDES_CHUNKING_RABIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace medes {
+
+class RollingHash {
+ public:
+  // `window` is the chunk size in bytes (e.g. 64 for Medes RSCs).
+  explicit RollingHash(size_t window);
+
+  size_t window() const { return window_; }
+
+  // Hash of the first full window of `data`. Precondition: data.size() >= window().
+  uint64_t Init(std::span<const uint8_t> data);
+
+  // Slide the window one byte: remove `outgoing`, append `incoming`.
+  uint64_t Roll(uint64_t hash, uint8_t outgoing, uint8_t incoming) const {
+    return (hash - outgoing * pow_) * kBase + incoming;
+  }
+
+ private:
+  static constexpr uint64_t kBase = 0x100000001b3ull;  // FNV prime as the polynomial base
+
+  size_t window_;
+  uint64_t pow_;  // kBase^(window-1), wrapping arithmetic mod 2^64
+};
+
+// Convenience: hashes of all rolling windows of `data` (data.size() - window + 1
+// values). Returns empty if data is shorter than the window.
+std::vector<uint64_t> AllWindowHashes(std::span<const uint8_t> data, size_t window);
+
+}  // namespace medes
+
+#endif  // MEDES_CHUNKING_RABIN_H_

@@ -1,0 +1,89 @@
+#include "chunking/redundancy.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sha1.h"
+
+namespace medes {
+
+RedundancyResult MeasureRedundancy(std::span<const uint8_t> a, std::span<const uint8_t> b,
+                                   const RedundancyOptions& options) {
+  const size_t k = options.chunk_size;
+  if (k == 0) {
+    throw std::invalid_argument("chunk_size must be positive");
+  }
+  RedundancyResult result;
+  result.total_bytes = b.size();
+  if (a.size() < k || b.size() < k) {
+    return result;
+  }
+  std::vector<size_t> candidates;
+
+  // Index A's chunks sampled at stride 2K. Multiple offsets can share a hash.
+  std::unordered_map<uint64_t, std::vector<size_t>> table;
+  table.reserve(a.size() / (2 * k) + 1);
+  for (size_t off = 0; off + k <= a.size(); off += 2 * k) {
+    uint64_t h = Sha1::Hash(a.subspan(off, k)).Prefix64();
+    auto& offsets = table[h];
+    if (offsets.size() < 8) {  // cap pathological chains (e.g. zero pages)
+      offsets.push_back(off);
+    }
+  }
+
+  for (size_t off = 0; off + k <= b.size(); off += 2 * k) {
+    ++result.probed_chunks;
+    size_t best = 0;
+    // Fast path: same-offset candidate. Sandboxes of the same function lay
+    // out near-identically, and the hash table's per-chain cap would
+    // otherwise drop exactly these candidates for highly repetitive content.
+    if (off + k <= a.size()) {
+      candidates.assign(1, off);
+    } else {
+      candidates.clear();
+    }
+    uint64_t h = Sha1::Hash(b.subspan(off, k)).Prefix64();
+    auto it = table.find(h);
+    if (it == table.end() && candidates.empty()) {
+      continue;
+    }
+    if (it != table.end()) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                                        it->second.end());
+    }
+    for (size_t a_off : candidates) {
+      if (std::memcmp(a.data() + a_off, b.data() + off, k) != 0) {
+        continue;  // hash collision; reject
+      }
+      // Extend the verified K-byte match into the surrounding non-hashed
+      // bytes, to a maximum total of 2K bytes (paper Section 2.1).
+      size_t fwd = 0;
+      size_t max_fwd = std::min({k, a.size() - (a_off + k), b.size() - (off + k)});
+      while (fwd < max_fwd && a[a_off + k + fwd] == b[off + k + fwd]) {
+        ++fwd;
+      }
+      size_t back = 0;
+      size_t max_back = std::min({k - fwd, a_off, off});
+      while (back < max_back && a[a_off - back - 1] == b[off - back - 1]) {
+        ++back;
+      }
+      best = std::max(best, k + fwd + back);
+      if (best == 2 * k) {
+        break;
+      }
+    }
+    if (best > 0) {
+      ++result.matched_chunks;
+      // Credit at most the 2K window this probe owns to avoid double counting
+      // with the next probe (probes are 2K apart).
+      result.duplicated_bytes += std::min(best, 2 * k);
+    }
+  }
+  result.duplicated_bytes = std::min(result.duplicated_bytes, result.total_bytes);
+  return result;
+}
+
+}  // namespace medes

@@ -1,0 +1,42 @@
+// Memory-redundancy measurement tool — the Section 2.1 methodology.
+//
+// To quantify how much of sandbox B's memory already exists in sandbox A, the
+// paper samples a chunk of K bytes at fixed offsets of 2K bytes in A, hashes
+// each chunk (SHA-1) into a table, then probes B's chunks against the table.
+// On a verified byte-equal match, both chunks are extended into the
+// surrounding non-hashed bytes up to a maximum of 2K bytes, and the maximal
+// common run of bytes is credited as duplicated. Redundancy of B w.r.t. A is
+// the fraction of B's bytes so credited.
+#ifndef MEDES_CHUNKING_REDUNDANCY_H_
+#define MEDES_CHUNKING_REDUNDANCY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace medes {
+
+struct RedundancyOptions {
+  size_t chunk_size = 64;  // K; chunks sampled every 2K bytes
+};
+
+struct RedundancyResult {
+  size_t total_bytes = 0;       // bytes of B considered
+  size_t duplicated_bytes = 0;  // bytes of B found in A
+  size_t probed_chunks = 0;
+  size_t matched_chunks = 0;
+
+  double Fraction() const {
+    return total_bytes == 0 ? 0.0
+                            : static_cast<double>(duplicated_bytes) /
+                                  static_cast<double>(total_bytes);
+  }
+};
+
+// Redundancy of `b` with respect to `a`.
+RedundancyResult MeasureRedundancy(std::span<const uint8_t> a, std::span<const uint8_t> b,
+                                   const RedundancyOptions& options = {});
+
+}  // namespace medes
+
+#endif  // MEDES_CHUNKING_REDUNDANCY_H_

@@ -1,0 +1,275 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace medes {
+
+const char* ToString(SandboxState state) {
+  switch (state) {
+    case SandboxState::kRunning:
+      return "running";
+    case SandboxState::kWarm:
+      return "warm";
+    case SandboxState::kDedup:
+      return "dedup";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), pool_(options.seed, options.bytes_per_mb) {
+  if (options_.num_nodes <= 0) {
+    throw std::invalid_argument("Cluster: need at least one node");
+  }
+  nodes_.resize(static_cast<size_t>(options_.num_nodes));
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    nodes_[static_cast<size_t>(i)].id = i;
+    nodes_[static_cast<size_t>(i)].options.memory_limit_mb = options_.node_memory_mb;
+  }
+}
+
+Sandbox& Cluster::Spawn(const FunctionProfile& profile, NodeId node, SimTime now) {
+  Sandbox sb;
+  sb.id = next_id_++;
+  sb.function = profile.id;
+  sb.node = node;
+  sb.state = SandboxState::kRunning;
+  sb.created = now;
+  sb.last_used = now;
+  sb.generation = 1;
+  auto [it, inserted] = sandboxes_.emplace(sb.id, std::move(sb));
+  nodes_.at(static_cast<size_t>(node)).sandboxes.push_back(it->first);
+  by_function_[profile.id].push_back(it->first);
+  AddUsage(node, profile.memory_mb);
+  return it->second;
+}
+
+void Cluster::Purge(SandboxId id) {
+  auto it = sandboxes_.find(id);
+  if (it == sandboxes_.end()) {
+    throw std::out_of_range("Purge: unknown sandbox");
+  }
+  Sandbox& sb = it->second;
+  AddUsage(sb.node, -SandboxFootprintMb(sb));
+  auto& list = nodes_.at(static_cast<size_t>(sb.node)).sandboxes;
+  list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  auto& fn_list = by_function_[sb.function];
+  fn_list.erase(std::remove(fn_list.begin(), fn_list.end(), id), fn_list.end());
+  sandboxes_.erase(it);
+}
+
+Sandbox* Cluster::Find(SandboxId id) {
+  auto it = sandboxes_.find(id);
+  return it == sandboxes_.end() ? nullptr : &it->second;
+}
+
+const Sandbox* Cluster::Find(SandboxId id) const {
+  auto it = sandboxes_.find(id);
+  return it == sandboxes_.end() ? nullptr : &it->second;
+}
+
+std::vector<SandboxId> Cluster::SandboxesIn(FunctionId function, SandboxState state) const {
+  std::vector<SandboxId> out;
+  auto it = by_function_.find(function);
+  if (it == by_function_.end()) {
+    return out;
+  }
+  for (SandboxId id : it->second) {
+    const Sandbox& sb = sandboxes_.at(id);
+    if (sb.state == state) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<SandboxId> Cluster::AllSandboxes() const {
+  std::vector<SandboxId> out;
+  out.reserve(sandboxes_.size());
+  for (const auto& [id, sb] : sandboxes_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Cluster::MarkRunning(Sandbox& sb, SimTime now) {
+  if (sb.state == SandboxState::kDedup) {
+    throw std::logic_error("MarkRunning: restore the sandbox first");
+  }
+  sb.state = SandboxState::kRunning;
+  sb.last_used = now;
+  ++sb.runs;
+  ++sb.generation;
+}
+
+void Cluster::MarkWarm(Sandbox& sb, SimTime now) {
+  sb.state = SandboxState::kWarm;
+  sb.idle_since = now;
+  sb.last_used = now;
+}
+
+void Cluster::MarkDedup(Sandbox& sb, SimTime now) {
+  if (sb.state != SandboxState::kWarm) {
+    throw std::logic_error("MarkDedup: sandbox must be warm");
+  }
+  if (!sb.checkpoint.has_value()) {
+    throw std::logic_error("MarkDedup: checkpoint not installed");
+  }
+  const double before = WarmFootprintMb(sb);
+  sb.state = SandboxState::kDedup;
+  sb.dedup_since = now;
+  sb.dedup_footprint_mb = DedupFootprintMb(sb);
+  AddUsage(sb.node, sb.dedup_footprint_mb - before);
+}
+
+void Cluster::MarkRestored(Sandbox& sb, SimTime now) {
+  if (sb.state != SandboxState::kDedup) {
+    throw std::logic_error("MarkRestored: sandbox not in dedup state");
+  }
+  const double before = sb.dedup_footprint_mb;
+  sb.state = SandboxState::kWarm;
+  sb.idle_since = now;
+  sb.checkpoint.reset();
+  sb.patches.clear();
+  sb.dedup_footprint_mb = 0;
+  AddUsage(sb.node, WarmFootprintMb(sb) - before);
+}
+
+BaseSnapshot& Cluster::AddBaseSnapshot(const Sandbox& sb, MemoryCheckpoint checkpoint) {
+  BaseSnapshot snap;
+  snap.sandbox = sb.id;
+  snap.function = sb.function;
+  snap.node = sb.node;
+  snap.memory_mb = ProfileOf(sb).memory_mb;
+  snap.checkpoint = std::move(checkpoint);
+  auto [it, inserted] = bases_.emplace(sb.id, std::move(snap));
+  if (!inserted) {
+    throw std::logic_error("AddBaseSnapshot: sandbox is already a base");
+  }
+  AddUsage(sb.node, it->second.memory_mb);
+  return it->second;
+}
+
+void Cluster::RemoveBaseSnapshot(SandboxId id) {
+  auto it = bases_.find(id);
+  if (it == bases_.end()) {
+    return;
+  }
+  AddUsage(it->second.node, -it->second.memory_mb);
+  bases_.erase(it);
+}
+
+BaseSnapshot* Cluster::FindBaseSnapshot(SandboxId id) {
+  auto it = bases_.find(id);
+  return it == bases_.end() ? nullptr : &it->second;
+}
+
+int Cluster::NumBaseSnapshots(FunctionId function) const {
+  int n = 0;
+  for (const auto& [id, snap] : bases_) {
+    if (snap.function == function) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<uint8_t> Cluster::ReadBasePage(const PageLocation& location) const {
+  auto it = bases_.find(location.sandbox);
+  if (it == bases_.end()) {
+    return {};
+  }
+  const MemoryCheckpoint& cp = it->second.checkpoint;
+  if (location.page_index >= cp.NumPages()) {
+    return {};
+  }
+  if (cp.SlotState(location.page_index) == PageSlotState::kZero) {
+    return std::vector<uint8_t>(kPageSize, 0);
+  }
+  std::span<const uint8_t> data = cp.PageData(location.page_index);
+  return std::vector<uint8_t>(data.begin(), data.end());
+}
+
+const FunctionProfile& Cluster::ProfileOf(const Sandbox& sb) const {
+  return FunctionBenchProfiles().at(static_cast<size_t>(sb.function));
+}
+
+double Cluster::WarmFootprintMb(const Sandbox& sb) const {
+  return ProfileOf(sb).memory_mb;
+}
+
+double Cluster::DedupFootprintMb(const Sandbox& sb) const {
+  if (!sb.checkpoint.has_value()) {
+    return WarmFootprintMb(sb);
+  }
+  const MemoryCheckpoint& cp = *sb.checkpoint;
+  double mb = static_cast<double>(cp.ResidentBytes() + cp.PatchBytes()) /
+              static_cast<double>(options_.bytes_per_mb);
+  return mb + options_.dedup_metadata_fraction * WarmFootprintMb(sb);
+}
+
+double Cluster::SandboxFootprintMb(const Sandbox& sb) const {
+  return sb.state == SandboxState::kDedup ? sb.dedup_footprint_mb : WarmFootprintMb(sb);
+}
+
+double Cluster::TotalUsedMb() const {
+  double total = 0;
+  for (const Node& n : nodes_) {
+    total += n.used_mb;
+  }
+  return total;
+}
+
+double Cluster::TotalLimitMb() const {
+  double total = 0;
+  for (const Node& n : nodes_) {
+    total += n.options.memory_limit_mb;
+  }
+  return total;
+}
+
+double Cluster::RecomputeNodeUsedMb(NodeId id) const {
+  double total = 0;
+  for (const auto& [sid, sb] : sandboxes_) {
+    if (sb.node == id) {
+      total += SandboxFootprintMb(sb);
+    }
+  }
+  for (const auto& [sid, snap] : bases_) {
+    if (snap.node == id) {
+      total += snap.memory_mb;
+    }
+  }
+  return total;
+}
+
+MemoryImage Cluster::BuildImage(const Sandbox& sb) const {
+  SandboxImageOptions opts;
+  opts.aslr = options_.aslr;
+  opts.instance_seed = HashCombine(sb.id, sb.generation);
+  return BuildSandboxImage(ProfileOf(sb), pool_, opts);
+}
+
+NodeId Cluster::LeastUsedNode() const {
+  NodeId best = 0;
+  double best_used = nodes_[0].used_mb;
+  for (const Node& n : nodes_) {
+    if (n.used_mb < best_used) {
+      best_used = n.used_mb;
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+void Cluster::AddUsage(NodeId node, double mb) {
+  nodes_.at(static_cast<size_t>(node)).used_mb += mb;
+  if (nodes_.at(static_cast<size_t>(node)).used_mb < 1e-9) {
+    nodes_.at(static_cast<size_t>(node)).used_mb = 0;  // clamp float drift
+  }
+}
+
+}  // namespace medes

@@ -1,0 +1,60 @@
+// Simple value recorders used for experiment metrics: exact percentiles over
+// recorded samples and a fixed-bucket histogram for streaming summaries.
+#ifndef MEDES_COMMON_HISTOGRAM_H_
+#define MEDES_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace medes {
+
+// Records every sample; answers exact order statistics. Fine for the scale of
+// our experiments (at most a few million samples per run).
+class SampleRecorder {
+ public:
+  void Record(double v) { samples_.push_back(v); }
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  // Exact p-quantile (p in [0, 1]) using the nearest-rank method.
+  // Returns 0 for an empty recorder.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Percentile sorts lazily into this cache.
+  mutable std::vector<double> sorted_;
+  std::vector<double> samples_;
+};
+
+// Fixed-width bucket counter over [lo, hi); out-of-range values clamp to the
+// edge buckets. Used for time-series summaries (e.g. memory usage snapshots).
+class BucketHistogram {
+ public:
+  BucketHistogram(double lo, double hi, size_t buckets);
+
+  void Record(double v);
+  uint64_t BucketCount(size_t i) const { return counts_.at(i); }
+  size_t NumBuckets() const { return counts_.size(); }
+  double BucketLow(size_t i) const;
+  uint64_t TotalCount() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_COMMON_HISTOGRAM_H_

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace medes {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[medes %s] %s\n", LevelName(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace medes

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr.
+//
+// Kept deliberately tiny: experiments run quietly by default (kWarn); tests
+// and examples can raise verbosity. Not thread-safe beyond what stderr gives
+// us — the simulator is single-threaded by design (determinism).
+#ifndef MEDES_COMMON_LOGGING_H_
+#define MEDES_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace medes {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace medes
+
+#define MEDES_LOG(level)                                      \
+  if (::medes::GetLogLevel() <= ::medes::LogLevel::level)     \
+  ::medes::internal::LogMessage(::medes::LogLevel::level).stream()
+
+#define MEDES_DLOG MEDES_LOG(kDebug)
+
+#endif  // MEDES_COMMON_LOGGING_H_

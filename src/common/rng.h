@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (workload arrivals, memory image
+// noise, ASLR offsets) flows through SplitMix64/Xoshiro256** seeded
+// explicitly, so every experiment in bench/ is exactly reproducible.
+#ifndef MEDES_COMMON_RNG_H_
+#define MEDES_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace medes {
+
+// SplitMix64 — used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256** by Blackman & Vigna. Fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9d2c5680u) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    uint64_t result = RotL(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = RotL(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction.
+  uint64_t Below(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<uint64_t>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Exponentially distributed with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -std::log(u) / rate;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Fork a statistically independent stream (for per-entity RNGs).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace medes
+
+#endif  // MEDES_COMMON_RNG_H_

@@ -1,0 +1,139 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace medes {
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) | (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+std::string Sha1Digest::ToHex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+uint64_t Sha1Digest::Prefix64() const {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | bytes[static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+void Sha1::Reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::Update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (buffered_ > 0) {
+    size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  // Append 0x80, pad with zeros to 56 mod 64, then the bit length big-endian.
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[72];
+  size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  Update({pad, pad_len});
+  uint8_t len_be[8];
+  for (int i = 7; i >= 0; --i) {
+    len_be[i] = static_cast<uint8_t>(bit_len & 0xff);
+    bit_len >>= 8;
+  }
+  Update({len_be, 8});
+
+  Sha1Digest digest;
+  for (size_t i = 0; i < 5; ++i) {
+    StoreBe32(digest.bytes.data() + 4 * i, state_[i]);
+  }
+  Reset();
+  return digest;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = LoadBe32(block + 4 * i);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1Digest Sha1::Hash(std::span<const uint8_t> data) {
+  Sha1 hasher;
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+}  // namespace medes

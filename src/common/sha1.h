@@ -1,0 +1,56 @@
+// SHA-1 message digest (FIPS 180-1), implemented from scratch.
+//
+// Medes hashes 64-byte reusable sandbox chunks (RSCs) with SHA-1 before they
+// are inserted into or looked up against the global fingerprint registry
+// (paper Section 2.1). The implementation here is self-contained so the
+// library has no crypto dependency.
+#ifndef MEDES_COMMON_SHA1_H_
+#define MEDES_COMMON_SHA1_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace medes {
+
+// A 160-bit SHA-1 digest.
+struct Sha1Digest {
+  std::array<uint8_t, 20> bytes{};
+
+  bool operator==(const Sha1Digest&) const = default;
+  auto operator<=>(const Sha1Digest&) const = default;
+
+  // Lowercase hex rendering, e.g. "da39a3ee5e6b4b0d3255bfef95601890afd80709".
+  std::string ToHex() const;
+
+  // First 8 bytes interpreted as a little-endian integer. Used as a cheap
+  // well-mixed key into hash tables (SHA-1 output is uniformly distributed).
+  uint64_t Prefix64() const;
+};
+
+// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const uint8_t> data);
+  Sha1Digest Finish();
+
+  // One-shot convenience.
+  static Sha1Digest Hash(std::span<const uint8_t> data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 5> state_{};
+  std::array<uint8_t, 64> buffer_{};
+  uint64_t total_bytes_ = 0;
+  size_t buffered_ = 0;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_COMMON_SHA1_H_

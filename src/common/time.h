@@ -1,0 +1,31 @@
+// Simulated-time types.
+//
+// The cluster simulation advances a virtual clock in microseconds. Using a
+// strong typedef (rather than raw int64) keeps durations and absolute times
+// from being mixed up across module boundaries.
+#ifndef MEDES_COMMON_TIME_H_
+#define MEDES_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace medes {
+
+// Absolute simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+// Duration in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr SimDuration FromMillis(double ms) { return static_cast<SimDuration>(ms * kMillisecond); }
+constexpr SimDuration FromSeconds(double s) { return static_cast<SimDuration>(s * kSecond); }
+
+}  // namespace medes
+
+#endif  // MEDES_COMMON_TIME_H_

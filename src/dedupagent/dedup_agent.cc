@@ -1,0 +1,195 @@
+#include "dedupagent/dedup_agent.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace medes {
+
+DedupAgent::DedupAgent(Cluster& cluster, RegistryBackend& registry, RdmaFabric& fabric,
+                       DedupAgentOptions options)
+    : cluster_(cluster),
+      registry_(registry),
+      fabric_(fabric),
+      options_(options),
+      fingerprinter_(options.fingerprint) {}
+
+double DedupAgent::ScaleFactor() const {
+  return static_cast<double>(1 << 20) / static_cast<double>(cluster_.options().bytes_per_mb);
+}
+
+DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
+  if (sb.state != SandboxState::kWarm) {
+    throw std::logic_error("DedupOp: sandbox must be warm");
+  }
+  DedupOpResult result;
+  const double scale = ScaleFactor();
+
+  // 1. Memory checkpoint of the warm sandbox.
+  MemoryImage image = cluster_.BuildImage(sb);
+  MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
+  result.pages_total = cp.NumPages();
+  result.pages_zero = cp.NumZero();
+  result.checkpoint_time = static_cast<SimDuration>(
+      static_cast<double>(options_.criu.capture_per_page) *
+      static_cast<double>(cp.NumPages()) * scale);
+
+  // 2-5. Per page: fingerprint, registry lookup, base-page read, patch.
+  SimDuration rdma_cost = 0;
+  size_t lookups = 0;
+  sb.patches.clear();
+  for (size_t page = 0; page < cp.NumPages(); ++page) {
+    if (cp.SlotState(page) != PageSlotState::kResident) {
+      continue;
+    }
+    PageFingerprint fp = fingerprinter_.FingerprintPage(cp.PageData(page));
+    ++lookups;
+    std::vector<BasePageCandidate> candidates =
+        registry_.FindBasePages(fp, sb.node, sb.id, options_.max_base_pages_per_page);
+    if (candidates.empty()) {
+      ++result.pages_unique;
+      continue;
+    }
+    // The patch is computed against the concatenation of the chosen base
+    // page(s); restore must fetch them all.
+    std::vector<uint8_t> base_bytes;
+    base_bytes.reserve(candidates.size() * kPageSize);
+    for (const BasePageCandidate& candidate : candidates) {
+      std::vector<uint8_t> one = fabric_.ReadPage(candidate.location, sb.node, &rdma_cost);
+      base_bytes.insert(base_bytes.end(), one.begin(), one.end());
+    }
+    std::vector<uint8_t> patch;
+    try {
+      patch = DeltaEncode(base_bytes, cp.PageData(page), options_.delta);
+    } catch (const DeltaError&) {
+      ++result.pages_unique;
+      continue;
+    }
+    if (static_cast<double>(patch.size()) >
+        options_.patch_accept_max_ratio * static_cast<double>(kPageSize)) {
+      ++result.pages_unique;  // patch too big to be worth it
+      continue;
+    }
+    result.patch_bytes += patch.size();
+    result.saved_bytes += kPageSize - patch.size();
+    ++result.pages_deduped;
+    const BaseSnapshot* snap = cluster_.FindBaseSnapshot(candidates.front().location.sandbox);
+    if (snap != nullptr && snap->function == sb.function) {
+      ++result.same_function_pages;
+    } else {
+      ++result.cross_function_pages;
+    }
+    PatchRecord record;
+    record.page = static_cast<uint32_t>(page);
+    for (const BasePageCandidate& candidate : candidates) {
+      registry_.Ref(candidate.location.sandbox);
+      record.bases.push_back(candidate.location);
+    }
+    sb.patches.push_back(std::move(record));
+    cp.ReplaceWithPatch(page, std::move(patch));
+  }
+  // Zero pages also count as saved memory relative to the warm state.
+  result.saved_bytes += result.pages_zero * kPageSize;
+
+  result.lookup_time = static_cast<SimDuration>(
+      static_cast<double>(options_.controller_lookup_per_page) * static_cast<double>(lookups) *
+      scale);
+  result.patch_time =
+      static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale) +
+      static_cast<SimDuration>(static_cast<double>(result.patch_bytes) * scale /
+                               options_.patch_bytes_per_us);
+  result.total_time = result.checkpoint_time + result.lookup_time + result.patch_time;
+
+  // Prepare namespaces / process tree now so dedup starts skip it.
+  cp.set_namespaces_prepared(true);
+  sb.namespaces_prepared = true;
+  if (!options_.keep_payloads) {
+    cp.DropPayloads();
+  }
+  sb.checkpoint = std::move(cp);
+  cluster_.MarkDedup(sb, now);
+  return result;
+}
+
+RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
+  if (sb.state != SandboxState::kDedup || !sb.checkpoint.has_value()) {
+    throw std::logic_error("RestoreOp: sandbox not in dedup state");
+  }
+  RestoreOpResult result;
+  const double scale = ScaleFactor();
+  MemoryCheckpoint& cp = *sb.checkpoint;
+  const bool payloads = !cp.payloads_dropped();
+
+  SimDuration rdma_cost = 0;
+  size_t patch_bytes_applied = 0;
+  for (const PatchRecord& record : sb.patches) {
+    std::vector<uint8_t> base_bytes;
+    base_bytes.reserve(record.bases.size() * kPageSize);
+    for (const PageLocation& base : record.bases) {
+      std::vector<uint8_t> one = fabric_.ReadPage(base, sb.node, &rdma_cost);
+      ++result.base_pages_read;
+      result.base_bytes_read += one.size();
+      if (base.node != sb.node) {
+        ++result.remote_reads;
+      }
+      base_bytes.insert(base_bytes.end(), one.begin(), one.end());
+      registry_.Unref(base.sandbox);
+    }
+    patch_bytes_applied += cp.PatchSize(record.page);
+    if (payloads) {
+      std::vector<uint8_t> original = DeltaDecode(base_bytes, cp.PatchData(record.page));
+      cp.RestorePage(record.page, std::move(original));
+    } else {
+      cp.RestorePage(record.page, std::vector<uint8_t>(kPageSize, 0));
+    }
+  }
+
+  result.read_base_time = static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale);
+  result.compute_time = static_cast<SimDuration>(
+      static_cast<double>(result.base_bytes_read + patch_bytes_applied) * scale /
+      options_.patch_bytes_per_us);
+  SimDuration criu = static_cast<SimDuration>(
+      static_cast<double>(options_.criu.restore_per_page) * static_cast<double>(cp.NumPages()) *
+      scale);
+  if (!sb.namespaces_prepared) {
+    criu += options_.criu.namespace_and_ptree;
+  }
+  result.sandbox_restore_time = criu;
+  result.total_time = result.read_base_time + result.compute_time + result.sandbox_restore_time;
+
+  if (verify && payloads) {
+    std::vector<uint8_t> reconstructed = cp.ToBytes();
+    MemoryImage original = cluster_.BuildImage(sb);
+    if (reconstructed.size() != original.SizeBytes() ||
+        std::memcmp(reconstructed.data(), original.bytes().data(), reconstructed.size()) != 0) {
+      throw std::logic_error("RestoreOp: reconstruction does not match the original image");
+    }
+    result.verified = true;
+  }
+
+  sb.patches.clear();
+  cluster_.MarkRestored(sb, now);
+  return result;
+}
+
+BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {
+  if (sb.state != SandboxState::kWarm) {
+    throw std::logic_error("DesignateBase: sandbox must be warm");
+  }
+  MemoryImage image = cluster_.BuildImage(sb);
+  MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
+  std::vector<PageFingerprint> fingerprints;
+  fingerprints.reserve(cp.NumPages());
+  for (size_t page = 0; page < cp.NumPages(); ++page) {
+    if (cp.SlotState(page) == PageSlotState::kResident) {
+      fingerprints.push_back(fingerprinter_.FingerprintPage(cp.PageData(page)));
+    } else {
+      fingerprints.emplace_back();  // zero pages are not inserted
+    }
+  }
+  registry_.InsertBaseSandbox(sb.node, sb.id, fingerprints);
+  return cluster_.AddBaseSnapshot(sb, std::move(cp));
+}
+
+}  // namespace medes

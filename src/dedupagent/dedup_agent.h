@@ -1,0 +1,119 @@
+// The per-node dedup agent: dedup and restore operations (paper Section 4).
+//
+// Dedup op (Fig. 5): checkpoint the warm sandbox; fingerprint each page with
+// value-sampled 64 B chunks; look the fingerprints up in the controller's
+// global registry to pick a *base page* per page (max sampled-chunk overlap,
+// local pages preferred on ties); read the base pages (RDMA when remote);
+// compute an Xdelta-style patch at compression level 1; keep the patch and
+// purge the original page when the patch is small enough. The checkpoint's
+// namespace/process-tree restoration work is done *now* so dedup starts skip
+// it (Section 4.2).
+//
+// Restore op (Fig. 6): read every referenced base page (one-sided RDMA, no
+// controller involvement), reconstruct original pages from patches, rebuild
+// the memory dump, and restore the sandbox from it.
+//
+// Timing is modelled against *represented* sizes: the synthetic images are
+// built at `bytes_per_mb` scale, so modelled durations multiply measured
+// byte/page counts by the scale ratio back to full size.
+#ifndef MEDES_DEDUPAGENT_DEDUP_AGENT_H_
+#define MEDES_DEDUPAGENT_DEDUP_AGENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "chunking/fingerprint.h"
+#include "cluster/cluster.h"
+#include "delta/delta.h"
+#include "rdma/rdma.h"
+#include "registry/fingerprint_registry.h"
+
+namespace medes {
+
+struct DedupAgentOptions {
+  FingerprintOptions fingerprint;
+  DeltaOptions delta{.level = 1};
+  CheckpointCosts criu;
+  // A patch is only kept if it is smaller than this fraction of the page
+  // (otherwise deduplication of that page isn't worth the metadata).
+  double patch_accept_max_ratio = 0.85;
+  // Controller-side lookup cost per page (paper Section 7.7 reports ~80 us
+  // per page in their single-threaded implementation).
+  SimDuration controller_lookup_per_page = 80;
+  // How many ranked base pages a patch may be computed against (Section
+  // 4.1.2 says "base page(s)"; 1 keeps restore reads minimal — the Fig. 16
+  // cardinality sensitivity raises it).
+  size_t max_base_pages_per_page = 1;
+  // Patch computation / application throughput, bytes per us (~1 GB/s).
+  double patch_bytes_per_us = 1000.0;
+  // Keep checkpoint payload bytes after the op (true = byte-exact restores
+  // can be verified; false = size-only accounting for fast simulation).
+  bool keep_payloads = true;
+};
+
+struct DedupOpResult {
+  size_t pages_total = 0;
+  size_t pages_deduped = 0;   // replaced by patches
+  size_t pages_zero = 0;
+  size_t pages_unique = 0;    // kept resident (no acceptable base page)
+  size_t patch_bytes = 0;     // real bytes at image scale
+  size_t saved_bytes = 0;     // (page size - patch size) summed, image scale
+  size_t same_function_pages = 0;   // deduped against a base of the same function
+  size_t cross_function_pages = 0;  // ... of a different function (Section 7.3.1)
+  // Modelled durations at represented scale.
+  SimDuration checkpoint_time = 0;
+  SimDuration lookup_time = 0;   // fingerprints to controller + registry lookups
+  SimDuration patch_time = 0;    // base page reads + patch computation
+  SimDuration total_time = 0;
+};
+
+struct RestoreOpResult {
+  size_t base_pages_read = 0;
+  size_t base_bytes_read = 0;    // real bytes at image scale
+  size_t remote_reads = 0;
+  // Modelled durations at represented scale — the three Fig. 8 components.
+  SimDuration read_base_time = 0;      // "base page reading"
+  SimDuration compute_time = 0;        // "original page computing"
+  SimDuration sandbox_restore_time = 0;  // "sandbox restoration" (CRIU)
+  SimDuration total_time = 0;
+  bool verified = false;  // byte-exact reconstruction check ran and passed
+};
+
+class DedupAgent {
+ public:
+  // The agent mutates cluster sandboxes and reads pages through the fabric;
+  // the registry belongs to the controller. All referenced objects must
+  // outlive the agent.
+  DedupAgent(Cluster& cluster, RegistryBackend& registry, RdmaFabric& fabric,
+             DedupAgentOptions options = {});
+
+  const DedupAgentOptions& options() const { return options_; }
+
+  // Converts a warm sandbox into the dedup state. Builds the sandbox's
+  // current image, checkpoints it, and eliminates redundancy page by page.
+  DedupOpResult DedupOp(Sandbox& sb, SimTime now);
+
+  // Restores a dedup sandbox to warm. When `verify` is set (and payloads
+  // were kept) the reconstructed image is compared byte-for-byte against the
+  // sandbox's regenerated source image.
+  RestoreOpResult RestoreOp(Sandbox& sb, SimTime now, bool verify = false);
+
+  // Snapshot + fingerprint + registry insertion for a base sandbox
+  // designation. Returns the registered snapshot.
+  BaseSnapshot& DesignateBase(Sandbox& sb);
+
+  // Represented-scale multiplier for this cluster's image scale.
+  double ScaleFactor() const;
+
+ private:
+  Cluster& cluster_;
+  RegistryBackend& registry_;
+  RdmaFabric& fabric_;
+  DedupAgentOptions options_;
+  PageFingerprinter fingerprinter_;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_DEDUPAGENT_DEDUP_AGENT_H_

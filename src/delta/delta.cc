@@ -1,0 +1,283 @@
+#include "delta/delta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace medes {
+namespace delta_internal {
+
+void AppendVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t ReadVarint(std::span<const uint8_t> data, size_t& pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= data.size() || shift > 63) {
+      throw DeltaError("varint out of range");
+    }
+    uint8_t byte = data[pos++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace delta_internal
+
+namespace {
+
+using delta_internal::AppendVarint;
+using delta_internal::ReadVarint;
+
+constexpr uint8_t kMagic[4] = {'M', 'D', 'T', '1'};
+constexpr uint8_t kOpAdd = 0x00;
+constexpr uint8_t kOpCopy = 0x01;
+
+// Seed-index over the base buffer: maps hashed seeds to base offsets.
+// Open-addressed, power-of-two sized, each slot holding up to `depth` offsets
+// chained via per-slot arrays would complicate things; instead we use a
+// bucketed table with a small fixed depth (newest offsets win).
+class SeedIndex {
+ public:
+  SeedIndex(std::span<const uint8_t> base, size_t seed_len, size_t stride, size_t depth)
+      : base_(base), seed_len_(seed_len), depth_(depth) {
+    if (base.size() < seed_len) {
+      return;
+    }
+    size_t positions = (base.size() - seed_len) / stride + 1;
+    size_t want = positions * depth * 2;
+    size_t cap = 64;
+    while (cap < want) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_.assign(cap * depth_, kEmpty);
+    for (size_t i = 0; i + seed_len <= base.size(); i += stride) {
+      Insert(HashSeed(base.data() + i), i);
+    }
+  }
+
+  // Finds the base offset whose seed matches the one at `p`, preferring the
+  // longest forward extension. Returns npos when no candidate matches.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  size_t FindBest(std::span<const uint8_t> target, size_t t_off) const {
+    if (slots_.empty() || t_off + seed_len_ > target.size()) {
+      return npos;
+    }
+    uint64_t h = HashSeed(target.data() + t_off);
+    size_t bucket = (h & mask_) * depth_;
+    size_t best = npos;
+    size_t best_len = 0;
+    for (size_t d = 0; d < depth_; ++d) {
+      size_t cand = slots_[bucket + d];
+      if (cand == kEmpty) {
+        break;
+      }
+      if (std::memcmp(base_.data() + cand, target.data() + t_off, seed_len_) != 0) {
+        continue;
+      }
+      size_t len = ExtendForward(target, t_off, cand);
+      if (len > best_len) {
+        best_len = len;
+        best = cand;
+      }
+    }
+    return best;
+  }
+
+  size_t ExtendForward(std::span<const uint8_t> target, size_t t_off, size_t b_off) const {
+    size_t len = 0;
+    size_t max = std::min(base_.size() - b_off, target.size() - t_off);
+    while (len < max && base_[b_off + len] == target[t_off + len]) {
+      ++len;
+    }
+    return len;
+  }
+
+ private:
+  static constexpr size_t kEmpty = static_cast<size_t>(-1);
+
+  uint64_t HashSeed(const uint8_t* p) const {
+    return MixBits(Fnv1a64({p, seed_len_}));
+  }
+
+  void Insert(uint64_t h, size_t offset) {
+    size_t bucket = (h & mask_) * depth_;
+    // Shift older entries down; newest first.
+    for (size_t d = depth_ - 1; d > 0; --d) {
+      slots_[bucket + d] = slots_[bucket + d - 1];
+    }
+    slots_[bucket] = offset;
+  }
+
+  std::span<const uint8_t> base_;
+  size_t seed_len_;
+  size_t depth_;
+  size_t mask_ = 0;
+  std::vector<size_t> slots_;
+};
+
+void EmitAdd(std::vector<uint8_t>& out, std::span<const uint8_t> literal) {
+  if (literal.empty()) {
+    return;
+  }
+  out.push_back(kOpAdd);
+  AppendVarint(out, literal.size());
+  out.insert(out.end(), literal.begin(), literal.end());
+}
+
+void EmitCopy(std::vector<uint8_t>& out, size_t base_off, size_t len) {
+  out.push_back(kOpCopy);
+  AppendVarint(out, base_off);
+  AppendVarint(out, len);
+}
+
+}  // namespace
+
+std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const uint8_t> target,
+                                 const DeltaOptions& options) {
+  if (options.seed_length < 4) {
+    throw DeltaError("seed_length must be >= 4");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(target.size() / 4 + 32);
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  AppendVarint(out, base.size());
+  AppendVarint(out, target.size());
+
+  int level = std::clamp(options.level, 0, 9);
+  if (level == 0 || base.size() < options.seed_length) {
+    EmitAdd(out, target);
+    return out;
+  }
+
+  // Level controls index density (stride over base) and bucket depth.
+  // Level 1: stride = seed/2, depth 2 (fast). Level 9: stride 1, depth 8.
+  size_t stride = std::max<size_t>(1, options.seed_length / (1 + static_cast<size_t>(level)));
+  size_t depth = 1 + static_cast<size_t>(level) / 2 + 1;
+  SeedIndex index(base, options.seed_length, stride, depth);
+
+  size_t pending = 0;  // start of unmatched literal run
+  size_t pos = 0;
+  while (pos + options.seed_length <= target.size()) {
+    size_t cand = index.FindBest(target, pos);
+    if (cand == SeedIndex::npos) {
+      ++pos;
+      continue;
+    }
+    size_t fwd = index.ExtendForward(target, pos, cand);
+    // Extend backwards into the pending literal run.
+    size_t back = 0;
+    while (back < pos - pending && back < cand && base[cand - back - 1] == target[pos - back - 1]) {
+      ++back;
+    }
+    size_t match_off = cand - back;
+    size_t match_pos = pos - back;
+    size_t match_len = fwd + back;
+    if (match_len < options.min_match) {
+      ++pos;
+      continue;
+    }
+    EmitAdd(out, target.subspan(pending, match_pos - pending));
+    EmitCopy(out, match_off, match_len);
+    pos = match_pos + match_len;
+    pending = pos;
+  }
+  EmitAdd(out, target.subspan(pending));
+  return out;
+}
+
+std::vector<uint8_t> DeltaDecode(std::span<const uint8_t> base, std::span<const uint8_t> delta) {
+  size_t pos = 0;
+  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
+    throw DeltaError("bad delta magic");
+  }
+  pos = 4;
+  uint64_t base_len = ReadVarint(delta, pos);
+  uint64_t target_len = ReadVarint(delta, pos);
+  if (base_len != base.size()) {
+    throw DeltaError("delta was computed against a different base length");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(target_len);
+  while (pos < delta.size()) {
+    uint8_t op = delta[pos++];
+    if (op == kOpAdd) {
+      uint64_t len = ReadVarint(delta, pos);
+      if (pos + len > delta.size()) {
+        throw DeltaError("ADD overruns delta");
+      }
+      out.insert(out.end(), delta.begin() + static_cast<ptrdiff_t>(pos),
+                 delta.begin() + static_cast<ptrdiff_t>(pos + len));
+      pos += len;
+    } else if (op == kOpCopy) {
+      uint64_t off = ReadVarint(delta, pos);
+      uint64_t len = ReadVarint(delta, pos);
+      if (off + len > base.size()) {
+        throw DeltaError("COPY overruns base");
+      }
+      out.insert(out.end(), base.begin() + static_cast<ptrdiff_t>(off),
+                 base.begin() + static_cast<ptrdiff_t>(off + len));
+    } else {
+      throw DeltaError("unknown delta opcode");
+    }
+  }
+  if (out.size() != target_len) {
+    throw DeltaError("reconstructed length mismatch");
+  }
+  return out;
+}
+
+DeltaStats InspectDelta(std::span<const uint8_t> delta) {
+  DeltaStats stats;
+  stats.delta_length = delta.size();
+  size_t pos = 0;
+  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
+    throw DeltaError("bad delta magic");
+  }
+  pos = 4;
+  stats.base_length = ReadVarint(delta, pos);
+  stats.target_length = ReadVarint(delta, pos);
+  while (pos < delta.size()) {
+    uint8_t op = delta[pos++];
+    if (op == kOpAdd) {
+      uint64_t len = ReadVarint(delta, pos);
+      if (pos + len > delta.size()) {
+        throw DeltaError("ADD overruns delta");
+      }
+      stats.add_bytes += len;
+      ++stats.add_ops;
+      pos += len;
+    } else if (op == kOpCopy) {
+      ReadVarint(delta, pos);
+      uint64_t len = ReadVarint(delta, pos);
+      stats.copy_bytes += len;
+      ++stats.copy_ops;
+    } else {
+      throw DeltaError("unknown delta opcode");
+    }
+  }
+  return stats;
+}
+
+size_t DeltaTargetLength(std::span<const uint8_t> delta) {
+  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
+    throw DeltaError("bad delta magic");
+  }
+  size_t pos = 4;
+  ReadVarint(delta, pos);          // base_len
+  return ReadVarint(delta, pos);   // target_len
+}
+
+}  // namespace medes

@@ -1,0 +1,165 @@
+#include "memstate/image.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace medes {
+
+MemoryImage::MemoryImage(std::vector<uint8_t> bytes, std::vector<Segment> segments,
+                         double represented_mb)
+    : bytes_(std::move(bytes)), segments_(std::move(segments)), represented_mb_(represented_mb) {
+  if (bytes_.size() % kPageSize != 0) {
+    throw std::invalid_argument("image size must be page aligned");
+  }
+}
+
+namespace {
+
+// Overwrites `sites` 8-byte words at rng-chosen offsets with instance-random
+// values — models pointers, counters, and relocation fixups that differ
+// between two sandboxes of the same function.
+void ApplyMutations(std::span<uint8_t> region, double sites_per_kib, Rng& rng) {
+  if (region.size() < 8 || sites_per_kib <= 0) {
+    return;
+  }
+  auto sites = static_cast<size_t>(sites_per_kib * static_cast<double>(region.size()) / 1024.0);
+  for (size_t i = 0; i < sites; ++i) {
+    size_t off = rng.Below(region.size() - 7);
+    uint64_t v = rng.Next();
+    std::memcpy(region.data() + off, &v, 8);
+  }
+}
+
+// Rotates `region` left by `shift` bytes (used for the ASLR 16 B-granularity
+// stack randomisation).
+void RotateRegion(std::span<uint8_t> region, size_t shift) {
+  if (region.empty()) {
+    return;
+  }
+  shift %= region.size();
+  std::rotate(region.begin(), region.begin() + static_cast<ptrdiff_t>(shift), region.end());
+}
+
+// Overwrites each whole page of `region` with instance-random bytes with
+// probability `dirty_fraction` — pages written during request execution
+// diverge completely between instances and never dedup.
+void DirtyPages(std::span<uint8_t> region, double dirty_fraction, Rng& rng) {
+  if (dirty_fraction <= 0) {
+    return;
+  }
+  const size_t page = 4096;
+  for (size_t off = 0; off + page <= region.size(); off += page) {
+    if (!rng.Bernoulli(dirty_fraction)) {
+      continue;
+    }
+    for (size_t i = 0; i + 8 <= page; i += 8) {
+      uint64_t v = rng.Next();
+      std::memcpy(region.data() + off + i, &v, 8);
+    }
+  }
+}
+
+}  // namespace
+
+SandboxImageOptions FreshImageOptions(uint64_t instance_seed, bool aslr) {
+  SandboxImageOptions options;
+  options.instance_seed = instance_seed;
+  options.aslr = aslr;
+  options.unique_fraction_override = 0.10;
+  options.dirty_fraction_override = 0.04;
+  options.heap_mutations_per_kib = 1.2;
+  return options;
+}
+
+MemoryImage BuildSandboxImage(const FunctionProfile& profile, const LibraryPool& pool,
+                              const SandboxImageOptions& options) {
+  const double lib_mb = LibraryFootprintMb(profile);
+  const double heap_mb = std::max(0.5, profile.memory_mb - lib_mb - options.stack_mb);
+  const double unique_fraction = options.unique_fraction_override >= 0
+                                     ? options.unique_fraction_override
+                                     : profile.heap_unique_fraction;
+  const double dirty_fraction = options.dirty_fraction_override >= 0
+                                    ? options.dirty_fraction_override
+                                    : profile.lib_dirty_fraction;
+  const size_t zero_bytes = pool.ScaledBytes(heap_mb * options.zero_fraction);
+  const size_t unique_bytes =
+      pool.ScaledBytes(heap_mb * (1.0 - options.zero_fraction) * unique_fraction);
+  const size_t shared_bytes =
+      pool.ScaledBytes(heap_mb * (1.0 - options.zero_fraction) * (1.0 - unique_fraction));
+  const size_t stack_bytes = pool.ScaledBytes(options.stack_mb);
+
+  size_t total = zero_bytes + unique_bytes + shared_bytes + stack_bytes;
+  for (const auto& lib : profile.libraries) {
+    total += pool.Blob(lib).size();
+  }
+
+  std::vector<uint8_t> bytes(total);
+  std::vector<Segment> segments;
+  size_t cursor = 0;
+
+  uint64_t fn_seed = HashCombine(0xfeedbee5, static_cast<uint64_t>(profile.id));
+  Rng noise_rng(HashCombine(fn_seed, options.instance_seed));
+  // ASLR randomises absolute addresses, which changes every stored pointer;
+  // modelled as extra mutation density.
+  const double lib_density = options.library_mutations_per_kib +
+                             (options.aslr ? options.aslr_extra_library_mutations_per_kib : 0.0);
+  const double heap_density = options.heap_mutations_per_kib +
+                              (options.aslr ? options.aslr_extra_heap_mutations_per_kib : 0.0);
+
+  auto add_segment = [&](const std::string& name, SegmentKind kind, size_t size) {
+    segments.push_back({name, kind, cursor, size});
+    std::span<uint8_t> region(bytes.data() + cursor, size);
+    cursor += size;
+    return region;
+  };
+
+  // 1. Library / runtime mappings: shared blob content + relocation noise;
+  // a calibrated fraction of pages was dirtied by execution.
+  for (const auto& lib : profile.libraries) {
+    std::span<const uint8_t> blob = pool.Blob(lib);
+    std::span<uint8_t> region = add_segment(lib, SegmentKind::kLibrary, blob.size());
+    std::memcpy(region.data(), blob.data(), blob.size());
+    ApplyMutations(region, lib_density, noise_rng);
+    DirtyPages(region, dirty_fraction, noise_rng);
+  }
+
+  // 2. Shared heap: same content for every sandbox of this function.
+  {
+    std::span<uint8_t> region = add_segment("heap_shared", SegmentKind::kSharedHeap, shared_bytes);
+    FillWithTokens(pool.dictionary(), HashCombine(fn_seed, 0x4ea9), region);
+    ApplyMutations(region, heap_density, noise_rng);
+  }
+
+  // 3. Unique heap: per-instance random bytes (request payloads, buffers).
+  {
+    std::span<uint8_t> region = add_segment("heap_unique", SegmentKind::kUniqueHeap, unique_bytes);
+    Rng rng(HashCombine(HashCombine(fn_seed, options.instance_seed), 0x0b5c));
+    for (size_t i = 0; i + 8 <= region.size(); i += 8) {
+      uint64_t v = rng.Next();
+      std::memcpy(region.data() + i, &v, 8);
+    }
+  }
+
+  // 4. Zero pages (already zeroed by the vector).
+  add_segment("heap_zero", SegmentKind::kZero, zero_bytes);
+
+  // 5. Stack: per-function content; ASLR rotates it at 16 B granularity.
+  {
+    std::span<uint8_t> region = add_segment("stack", SegmentKind::kStack, stack_bytes);
+    FillWithTokens(pool.dictionary(), HashCombine(fn_seed, 0x57ac), region);
+    if (options.aslr) {
+      Rng rng(HashCombine(options.instance_seed, 0xa51e));
+      RotateRegion(region, 16 * rng.Below(region.size() / 16 + 1));
+    }
+    ApplyMutations(region, heap_density, noise_rng);
+    DirtyPages(region, dirty_fraction, noise_rng);
+  }
+
+  return MemoryImage(std::move(bytes), std::move(segments), profile.memory_mb);
+}
+
+}  // namespace medes

@@ -1,0 +1,113 @@
+// Sandbox memory images: the byte-level state that dedup operates on.
+//
+// An image is a contiguous page-aligned byte buffer plus a segment map
+// describing what each region models (library mapping, shared heap, unique
+// heap, zero pages, stack). The builder composes a function's image from the
+// library pool and the function profile, then applies per-instance noise
+// ("pointer mutations") and, optionally, ASLR effects:
+//   - library/runtime segments: clean pages are identical across every
+//     sandbox that maps the library (any function, any node) — this is the
+//     cross-function redundancy the paper exploits; a per-function calibrated
+//     fraction of pages is *dirty* (written during execution: relocations,
+//     refcounts, caches) and per-instance random;
+//   - shared heap: deterministic per *function* (same content in every
+//     sandbox of the function) built from dictionary tokens;
+//   - unique heap: per-instance random bytes, never dedupable;
+//   - zero pages: a small fraction of the heap, trivially dedupable;
+//   - stack: per-function content; with ASLR on it is rotated by a random
+//     multiple of 16 B (the paper attributes its ~5% ASLR redundancy drop to
+//     this 16 B-granularity stack randomisation).
+// ASLR additionally raises mutation density everywhere (randomised absolute
+// addresses change every stored pointer value).
+#ifndef MEDES_MEMSTATE_IMAGE_H_
+#define MEDES_MEMSTATE_IMAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memstate/library_pool.h"
+#include "memstate/profiles.h"
+
+namespace medes {
+
+inline constexpr size_t kPageSize = 4096;
+
+enum class SegmentKind {
+  kLibrary,
+  kSharedHeap,
+  kUniqueHeap,
+  kZero,
+  kStack,
+};
+
+struct Segment {
+  std::string name;
+  SegmentKind kind;
+  size_t offset = 0;  // byte offset within the image
+  size_t size = 0;    // bytes
+};
+
+class MemoryImage {
+ public:
+  MemoryImage() = default;
+  MemoryImage(std::vector<uint8_t> bytes, std::vector<Segment> segments, double represented_mb);
+
+  size_t SizeBytes() const { return bytes_.size(); }
+  size_t NumPages() const { return bytes_.size() / kPageSize; }
+  double represented_mb() const { return represented_mb_; }
+
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  std::span<uint8_t> mutable_bytes() { return bytes_; }
+  std::span<const uint8_t> Page(size_t index) const {
+    return std::span<const uint8_t>(bytes_).subspan(index * kPageSize, kPageSize);
+  }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<Segment> segments_;
+  double represented_mb_ = 0;
+};
+
+struct SandboxImageOptions {
+  uint64_t instance_seed = 1;  // distinguishes sandboxes of the same function
+  bool aslr = false;
+  // Mutation densities in mutation-sites per KiB (each site flips 8 bytes).
+  double library_mutations_per_kib = 0.05;
+  double heap_mutations_per_kib = 3.5;
+  // ASLR randomises absolute addresses: every stored pointer changes, adding
+  // light extra scatter (the dominant ASLR effect on redundancy is the 16 B
+  // stack shift; mapping-granularity shifts are page-aligned and invisible
+  // to 64 B chunking — exactly the paper's observation).
+  double aslr_extra_library_mutations_per_kib = 0.15;
+  double aslr_extra_heap_mutations_per_kib = 0.30;
+  // Fraction of the heap that is zero pages.
+  double zero_fraction = 0.08;
+  // Represented stack size in MB.
+  double stack_mb = 0.25;
+  // When >= 0, replaces the profile's heap_unique_fraction. The measurement
+  // study (paper Section 2) checkpoints freshly-loaded sandboxes whose heaps
+  // barely diverged yet — model that with a small override (e.g. 0.1); the
+  // cluster simulation uses the profile's post-execution value.
+  double unique_fraction_override = -1;
+  // When >= 0, replaces the profile's lib_dirty_fraction (same rationale).
+  double dirty_fraction_override = -1;
+};
+
+// Builds the memory image for one sandbox instance of `profile`.
+MemoryImage BuildSandboxImage(const FunctionProfile& profile, const LibraryPool& pool,
+                              const SandboxImageOptions& options = {});
+
+// The Section 2 measurement-study preset: a freshly-loaded sandbox that has
+// not served (many) requests — little unique heap, almost no dirtied library
+// pages, light pointer noise. Reproduces the paper's Fig. 1 redundancy
+// levels (~0.85-0.9 at 64 B chunks between same-function sandboxes).
+SandboxImageOptions FreshImageOptions(uint64_t instance_seed, bool aslr = false);
+
+}  // namespace medes
+
+#endif  // MEDES_MEMSTATE_IMAGE_H_

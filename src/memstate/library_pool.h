@@ -1,0 +1,52 @@
+// Library blob pool: deterministic byte content for each named library.
+//
+// A library blob is a token sequence from the global dictionary, chosen by an
+// RNG seeded with the library name — so every sandbox (of any function, on
+// any node) that maps "numpy" maps byte-identical content, exactly like a
+// shared .so. Blobs are generated at a configurable scale (bytes per
+// represented MB) and cached.
+#ifndef MEDES_MEMSTATE_LIBRARY_POOL_H_
+#define MEDES_MEMSTATE_LIBRARY_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memstate/tokens.h"
+
+namespace medes {
+
+class LibraryPool {
+ public:
+  // `bytes_per_mb` scales every represented MB down to that many real bytes
+  // (1 MiB = full scale for measurement experiments; the cluster simulations
+  // default to a smaller scale so thousands of dedup ops stay fast).
+  explicit LibraryPool(uint64_t seed = 0x11b9, size_t bytes_per_mb = 1 << 20);
+
+  size_t bytes_per_mb() const { return bytes_per_mb_; }
+  const TokenDictionary& dictionary() const { return dictionary_; }
+
+  // Scaled byte size of `mb` represented megabytes, rounded up to a page.
+  size_t ScaledBytes(double mb) const;
+
+  // The blob for `name` (generated and cached on first use).
+  std::span<const uint8_t> Blob(const std::string& name) const;
+
+ private:
+  uint64_t seed_;
+  size_t bytes_per_mb_;
+  TokenDictionary dictionary_;
+  mutable std::unordered_map<std::string, std::vector<uint8_t>> cache_;
+};
+
+// Fills `out` with tokens from `dict` chosen by `rng` (helper shared with the
+// heap generator).
+void FillWithTokens(const TokenDictionary& dict, uint64_t seed, std::span<uint8_t> out);
+
+}  // namespace medes
+
+#endif  // MEDES_MEMSTATE_LIBRARY_POOL_H_

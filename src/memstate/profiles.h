@@ -1,0 +1,60 @@
+// FunctionBench function profiles (paper Tables 1 and 2).
+//
+// Each profile records the Python libraries the function environment loads,
+// its average execution time and memory footprint (Table 2), an estimated
+// cold-start time (Fig. 8 shows per-function cold starts between ~0.5 s and
+// ~4 s), and a heap-uniqueness calibration knob that controls how much of the
+// function's heap is per-instance noise (this is what calibrates per-function
+// dedup savings to the paper's Table 3 shape).
+#ifndef MEDES_MEMSTATE_PROFILES_H_
+#define MEDES_MEMSTATE_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace medes {
+
+using FunctionId = int;
+
+struct LibraryInfo {
+  std::string name;
+  double size_mb;  // represented size of the library's memory mapping
+};
+
+struct FunctionProfile {
+  FunctionId id = -1;
+  std::string name;
+  std::vector<std::string> libraries;
+  SimDuration exec_time = 0;        // average execution time (Table 2)
+  double memory_mb = 0;             // total sandbox memory footprint (Table 2)
+  SimDuration cold_start = 0;       // cold start latency
+  SimDuration warm_start = 0;       // warm start latency (paper: 1-20 ms)
+  // Fraction of the function's heap that is per-instance unique (never
+  // dedupable). Calibrated against the paper's Table 3 savings.
+  double heap_unique_fraction = 0.5;
+  // Fraction of library/stack pages dirtied by request execution (CoW pages
+  // written by the interpreter: relocations, refcounts, caches). Dirty pages
+  // are per-instance random and never dedup. Calibrated with
+  // heap_unique_fraction against Table 3; freshly-loaded sandboxes (the
+  // Section 2 measurement setting) override this to near zero.
+  double lib_dirty_fraction = 0.5;
+};
+
+// The library catalogue (name -> represented MB).
+const std::vector<LibraryInfo>& LibraryCatalogue();
+
+// All ten FunctionBench functions used in the paper's evaluation.
+const std::vector<FunctionProfile>& FunctionBenchProfiles();
+
+// Lookup by name; throws std::out_of_range if unknown.
+const FunctionProfile& ProfileByName(const std::string& name);
+
+// Sum of the represented MB of the profile's libraries.
+double LibraryFootprintMb(const FunctionProfile& profile);
+
+}  // namespace medes
+
+#endif  // MEDES_MEMSTATE_PROFILES_H_

@@ -1,0 +1,33 @@
+#include "memstate/tokens.h"
+
+#include "common/rng.h"
+
+namespace medes {
+
+TokenDictionary::TokenDictionary(uint64_t seed, size_t num_tokens)
+    : num_tokens_(num_tokens == 0 ? 1 : num_tokens) {
+  data_.resize(num_tokens_ * kTokenSize);
+  Rng rng(seed);
+  // Tokens mimic the entropy mix of real process memory: some look like
+  // machine code / pointer tables (structured, low entropy), some like
+  // packed data (high entropy).
+  for (size_t t = 0; t < num_tokens_; ++t) {
+    uint8_t* p = data_.data() + t * kTokenSize;
+    if (t % 4 == 0) {
+      // Pointer-table-like: repeated 8-byte words with small deltas.
+      uint64_t base = rng.Next() & 0x00007fffffffffc0ull;
+      for (size_t i = 0; i < kTokenSize; i += 8) {
+        uint64_t v = base + i * 8;
+        for (size_t b = 0; b < 8; ++b) {
+          p[i + b] = static_cast<uint8_t>(v >> (8 * b));
+        }
+      }
+    } else {
+      for (size_t i = 0; i < kTokenSize; ++i) {
+        p[i] = static_cast<uint8_t>(rng.Next());
+      }
+    }
+  }
+}
+
+}  // namespace medes

@@ -1,0 +1,101 @@
+// Metrics collected from a platform run — everything the paper's evaluation
+// section reports is derivable from these.
+#ifndef MEDES_PLATFORM_METRICS_H_
+#define MEDES_PLATFORM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "memstate/profiles.h"
+#include "rdma/rdma.h"
+#include "registry/fingerprint_registry.h"
+
+namespace medes {
+
+enum class StartType {
+  kWarm,
+  kDedup,
+  kCold,
+};
+
+const char* ToString(StartType type);
+
+struct RequestRecord {
+  FunctionId function = -1;
+  SimTime arrival = 0;
+  StartType start = StartType::kCold;
+  SimDuration startup = 0;  // latency before execution begins
+  SimDuration e2e = 0;      // startup + execution
+};
+
+struct FunctionMetrics {
+  uint64_t warm_starts = 0;
+  uint64_t dedup_starts = 0;
+  uint64_t cold_starts = 0;
+  SampleRecorder e2e_ms;
+  SampleRecorder startup_ms;
+  // Restore (dedup start) breakdown, Fig. 8's three components.
+  SampleRecorder restore_read_ms;
+  SampleRecorder restore_compute_ms;
+  SampleRecorder restore_criu_ms;
+  // Dedup op results.
+  uint64_t dedup_ops = 0;
+  double total_saved_mb = 0;
+  double total_dedup_op_ms = 0;
+  uint64_t total_patch_bytes = 0;   // at image scale
+  uint64_t total_pages_deduped = 0;
+
+  uint64_t TotalRequests() const { return warm_starts + dedup_starts + cold_starts; }
+};
+
+struct MemorySample {
+  SimTime time = 0;
+  double used_mb = 0;
+  uint64_t sandboxes = 0;
+  uint64_t warm = 0;
+  uint64_t dedup = 0;
+  uint64_t bases = 0;
+  // Memory held by *idle warm* sandboxes, per function — the portion a
+  // redundancy-elimination pass could shrink (used by the Fig. 2 estimate).
+  std::vector<double> idle_warm_mb_per_function;
+};
+
+struct RunMetrics {
+  std::vector<RequestRecord> requests;
+  std::vector<FunctionMetrics> per_function;  // indexed by FunctionId
+  std::vector<MemorySample> memory_timeline;
+
+  uint64_t dedup_ops = 0;
+  uint64_t restores = 0;
+  uint64_t sandboxes_spawned = 0;
+  uint64_t sandboxes_deduped = 0;  // distinct dedup transitions
+  uint64_t evictions = 0;
+  uint64_t base_designations = 0;
+  uint64_t overcommit_events = 0;
+
+  uint64_t same_function_pages = 0;
+  uint64_t cross_function_pages = 0;
+
+  RegistryStats registry;
+  RdmaStats rdma;
+
+  uint64_t TotalColdStarts() const;
+  uint64_t TotalRequests() const;
+  double MeanMemoryMb() const;
+  double MedianMemoryMb() const;
+  double MeanSandboxesInMemory() const;
+
+  // Per-function p-quantile of end-to-end latency in ms.
+  double FunctionE2ePercentileMs(FunctionId function, double p) const;
+};
+
+// Distribution of per-request improvement factors (baseline e2e / medes e2e),
+// matched request-by-request; both runs must come from the same trace.
+std::vector<double> ImprovementFactors(const RunMetrics& medes, const RunMetrics& baseline);
+
+}  // namespace medes
+
+#endif  // MEDES_PLATFORM_METRICS_H_

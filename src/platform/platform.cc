@@ -1,0 +1,431 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace medes {
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedKeepAlive:
+      return "fixed-keep-alive";
+    case PolicyKind::kAdaptiveKeepAlive:
+      return "adaptive-keep-alive";
+    case PolicyKind::kMedes:
+      return "medes";
+  }
+  return "?";
+}
+
+class ServerlessPlatform::Impl {
+ public:
+  explicit Impl(PlatformOptions options)
+      : options_(std::move(options)),
+        cluster_(options_.cluster),
+        registry_(MakeRegistry(options_)),
+        fabric_(options_.rdma, [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); }),
+        agent_(cluster_, *registry_, fabric_, WithPayloadPolicy(options_)),
+        controller_(cluster_, options_.medes),
+        adaptive_(FunctionBenchProfiles().size(), AdaptiveKeepAlive(options_.adaptive)) {
+    metrics_.per_function.resize(FunctionBenchProfiles().size());
+  }
+
+  static std::unique_ptr<RegistryBackend> MakeRegistry(const PlatformOptions& options) {
+    if (options.registry_shards > 0) {
+      DistributedRegistryOptions dopts;
+      dopts.num_shards = options.registry_shards;
+      dopts.replication_factor = options.registry_replication;
+      dopts.per_shard = options.registry;
+      return std::make_unique<DistributedRegistry>(dopts);
+    }
+    return std::make_unique<FingerprintRegistry>(options.registry);
+  }
+
+  RunMetrics Run(const std::vector<TraceEvent>& trace) {
+    if (ran_) {
+      throw std::logic_error("ServerlessPlatform::Run may only be called once");
+    }
+    ran_ = true;
+    for (const TraceEvent& ev : trace) {
+      sim_.Schedule(ev.time, [this, ev] { HandleRequest(ev); });
+    }
+    // Memory sampling covers the trace plus a drain tail.
+    SimTime end = trace.empty() ? 0 : trace.back().time;
+    for (SimTime t = 0; t <= end + 10 * kMinute; t += options_.memory_sample_interval) {
+      sim_.Schedule(t, [this] { SampleMemory(); });
+    }
+    sim_.Run();
+    metrics_.registry = registry_->stats();
+    metrics_.rdma = fabric_.stats();
+    return std::move(metrics_);
+  }
+
+  Cluster& cluster() { return cluster_; }
+  RegistryBackend& registry() { return *registry_; }
+  MedesController& controller() { return controller_; }
+
+ private:
+  static DedupAgentOptions WithPayloadPolicy(const PlatformOptions& options) {
+    DedupAgentOptions agent = options.agent;
+    agent.keep_payloads = options.verify_restores;
+    return agent;
+  }
+
+  const FunctionProfile& Profile(FunctionId f) const {
+    return FunctionBenchProfiles().at(static_cast<size_t>(f));
+  }
+
+  void CancelTimer(Sandbox& sb) {
+    if (sb.pending_timer != 0) {
+      sim_.Cancel(sb.pending_timer);
+      sb.pending_timer = 0;
+    }
+  }
+
+  Sandbox* PickWarm(FunctionId f) {
+    Sandbox* best = nullptr;
+    for (SandboxId id : cluster_.SandboxesIn(f, SandboxState::kWarm)) {
+      Sandbox* sb = cluster_.Find(id);
+      if (best == nullptr || sb->last_used > best->last_used) {
+        best = sb;
+      }
+    }
+    return best;
+  }
+
+  Sandbox* PickDedup(FunctionId f) {
+    Sandbox* best = nullptr;
+    for (SandboxId id : cluster_.SandboxesIn(f, SandboxState::kDedup)) {
+      Sandbox* sb = cluster_.Find(id);
+      if (best == nullptr || sb->dedup_since > best->dedup_since) {
+        best = sb;
+      }
+    }
+    return best;
+  }
+
+  // Frees memory on `node` until `required_mb` fits under the limit.
+  // Under the keep-alive baselines, pressure evicts idle warm sandboxes
+  // (LRU). Under Medes, pressure first *deduplicates* idle warm sandboxes —
+  // shrinking their footprint instead of destroying them (paper Section
+  // 7.4) — and only then purges, oldest dedup sandboxes first and
+  // unreferenced base snapshots last. Returns false if it cannot fit.
+  // `exclude` protects the sandbox the caller is operating on;
+  // `spare_warm` additionally forbids touching warm sandboxes (used when
+  // making room for a base snapshot — displacing warm sandboxes for a base
+  // costs more cold starts than the base saves).
+  bool EnsureFits(NodeId node, double required_mb, SandboxId exclude = 0,
+                  bool spare_warm = false) {
+    const double limit = cluster_.node(node).options.memory_limit_mb;
+    while (cluster_.node(node).used_mb + required_mb > limit) {
+      Sandbox* warm_victim = nullptr;
+      if (!spare_warm) {
+        for (SandboxId id : cluster_.node(node).sandboxes) {
+          Sandbox* sb = cluster_.Find(id);
+          if (sb->state != SandboxState::kWarm || id == exclude) {
+            continue;
+          }
+          if (warm_victim == nullptr || sb->last_used < warm_victim->last_used) {
+            warm_victim = sb;
+          }
+        }
+      }
+      // Medes: shrink the oldest idle warm sandbox via dedup before
+      // resorting to eviction (only worthwhile once base pages exist).
+      if (warm_victim != nullptr && options_.policy == PolicyKind::kMedes &&
+          !cluster_.base_snapshots().empty() &&
+          cluster_.FindBaseSnapshot(warm_victim->id) == nullptr) {
+        PressureDedup(*warm_victim);
+        continue;
+      }
+      if (warm_victim != nullptr) {
+        PurgeSandbox(*warm_victim);
+        ++metrics_.evictions;
+        continue;
+      }
+      Sandbox* dedup_victim = nullptr;
+      for (SandboxId id : cluster_.node(node).sandboxes) {
+        Sandbox* sb = cluster_.Find(id);
+        if (sb->state != SandboxState::kDedup || id == exclude) {
+          continue;
+        }
+        if (dedup_victim == nullptr || sb->dedup_since < dedup_victim->dedup_since) {
+          dedup_victim = sb;
+        }
+      }
+      if (dedup_victim != nullptr) {
+        PurgeSandbox(*dedup_victim);
+        ++metrics_.evictions;
+        continue;
+      }
+      // Unreferenced base snapshots go last: evicting one forces an expensive
+      // re-designation the next time the policy wants to dedup.
+      SandboxId base_victim = 0;
+      for (const auto& [id, snap] : cluster_.base_snapshots()) {
+        if (snap.node == node && registry_->RefCount(id) == 0) {
+          base_victim = id;
+          break;
+        }
+      }
+      if (base_victim != 0) {
+        registry_->RemoveBaseSandbox(base_victim);
+        cluster_.RemoveBaseSnapshot(base_victim);
+        ++metrics_.evictions;
+        continue;
+      }
+      return false;  // only running sandboxes and referenced bases left
+    }
+    return true;
+  }
+
+  // True when `mb` fits in the node's free space without evicting anything.
+  bool FitsWithoutEviction(NodeId node, double mb) const {
+    return cluster_.node(node).used_mb + mb <= cluster_.node(node).options.memory_limit_mb;
+  }
+
+  // Dedups an idle warm sandbox to relieve memory pressure (keeps it usable
+  // as a dedup start instead of destroying it).
+  void PressureDedup(Sandbox& sb) {
+    CancelTimer(sb);
+    RecordDedup(sb, agent_.DedupOp(sb, sim_.Now()));
+    const SandboxId id = sb.id;
+    sb.pending_timer =
+        sim_.ScheduleAfter(options_.medes.keep_dedup, [this, id] { OnKeepDedupTimer(id); });
+  }
+
+  // Dedup-op metrics shared by the policy path and the pressure path.
+  void RecordDedup(Sandbox& sb, const DedupOpResult& result) {
+    controller_.RecordDedupResult(sb.function, result);
+    ++metrics_.dedup_ops;
+    ++metrics_.sandboxes_deduped;
+    metrics_.same_function_pages += result.same_function_pages;
+    metrics_.cross_function_pages += result.cross_function_pages;
+    auto& fm = metrics_.per_function[static_cast<size_t>(sb.function)];
+    ++fm.dedup_ops;
+    fm.total_saved_mb += static_cast<double>(result.saved_bytes) /
+                         static_cast<double>(cluster_.options().bytes_per_mb);
+    fm.total_dedup_op_ms += ToMillis(result.total_time);
+    fm.total_patch_bytes += result.patch_bytes;
+    fm.total_pages_deduped += result.pages_deduped;
+  }
+
+  void PurgeSandbox(Sandbox& sb) {
+    CancelTimer(sb);
+    if (sb.state == SandboxState::kDedup) {
+      for (const PatchRecord& record : sb.patches) {
+        for (const PageLocation& base : record.bases) {
+          registry_->Unref(base.sandbox);
+        }
+      }
+    }
+    cluster_.Purge(sb.id);
+  }
+
+  void HandleRequest(const TraceEvent& ev) {
+    const FunctionProfile& profile = Profile(ev.function);
+    const SimTime now = sim_.Now();
+    controller_.RecordArrival(ev.function, now);
+    adaptive_[static_cast<size_t>(ev.function)].RecordArrival(now);
+
+    StartType type;
+    SimDuration startup;
+    Sandbox* sb = PickWarm(ev.function);
+    if (sb != nullptr) {
+      CancelTimer(*sb);
+      type = StartType::kWarm;
+      startup = profile.warm_start;
+      cluster_.MarkRunning(*sb, now);
+    } else if ((sb = PickDedup(ev.function)) != nullptr) {
+      CancelTimer(*sb);
+      RestoreOpResult restore = agent_.RestoreOp(*sb, now, options_.verify_restores);
+      controller_.RecordRestoreResult(ev.function, restore);
+      auto& fm = metrics_.per_function[static_cast<size_t>(ev.function)];
+      fm.restore_read_ms.Record(ToMillis(restore.read_base_time));
+      fm.restore_compute_ms.Record(ToMillis(restore.compute_time));
+      fm.restore_criu_ms.Record(ToMillis(restore.sandbox_restore_time));
+      ++metrics_.restores;
+      type = StartType::kDedup;
+      startup = restore.total_time;
+      cluster_.MarkRunning(*sb, now);
+    } else {
+      NodeId node = cluster_.LeastUsedNode();
+      if (!EnsureFits(node, profile.memory_mb)) {
+        ++metrics_.overcommit_events;
+      }
+      sb = &cluster_.Spawn(profile, node, now);
+      ++metrics_.sandboxes_spawned;
+      type = StartType::kCold;
+      startup = options_.emulate_catalyzer ? options_.catalyzer_restore : profile.cold_start;
+    }
+
+    const SimDuration e2e = startup + profile.exec_time;
+    RequestRecord record{ev.function, now, type, startup, e2e};
+    metrics_.requests.push_back(record);
+    auto& fm = metrics_.per_function[static_cast<size_t>(ev.function)];
+    switch (type) {
+      case StartType::kWarm:
+        ++fm.warm_starts;
+        break;
+      case StartType::kDedup:
+        ++fm.dedup_starts;
+        break;
+      case StartType::kCold:
+        ++fm.cold_starts;
+        break;
+    }
+    fm.e2e_ms.Record(ToMillis(e2e));
+    fm.startup_ms.Record(ToMillis(startup));
+
+    const SandboxId id = sb->id;
+    sim_.ScheduleAfter(e2e, [this, id] { OnComplete(id); });
+  }
+
+  void OnComplete(SandboxId id) {
+    Sandbox* sb = cluster_.Find(id);
+    if (sb == nullptr) {
+      return;  // should not happen: running sandboxes are never evicted
+    }
+    cluster_.MarkWarm(*sb, sim_.Now());
+    ArmPostCompletionTimer(*sb);
+  }
+
+  void ArmPostCompletionTimer(Sandbox& sb) {
+    const SandboxId id = sb.id;
+    switch (options_.policy) {
+      case PolicyKind::kFixedKeepAlive:
+        sb.pending_timer = sim_.ScheduleAfter(options_.fixed_keep_alive,
+                                              [this, id] { OnPurgeTimer(id); });
+        break;
+      case PolicyKind::kAdaptiveKeepAlive:
+        sb.pending_timer = sim_.ScheduleAfter(
+            adaptive_[static_cast<size_t>(sb.function)].KeepAlive(),
+            [this, id] { OnPurgeTimer(id); });
+        break;
+      case PolicyKind::kMedes:
+        sb.pending_timer =
+            sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+        break;
+    }
+  }
+
+  void OnPurgeTimer(SandboxId id) {
+    Sandbox* sb = cluster_.Find(id);
+    if (sb == nullptr || sb->state != SandboxState::kWarm) {
+      return;
+    }
+    sb->pending_timer = 0;
+    PurgeSandbox(*sb);
+  }
+
+  void OnIdleTimer(SandboxId id) {
+    Sandbox* sb = cluster_.Find(id);
+    if (sb == nullptr || sb->state != SandboxState::kWarm) {
+      return;
+    }
+    sb->pending_timer = 0;
+    const SimTime now = sim_.Now();
+    const bool keep_alive_expired = now - sb->last_used >= options_.medes.keep_alive;
+    const IdleDecision decision = controller_.OnIdleExpiry(*sb, now);
+    switch (decision) {
+      case IdleDecision::kKeepWarm: {
+        if (keep_alive_expired) {
+          PurgeSandbox(*sb);
+          return;
+        }
+        sb->pending_timer =
+            sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+        break;
+      }
+      case IdleDecision::kDesignateBase: {
+        // The snapshot costs a full extra copy of the sandbox's memory.
+        // Make room by purging dedup sandboxes / unreferenced bases if
+        // necessary, but never displace warm sandboxes for it.
+        if (EnsureFits(sb->node, cluster_.ProfileOf(*sb).memory_mb, sb->id,
+                       /*spare_warm=*/true)) {
+          agent_.DesignateBase(*sb);
+          ++metrics_.base_designations;
+        } else if (keep_alive_expired) {
+          // No room for a base; the sandbox follows the normal warm
+          // lifecycle so it cannot linger forever.
+          PurgeSandbox(*sb);
+          return;
+        }
+        sb->pending_timer =
+            sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+        break;
+      }
+      case IdleDecision::kDedup: {
+        RecordDedup(*sb, agent_.DedupOp(*sb, now));
+        sb->pending_timer =
+            sim_.ScheduleAfter(options_.medes.keep_dedup, [this, id] { OnKeepDedupTimer(id); });
+        break;
+      }
+    }
+  }
+
+  void OnKeepDedupTimer(SandboxId id) {
+    Sandbox* sb = cluster_.Find(id);
+    if (sb == nullptr || sb->state != SandboxState::kDedup) {
+      return;
+    }
+    sb->pending_timer = 0;
+    PurgeSandbox(*sb);
+  }
+
+  void SampleMemory() {
+    MemorySample s;
+    s.time = sim_.Now();
+    s.used_mb = cluster_.TotalUsedMb();
+    s.idle_warm_mb_per_function.assign(FunctionBenchProfiles().size(), 0.0);
+    for (SandboxId id : cluster_.AllSandboxes()) {
+      const Sandbox* sb = cluster_.Find(id);
+      ++s.sandboxes;
+      if (sb->state == SandboxState::kDedup) {
+        ++s.dedup;
+      } else if (sb->state == SandboxState::kWarm) {
+        ++s.warm;
+        s.idle_warm_mb_per_function[static_cast<size_t>(sb->function)] +=
+            cluster_.WarmFootprintMb(*sb);
+      }
+    }
+    s.bases = cluster_.base_snapshots().size();
+    metrics_.memory_timeline.push_back(s);
+  }
+
+  PlatformOptions options_;
+  Simulation sim_;
+  Cluster cluster_;
+  std::unique_ptr<RegistryBackend> registry_;
+  RdmaFabric fabric_;
+  DedupAgent agent_;
+  MedesController controller_;
+  std::vector<AdaptiveKeepAlive> adaptive_;
+  RunMetrics metrics_;
+  bool ran_ = false;
+};
+
+ServerlessPlatform::ServerlessPlatform(PlatformOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+ServerlessPlatform::~ServerlessPlatform() = default;
+
+RunMetrics ServerlessPlatform::Run(const std::vector<TraceEvent>& trace) {
+  return impl_->Run(trace);
+}
+
+Cluster& ServerlessPlatform::cluster() { return impl_->cluster(); }
+RegistryBackend& ServerlessPlatform::registry() { return impl_->registry(); }
+MedesController& ServerlessPlatform::controller() { return impl_->controller(); }
+
+PlatformOptions MakePlatformOptions(PolicyKind policy) {
+  PlatformOptions options;
+  options.policy = policy;
+  options.cluster.num_nodes = 19;
+  options.cluster.node_memory_mb = 2048;
+  options.cluster.bytes_per_mb = 8192;
+  return options;
+}
+
+}  // namespace medes

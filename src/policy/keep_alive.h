@@ -1,0 +1,85 @@
+// Keep-alive baselines and supporting trackers.
+//
+// - FixedKeepAlive: the industry default (AWS Lambda, OpenWhisk, OpenFaaS):
+//   purge a warm sandbox a fixed period after its last use. The paper uses
+//   10 minutes as the best-performing fixed setting (Section 7.5).
+// - AdaptiveKeepAlive: the Azure Functions hybrid-histogram policy (Shahrad
+//   et al., ATC'20) as summarised by the paper: the keep-alive window is
+//   chosen from the function's observed inter-arrival-time distribution.
+// - RateTracker: sliding-window arrival-rate estimator feeding lambda_max
+//   into the Medes policy.
+#ifndef MEDES_POLICY_KEEP_ALIVE_H_
+#define MEDES_POLICY_KEEP_ALIVE_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/time.h"
+
+namespace medes {
+
+class FixedKeepAlive {
+ public:
+  explicit FixedKeepAlive(SimDuration period = 10 * kMinute) : period_(period) {}
+  SimDuration KeepAlive() const { return period_; }
+
+ private:
+  SimDuration period_;
+};
+
+struct AdaptiveKeepAliveOptions {
+  // Percentile of the IAT distribution the window must cover.
+  double coverage_percentile = 0.90;
+  // Safety margin applied to the chosen percentile.
+  double margin = 1.10;
+  SimDuration min_window = 30 * kSecond;
+  SimDuration max_window = 10 * kMinute;
+  // Default used until enough IAT samples exist.
+  SimDuration default_window = 10 * kMinute;
+  size_t min_samples = 8;
+  size_t max_samples = 512;  // bounded history
+};
+
+class AdaptiveKeepAlive {
+ public:
+  explicit AdaptiveKeepAlive(AdaptiveKeepAliveOptions options = {});
+
+  // Records a request arrival for the tracked function.
+  void RecordArrival(SimTime now);
+
+  // Current keep-alive window.
+  SimDuration KeepAlive() const;
+
+  size_t NumSamples() const { return iats_.size(); }
+
+ private:
+  AdaptiveKeepAliveOptions options_;
+  SimTime last_arrival_ = -1;
+  std::deque<SimDuration> iats_;
+};
+
+// Sliding-window max arrival rate (req/s), bucketed.
+class RateTracker {
+ public:
+  explicit RateTracker(SimDuration bucket_width = 30 * kSecond, size_t num_buckets = 20);
+
+  void RecordArrival(SimTime now);
+
+  // Max bucket rate over the window ending at `now` (req/s).
+  double MaxRate(SimTime now) const;
+  // Mean rate over the window ending at `now` (req/s).
+  double MeanRate(SimTime now) const;
+
+ private:
+  void Advance(SimTime now) const;
+
+  SimDuration bucket_width_;
+  size_t num_buckets_;
+  // (bucket index, count) ring; mutable so reads can expire old buckets.
+  mutable std::deque<std::pair<int64_t, uint64_t>> buckets_;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_POLICY_KEEP_ALIVE_H_

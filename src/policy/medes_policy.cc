@@ -1,0 +1,93 @@
+#include "policy/medes_policy.h"
+
+#include <limits>
+
+namespace medes {
+
+double AverageStartupLatency(const MedesPolicyInputs& in, int warm, int dedup) {
+  const double warm_rate = static_cast<double>(warm) / in.reuse_warm_s;
+  const double dedup_rate = static_cast<double>(dedup) / in.reuse_dedup_s;
+  const double total = warm_rate + dedup_rate;
+  if (total <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return (warm_rate * in.warm_start_s + dedup_rate * in.dedup_start_s) / total;
+}
+
+double MemoryFootprintMb(const MedesPolicyInputs& in, int warm, int dedup) {
+  return static_cast<double>(warm) * in.warm_mb +
+         static_cast<double>(dedup) * (in.dedup_mb + in.restore_overhead_mb);
+}
+
+double ServiceableRate(const MedesPolicyInputs& in, int warm, int dedup) {
+  return static_cast<double>(warm) / in.reuse_warm_s +
+         static_cast<double>(dedup) / in.reuse_dedup_s;
+}
+
+MedesPolicyTargets SolveLatencyObjective(const MedesPolicyInputs& in, double alpha) {
+  MedesPolicyTargets best;
+  double best_memory = std::numeric_limits<double>::infinity();
+  const double latency_bound = alpha * in.warm_start_s;
+  for (int warm = 0; warm <= in.total_sandboxes; ++warm) {
+    const int dedup = in.total_sandboxes - warm;
+    if (ServiceableRate(in, warm, dedup) < in.lambda_max) {
+      continue;
+    }
+    if (AverageStartupLatency(in, warm, dedup) > latency_bound) {
+      continue;
+    }
+    const double memory = MemoryFootprintMb(in, warm, dedup);
+    if (memory < best_memory) {
+      best_memory = memory;
+      best = {warm, dedup, true};
+    }
+  }
+  return best;
+}
+
+MedesPolicyTargets SolveCombinedObjective(const MedesPolicyInputs& in, double alpha,
+                                          double memory_cap_mb) {
+  MedesPolicyTargets best;
+  double best_memory = std::numeric_limits<double>::infinity();
+  const double latency_bound = alpha * in.warm_start_s;
+  for (int warm = 0; warm <= in.total_sandboxes; ++warm) {
+    const int dedup = in.total_sandboxes - warm;
+    if (ServiceableRate(in, warm, dedup) < in.lambda_max) {
+      continue;
+    }
+    if (AverageStartupLatency(in, warm, dedup) > latency_bound) {
+      continue;
+    }
+    const double memory = MemoryFootprintMb(in, warm, dedup);
+    if (memory > memory_cap_mb) {
+      continue;
+    }
+    if (memory < best_memory) {
+      best_memory = memory;
+      best = {warm, dedup, true};
+    }
+  }
+  return best;
+}
+
+MedesPolicyTargets SolveMemoryObjective(const MedesPolicyInputs& in, double memory_cap_mb) {
+  MedesPolicyTargets best;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (int warm = 0; warm <= in.total_sandboxes; ++warm) {
+    const int dedup = in.total_sandboxes - warm;
+    if (ServiceableRate(in, warm, dedup) < in.lambda_max) {
+      continue;
+    }
+    if (MemoryFootprintMb(in, warm, dedup) > memory_cap_mb) {
+      continue;
+    }
+    const double latency = AverageStartupLatency(in, warm, dedup);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = {warm, dedup, true};
+    }
+  }
+  return best;
+}
+
+}  // namespace medes

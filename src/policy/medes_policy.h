@@ -1,0 +1,69 @@
+// The Medes sandbox-management policy (paper Section 5).
+//
+// Per function, the policy decides how many of the C in-memory sandboxes to
+// keep warm (W) vs deduplicated (D = C - W), subject to:
+//   (1)  W + D = C
+//   (2)  W/RW + D/RD  >= lambda_max        (load must be satisfiable)
+// optimising one of two objectives:
+//   P1 (latency target): minimise memory
+//        M = W*mW + D*(mD + mR)   s.t.  S <= alpha * sW
+//   P2 (memory cap):     minimise average startup latency
+//        S = (W/RW*sW + D/RD*sD) / (W/RW + D/RD)   s.t.  M <= M0
+// where RW/RD are warm/dedup sandbox reuse periods, mW/mD/mR the warm
+// footprint, dedup footprint, and restore overhead, and sW/sD the warm and
+// dedup startup latencies.
+//
+// C is small (tens), so the solver just scans W in [0, C] — exact, simple,
+// and trivially correct against the constraints.
+#ifndef MEDES_POLICY_MEDES_POLICY_H_
+#define MEDES_POLICY_MEDES_POLICY_H_
+
+#include "common/time.h"
+
+namespace medes {
+
+struct MedesPolicyInputs {
+  int total_sandboxes = 0;      // C: idle warm + dedup sandboxes of the function
+  double lambda_max = 0;        // req/s the function must sustain
+  double reuse_warm_s = 1;      // RW = exec + warm start (seconds)
+  double reuse_dedup_s = 1;     // RD = exec + dedup start (seconds)
+  double warm_mb = 0;           // mW
+  double dedup_mb = 0;          // mD
+  double restore_overhead_mb = 0;  // mR
+  double warm_start_s = 0.01;   // sW
+  double dedup_start_s = 0.2;   // sD
+};
+
+struct MedesPolicyTargets {
+  int warm = 0;
+  int dedup = 0;
+  // False when no (W, D) split satisfies the constraints; the caller then
+  // applies the paper's fallback: dedup aggressively, keeping sandboxes warm
+  // only if memory allows and the request rate needs them.
+  bool feasible = false;
+};
+
+// Average startup latency S for a (W, D) split.
+double AverageStartupLatency(const MedesPolicyInputs& in, int warm, int dedup);
+
+// Memory footprint M for a (W, D) split.
+double MemoryFootprintMb(const MedesPolicyInputs& in, int warm, int dedup);
+
+// Serviceable request rate for a (W, D) split (constraint 2's left side).
+double ServiceableRate(const MedesPolicyInputs& in, int warm, int dedup);
+
+// P1: minimise memory subject to S <= alpha * sW.
+MedesPolicyTargets SolveLatencyObjective(const MedesPolicyInputs& in, double alpha);
+
+// P2: minimise S subject to M <= memory_cap_mb.
+MedesPolicyTargets SolveMemoryObjective(const MedesPolicyInputs& in, double memory_cap_mb);
+
+// Combined: minimise memory subject to BOTH S <= alpha * sW and
+// M <= memory_cap_mb ("combinations of these can also be configured
+// trivially", paper Section 5.2.3).
+MedesPolicyTargets SolveCombinedObjective(const MedesPolicyInputs& in, double alpha,
+                                          double memory_cap_mb);
+
+}  // namespace medes
+
+#endif  // MEDES_POLICY_MEDES_POLICY_H_

@@ -1,0 +1,38 @@
+#include "rdma/rdma.h"
+
+namespace medes {
+
+RdmaFabric::RdmaFabric(RdmaOptions options, PageProvider provider)
+    : options_(options), provider_(std::move(provider)) {}
+
+SimDuration RdmaFabric::ReadCost(size_t bytes, bool remote) const {
+  const double gbps = remote ? options_.bandwidth_gbps : options_.local_bandwidth_gbps;
+  // bytes / (gbps Gbit/s) in microseconds: bytes * 8 / (gbps * 1000) us.
+  auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / (gbps * 1000.0));
+  return (remote ? options_.per_read_latency : options_.local_per_read_latency) + transfer;
+}
+
+std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId reader_node,
+                                          SimDuration* cost) {
+  if (!provider_) {
+    throw RdmaError("RdmaFabric: no page provider installed");
+  }
+  std::vector<uint8_t> bytes = provider_(location);
+  if (bytes.empty()) {
+    throw RdmaError("RdmaFabric: base page unavailable");
+  }
+  const bool remote = location.node != reader_node;
+  if (remote) {
+    ++stats_.remote_reads;
+    stats_.remote_bytes += bytes.size();
+  } else {
+    ++stats_.local_reads;
+    stats_.local_bytes += bytes.size();
+  }
+  if (cost != nullptr) {
+    *cost += ReadCost(bytes.size(), remote);
+  }
+  return bytes;
+}
+
+}  // namespace medes

@@ -1,0 +1,204 @@
+#include "registry/distributed_registry.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace medes {
+
+DistributedRegistry::DistributedRegistry(DistributedRegistryOptions options)
+    : options_(options) {
+  if (options_.num_shards <= 0 || options_.replication_factor <= 0) {
+    throw std::invalid_argument("DistributedRegistry: shards and replicas must be positive");
+  }
+  shards_.resize(static_cast<size_t>(options_.num_shards));
+  for (Shard& shard : shards_) {
+    for (int r = 0; r < options_.replication_factor; ++r) {
+      shard.chain.emplace_back(Replica{FingerprintRegistry(options_.per_shard), true});
+    }
+  }
+  dist_stats_.lookups_per_shard.assign(static_cast<size_t>(options_.num_shards), 0);
+  dist_stats_.writes_per_shard.assign(static_cast<size_t>(options_.num_shards), 0);
+}
+
+int DistributedRegistry::ShardOf(uint64_t key) const {
+  return static_cast<int>(MixBits(key) % static_cast<uint64_t>(options_.num_shards));
+}
+
+int DistributedRegistry::SandboxShard(SandboxId sandbox) const {
+  return static_cast<int>(MixBits(sandbox) % static_cast<uint64_t>(options_.num_shards));
+}
+
+int DistributedRegistry::EffectiveTail(const Shard& shard) const {
+  for (int r = static_cast<int>(shard.chain.size()) - 1; r >= 0; --r) {
+    if (shard.chain[static_cast<size_t>(r)].alive) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+bool DistributedRegistry::ShardAvailable(int shard) const {
+  return EffectiveTail(shards_.at(static_cast<size_t>(shard))) >= 0;
+}
+
+void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
+                                            const std::vector<PageFingerprint>& fingerprints) {
+  // Partition each page's sampled chunks by owning shard.
+  std::vector<std::vector<PageFingerprint>> per_shard(
+      static_cast<size_t>(options_.num_shards),
+      std::vector<PageFingerprint>(fingerprints.size()));
+  for (size_t page = 0; page < fingerprints.size(); ++page) {
+    for (const SampledChunk& chunk : fingerprints[page].chunks) {
+      per_shard[static_cast<size_t>(ShardOf(chunk.key))][page].chunks.push_back(chunk);
+    }
+  }
+  for (int s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    if (EffectiveTail(shard) < 0) {
+      ++dist_stats_.dropped_writes;
+      continue;
+    }
+    ++dist_stats_.writes_per_shard[static_cast<size_t>(s)];
+    // Chain replication: the write flows head -> tail through live replicas.
+    for (Replica& replica : shard.chain) {
+      if (replica.alive) {
+        replica.registry.InsertBaseSandbox(node, sandbox, per_shard[static_cast<size_t>(s)]);
+      }
+    }
+  }
+  // Sandbox-level membership/refcount state lives on the sandbox's shard
+  // (the insert above already created it there; this covers the case where
+  // none of the sandbox's chunk keys mapped to that shard).
+  Shard& home = shards_[static_cast<size_t>(SandboxShard(sandbox))];
+  for (Replica& replica : home.chain) {
+    if (replica.alive) {
+      replica.registry.InsertBaseSandbox(node, sandbox, {});
+    }
+  }
+}
+
+void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
+  for (Shard& shard : shards_) {
+    for (Replica& replica : shard.chain) {
+      if (replica.alive) {
+        replica.registry.RemoveBaseSandbox(sandbox);
+      }
+    }
+  }
+}
+
+bool DistributedRegistry::IsBaseSandbox(SandboxId sandbox) const {
+  const Shard& home = shards_[static_cast<size_t>(SandboxShard(sandbox))];
+  int tail = EffectiveTail(home);
+  if (tail < 0) {
+    return false;
+  }
+  return home.chain[static_cast<size_t>(tail)].registry.IsBaseSandbox(sandbox);
+}
+
+std::vector<BasePageCandidate> DistributedRegistry::FindBasePages(
+    const PageFingerprint& fingerprint, NodeId local_node, SandboxId exclude_sandbox,
+    size_t max_results) {
+  // Fan the page's sampled chunks out to their owning shards and merge the
+  // tallies (reads go to each chain's tail).
+  std::vector<PageFingerprint> per_shard(static_cast<size_t>(options_.num_shards));
+  for (const SampledChunk& chunk : fingerprint.chunks) {
+    per_shard[static_cast<size_t>(ShardOf(chunk.key))].chunks.push_back(chunk);
+  }
+  std::unordered_map<PageLocation, int, PageLocationHash> tally;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (per_shard[static_cast<size_t>(s)].chunks.empty()) {
+      continue;
+    }
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    int tail = EffectiveTail(shard);
+    if (tail < 0) {
+      ++dist_stats_.unavailable_lookups;
+      continue;
+    }
+    if (tail != static_cast<int>(shard.chain.size()) - 1) {
+      ++dist_stats_.failovers;
+    }
+    ++dist_stats_.lookups_per_shard[static_cast<size_t>(s)];
+    shard.chain[static_cast<size_t>(tail)].registry.AccumulateTally(
+        per_shard[static_cast<size_t>(s)], exclude_sandbox, tally);
+  }
+  return RankCandidates(tally, local_node, max_results);
+}
+
+void DistributedRegistry::Ref(SandboxId base_sandbox) {
+  Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
+  for (Replica& replica : home.chain) {
+    if (replica.alive) {
+      replica.registry.Ref(base_sandbox);
+    }
+  }
+}
+
+void DistributedRegistry::Unref(SandboxId base_sandbox) {
+  Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
+  for (Replica& replica : home.chain) {
+    if (replica.alive) {
+      replica.registry.Unref(base_sandbox);
+    }
+  }
+}
+
+int DistributedRegistry::RefCount(SandboxId base_sandbox) const {
+  const Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
+  int tail = EffectiveTail(home);
+  if (tail < 0) {
+    return 0;
+  }
+  return home.chain[static_cast<size_t>(tail)].registry.RefCount(base_sandbox);
+}
+
+RegistryStats DistributedRegistry::stats() const {
+  RegistryStats total;
+  for (const Shard& shard : shards_) {
+    int tail = EffectiveTail(shard);
+    if (tail < 0) {
+      continue;
+    }
+    RegistryStats s = shard.chain[static_cast<size_t>(tail)].registry.stats();
+    total.num_keys += s.num_keys;
+    total.num_entries += s.num_entries;
+    total.num_base_sandboxes = std::max(total.num_base_sandboxes, s.num_base_sandboxes);
+    total.lookups += s.lookups;
+    total.key_hits += s.key_hits;
+  }
+  return total;
+}
+
+SimDuration DistributedRegistry::PageLookupLatency(size_t keys) const {
+  if (keys == 0) {
+    return 0;
+  }
+  // Shards are queried in parallel; with K keys over S shards the critical
+  // path is the most loaded shard: ceil(K/S) key lookups plus one hop.
+  const auto shards = static_cast<size_t>(options_.num_shards);
+  const size_t per_shard = (keys + shards - 1) / shards;
+  return options_.hop_latency +
+         static_cast<SimDuration>(per_shard) * options_.per_key_lookup;
+}
+
+void DistributedRegistry::FailReplica(int shard, int replica) {
+  shards_.at(static_cast<size_t>(shard)).chain.at(static_cast<size_t>(replica)).alive = false;
+}
+
+void DistributedRegistry::RecoverReplica(int shard, int replica) {
+  Shard& s = shards_.at(static_cast<size_t>(shard));
+  Replica& r = s.chain.at(static_cast<size_t>(replica));
+  if (r.alive) {
+    return;
+  }
+  int tail = EffectiveTail(s);
+  if (tail < 0) {
+    return;  // whole shard lost: nothing to re-sync from
+  }
+  r.registry = s.chain[static_cast<size_t>(tail)].registry;  // state transfer
+  r.alive = true;
+}
+
+}  // namespace medes

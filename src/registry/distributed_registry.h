@@ -1,0 +1,113 @@
+// Sharded, chain-replicated fingerprint registry (paper Section 4.3).
+//
+// "Accesses to the fingerprint registry are independent lookups for each
+//  page ... these components can be distributed using conventional
+//  techniques for sharding or key-based partitioning along with chain
+//  replication (for fault tolerance)."
+//
+// Chunk keys are hash-partitioned across `num_shards` shards; each shard is
+// a chain of `replication_factor` replicas of the centralized registry.
+// Writes enter at the chain head and propagate down; reads are served by the
+// chain *tail* (the point at which writes are fully replicated — the classic
+// chain-replication read rule, van Renesse & Schneider, OSDI'04). When the
+// tail fails, the preceding live replica becomes the effective tail; a shard
+// only becomes unavailable when every replica is down (lookups then miss and
+// writes to that shard are dropped — callers degrade gracefully to fewer
+// dedup candidates). Recovering a replica re-syncs it from a live peer.
+//
+// A page fingerprint's K sampled chunks can map to different shards, so a
+// page lookup fans out to every shard owning one of its keys and merges the
+// per-shard tallies — mirroring the paper's observation that per-page
+// lookups parallelise naturally.
+#ifndef MEDES_REGISTRY_DISTRIBUTED_REGISTRY_H_
+#define MEDES_REGISTRY_DISTRIBUTED_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "registry/fingerprint_registry.h"
+#include "registry/registry_backend.h"
+
+namespace medes {
+
+struct DistributedRegistryOptions {
+  int num_shards = 4;
+  int replication_factor = 3;
+  // Timing model for the scaling study: one network hop to a shard plus
+  // per-key lookup work at the shard.
+  SimDuration hop_latency = 10;      // us
+  SimDuration per_key_lookup = 15;   // us
+  RegistryOptions per_shard;
+};
+
+struct DistributedRegistryStats {
+  std::vector<uint64_t> lookups_per_shard;
+  std::vector<uint64_t> writes_per_shard;
+  uint64_t unavailable_lookups = 0;  // key lookups that hit an all-down shard
+  uint64_t dropped_writes = 0;       // inserts that hit an all-down shard
+  uint64_t failovers = 0;            // tail reads served by a non-tail replica
+};
+
+class DistributedRegistry : public RegistryBackend {
+ public:
+  explicit DistributedRegistry(DistributedRegistryOptions options = {});
+
+  void InsertBaseSandbox(NodeId node, SandboxId sandbox,
+                         const std::vector<PageFingerprint>& fingerprints) override;
+  void RemoveBaseSandbox(SandboxId sandbox) override;
+  bool IsBaseSandbox(SandboxId sandbox) const override;
+
+  std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
+                                               NodeId local_node, SandboxId exclude_sandbox,
+                                               size_t max_results) override;
+
+  void Ref(SandboxId base_sandbox) override;
+  void Unref(SandboxId base_sandbox) override;
+  int RefCount(SandboxId base_sandbox) const override;
+
+  // Aggregated table stats across shard tails.
+  RegistryStats stats() const override;
+  const DistributedRegistryStats& distributed_stats() const { return dist_stats_; }
+
+  // Modelled latency of one page lookup of `keys` sampled chunks, assuming
+  // the per-shard lookups proceed in parallel (Section 7.7 notes lookups
+  // "can be parallelized given they are independent").
+  SimDuration PageLookupLatency(size_t keys) const;
+
+  // ---- Fault injection --------------------------------------------------
+  void FailReplica(int shard, int replica);
+  // Recovers a replica by re-syncing its state from a live peer (no-op if
+  // the whole shard is down — there is nothing to sync from).
+  void RecoverReplica(int shard, int replica);
+  bool ShardAvailable(int shard) const;
+  int NumShards() const { return options_.num_shards; }
+  int ReplicationFactor() const { return options_.replication_factor; }
+
+  // Shard that owns a chunk key (exposed for tests).
+  int ShardOf(uint64_t key) const;
+
+ private:
+  struct Replica {
+    FingerprintRegistry registry;
+    bool alive = true;
+  };
+
+  struct Shard {
+    std::vector<Replica> chain;  // head first, tail last
+  };
+
+  // Index of the effective tail (last live replica) or -1 if none.
+  int EffectiveTail(const Shard& shard) const;
+
+  DistributedRegistryOptions options_;
+  std::vector<Shard> shards_;
+  // Sandbox-level state (refcounts, membership) is sharded by sandbox id.
+  int SandboxShard(SandboxId sandbox) const;
+
+  mutable DistributedRegistryStats dist_stats_;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_REGISTRY_DISTRIBUTED_REGISTRY_H_

@@ -1,0 +1,93 @@
+#include "registry/fingerprint_registry.h"
+
+#include <algorithm>
+
+namespace medes {
+
+FingerprintRegistry::FingerprintRegistry(RegistryOptions options) : options_(options) {}
+
+void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
+                                            const std::vector<PageFingerprint>& fingerprints) {
+  base_refcounts_.try_emplace(sandbox, 0);
+  for (size_t page = 0; page < fingerprints.size(); ++page) {
+    for (const SampledChunk& chunk : fingerprints[page].chunks) {
+      auto& locations = table_[chunk.key];
+      if (locations.size() < options_.max_locations_per_key) {
+        locations.push_back({node, sandbox, static_cast<uint32_t>(page)});
+      }
+    }
+  }
+}
+
+void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
+  base_refcounts_.erase(sandbox);
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& locations = it->second;
+    std::erase_if(locations, [&](const PageLocation& loc) { return loc.sandbox == sandbox; });
+    if (locations.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FingerprintRegistry::AccumulateTally(
+    const PageFingerprint& fingerprint, SandboxId exclude_sandbox,
+    std::unordered_map<PageLocation, int, PageLocationHash>& tally) {
+  for (const SampledChunk& chunk : fingerprint.chunks) {
+    auto it = table_.find(chunk.key);
+    if (it == table_.end()) {
+      continue;
+    }
+    ++key_hits_;
+    for (const PageLocation& loc : it->second) {
+      if (loc.sandbox == exclude_sandbox) {
+        continue;
+      }
+      ++tally[loc];
+    }
+  }
+}
+
+std::vector<BasePageCandidate> FingerprintRegistry::FindBasePages(
+    const PageFingerprint& fingerprint, NodeId local_node, SandboxId exclude_sandbox,
+    size_t max_results) {
+  ++lookups_;
+  std::unordered_map<PageLocation, int, PageLocationHash> tally;
+  AccumulateTally(fingerprint, exclude_sandbox, tally);
+  return RankCandidates(tally, local_node, max_results);
+}
+
+void FingerprintRegistry::Ref(SandboxId base_sandbox) {
+  auto it = base_refcounts_.find(base_sandbox);
+  if (it != base_refcounts_.end()) {
+    ++it->second;
+  }
+}
+
+void FingerprintRegistry::Unref(SandboxId base_sandbox) {
+  auto it = base_refcounts_.find(base_sandbox);
+  if (it != base_refcounts_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+int FingerprintRegistry::RefCount(SandboxId base_sandbox) const {
+  auto it = base_refcounts_.find(base_sandbox);
+  return it == base_refcounts_.end() ? 0 : it->second;
+}
+
+RegistryStats FingerprintRegistry::stats() const {
+  RegistryStats s;
+  s.num_keys = table_.size();
+  for (const auto& [key, locations] : table_) {
+    s.num_entries += locations.size();
+  }
+  s.num_base_sandboxes = base_refcounts_.size();
+  s.lookups = lookups_;
+  s.key_hits = key_hits_;
+  return s;
+}
+
+}  // namespace medes

@@ -1,0 +1,69 @@
+// The centralized global fingerprint registry (controller component).
+//
+// Maps truncated chunk-hash keys (RSC identities) to the cluster locations of
+// pages that contain them. Only *base sandboxes* are inserted (paper
+// Section 4.1.3) to keep the registry's footprint proportional to the number
+// of base sandboxes rather than all sandboxes. Lookups take a page
+// fingerprint and return ranked base-page candidates: pages sharing the most
+// sampled chunks first, ties broken in favour of pages local to the
+// requesting node (saves an RDMA read at restore).
+#ifndef MEDES_REGISTRY_FINGERPRINT_REGISTRY_H_
+#define MEDES_REGISTRY_FINGERPRINT_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "registry/registry_backend.h"
+
+namespace medes {
+
+struct RegistryOptions {
+  // Cap on locations tracked per chunk key — popular chunks (e.g. common
+  // interpreter structures) would otherwise accumulate unbounded lists.
+  size_t max_locations_per_key = 8;
+};
+
+class FingerprintRegistry : public RegistryBackend {
+ public:
+  explicit FingerprintRegistry(RegistryOptions options = {});
+
+  void InsertBaseSandbox(NodeId node, SandboxId sandbox,
+                         const std::vector<PageFingerprint>& fingerprints) override;
+
+  // Removes every entry belonging to `sandbox`. O(table size); called only
+  // when a base sandbox is purged, which is rare.
+  void RemoveBaseSandbox(SandboxId sandbox) override;
+
+  bool IsBaseSandbox(SandboxId sandbox) const override {
+    return base_refcounts_.contains(sandbox);
+  }
+
+  std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
+                                               NodeId local_node, SandboxId exclude_sandbox,
+                                               size_t max_results) override;
+
+  // Adds this registry's (location -> matched-chunk count) contributions for
+  // `fingerprint` into `tally` — the building block distributed shards merge.
+  void AccumulateTally(const PageFingerprint& fingerprint, SandboxId exclude_sandbox,
+                       std::unordered_map<PageLocation, int, PageLocationHash>& tally);
+
+  void Ref(SandboxId base_sandbox) override;
+  void Unref(SandboxId base_sandbox) override;
+  int RefCount(SandboxId base_sandbox) const override;
+
+  RegistryStats stats() const override;
+  size_t NumBaseSandboxes() const { return base_refcounts_.size(); }
+
+ private:
+  RegistryOptions options_;
+  std::unordered_map<uint64_t, std::vector<PageLocation>> table_;
+  std::unordered_map<SandboxId, int> base_refcounts_;
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t key_hits_ = 0;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_REGISTRY_FINGERPRINT_REGISTRY_H_

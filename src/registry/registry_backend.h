@@ -1,0 +1,132 @@
+// Abstract interface over the fingerprint registry.
+//
+// Section 4.3 of the paper notes the Medes controller can be distributed
+// "along the same lines as prior centralized serverless controllers":
+// registry accesses are independent per-page lookups, so the table shards by
+// chunk key, with chain replication for fault tolerance. Two backends
+// implement this interface: the centralized FingerprintRegistry and the
+// sharded, replicated DistributedRegistry.
+#ifndef MEDES_REGISTRY_REGISTRY_BACKEND_H_
+#define MEDES_REGISTRY_REGISTRY_BACKEND_H_
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/fingerprint.h"
+
+namespace medes {
+
+using SandboxId = uint64_t;
+using NodeId = int;
+
+struct PageLocation {
+  NodeId node = -1;
+  SandboxId sandbox = 0;
+  uint32_t page_index = 0;
+
+  bool operator==(const PageLocation&) const = default;
+};
+
+struct PageLocationHash {
+  size_t operator()(const PageLocation& loc) const {
+    uint64_t h = static_cast<uint64_t>(loc.node) * 0x9e3779b97f4a7c15ull;
+    h ^= loc.sandbox + 0x517cc1b727220a95ull + (h << 6);
+    h ^= static_cast<uint64_t>(loc.page_index) * 0xff51afd7ed558ccdull + (h >> 3);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct BasePageCandidate {
+  PageLocation location;
+  int overlap = 0;  // sampled chunks in common with the queried page
+};
+
+struct RegistryStats {
+  size_t num_keys = 0;
+  size_t num_entries = 0;
+  size_t num_base_sandboxes = 0;
+  uint64_t lookups = 0;
+  uint64_t key_hits = 0;
+  // Approximate bytes of controller memory held by the table.
+  size_t ApproxMemoryBytes() const {
+    return num_keys * 24 + num_entries * sizeof(PageLocation) + num_keys * 16;
+  }
+};
+
+// Ranks a (location -> overlap) tally: max overlap first, local-node pages
+// preferred on ties, then lowest (sandbox, page) for determinism. Shared by
+// the centralized registry and the distributed shard-merge path.
+inline std::vector<BasePageCandidate> RankCandidates(
+    const std::unordered_map<PageLocation, int, PageLocationHash>& tally, NodeId local_node,
+    size_t max_results) {
+  std::vector<BasePageCandidate> ranked;
+  ranked.reserve(tally.size());
+  for (const auto& [loc, overlap] : tally) {
+    ranked.push_back({loc, overlap});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const BasePageCandidate& a, const BasePageCandidate& b) {
+              if (a.overlap != b.overlap) {
+                return a.overlap > b.overlap;
+              }
+              const bool a_local = a.location.node == local_node;
+              const bool b_local = b.location.node == local_node;
+              if (a_local != b_local) {
+                return a_local;
+              }
+              if (a.location.sandbox != b.location.sandbox) {
+                return a.location.sandbox < b.location.sandbox;
+              }
+              return a.location.page_index < b.location.page_index;
+            });
+  if (ranked.size() > max_results) {
+    ranked.resize(max_results);
+  }
+  return ranked;
+}
+
+class RegistryBackend {
+ public:
+  virtual ~RegistryBackend() = default;
+
+  // Registers all pages of a base sandbox. `fingerprints[i]` describes page i.
+  virtual void InsertBaseSandbox(NodeId node, SandboxId sandbox,
+                                 const std::vector<PageFingerprint>& fingerprints) = 0;
+
+  // Removes every entry belonging to `sandbox`.
+  virtual void RemoveBaseSandbox(SandboxId sandbox) = 0;
+
+  virtual bool IsBaseSandbox(SandboxId sandbox) const = 0;
+
+  // Ranked base-page candidates for the queried fingerprint (max
+  // sampled-chunk overlap first, local-node tie-break), at most
+  // `max_results`. `exclude_sandbox` skips the querying sandbox's own pages.
+  virtual std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
+                                                       NodeId local_node,
+                                                       SandboxId exclude_sandbox,
+                                                       size_t max_results) = 0;
+
+  // Convenience: the single best candidate.
+  std::optional<BasePageCandidate> FindBasePage(const PageFingerprint& fingerprint,
+                                                NodeId local_node,
+                                                SandboxId exclude_sandbox = 0) {
+    auto candidates = FindBasePages(fingerprint, local_node, exclude_sandbox, 1);
+    if (candidates.empty()) {
+      return std::nullopt;
+    }
+    return candidates.front();
+  }
+
+  // Base-sandbox refcounts (a base's memory is pinned while > 0).
+  virtual void Ref(SandboxId base_sandbox) = 0;
+  virtual void Unref(SandboxId base_sandbox) = 0;
+  virtual int RefCount(SandboxId base_sandbox) const = 0;
+
+  virtual RegistryStats stats() const = 0;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_REGISTRY_REGISTRY_BACKEND_H_

@@ -1,0 +1,50 @@
+#include "sim/simulation.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace medes {
+
+EventId Simulation::Schedule(SimTime t, Callback cb) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulation::Schedule: time in the past");
+  }
+  EventId id = next_id_++;
+  queue_.push({t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Simulation::Cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulation::Empty() const { return callbacks_.empty(); }
+
+void Simulation::Run() { RunUntil(std::numeric_limits<SimTime>::max()); }
+
+void Simulation::RunUntil(SimTime until) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    if (ev.time > until) {
+      if (until != std::numeric_limits<SimTime>::max()) {
+        now_ = until;
+      }
+      return;
+    }
+    queue_.pop();
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    ++events_processed_;
+    cb();
+  }
+  if (until != std::numeric_limits<SimTime>::max() && now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace medes

@@ -1,0 +1,62 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded and fully deterministic: events at equal timestamps fire
+// in scheduling order (a monotonically increasing sequence number breaks
+// ties). Cancellation is by handle; cancelled events are skipped when popped.
+#ifndef MEDES_SIM_SIMULATION_H_
+#define MEDES_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace medes {
+
+using EventId = uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (>= Now()). Returns a handle usable
+  // with Cancel().
+  EventId Schedule(SimTime t, Callback cb);
+  EventId ScheduleAfter(SimDuration delay, Callback cb) { return Schedule(now_ + delay, std::move(cb)); }
+
+  // Cancels a pending event. Idempotent; cancelling a fired event is a no-op.
+  void Cancel(EventId id);
+
+  // Runs until the queue drains or `until` is reached (events beyond `until`
+  // stay queued and the clock stops at `until`).
+  void Run();
+  void RunUntil(SimTime until);
+
+  uint64_t events_processed() const { return events_processed_; }
+  bool Empty() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    // Ordered as a min-heap on (time, id).
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : id > other.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace medes
+
+#endif  // MEDES_SIM_SIMULATION_H_

@@ -1,0 +1,181 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace medes {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 3;
+  opts.node_memory_mb = 512;
+  opts.bytes_per_mb = 8192;
+  return opts;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{SmallCluster()};
+  const FunctionProfile& vanilla_ = ProfileByName("Vanilla");
+  const FunctionProfile& rnn_ = ProfileByName("RNNModel");
+};
+
+TEST_F(ClusterTest, SpawnAccountsMemory) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  EXPECT_EQ(sb.state, SandboxState::kRunning);
+  EXPECT_DOUBLE_EQ(cluster_.node(0).used_mb, vanilla_.memory_mb);
+  EXPECT_DOUBLE_EQ(cluster_.RecomputeNodeUsedMb(0), vanilla_.memory_mb);
+  EXPECT_EQ(cluster_.node(0).sandboxes.size(), 1u);
+}
+
+TEST_F(ClusterTest, PurgeReleasesMemory) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 1, 0);
+  SandboxId id = sb.id;
+  cluster_.Purge(id);
+  EXPECT_DOUBLE_EQ(cluster_.node(1).used_mb, 0.0);
+  EXPECT_EQ(cluster_.Find(id), nullptr);
+  EXPECT_TRUE(cluster_.node(1).sandboxes.empty());
+  EXPECT_THROW(cluster_.Purge(id), std::out_of_range);
+}
+
+TEST_F(ClusterTest, LifecycleTransitions) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.MarkWarm(sb, 100);
+  EXPECT_EQ(sb.state, SandboxState::kWarm);
+  EXPECT_EQ(sb.idle_since, 100);
+  cluster_.MarkRunning(sb, 200);
+  EXPECT_EQ(sb.state, SandboxState::kRunning);
+  EXPECT_EQ(sb.generation, 2u);
+  EXPECT_EQ(sb.runs, 1u);
+}
+
+TEST_F(ClusterTest, MarkDedupRequiresCheckpoint) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.MarkWarm(sb, 0);
+  EXPECT_THROW(cluster_.MarkDedup(sb, 0), std::logic_error);
+}
+
+TEST_F(ClusterTest, DedupAccountingUsesCheckpointSizes) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.MarkWarm(sb, 0);
+  MemoryImage image = cluster_.BuildImage(sb);
+  sb.checkpoint = MemoryCheckpoint::Capture(image);
+  // Patch away the first resident page to shrink the footprint.
+  size_t page = 0;
+  while (sb.checkpoint->SlotState(page) != PageSlotState::kResident) {
+    ++page;
+  }
+  sb.checkpoint->ReplaceWithPatch(page, std::vector<uint8_t>(200, 1));
+  cluster_.MarkDedup(sb, 10);
+  EXPECT_EQ(sb.state, SandboxState::kDedup);
+  double dedup_mb = cluster_.DedupFootprintMb(sb);
+  EXPECT_LT(dedup_mb, vanilla_.memory_mb);
+  EXPECT_NEAR(cluster_.node(0).used_mb, dedup_mb, 1e-9);
+  EXPECT_NEAR(cluster_.RecomputeNodeUsedMb(0), cluster_.node(0).used_mb, 1e-9);
+  // Restore flips accounting back.
+  cluster_.MarkRestored(sb, 20);
+  EXPECT_EQ(sb.state, SandboxState::kWarm);
+  EXPECT_NEAR(cluster_.node(0).used_mb, vanilla_.memory_mb, 1e-9);
+  EXPECT_FALSE(sb.checkpoint.has_value());
+}
+
+TEST_F(ClusterTest, MarkRunningOnDedupRejected) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.MarkWarm(sb, 0);
+  MemoryImage image = cluster_.BuildImage(sb);
+  sb.checkpoint = MemoryCheckpoint::Capture(image);
+  cluster_.MarkDedup(sb, 0);
+  EXPECT_THROW(cluster_.MarkRunning(sb, 1), std::logic_error);
+}
+
+TEST_F(ClusterTest, BaseSnapshotAccounting) {
+  Sandbox& sb = cluster_.Spawn(rnn_, 2, 0);
+  cluster_.MarkWarm(sb, 0);
+  MemoryImage image = cluster_.BuildImage(sb);
+  cluster_.AddBaseSnapshot(sb, MemoryCheckpoint::Capture(image));
+  EXPECT_NEAR(cluster_.node(2).used_mb, 2 * rnn_.memory_mb, 1e-9);
+  EXPECT_EQ(cluster_.NumBaseSnapshots(rnn_.id), 1);
+  EXPECT_THROW(cluster_.AddBaseSnapshot(sb, MemoryCheckpoint::Capture(image)), std::logic_error);
+  cluster_.RemoveBaseSnapshot(sb.id);
+  EXPECT_NEAR(cluster_.node(2).used_mb, rnn_.memory_mb, 1e-9);
+  EXPECT_EQ(cluster_.NumBaseSnapshots(rnn_.id), 0);
+}
+
+TEST_F(ClusterTest, ReadBasePageReturnsBytes) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.MarkWarm(sb, 0);
+  MemoryImage image = cluster_.BuildImage(sb);
+  cluster_.AddBaseSnapshot(sb, MemoryCheckpoint::Capture(image));
+  auto page = cluster_.ReadBasePage({.node = 0, .sandbox = sb.id, .page_index = 0});
+  ASSERT_EQ(page.size(), kPageSize);
+  EXPECT_TRUE(std::equal(page.begin(), page.end(), image.Page(0).begin()));
+  // Unknown sandbox or out-of-range page -> empty.
+  EXPECT_TRUE(cluster_.ReadBasePage({.node = 0, .sandbox = 9999, .page_index = 0}).empty());
+  EXPECT_TRUE(cluster_.ReadBasePage({.node = 0, .sandbox = sb.id, .page_index = 1u << 30}).empty());
+}
+
+TEST_F(ClusterTest, ReadBasePageZeroSlot) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.MarkWarm(sb, 0);
+  MemoryImage image = cluster_.BuildImage(sb);
+  MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
+  ASSERT_GT(cp.NumZero(), 0u);
+  uint32_t zero_page = 0;
+  for (size_t p = 0; p < cp.NumPages(); ++p) {
+    if (cp.SlotState(p) == PageSlotState::kZero) {
+      zero_page = static_cast<uint32_t>(p);
+      break;
+    }
+  }
+  cluster_.AddBaseSnapshot(sb, std::move(cp));
+  auto page = cluster_.ReadBasePage({.node = 0, .sandbox = sb.id, .page_index = zero_page});
+  ASSERT_EQ(page.size(), kPageSize);
+  EXPECT_TRUE(std::all_of(page.begin(), page.end(), [](uint8_t b) { return b == 0; }));
+}
+
+TEST_F(ClusterTest, SandboxesInFiltersByFunctionAndState) {
+  Sandbox& a = cluster_.Spawn(vanilla_, 0, 0);
+  Sandbox& b = cluster_.Spawn(vanilla_, 1, 0);
+  cluster_.Spawn(rnn_, 2, 0);
+  cluster_.MarkWarm(a, 0);
+  cluster_.MarkWarm(b, 0);
+  EXPECT_EQ(cluster_.SandboxesIn(vanilla_.id, SandboxState::kWarm).size(), 2u);
+  EXPECT_EQ(cluster_.SandboxesIn(rnn_.id, SandboxState::kRunning).size(), 1u);
+  EXPECT_TRUE(cluster_.SandboxesIn(rnn_.id, SandboxState::kDedup).empty());
+}
+
+TEST_F(ClusterTest, LeastUsedNode) {
+  cluster_.Spawn(rnn_, 0, 0);
+  cluster_.Spawn(vanilla_, 1, 0);
+  EXPECT_EQ(cluster_.LeastUsedNode(), 2);
+  cluster_.Spawn(rnn_, 2, 0);
+  EXPECT_EQ(cluster_.LeastUsedNode(), 1);
+}
+
+TEST_F(ClusterTest, BuildImageChangesWithGeneration) {
+  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  MemoryImage g1 = cluster_.BuildImage(sb);
+  cluster_.MarkWarm(sb, 0);
+  cluster_.MarkRunning(sb, 1);  // generation bump
+  MemoryImage g2 = cluster_.BuildImage(sb);
+  ASSERT_EQ(g1.SizeBytes(), g2.SizeBytes());
+  EXPECT_NE(std::memcmp(g1.bytes().data(), g2.bytes().data(), g1.SizeBytes()), 0);
+}
+
+TEST_F(ClusterTest, TotalsAggregate) {
+  cluster_.Spawn(vanilla_, 0, 0);
+  cluster_.Spawn(rnn_, 1, 0);
+  EXPECT_NEAR(cluster_.TotalUsedMb(), vanilla_.memory_mb + rnn_.memory_mb, 1e-9);
+  EXPECT_DOUBLE_EQ(cluster_.TotalLimitMb(), 3 * 512.0);
+}
+
+TEST(ClusterOptionsTest, RejectsZeroNodes) {
+  ClusterOptions opts;
+  opts.num_nodes = 0;
+  EXPECT_THROW(Cluster{opts}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medes

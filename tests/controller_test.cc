@@ -1,0 +1,229 @@
+#include "controller/medes_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace medes {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.node_memory_mb = 4096;
+  opts.bytes_per_mb = 8192;
+  return opts;
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : cluster_(SmallCluster()),
+        fabric_({}, [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); }),
+        agent_(cluster_, registry_, fabric_, {}) {}
+
+  MedesController MakeController(MedesControllerOptions opts = {}) {
+    return MedesController(cluster_, opts);
+  }
+
+  Sandbox& WarmSandbox(const std::string& name, SimTime now = 0) {
+    Sandbox& sb = cluster_.Spawn(ProfileByName(name), 0, now);
+    cluster_.MarkWarm(sb, now);
+    return sb;
+  }
+
+  Cluster cluster_;
+  FingerprintRegistry registry_;
+  RdmaFabric fabric_;
+  DedupAgent agent_;
+};
+
+// A loose latency target makes dedup the memory-optimal answer.
+MedesControllerOptions LooseLatency() {
+  MedesControllerOptions opts;
+  opts.alpha = 100.0;
+  return opts;
+}
+
+TEST_F(ControllerTest, TightLatencyTargetKeepsLoneSandboxWarm) {
+  // With alpha = 2.5 and a single idle sandbox, the only dedup split (W=0,
+  // D=1) has S = sD >> alpha * sW -> the solver keeps it warm.
+  MedesController controller = MakeController();
+  Sandbox& sb = WarmSandbox("Vanilla");
+  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kKeepWarm);
+}
+
+TEST_F(ControllerTest, FirstDedupDecisionDesignatesBase) {
+  MedesController controller = MakeController(LooseLatency());
+  Sandbox& sb = WarmSandbox("Vanilla");
+  // No arrivals recorded -> lambda_max = 0 -> dedup is safe; but there is no
+  // base for Vanilla yet (or anywhere), so the first decision must be base
+  // designation.
+  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDesignateBase);
+}
+
+TEST_F(ControllerTest, AfterBaseExistsDecisionIsDedup) {
+  MedesController controller = MakeController(LooseLatency());
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  Sandbox& sb = WarmSandbox("Vanilla");
+  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDedup);
+}
+
+TEST_F(ControllerTest, BaseSandboxItselfKeptWarm) {
+  MedesController controller = MakeController(LooseLatency());
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  EXPECT_EQ(controller.OnIdleExpiry(base, kMinute), IdleDecision::kKeepWarm);
+}
+
+TEST_F(ControllerTest, MemoryPressureForcesDedup) {
+  // Default alpha (2.5) would keep the sandbox warm, but the node being
+  // nearly full triggers the aggressive-dedup fallback.
+  MedesController controller = MakeController();
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  Sandbox& sb = WarmSandbox("Vanilla");
+  // Fill node 0 beyond the pressure threshold (85% of 4096 MB).
+  for (int i = 0; i < 40; ++i) {
+    cluster_.Spawn(ProfileByName("RNNModel"), 0, 0);
+  }
+  ASSERT_GT(cluster_.node(0).used_mb, 0.85 * 4096);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDedup);
+}
+
+TEST_F(ControllerTest, HighArrivalRateKeepsSandboxesWarm) {
+  MedesControllerOptions opts;
+  opts.alpha = 1.05;  // very tight latency target
+  MedesController controller = MakeController(opts);
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  Sandbox& sb = WarmSandbox("Vanilla");
+  // Hammer the rate tracker: far more than one warm sandbox can serve.
+  for (int i = 0; i < 600; ++i) {
+    controller.RecordArrival(sb.function, i * 100 * kMillisecond);
+  }
+  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kKeepWarm);
+}
+
+TEST_F(ControllerTest, BasePromotionAtThreshold) {
+  MedesControllerOptions opts = LooseLatency();
+  opts.base_promotion_threshold = 2;  // tiny T for the test
+  MedesController controller = MakeController(opts);
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  // Create 3 dedup sandboxes -> D/B = 3 > 2 -> next decision promotes.
+  for (int i = 0; i < 3; ++i) {
+    Sandbox& sb = WarmSandbox("Vanilla");
+    agent_.DedupOp(sb, 0);
+  }
+  Sandbox& next = WarmSandbox("Vanilla");
+  EXPECT_EQ(controller.OnIdleExpiry(next, kMinute), IdleDecision::kDesignateBase);
+}
+
+TEST_F(ControllerTest, EstimateInputsUsesDefaultsThenMeasurements) {
+  MedesController controller = MakeController();
+  const FunctionProfile& profile = ProfileByName("LinAlg");
+  MedesPolicyInputs before = controller.EstimateInputs(profile.id, 0);
+  EXPECT_DOUBLE_EQ(before.warm_mb, profile.memory_mb);
+  EXPECT_DOUBLE_EQ(before.dedup_mb, 0.5 * profile.memory_mb);
+
+  // Feed a dedup measurement: 100 pages, 60 saved.
+  DedupOpResult dedup;
+  dedup.pages_total = 100;
+  dedup.pages_deduped = 50;
+  dedup.saved_bytes = 60 * kPageSize;
+  controller.RecordDedupResult(profile.id, dedup);
+  MedesPolicyInputs after = controller.EstimateInputs(profile.id, 0);
+  double total_mb = 100.0 * kPageSize / 8192.0;
+  double saved_mb = 60.0 * kPageSize / 8192.0;
+  EXPECT_NEAR(after.dedup_mb, total_mb - saved_mb, 1e-9);
+
+  RestoreOpResult restore;
+  restore.total_time = 250 * kMillisecond;
+  controller.RecordRestoreResult(profile.id, restore);
+  MedesPolicyInputs measured = controller.EstimateInputs(profile.id, 0);
+  EXPECT_NEAR(measured.dedup_start_s, 0.25, 1e-9);
+}
+
+TEST_F(ControllerTest, RateTrackingFeedsLambda) {
+  MedesController controller = MakeController();
+  const FunctionProfile& profile = ProfileByName("Vanilla");
+  for (int i = 0; i < 30; ++i) {
+    controller.RecordArrival(profile.id, i * kSecond);
+  }
+  MedesPolicyInputs in = controller.EstimateInputs(profile.id, 30 * kSecond);
+  EXPECT_GT(in.lambda_max, 0.5);
+}
+
+TEST_F(ControllerTest, MemoryCapShareProportionalToRates) {
+  MedesControllerOptions opts;
+  opts.objective = PolicyObjective::kMemory;
+  opts.cluster_memory_cap_mb = 1000;
+  MedesController controller = MakeController(opts);
+  // Vanilla gets 3x the arrivals of LinAlg.
+  for (int i = 0; i < 30; ++i) {
+    controller.RecordArrival(0, i * kSecond);
+    if (i % 3 == 0) {
+      controller.RecordArrival(1, i * kSecond);
+    }
+  }
+  double v = controller.MemoryCapShareMb(0, 30 * kSecond);
+  double l = controller.MemoryCapShareMb(1, 30 * kSecond);
+  EXPECT_NEAR(v / l, 3.0, 0.2);
+  EXPECT_LT(v + l, 1000.0 + 1e-9);
+}
+
+TEST_F(ControllerTest, MemoryCapShareEqualWhenNoTraffic) {
+  MedesControllerOptions opts;
+  opts.cluster_memory_cap_mb = 1000;
+  MedesController controller = MakeController(opts);
+  EXPECT_NEAR(controller.MemoryCapShareMb(0, 0), 100.0, 1e-9);
+}
+
+TEST_F(ControllerTest, PerFunctionOverridesChangeCriticality) {
+  // Vanilla is critical (tight alpha), LinAlg best-effort (loose alpha).
+  MedesControllerOptions opts;
+  opts.alpha = 2.5;
+  opts.function_overrides = {{ProfileByName("LinAlg").id, 1000.0}};
+  MedesController controller = MakeController(opts);
+  EXPECT_DOUBLE_EQ(controller.AlphaFor(ProfileByName("Vanilla").id), 2.5);
+  EXPECT_DOUBLE_EQ(controller.AlphaFor(ProfileByName("LinAlg").id), 1000.0);
+
+  Sandbox& vb = WarmSandbox("Vanilla");
+  agent_.DesignateBase(vb);
+  Sandbox& lb = WarmSandbox("LinAlg");
+  agent_.DesignateBase(lb);
+  // A lone idle sandbox: the critical function stays warm, the best-effort
+  // one is deduplicated.
+  Sandbox& v = WarmSandbox("Vanilla");
+  Sandbox& l = WarmSandbox("LinAlg");
+  EXPECT_EQ(controller.OnIdleExpiry(v, kMinute), IdleDecision::kKeepWarm);
+  EXPECT_EQ(controller.OnIdleExpiry(l, kMinute), IdleDecision::kDedup);
+}
+
+TEST_F(ControllerTest, CombinedObjectiveRespectsBothBounds) {
+  MedesControllerOptions opts;
+  opts.objective = PolicyObjective::kCombined;
+  opts.alpha = 1000.0;
+  opts.cluster_memory_cap_mb = 40;  // tight cap forces dedup
+  MedesController controller = MakeController(opts);
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  Sandbox& sb = WarmSandbox("Vanilla");
+  WarmSandbox("Vanilla");
+  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDedup);
+}
+
+TEST_F(ControllerTest, MemoryObjectiveDedupsUnderTightCap) {
+  MedesControllerOptions opts;
+  opts.objective = PolicyObjective::kMemory;
+  opts.cluster_memory_cap_mb = 30;  // tiny: Vanilla warm costs 17 MB each
+  MedesController controller = MakeController(opts);
+  Sandbox& base = WarmSandbox("Vanilla");
+  agent_.DesignateBase(base);
+  Sandbox& a = WarmSandbox("Vanilla");
+  WarmSandbox("Vanilla");
+  EXPECT_EQ(controller.OnIdleExpiry(a, kMinute), IdleDecision::kDedup);
+}
+
+}  // namespace
+}  // namespace medes

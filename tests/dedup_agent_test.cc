@@ -1,0 +1,186 @@
+#include "dedupagent/dedup_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace medes {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.node_memory_mb = 4096;
+  opts.bytes_per_mb = 16384;
+  return opts;
+}
+
+class DedupAgentTest : public ::testing::Test {
+ protected:
+  DedupAgentTest()
+      : cluster_(SmallCluster()),
+        fabric_({}, [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); }),
+        agent_(cluster_, registry_, fabric_, {}) {}
+
+  // Spawns a warm sandbox of `name` on `node`.
+  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
+    Sandbox& sb = cluster_.Spawn(ProfileByName(name), node, now);
+    cluster_.MarkWarm(sb, now);
+    return sb;
+  }
+
+  Cluster cluster_;
+  FingerprintRegistry registry_;
+  RdmaFabric fabric_;
+  DedupAgent agent_;
+};
+
+TEST_F(DedupAgentTest, DesignateBasePopulatesRegistry) {
+  Sandbox& base = WarmSandbox("Vanilla", 0);
+  BaseSnapshot& snap = agent_.DesignateBase(base);
+  EXPECT_EQ(snap.sandbox, base.id);
+  EXPECT_TRUE(registry_.IsBaseSandbox(base.id));
+  RegistryStats stats = registry_.stats();
+  EXPECT_GT(stats.num_keys, 0u);
+  EXPECT_GT(stats.num_entries, 0u);
+}
+
+TEST_F(DedupAgentTest, DedupAgainstSameFunctionBaseSavesMostMemory) {
+  Sandbox& base = WarmSandbox("Vanilla", 0);
+  agent_.DesignateBase(base);
+  Sandbox& victim = WarmSandbox("Vanilla", 0);
+  DedupOpResult result = agent_.DedupOp(victim, 10);
+  EXPECT_EQ(victim.state, SandboxState::kDedup);
+  EXPECT_GT(result.pages_deduped, result.pages_total / 10)
+      << "clean pages of same-function sandboxes dedup";
+  EXPECT_GT(result.saved_bytes, 0u);
+  EXPECT_LT(cluster_.DedupFootprintMb(victim), cluster_.WarmFootprintMb(victim) * 0.85);
+  // Patches reference the base sandbox -> refcount raised.
+  EXPECT_GT(registry_.RefCount(base.id), 0);
+  EXPECT_EQ(result.same_function_pages, result.pages_deduped);
+  EXPECT_EQ(result.cross_function_pages, 0u);
+}
+
+TEST_F(DedupAgentTest, DedupWithEmptyRegistryKeepsPagesUnique) {
+  Sandbox& sb = WarmSandbox("Vanilla", 0);
+  DedupOpResult result = agent_.DedupOp(sb, 0);
+  EXPECT_EQ(result.pages_deduped, 0u);
+  EXPECT_EQ(result.pages_unique + result.pages_zero, result.pages_total);
+  // Zero pages still save memory.
+  EXPECT_EQ(result.saved_bytes, result.pages_zero * kPageSize);
+}
+
+TEST_F(DedupAgentTest, RestoreRoundTripsByteExact) {
+  Sandbox& base = WarmSandbox("Vanilla", 0);
+  agent_.DesignateBase(base);
+  Sandbox& victim = WarmSandbox("Vanilla", 1);  // remote node
+  agent_.DedupOp(victim, 10);
+  RestoreOpResult result = agent_.RestoreOp(victim, 20, /*verify=*/true);
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(victim.state, SandboxState::kWarm);
+  EXPECT_GT(result.base_pages_read, 0u);
+  EXPECT_GT(result.remote_reads, 0u) << "base lives on another node";
+  // All base references released.
+  EXPECT_EQ(registry_.RefCount(base.id), 0);
+  EXPECT_TRUE(victim.patches.empty());
+}
+
+TEST_F(DedupAgentTest, RestoreTimingComponentsPositiveAndOrdered) {
+  Sandbox& base = WarmSandbox("LinAlg", 0);
+  agent_.DesignateBase(base);
+  Sandbox& victim = WarmSandbox("LinAlg", 1);
+  agent_.DedupOp(victim, 0);
+  RestoreOpResult r = agent_.RestoreOp(victim, 1);
+  EXPECT_GT(r.read_base_time, 0);
+  EXPECT_GT(r.compute_time, 0);
+  EXPECT_GT(r.sandbox_restore_time, 0);
+  EXPECT_EQ(r.total_time, r.read_base_time + r.compute_time + r.sandbox_restore_time);
+  // Namespace work was pre-done at dedup time: the restore must be far
+  // cheaper than cold start (paper Fig. 8).
+  EXPECT_LT(r.total_time, ProfileByName("LinAlg").cold_start);
+}
+
+TEST_F(DedupAgentTest, NamespacePreparationSkipsPtreeCost) {
+  Sandbox& base = WarmSandbox("Vanilla", 0);
+  agent_.DesignateBase(base);
+  Sandbox& victim = WarmSandbox("Vanilla", 0);
+  agent_.DedupOp(victim, 0);
+  ASSERT_TRUE(victim.namespaces_prepared);
+  RestoreOpResult prepared = agent_.RestoreOp(victim, 1);
+  // Re-dedup with preparation artificially cleared.
+  cluster_.MarkRunning(victim, 2);
+  cluster_.MarkWarm(victim, 3);
+  agent_.DedupOp(victim, 4);
+  victim.namespaces_prepared = false;
+  RestoreOpResult unprepared = agent_.RestoreOp(victim, 5);
+  EXPECT_GT(unprepared.sandbox_restore_time,
+            prepared.sandbox_restore_time + 400 * kMillisecond);
+}
+
+TEST_F(DedupAgentTest, CrossFunctionDedupWorks) {
+  // LinAlg base; ImagePro victim shares python_runtime + numpy.
+  Sandbox& base = WarmSandbox("LinAlg", 0);
+  agent_.DesignateBase(base);
+  Sandbox& victim = WarmSandbox("ImagePro", 0);
+  DedupOpResult result = agent_.DedupOp(victim, 0);
+  EXPECT_GT(result.pages_deduped, 0u);
+  EXPECT_GT(result.cross_function_pages, 0u);
+  EXPECT_EQ(result.same_function_pages, 0u);
+  RestoreOpResult restore = agent_.RestoreOp(victim, 1, /*verify=*/true);
+  EXPECT_TRUE(restore.verified);
+}
+
+TEST_F(DedupAgentTest, DedupOpRejectsNonWarm) {
+  Sandbox& sb = cluster_.Spawn(ProfileByName("Vanilla"), 0, 0);  // running
+  EXPECT_THROW(agent_.DedupOp(sb, 0), std::logic_error);
+}
+
+TEST_F(DedupAgentTest, RestoreOpRejectsNonDedup) {
+  Sandbox& sb = WarmSandbox("Vanilla", 0);
+  EXPECT_THROW(agent_.RestoreOp(sb, 0), std::logic_error);
+}
+
+TEST_F(DedupAgentTest, DesignateBaseRejectsNonWarm) {
+  Sandbox& sb = cluster_.Spawn(ProfileByName("Vanilla"), 0, 0);
+  EXPECT_THROW(agent_.DesignateBase(sb), std::logic_error);
+}
+
+TEST_F(DedupAgentTest, DedupTimeScalesWithImageSize) {
+  Sandbox& base_small = WarmSandbox("Vanilla", 0);
+  agent_.DesignateBase(base_small);
+  Sandbox& base_large = WarmSandbox("ModelTrain", 0);
+  agent_.DesignateBase(base_large);
+  Sandbox& small = WarmSandbox("Vanilla", 0);
+  Sandbox& large = WarmSandbox("ModelTrain", 0);
+  DedupOpResult rs = agent_.DedupOp(small, 0);
+  DedupOpResult rl = agent_.DedupOp(large, 0);
+  EXPECT_GT(rl.total_time, rs.total_time);
+  // Paper Section 7.7: total dedup time of seconds at full scale.
+  EXPECT_GT(rl.total_time, 500 * kMillisecond);
+  EXPECT_LT(rl.total_time, 30 * kSecond);
+}
+
+TEST_F(DedupAgentTest, SizeOnlyModeStillAccounts) {
+  DedupAgentOptions opts;
+  opts.keep_payloads = false;
+  DedupAgent agent(cluster_, registry_, fabric_, opts);
+  Sandbox& base = WarmSandbox("Vanilla", 0);
+  agent.DesignateBase(base);
+  Sandbox& victim = WarmSandbox("Vanilla", 0);
+  DedupOpResult result = agent.DedupOp(victim, 0);
+  EXPECT_GT(result.pages_deduped, 0u);
+  EXPECT_TRUE(victim.checkpoint->payloads_dropped());
+  double dedup_mb = cluster_.DedupFootprintMb(victim);
+  EXPECT_LT(dedup_mb, cluster_.WarmFootprintMb(victim));
+  // Restore works in size-only mode (no verification possible).
+  RestoreOpResult restore = agent.RestoreOp(victim, 1);
+  EXPECT_FALSE(restore.verified);
+  EXPECT_EQ(victim.state, SandboxState::kWarm);
+}
+
+TEST_F(DedupAgentTest, ScaleFactorReflectsImageScale) {
+  EXPECT_DOUBLE_EQ(agent_.ScaleFactor(), static_cast<double>(1 << 20) / 16384.0);
+}
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,194 @@
+#include "registry/distributed_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace medes {
+namespace {
+
+PageFingerprint Fp(std::initializer_list<uint64_t> keys) {
+  PageFingerprint fp;
+  uint32_t offset = 0;
+  for (uint64_t k : keys) {
+    fp.chunks.push_back({k, offset});
+    offset += 64;
+  }
+  return fp;
+}
+
+// Random fingerprints whose keys spread across shards.
+std::vector<PageFingerprint> RandomFingerprints(size_t pages, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PageFingerprint> fps(pages);
+  for (auto& fp : fps) {
+    for (int c = 0; c < 5; ++c) {
+      fp.chunks.push_back({rng.Next(), static_cast<uint32_t>(c * 64)});
+    }
+  }
+  return fps;
+}
+
+TEST(DistributedRegistryTest, AgreesWithCentralizedRegistry) {
+  DistributedRegistry dist({.num_shards = 4, .replication_factor = 3});
+  FingerprintRegistry central;
+  auto fps_a = RandomFingerprints(40, 1);
+  auto fps_b = RandomFingerprints(40, 2);
+  dist.InsertBaseSandbox(0, 100, fps_a);
+  dist.InsertBaseSandbox(1, 200, fps_b);
+  central.InsertBaseSandbox(0, 100, fps_a);
+  central.InsertBaseSandbox(1, 200, fps_b);
+
+  // Probe with fingerprints overlapping both sandboxes' pages.
+  for (size_t p = 0; p < 40; ++p) {
+    PageFingerprint probe = fps_a[p];
+    probe.chunks.pop_back();
+    probe.chunks.push_back(fps_b[p].chunks[0]);
+    auto d = dist.FindBasePage(probe, 0);
+    auto c = central.FindBasePage(probe, 0);
+    ASSERT_EQ(d.has_value(), c.has_value()) << "page " << p;
+    if (d.has_value()) {
+      EXPECT_EQ(d->location, c->location) << "page " << p;
+      EXPECT_EQ(d->overlap, c->overlap) << "page " << p;
+    }
+  }
+}
+
+TEST(DistributedRegistryTest, ShardingSpreadsKeys) {
+  DistributedRegistry dist({.num_shards = 8, .replication_factor = 1});
+  dist.InsertBaseSandbox(0, 100, RandomFingerprints(200, 3));
+  // Probe many random fingerprints to exercise lookups on all shards.
+  for (const auto& fp : RandomFingerprints(200, 3)) {
+    dist.FindBasePage(fp, 0);
+  }
+  const auto& stats = dist.distributed_stats();
+  size_t active_shards = 0;
+  for (uint64_t lookups : stats.lookups_per_shard) {
+    active_shards += (lookups > 0) ? 1 : 0;
+  }
+  EXPECT_EQ(active_shards, 8u) << "uniform keys must hit every shard";
+}
+
+TEST(DistributedRegistryTest, SurvivesTailFailure) {
+  DistributedRegistry dist({.num_shards = 2, .replication_factor = 3});
+  auto fps = RandomFingerprints(20, 4);
+  dist.InsertBaseSandbox(0, 100, fps);
+  // Kill the tail replica of both shards: reads fail over to the middle.
+  dist.FailReplica(0, 2);
+  dist.FailReplica(1, 2);
+  for (const auto& fp : fps) {
+    auto hit = dist.FindBasePage(fp, 0, /*exclude_sandbox=*/0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->location.sandbox, 100u);
+  }
+  EXPECT_GT(dist.distributed_stats().failovers, 0u);
+}
+
+TEST(DistributedRegistryTest, SurvivesAllButOneReplica) {
+  DistributedRegistry dist({.num_shards = 1, .replication_factor = 3});
+  auto fps = RandomFingerprints(10, 5);
+  dist.InsertBaseSandbox(0, 100, fps);
+  dist.FailReplica(0, 0);
+  dist.FailReplica(0, 2);
+  for (const auto& fp : fps) {
+    EXPECT_TRUE(dist.FindBasePage(fp, 0).has_value());
+  }
+}
+
+TEST(DistributedRegistryTest, WholeShardDownDegradesGracefully) {
+  DistributedRegistry dist({.num_shards = 1, .replication_factor = 2});
+  auto fps = RandomFingerprints(10, 6);
+  dist.InsertBaseSandbox(0, 100, fps);
+  dist.FailReplica(0, 0);
+  dist.FailReplica(0, 1);
+  EXPECT_FALSE(dist.ShardAvailable(0));
+  EXPECT_FALSE(dist.FindBasePage(fps[0], 0).has_value());
+  EXPECT_GT(dist.distributed_stats().unavailable_lookups, 0u);
+  // Writes to a dead shard are dropped but do not crash.
+  dist.InsertBaseSandbox(0, 200, RandomFingerprints(5, 7));
+  EXPECT_GT(dist.distributed_stats().dropped_writes, 0u);
+}
+
+TEST(DistributedRegistryTest, RecoveryResyncsState) {
+  DistributedRegistry dist({.num_shards = 1, .replication_factor = 3});
+  auto before = RandomFingerprints(10, 8);
+  dist.InsertBaseSandbox(0, 100, before);
+  dist.FailReplica(0, 1);
+  // Writes continue while the replica is down.
+  auto during = RandomFingerprints(10, 9);
+  dist.InsertBaseSandbox(0, 200, during);
+  dist.RecoverReplica(0, 1);
+  // Now kill everyone else; the recovered replica must serve *all* state.
+  dist.FailReplica(0, 0);
+  dist.FailReplica(0, 2);
+  for (const auto& fp : before) {
+    auto hit = dist.FindBasePage(fp, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->location.sandbox, 100u);
+  }
+  for (const auto& fp : during) {
+    auto hit = dist.FindBasePage(fp, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->location.sandbox, 200u);
+  }
+}
+
+TEST(DistributedRegistryTest, RefcountsSurviveFailover) {
+  DistributedRegistry dist({.num_shards = 4, .replication_factor = 3});
+  dist.InsertBaseSandbox(0, 100, RandomFingerprints(5, 10));
+  dist.Ref(100);
+  dist.Ref(100);
+  EXPECT_EQ(dist.RefCount(100), 2);
+  // Kill the tail of every shard; the sandbox's home shard fails over.
+  for (int s = 0; s < 4; ++s) {
+    dist.FailReplica(s, 2);
+  }
+  EXPECT_EQ(dist.RefCount(100), 2);
+  dist.Unref(100);
+  EXPECT_EQ(dist.RefCount(100), 1);
+  EXPECT_TRUE(dist.IsBaseSandbox(100));
+}
+
+TEST(DistributedRegistryTest, RemoveBaseSandboxEverywhere) {
+  DistributedRegistry dist({.num_shards = 4, .replication_factor = 2});
+  auto fps = RandomFingerprints(20, 11);
+  dist.InsertBaseSandbox(0, 100, fps);
+  dist.RemoveBaseSandbox(100);
+  for (const auto& fp : fps) {
+    EXPECT_FALSE(dist.FindBasePage(fp, 0).has_value());
+  }
+  EXPECT_FALSE(dist.IsBaseSandbox(100));
+  RegistryStats stats = dist.stats();
+  EXPECT_EQ(stats.num_entries, 0u);
+}
+
+TEST(DistributedRegistryTest, PageLookupLatencyShrinksWithShards) {
+  DistributedRegistry one({.num_shards = 1, .replication_factor = 1});
+  DistributedRegistry eight({.num_shards = 8, .replication_factor = 1});
+  EXPECT_GT(one.PageLookupLatency(8), eight.PageLookupLatency(8));
+  EXPECT_EQ(one.PageLookupLatency(0), 0);
+}
+
+TEST(DistributedRegistryTest, InvalidOptionsRejected) {
+  EXPECT_THROW(DistributedRegistry({.num_shards = 0}), std::invalid_argument);
+  EXPECT_THROW(DistributedRegistry({.num_shards = 2, .replication_factor = 0}),
+               std::invalid_argument);
+}
+
+TEST(DistributedRegistryTest, ShardOfIsStable) {
+  DistributedRegistry dist({.num_shards = 4, .replication_factor = 1});
+  std::set<int> seen;
+  for (uint64_t k = 0; k < 64; ++k) {
+    int s = dist.ShardOf(k);
+    EXPECT_EQ(s, dist.ShardOf(k));
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,196 @@
+#include "chunking/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace medes {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+std::set<uint64_t> Keys(const PageFingerprint& fp) {
+  std::set<uint64_t> keys;
+  for (const auto& c : fp.chunks) {
+    keys.insert(c.key);
+  }
+  return keys;
+}
+
+TEST(FingerprintTest, DefaultCardinalityIsFive) {
+  PageFingerprinter fp({});
+  auto page = RandomBytes(4096, 1);
+  PageFingerprint result = fp.FingerprintPage(page);
+  EXPECT_EQ(result.Cardinality(), 5u);
+}
+
+TEST(FingerprintTest, Deterministic) {
+  PageFingerprinter fp({});
+  auto page = RandomBytes(4096, 2);
+  auto a = fp.FingerprintPage(page);
+  auto b = fp.FingerprintPage(page);
+  ASSERT_EQ(a.Cardinality(), b.Cardinality());
+  EXPECT_EQ(Keys(a), Keys(b));
+}
+
+TEST(FingerprintTest, IdenticalPagesIdenticalFingerprints) {
+  PageFingerprinter fp({});
+  auto page = RandomBytes(4096, 3);
+  auto copy = page;
+  EXPECT_EQ(Keys(fp.FingerprintPage(page)), Keys(fp.FingerprintPage(copy)));
+}
+
+TEST(FingerprintTest, DissimilarPagesShareNoKeys) {
+  PageFingerprinter fp({});
+  auto a = fp.FingerprintPage(RandomBytes(4096, 4));
+  auto b = fp.FingerprintPage(RandomBytes(4096, 5));
+  std::set<uint64_t> ka = Keys(a), kb = Keys(b);
+  std::vector<uint64_t> common;
+  std::set_intersection(ka.begin(), ka.end(), kb.begin(), kb.end(), std::back_inserter(common));
+  EXPECT_TRUE(common.empty());
+}
+
+TEST(FingerprintTest, SimilarPagesShareMostKeys) {
+  PageFingerprinter fp({});
+  auto page = RandomBytes(4096, 6);
+  auto similar = page;
+  // One 8-byte pointer rewrite.
+  std::memset(similar.data() + 1234, 0xee, 8);
+  std::set<uint64_t> ka = Keys(fp.FingerprintPage(page));
+  std::set<uint64_t> kb = Keys(fp.FingerprintPage(similar));
+  std::vector<uint64_t> common;
+  std::set_intersection(ka.begin(), ka.end(), kb.begin(), kb.end(), std::back_inserter(common));
+  EXPECT_GE(common.size(), 4u) << "a single edit should leave most sampled chunks intact";
+}
+
+TEST(FingerprintTest, ValueSamplingSurvivesShift) {
+  // The crucial property vs Difference Engine: shifting content by a few
+  // bytes must keep (most of) the fingerprint — selection is content-defined.
+  PageFingerprinter fp({});
+  auto content = RandomBytes(4080, 7);
+  std::vector<uint8_t> page_a = content;
+  page_a.resize(4096, 0);
+  std::vector<uint8_t> page_b(16, 0x11);  // shift content by 16 bytes
+  page_b.insert(page_b.end(), content.begin(), content.begin() + 4080);
+  std::set<uint64_t> ka = Keys(fp.FingerprintPage(page_a));
+  std::set<uint64_t> kb = Keys(fp.FingerprintPage(page_b));
+  std::vector<uint64_t> common;
+  std::set_intersection(ka.begin(), ka.end(), kb.begin(), kb.end(), std::back_inserter(common));
+  EXPECT_GE(common.size(), 3u);
+}
+
+TEST(FingerprintTest, RandomOffsetsModeDoesNotSurviveShift) {
+  FingerprintOptions options;
+  options.mode = SamplingMode::kRandomOffsets;
+  PageFingerprinter fp(options);
+  auto content = RandomBytes(4080, 8);
+  std::vector<uint8_t> page_a = content;
+  page_a.resize(4096, 0);
+  std::vector<uint8_t> page_b(16, 0x22);
+  page_b.insert(page_b.end(), content.begin(), content.begin() + 4080);
+  std::set<uint64_t> ka = Keys(fp.FingerprintPage(page_a));
+  std::set<uint64_t> kb = Keys(fp.FingerprintPage(page_b));
+  std::vector<uint64_t> common;
+  std::set_intersection(ka.begin(), ka.end(), kb.begin(), kb.end(), std::back_inserter(common));
+  EXPECT_LE(common.size(), 1u);
+}
+
+TEST(FingerprintTest, UniformPageStillGetsFingerprint) {
+  PageFingerprinter fp({});
+  std::vector<uint8_t> page(4096, 0x00);
+  PageFingerprint result = fp.FingerprintPage(page);
+  EXPECT_FALSE(result.Empty());
+}
+
+TEST(FingerprintTest, ShortPageEmpty) {
+  PageFingerprinter fp({});
+  auto tiny = RandomBytes(32, 9);
+  EXPECT_TRUE(fp.FingerprintPage(tiny).Empty());
+}
+
+TEST(FingerprintTest, KeyBitsTruncate) {
+  FingerprintOptions options;
+  options.key_bits = 16;
+  PageFingerprinter fp(options);
+  auto result = fp.FingerprintPage(RandomBytes(4096, 10));
+  for (const auto& chunk : result.chunks) {
+    EXPECT_LT(chunk.key, 1u << 16);
+  }
+}
+
+TEST(FingerprintTest, InvalidOptionsRejected) {
+  FingerprintOptions bad;
+  bad.chunk_size = 0;
+  EXPECT_THROW(PageFingerprinter{bad}, std::invalid_argument);
+  bad = {};
+  bad.cardinality = 0;
+  EXPECT_THROW(PageFingerprinter{bad}, std::invalid_argument);
+  bad = {};
+  bad.key_bits = 0;
+  EXPECT_THROW(PageFingerprinter{bad}, std::invalid_argument);
+  bad = {};
+  bad.key_bits = 65;
+  EXPECT_THROW(PageFingerprinter{bad}, std::invalid_argument);
+}
+
+TEST(FingerprintTest, FingerprintImageCoversAllPages) {
+  PageFingerprinter fp({});
+  auto image = RandomBytes(4096 * 7 + 100, 11);  // trailing partial page ignored
+  auto fps = fp.FingerprintImage(image, 4096);
+  EXPECT_EQ(fps.size(), 7u);
+}
+
+TEST(FingerprintTest, OffsetsWithinPage) {
+  PageFingerprinter fp({});
+  auto result = fp.FingerprintPage(RandomBytes(4096, 12));
+  for (const auto& chunk : result.chunks) {
+    EXPECT_LE(chunk.offset + 64u, 4096u);
+  }
+}
+
+// Parameterized sweep over cardinality (the paper's Section 7.8 knob).
+class CardinalityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CardinalityTest, RespectsRequestedCardinality) {
+  FingerprintOptions options;
+  options.cardinality = GetParam();
+  // Widen the sampling mask so enough candidates exist for high cardinality.
+  options.sample_mask = 0x7f;
+  PageFingerprinter fp(options);
+  auto result = fp.FingerprintPage(RandomBytes(4096, 13));
+  EXPECT_EQ(result.Cardinality(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, CardinalityTest, ::testing::Values(1, 3, 5, 10, 20));
+
+// Parameterized sweep over chunk size (Section 7.8's other knob).
+class ChunkSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChunkSizeTest, FingerprintsProduced) {
+  FingerprintOptions options;
+  options.chunk_size = GetParam();
+  PageFingerprinter fp(options);
+  auto result = fp.FingerprintPage(RandomBytes(4096, 14));
+  EXPECT_FALSE(result.Empty());
+  for (const auto& chunk : result.chunks) {
+    EXPECT_LE(chunk.offset + GetParam(), 4096u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkSizeTest, ::testing::Values(32, 64, 128, 256));
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace medes {
+namespace {
+
+TEST(Fnv1aTest, KnownValues) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64({}), 0xcbf29ce484222325ull);
+  // FNV-1a of "a".
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(Fnv1a64({a, 1}), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Fnv1aTest, SeedChangesResult) {
+  const uint8_t data[] = {1, 2, 3};
+  EXPECT_NE(Fnv1a64({data, 3}, 1), Fnv1a64({data, 3}, 2));
+}
+
+TEST(MixBitsTest, DistinctInputsWellSeparated) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(MixBits(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+  EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  const double rate = 4.0;
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Exponential(rate);
+  }
+  EXPECT_NEAR(sum / kN, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(21);
+  b.Next();  // parent consumed one value during Fork
+  EXPECT_NE(child.Next(), b.Next());
+}
+
+TEST(SplitMixTest, Deterministic) {
+  SplitMix64 a(5), b(5);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,93 @@
+#include "platform/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace medes {
+namespace {
+
+RunMetrics MakeMetrics() {
+  RunMetrics m;
+  m.per_function.resize(10);
+  return m;
+}
+
+TEST(MetricsTest, EmptyRunIsSafe) {
+  RunMetrics m = MakeMetrics();
+  EXPECT_EQ(m.TotalColdStarts(), 0u);
+  EXPECT_EQ(m.TotalRequests(), 0u);
+  EXPECT_DOUBLE_EQ(m.MeanMemoryMb(), 0.0);
+  EXPECT_DOUBLE_EQ(m.MedianMemoryMb(), 0.0);
+  EXPECT_DOUBLE_EQ(m.MeanSandboxesInMemory(), 0.0);
+}
+
+TEST(MetricsTest, ColdStartAggregation) {
+  RunMetrics m = MakeMetrics();
+  m.per_function[0].cold_starts = 3;
+  m.per_function[4].cold_starts = 7;
+  EXPECT_EQ(m.TotalColdStarts(), 10u);
+}
+
+TEST(MetricsTest, MemoryTimelineStatistics) {
+  RunMetrics m = MakeMetrics();
+  for (double v : {10.0, 20.0, 90.0}) {
+    MemorySample s;
+    s.used_mb = v;
+    s.sandboxes = static_cast<uint64_t>(v);
+    m.memory_timeline.push_back(s);
+  }
+  EXPECT_DOUBLE_EQ(m.MeanMemoryMb(), 40.0);
+  EXPECT_DOUBLE_EQ(m.MedianMemoryMb(), 20.0);
+  EXPECT_DOUBLE_EQ(m.MeanSandboxesInMemory(), 40.0);
+}
+
+TEST(MetricsTest, FunctionPercentile) {
+  RunMetrics m = MakeMetrics();
+  for (int i = 1; i <= 100; ++i) {
+    m.per_function[2].e2e_ms.Record(i);
+  }
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(2, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(2, 0.999), 100.0);
+}
+
+TEST(MetricsTest, ImprovementFactorsMatchedStreams) {
+  RunMetrics a = MakeMetrics(), b = MakeMetrics();
+  for (int i = 0; i < 5; ++i) {
+    RequestRecord r;
+    r.function = 0;
+    r.arrival = i;
+    r.e2e = 100;
+    a.requests.push_back(r);
+    r.e2e = 250;
+    b.requests.push_back(r);
+  }
+  auto factors = ImprovementFactors(a, b);
+  ASSERT_EQ(factors.size(), 5u);
+  for (double f : factors) {
+    EXPECT_DOUBLE_EQ(f, 2.5);
+  }
+}
+
+TEST(MetricsTest, ImprovementFactorsRejectMisalignment) {
+  RunMetrics a = MakeMetrics(), b = MakeMetrics();
+  RequestRecord r;
+  r.function = 0;
+  r.arrival = 1;
+  r.e2e = 10;
+  a.requests.push_back(r);
+  r.arrival = 2;  // different arrival time => different trace
+  b.requests.push_back(r);
+  EXPECT_THROW(ImprovementFactors(a, b), std::invalid_argument);
+  b.requests.push_back(r);
+  EXPECT_THROW(ImprovementFactors(a, b), std::invalid_argument);
+}
+
+TEST(MetricsTest, FunctionMetricsTotals) {
+  FunctionMetrics f;
+  f.warm_starts = 5;
+  f.dedup_starts = 3;
+  f.cold_starts = 2;
+  EXPECT_EQ(f.TotalRequests(), 10u);
+}
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,79 @@
+#include "chunking/rabin.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace medes {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+TEST(RollingHashTest, RollMatchesRecompute) {
+  auto data = RandomBytes(1000, 1);
+  RollingHash rh(64);
+  uint64_t h = rh.Init(data);
+  for (size_t i = 64; i < data.size(); ++i) {
+    h = rh.Roll(h, data[i - 64], data[i]);
+    uint64_t direct = rh.Init(std::span<const uint8_t>(data).subspan(i - 63, 64));
+    ASSERT_EQ(h, direct) << "at position " << i - 63;
+  }
+}
+
+TEST(RollingHashTest, WindowOfOne) {
+  auto data = RandomBytes(16, 2);
+  RollingHash rh(1);
+  uint64_t h = rh.Init(data);
+  EXPECT_EQ(h, data[0]);
+  h = rh.Roll(h, data[0], data[1]);
+  EXPECT_EQ(h, data[1]);
+}
+
+TEST(RollingHashTest, ZeroWindowRejected) {
+  EXPECT_THROW(RollingHash(0), std::invalid_argument);
+}
+
+TEST(RollingHashTest, ContentDefinedAcrossShifts) {
+  // The same 64 bytes hash identically wherever they sit.
+  auto chunk = RandomBytes(64, 3);
+  std::vector<uint8_t> a = RandomBytes(100, 4);
+  a.insert(a.end(), chunk.begin(), chunk.end());
+  std::vector<uint8_t> b = RandomBytes(37, 5);
+  b.insert(b.end(), chunk.begin(), chunk.end());
+  RollingHash rh(64);
+  uint64_t ha = rh.Init(std::span<const uint8_t>(a).subspan(100, 64));
+  uint64_t hb = rh.Init(std::span<const uint8_t>(b).subspan(37, 64));
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(AllWindowHashesTest, CountAndAgreement) {
+  auto data = RandomBytes(256, 6);
+  auto hashes = AllWindowHashes(data, 64);
+  ASSERT_EQ(hashes.size(), 256u - 64 + 1);
+  RollingHash rh(64);
+  EXPECT_EQ(hashes.front(), rh.Init(data));
+  EXPECT_EQ(hashes.back(), rh.Init(std::span<const uint8_t>(data).subspan(192, 64)));
+}
+
+TEST(AllWindowHashesTest, ShortInputEmpty) {
+  auto data = RandomBytes(10, 7);
+  EXPECT_TRUE(AllWindowHashes(data, 64).empty());
+}
+
+TEST(AllWindowHashesTest, ExactWindowOneHash) {
+  auto data = RandomBytes(64, 8);
+  EXPECT_EQ(AllWindowHashes(data, 64).size(), 1u);
+}
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,82 @@
+#include "rdma/rdma.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace medes {
+namespace {
+
+std::vector<uint8_t> FakePage(uint8_t fill) { return std::vector<uint8_t>(4096, fill); }
+
+TEST(RdmaTest, ReadCostScalesWithSize) {
+  RdmaFabric fabric({.per_read_latency = 3, .bandwidth_gbps = 10.0});
+  // 4 KiB at 10 Gbps = 4096*8/10000 us ~= 3.27 us transfer + 3 us latency.
+  SimDuration cost = fabric.ReadCost(4096, /*remote=*/true);
+  EXPECT_GE(cost, 6);
+  EXPECT_LE(cost, 7);
+  EXPECT_GT(fabric.ReadCost(1 << 20, true), fabric.ReadCost(4096, true));
+}
+
+TEST(RdmaTest, LocalReadsCheaper) {
+  RdmaFabric fabric;
+  EXPECT_LT(fabric.ReadCost(4096, /*remote=*/false), fabric.ReadCost(4096, /*remote=*/true));
+}
+
+TEST(RdmaTest, ProviderRoutesBytesAndCountsStats) {
+  RdmaFabric fabric({}, [](const PageLocation& loc) {
+    return FakePage(static_cast<uint8_t>(loc.page_index));
+  });
+  SimDuration cost = 0;
+  auto bytes = fabric.ReadPage({.node = 2, .sandbox = 1, .page_index = 7}, /*reader_node=*/0, &cost);
+  ASSERT_EQ(bytes.size(), 4096u);
+  EXPECT_EQ(bytes[0], 7);
+  EXPECT_GT(cost, 0);
+  EXPECT_EQ(fabric.stats().remote_reads, 1u);
+  EXPECT_EQ(fabric.stats().remote_bytes, 4096u);
+  EXPECT_EQ(fabric.stats().local_reads, 0u);
+}
+
+TEST(RdmaTest, LocalReadCountedSeparately) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(1); });
+  SimDuration cost = 0;
+  fabric.ReadPage({.node = 5, .sandbox = 1, .page_index = 0}, /*reader_node=*/5, &cost);
+  EXPECT_EQ(fabric.stats().local_reads, 1u);
+  EXPECT_EQ(fabric.stats().remote_reads, 0u);
+}
+
+TEST(RdmaTest, CostAccumulates) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
+  SimDuration cost = 0;
+  fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 0}, 0, &cost);
+  SimDuration after_one = cost;
+  fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 1}, 0, &cost);
+  EXPECT_NEAR(static_cast<double>(cost), 2.0 * static_cast<double>(after_one), 1.0);
+}
+
+TEST(RdmaTest, MissingProviderThrows) {
+  RdmaFabric fabric;
+  SimDuration cost = 0;
+  EXPECT_THROW(fabric.ReadPage({.node = 0, .sandbox = 1, .page_index = 0}, 0, &cost), RdmaError);
+}
+
+TEST(RdmaTest, UnavailablePageThrows) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return std::vector<uint8_t>{}; });
+  SimDuration cost = 0;
+  EXPECT_THROW(fabric.ReadPage({.node = 0, .sandbox = 1, .page_index = 0}, 0, &cost), RdmaError);
+}
+
+TEST(RdmaTest, NullCostPointerAccepted) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
+  EXPECT_NO_THROW(fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 0}, 0, nullptr));
+}
+
+TEST(RdmaTest, ResetStats) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
+  fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 0}, 0, nullptr);
+  fabric.ResetStats();
+  EXPECT_EQ(fabric.stats().remote_reads, 0u);
+}
+
+}  // namespace
+}  // namespace medes

@@ -1,0 +1,120 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace medes {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, EqualTimesFifoByScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(5, [&] { order.push_back(1); });
+  sim.Schedule(5, [&] { order.push_back(2); });
+  sim.Schedule(5, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, NowAdvancesWithEvents) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.Schedule(42, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(sim.Now(), 42);
+}
+
+TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.Schedule(10, [&] {
+    sim.ScheduleAfter(5, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.Schedule(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulationTest, CancelIsIdempotent) {
+  Simulation sim;
+  EventId id = sim.Schedule(10, [] {});
+  sim.Cancel(id);
+  sim.Cancel(id);
+  sim.Run();
+}
+
+TEST(SimulationTest, CancelFromWithinEvent) {
+  Simulation sim;
+  bool fired = false;
+  EventId later = sim.Schedule(20, [&] { fired = true; });
+  sim.Schedule(10, [&] { sim.Cancel(later); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, RunUntilStopsEarly) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(100, [&] { order.push_back(2); });
+  sim.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.Now(), 50);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, PastSchedulingRejected) {
+  Simulation sim;
+  sim.Schedule(10, [] {});
+  sim.Run();
+  EXPECT_THROW(sim.Schedule(5, [] {}), std::invalid_argument);
+}
+
+TEST(SimulationTest, RecursiveSchedulingChain) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) {
+      sim.ScheduleAfter(1, tick);
+    }
+  };
+  sim.Schedule(0, tick);
+  sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulationTest, EmptyReflectsPendingWork) {
+  Simulation sim;
+  EXPECT_TRUE(sim.Empty());
+  EventId id = sim.Schedule(10, [] {});
+  EXPECT_FALSE(sim.Empty());
+  sim.Cancel(id);
+  EXPECT_TRUE(sim.Empty());
+}
+
+}  // namespace
+}  // namespace medes

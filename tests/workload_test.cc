@@ -1,0 +1,153 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace medes {
+namespace {
+
+TEST(WorkloadTest, TraceIsSortedAndBounded) {
+  TraceOptions opts;
+  opts.duration = 10 * kMinute;
+  auto trace = GenerateTrace(DefaultAzurePatterns(), opts);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.time < b.time;
+                             }));
+  for (const TraceEvent& e : trace) {
+    EXPECT_GE(e.time, 0);
+    EXPECT_LT(e.time, opts.duration);
+    EXPECT_GE(e.function, 0);
+    EXPECT_LT(e.function, 10);
+  }
+}
+
+TEST(WorkloadTest, Deterministic) {
+  TraceOptions opts;
+  opts.duration = 5 * kMinute;
+  auto a = GenerateTrace(DefaultAzurePatterns(), opts);
+  auto b = GenerateTrace(DefaultAzurePatterns(), opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].function, b[i].function);
+  }
+}
+
+TEST(WorkloadTest, SeedChangesTrace) {
+  TraceOptions a_opts, b_opts;
+  a_opts.duration = b_opts.duration = 5 * kMinute;
+  b_opts.seed = a_opts.seed + 1;
+  auto a = GenerateTrace(DefaultAzurePatterns(), a_opts);
+  auto b = GenerateTrace(DefaultAzurePatterns(), b_opts);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(WorkloadTest, RateScaleIncreasesVolume) {
+  TraceOptions small, large;
+  small.duration = large.duration = 10 * kMinute;
+  small.rate_scale = 1.0;
+  large.rate_scale = 5.0;
+  auto a = GenerateTrace(DefaultAzurePatterns(), small);
+  auto b = GenerateTrace(DefaultAzurePatterns(), large);
+  EXPECT_GT(b.size(), 3 * a.size());
+}
+
+TEST(WorkloadTest, PoissonRateRoughlyHonoured) {
+  ArrivalPattern p;
+  p.function = 0;
+  p.kind = ArrivalKind::kPoisson;
+  p.rate_per_s = 1.0;
+  TraceOptions opts;
+  opts.duration = kHour;
+  opts.rate_scale = 1.0;
+  auto trace = GenerateTrace({p}, opts);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 3600.0, 250.0);
+}
+
+TEST(WorkloadTest, PeriodicProducesRegularSpacing) {
+  ArrivalPattern p;
+  p.function = 1;
+  p.kind = ArrivalKind::kPeriodic;
+  p.rate_per_s = 1.0 / 60.0;
+  p.jitter_fraction = 0.0;
+  TraceOptions opts;
+  opts.duration = kHour;
+  opts.rate_scale = 1.0;
+  auto trace = GenerateTrace({p}, opts);
+  ASSERT_GE(trace.size(), 58u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    SimDuration gap = trace[i].time - trace[i - 1].time;
+    EXPECT_NEAR(ToSeconds(gap), 60.0, 0.5);
+  }
+}
+
+TEST(WorkloadTest, PeriodicScalingAddsStreams) {
+  ArrivalPattern p;
+  p.function = 1;
+  p.kind = ArrivalKind::kPeriodic;
+  p.rate_per_s = 1.0 / 60.0;
+  TraceOptions one, five;
+  one.duration = five.duration = kHour;
+  one.rate_scale = 1.0;
+  five.rate_scale = 5.0;
+  auto a = GenerateTrace({p}, one);
+  auto b = GenerateTrace({p}, five);
+  EXPECT_NEAR(static_cast<double>(b.size()), 5.0 * static_cast<double>(a.size()),
+              0.2 * static_cast<double>(b.size()));
+}
+
+TEST(WorkloadTest, BurstyHasQuietPeriods) {
+  ArrivalPattern p;
+  p.function = 2;
+  p.kind = ArrivalKind::kBursty;
+  p.rate_per_s = 1.0;
+  p.mean_on = 30 * kSecond;
+  p.mean_off = 300 * kSecond;
+  TraceOptions opts;
+  opts.duration = kHour;
+  opts.rate_scale = 1.0;
+  auto trace = GenerateTrace({p}, opts);
+  ASSERT_GT(trace.size(), 5u);
+  // There must exist gaps far longer than the ON-phase inter-arrival time.
+  SimDuration max_gap = 0;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    max_gap = std::max(max_gap, trace[i].time - trace[i - 1].time);
+  }
+  EXPECT_GT(max_gap, kMinute);
+}
+
+TEST(WorkloadTest, PatternsForFunctionsSubset) {
+  auto subset = PatternsForFunctions({"LinAlg", "FeatureGen", "ModelTrain"});
+  ASSERT_EQ(subset.size(), 3u);
+  EXPECT_EQ(subset[0].function, ProfileByName("LinAlg").id);
+  EXPECT_EQ(subset[2].function, ProfileByName("ModelTrain").id);
+  EXPECT_THROW(PatternsForFunctions({"Nope"}), std::out_of_range);
+}
+
+TEST(WorkloadTest, CountPerFunction) {
+  TraceOptions opts;
+  opts.duration = 10 * kMinute;
+  auto trace = GenerateTrace(DefaultAzurePatterns(), opts);
+  auto counts = CountPerFunction(trace);
+  size_t total = 0;
+  for (size_t c : counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, trace.size());
+  EXPECT_EQ(counts.size(), 10u);
+}
+
+TEST(WorkloadTest, AllTenFunctionsAppearInLongTrace) {
+  TraceOptions opts;
+  opts.duration = kHour;
+  auto counts = CountPerFunction(GenerateTrace(DefaultAzurePatterns(), opts));
+  for (size_t f = 0; f < counts.size(); ++f) {
+    EXPECT_GT(counts[f], 0u) << "function " << f;
+  }
+}
+
+}  // namespace
+}  // namespace medes
