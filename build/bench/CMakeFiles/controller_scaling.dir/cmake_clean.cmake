@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_scaling.dir/controller_scaling.cc.o"
+  "CMakeFiles/controller_scaling.dir/controller_scaling.cc.o.d"
+  "controller_scaling"
+  "controller_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

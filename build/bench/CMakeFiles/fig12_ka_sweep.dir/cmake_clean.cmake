@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ka_sweep.dir/fig12_ka_sweep.cc.o"
+  "CMakeFiles/fig12_ka_sweep.dir/fig12_ka_sweep.cc.o.d"
+  "fig12_ka_sweep"
+  "fig12_ka_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ka_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_catalyzer.dir/fig13_catalyzer.cc.o"
+  "CMakeFiles/fig13_catalyzer.dir/fig13_catalyzer.cc.o.d"
+  "fig13_catalyzer"
+  "fig13_catalyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_catalyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

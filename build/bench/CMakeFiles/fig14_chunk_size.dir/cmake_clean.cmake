@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_chunk_size.dir/fig14_chunk_size.cc.o"
+  "CMakeFiles/fig14_chunk_size.dir/fig14_chunk_size.cc.o.d"
+  "fig14_chunk_size"
+  "fig14_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

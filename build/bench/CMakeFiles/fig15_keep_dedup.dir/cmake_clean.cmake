@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_keep_dedup.dir/fig15_keep_dedup.cc.o"
+  "CMakeFiles/fig15_keep_dedup.dir/fig15_keep_dedup.cc.o.d"
+  "fig15_keep_dedup"
+  "fig15_keep_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_keep_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

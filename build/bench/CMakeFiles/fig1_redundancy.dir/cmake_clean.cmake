@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_redundancy.dir/fig1_redundancy.cc.o"
+  "CMakeFiles/fig1_redundancy.dir/fig1_redundancy.cc.o.d"
+  "fig1_redundancy"
+  "fig1_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_savings_timeline.dir/fig2_savings_timeline.cc.o"
+  "CMakeFiles/fig2_savings_timeline.dir/fig2_savings_timeline.cc.o.d"
+  "fig2_savings_timeline"
+  "fig2_savings_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_savings_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_ops.cc" "bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o" "gcc" "bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/medes_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/medes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/medes_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedupagent/CMakeFiles/medes_dedupagent.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/medes_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/medes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/medes_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/medes_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/memstate/CMakeFiles/medes_memstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/medes_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/medes_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/medes_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/medes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

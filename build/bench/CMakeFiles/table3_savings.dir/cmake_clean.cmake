@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_savings.dir/table3_savings.cc.o"
+  "CMakeFiles/table3_savings.dir/table3_savings.cc.o.d"
+  "table3_savings"
+  "table3_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("delta")
+subdirs("chunking")
+subdirs("memstate")
+subdirs("checkpoint")
+subdirs("registry")
+subdirs("rdma")
+subdirs("sim")
+subdirs("workload")
+subdirs("cluster")
+subdirs("dedupagent")
+subdirs("controller")
+subdirs("policy")
+subdirs("platform")

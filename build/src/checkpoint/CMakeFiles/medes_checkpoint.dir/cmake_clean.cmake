@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_checkpoint.dir/checkpoint.cc.o"
+  "CMakeFiles/medes_checkpoint.dir/checkpoint.cc.o.d"
+  "libmedes_checkpoint.a"
+  "libmedes_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

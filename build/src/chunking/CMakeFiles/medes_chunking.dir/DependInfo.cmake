@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunking/fingerprint.cc" "src/chunking/CMakeFiles/medes_chunking.dir/fingerprint.cc.o" "gcc" "src/chunking/CMakeFiles/medes_chunking.dir/fingerprint.cc.o.d"
+  "/root/repo/src/chunking/rabin.cc" "src/chunking/CMakeFiles/medes_chunking.dir/rabin.cc.o" "gcc" "src/chunking/CMakeFiles/medes_chunking.dir/rabin.cc.o.d"
+  "/root/repo/src/chunking/redundancy.cc" "src/chunking/CMakeFiles/medes_chunking.dir/redundancy.cc.o" "gcc" "src/chunking/CMakeFiles/medes_chunking.dir/redundancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/medes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

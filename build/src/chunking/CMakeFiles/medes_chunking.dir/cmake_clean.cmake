@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_chunking.dir/fingerprint.cc.o"
+  "CMakeFiles/medes_chunking.dir/fingerprint.cc.o.d"
+  "CMakeFiles/medes_chunking.dir/rabin.cc.o"
+  "CMakeFiles/medes_chunking.dir/rabin.cc.o.d"
+  "CMakeFiles/medes_chunking.dir/redundancy.cc.o"
+  "CMakeFiles/medes_chunking.dir/redundancy.cc.o.d"
+  "libmedes_chunking.a"
+  "libmedes_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

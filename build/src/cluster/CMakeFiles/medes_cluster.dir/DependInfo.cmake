@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/medes_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/medes_cluster.dir/cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/medes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memstate/CMakeFiles/medes_memstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/medes_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/medes_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/medes_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/medes_delta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

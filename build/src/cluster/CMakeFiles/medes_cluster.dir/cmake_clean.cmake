@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_cluster.dir/cluster.cc.o"
+  "CMakeFiles/medes_cluster.dir/cluster.cc.o.d"
+  "libmedes_cluster.a"
+  "libmedes_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

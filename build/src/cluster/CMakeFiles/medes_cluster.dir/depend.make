@@ -1,0 +1,2 @@
+# Empty dependencies file for medes_cluster.
+# This may be replaced when dependencies are built.

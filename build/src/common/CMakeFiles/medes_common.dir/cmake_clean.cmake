@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_common.dir/histogram.cc.o"
+  "CMakeFiles/medes_common.dir/histogram.cc.o.d"
+  "CMakeFiles/medes_common.dir/logging.cc.o"
+  "CMakeFiles/medes_common.dir/logging.cc.o.d"
+  "CMakeFiles/medes_common.dir/sha1.cc.o"
+  "CMakeFiles/medes_common.dir/sha1.cc.o.d"
+  "libmedes_common.a"
+  "libmedes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_controller.dir/medes_controller.cc.o"
+  "CMakeFiles/medes_controller.dir/medes_controller.cc.o.d"
+  "libmedes_controller.a"
+  "libmedes_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

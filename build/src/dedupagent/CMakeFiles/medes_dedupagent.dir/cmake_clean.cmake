@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_dedupagent.dir/dedup_agent.cc.o"
+  "CMakeFiles/medes_dedupagent.dir/dedup_agent.cc.o.d"
+  "libmedes_dedupagent.a"
+  "libmedes_dedupagent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_dedupagent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_delta.dir/delta.cc.o"
+  "CMakeFiles/medes_delta.dir/delta.cc.o.d"
+  "libmedes_delta.a"
+  "libmedes_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

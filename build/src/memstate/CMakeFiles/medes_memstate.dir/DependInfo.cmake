@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memstate/image.cc" "src/memstate/CMakeFiles/medes_memstate.dir/image.cc.o" "gcc" "src/memstate/CMakeFiles/medes_memstate.dir/image.cc.o.d"
+  "/root/repo/src/memstate/library_pool.cc" "src/memstate/CMakeFiles/medes_memstate.dir/library_pool.cc.o" "gcc" "src/memstate/CMakeFiles/medes_memstate.dir/library_pool.cc.o.d"
+  "/root/repo/src/memstate/profiles.cc" "src/memstate/CMakeFiles/medes_memstate.dir/profiles.cc.o" "gcc" "src/memstate/CMakeFiles/medes_memstate.dir/profiles.cc.o.d"
+  "/root/repo/src/memstate/tokens.cc" "src/memstate/CMakeFiles/medes_memstate.dir/tokens.cc.o" "gcc" "src/memstate/CMakeFiles/medes_memstate.dir/tokens.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/medes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_memstate.dir/image.cc.o"
+  "CMakeFiles/medes_memstate.dir/image.cc.o.d"
+  "CMakeFiles/medes_memstate.dir/library_pool.cc.o"
+  "CMakeFiles/medes_memstate.dir/library_pool.cc.o.d"
+  "CMakeFiles/medes_memstate.dir/profiles.cc.o"
+  "CMakeFiles/medes_memstate.dir/profiles.cc.o.d"
+  "CMakeFiles/medes_memstate.dir/tokens.cc.o"
+  "CMakeFiles/medes_memstate.dir/tokens.cc.o.d"
+  "libmedes_memstate.a"
+  "libmedes_memstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_memstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

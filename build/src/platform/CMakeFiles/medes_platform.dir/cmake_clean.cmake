@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_platform.dir/metrics.cc.o"
+  "CMakeFiles/medes_platform.dir/metrics.cc.o.d"
+  "CMakeFiles/medes_platform.dir/platform.cc.o"
+  "CMakeFiles/medes_platform.dir/platform.cc.o.d"
+  "libmedes_platform.a"
+  "libmedes_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/keep_alive.cc" "src/policy/CMakeFiles/medes_policy.dir/keep_alive.cc.o" "gcc" "src/policy/CMakeFiles/medes_policy.dir/keep_alive.cc.o.d"
+  "/root/repo/src/policy/medes_policy.cc" "src/policy/CMakeFiles/medes_policy.dir/medes_policy.cc.o" "gcc" "src/policy/CMakeFiles/medes_policy.dir/medes_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/medes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

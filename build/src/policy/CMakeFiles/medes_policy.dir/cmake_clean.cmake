@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_policy.dir/keep_alive.cc.o"
+  "CMakeFiles/medes_policy.dir/keep_alive.cc.o.d"
+  "CMakeFiles/medes_policy.dir/medes_policy.cc.o"
+  "CMakeFiles/medes_policy.dir/medes_policy.cc.o.d"
+  "libmedes_policy.a"
+  "libmedes_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_rdma.dir/rdma.cc.o"
+  "CMakeFiles/medes_rdma.dir/rdma.cc.o.d"
+  "libmedes_rdma.a"
+  "libmedes_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for medes_rdma.
+# This may be replaced when dependencies are built.

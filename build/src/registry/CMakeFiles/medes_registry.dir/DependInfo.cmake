@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registry/distributed_registry.cc" "src/registry/CMakeFiles/medes_registry.dir/distributed_registry.cc.o" "gcc" "src/registry/CMakeFiles/medes_registry.dir/distributed_registry.cc.o.d"
+  "/root/repo/src/registry/fingerprint_registry.cc" "src/registry/CMakeFiles/medes_registry.dir/fingerprint_registry.cc.o" "gcc" "src/registry/CMakeFiles/medes_registry.dir/fingerprint_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/medes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/medes_chunking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

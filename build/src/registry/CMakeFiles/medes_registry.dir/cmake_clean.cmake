@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_registry.dir/distributed_registry.cc.o"
+  "CMakeFiles/medes_registry.dir/distributed_registry.cc.o.d"
+  "CMakeFiles/medes_registry.dir/fingerprint_registry.cc.o"
+  "CMakeFiles/medes_registry.dir/fingerprint_registry.cc.o.d"
+  "libmedes_registry.a"
+  "libmedes_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

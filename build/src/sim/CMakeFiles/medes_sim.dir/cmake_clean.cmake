@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_sim.dir/simulation.cc.o"
+  "CMakeFiles/medes_sim.dir/simulation.cc.o.d"
+  "libmedes_sim.a"
+  "libmedes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medes_workload.dir/trace.cc.o"
+  "CMakeFiles/medes_workload.dir/trace.cc.o.d"
+  "libmedes_workload.a"
+  "libmedes_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medes_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_agent_test.dir/dedup_agent_test.cc.o"
+  "CMakeFiles/dedup_agent_test.dir/dedup_agent_test.cc.o.d"
+  "dedup_agent_test"
+  "dedup_agent_test.pdb"
+  "dedup_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

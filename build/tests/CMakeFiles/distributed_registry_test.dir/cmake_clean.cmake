@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_registry_test.dir/distributed_registry_test.cc.o"
+  "CMakeFiles/distributed_registry_test.dir/distributed_registry_test.cc.o.d"
+  "distributed_registry_test"
+  "distributed_registry_test.pdb"
+  "distributed_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstate_test.dir/memstate_test.cc.o"
+  "CMakeFiles/memstate_test.dir/memstate_test.cc.o.d"
+  "memstate_test"
+  "memstate_test.pdb"
+  "memstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

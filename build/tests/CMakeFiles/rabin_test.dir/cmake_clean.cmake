@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabin_test.dir/rabin_test.cc.o"
+  "CMakeFiles/rabin_test.dir/rabin_test.cc.o.d"
+  "rabin_test"
+  "rabin_test.pdb"
+  "rabin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
