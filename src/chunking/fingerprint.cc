@@ -68,10 +68,26 @@ PageFingerprint PageFingerprinter::FingerprintPage(std::span<const uint8_t> page
     }
     if (candidates.size() < options_.cardinality) {
       // Sparse/uniform pages select too few windows; fall back to fixed-stride
-      // chunks so every page still has a full-cardinality fingerprint.
-      for (size_t offset = 0; offset + w <= page.size() && candidates.size() < 4 * options_.cardinality;
-           offset += std::max<size_t>(w, page.size() / (options_.cardinality + 1))) {
-        add_candidate(offset);
+      // chunks so every page still has a full-cardinality fingerprint. Stride
+      // offsets overlapping an already-selected content-defined chunk are
+      // skipped (they would duplicate it), and the loop stops as soon as the
+      // fingerprint budget is met.
+      const size_t selected = candidates.size();
+      const size_t stride = std::max<size_t>(w, page.size() / (options_.cardinality + 1));
+      for (size_t offset = 0;
+           offset + w <= page.size() && candidates.size() < options_.cardinality;
+           offset += stride) {
+        bool covered = false;
+        for (size_t i = 0; i < selected; ++i) {
+          const size_t sel = candidates[i].offset;
+          if (offset < sel + w && sel < offset + w) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          add_candidate(offset);
+        }
       }
     }
   }

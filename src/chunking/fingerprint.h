@@ -73,9 +73,12 @@ class PageFingerprinter {
   std::vector<PageFingerprint> FingerprintImage(std::span<const uint8_t> image,
                                                 size_t page_size) const;
 
-  // Truncated key of a full chunk hash (SHA-1 prefix reduced to key_bits).
+  // Truncated key of a full chunk hash: the *leading* key_bits bits of the
+  // SHA-1 digest (Prefix64 is big-endian, so shifting right drops the
+  // digest's trailing bits — the truncation the registry key comment
+  // promises). key_bits is validated to [1, 64] by the constructor.
   uint64_t TruncateKey(uint64_t full) const {
-    return (options_.key_bits >= 64) ? full : (full & ((uint64_t{1} << options_.key_bits) - 1));
+    return full >> (64 - static_cast<unsigned>(options_.key_bits));
   }
 
  private:

@@ -33,8 +33,8 @@ std::string Sha1Digest::ToHex() const {
 
 uint64_t Sha1Digest::Prefix64() const {
   uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | bytes[static_cast<size_t>(i)];
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | bytes[i];
   }
   return v;
 }

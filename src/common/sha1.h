@@ -25,8 +25,14 @@ struct Sha1Digest {
   // Lowercase hex rendering, e.g. "da39a3ee5e6b4b0d3255bfef95601890afd80709".
   std::string ToHex() const;
 
-  // First 8 bytes interpreted as a little-endian integer. Used as a cheap
-  // well-mixed key into hash tables (SHA-1 output is uniformly distributed).
+  // First 8 bytes interpreted as a big-endian integer, i.e. the value reads
+  // identically to the leading 16 hex digits of ToHex(): the most
+  // significant bit of the returned word is the first bit of the digest.
+  // This makes a *prefix of the integer* a prefix of the digest, so key
+  // truncation (PageFingerprinter::TruncateKey) keeps the digest's leading
+  // bits and drops trailing ones. Used as a cheap well-mixed key into hash
+  // tables (SHA-1 output is uniformly distributed). Locked by a
+  // known-answer test in sha1_test.cc — registry keys depend on this order.
   uint64_t Prefix64() const;
 };
 

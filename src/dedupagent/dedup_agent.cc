@@ -1,6 +1,8 @@
 #include "dedupagent/dedup_agent.h"
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -13,10 +15,20 @@ DedupAgent::DedupAgent(Cluster& cluster, RegistryBackend& registry, RdmaFabric& 
       registry_(registry),
       fabric_(fabric),
       options_(options),
-      fingerprinter_(options.fingerprint) {}
+      fingerprinter_(options.fingerprint),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
 
 double DedupAgent::ScaleFactor() const {
   return static_cast<double>(1 << 20) / static_cast<double>(cluster_.options().bytes_per_mb);
+}
+
+std::vector<PageFingerprint> DedupAgent::FingerprintPages(const MemoryCheckpoint& cp,
+                                                          const std::vector<size_t>& pages) {
+  std::vector<PageFingerprint> fingerprints(pages.size());
+  pool_->ParallelFor(0, pages.size(), [&](size_t i) {
+    fingerprints[i] = fingerprinter_.FingerprintPage(cp.PageData(pages[i]));
+  });
+  return fingerprints;
 }
 
 DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
@@ -35,46 +47,85 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
       static_cast<double>(options_.criu.capture_per_page) *
       static_cast<double>(cp.NumPages()) * scale);
 
-  // 2-5. Per page: fingerprint, registry lookup, base-page read, patch.
-  SimDuration rdma_cost = 0;
-  size_t lookups = 0;
-  sb.patches.clear();
+  std::vector<size_t> resident;
+  resident.reserve(cp.NumPages());
   for (size_t page = 0; page < cp.NumPages(); ++page) {
-    if (cp.SlotState(page) != PageSlotState::kResident) {
-      continue;
+    if (cp.SlotState(page) == PageSlotState::kResident) {
+      resident.push_back(page);
     }
-    PageFingerprint fp = fingerprinter_.FingerprintPage(cp.PageData(page));
-    ++lookups;
-    std::vector<BasePageCandidate> candidates =
-        registry_.FindBasePages(fp, sb.node, sb.id, options_.max_base_pages_per_page);
-    if (candidates.empty()) {
-      ++result.pages_unique;
+  }
+  const size_t n = resident.size();
+
+  // 2. Fingerprint every resident page (parallel).
+  std::vector<PageFingerprint> fingerprints = FingerprintPages(cp, resident);
+
+  // 3. Registry lookups, batched and fanned out (parallel; the registry's
+  // striped locks let lookups proceed concurrently, and each task's
+  // FindBasePagesBatch call amortises shard locking across a batch).
+  std::vector<std::vector<BasePageCandidate>> candidates(n);
+  const size_t batch = std::max<size_t>(options_.lookup_batch_pages, 1);
+  const size_t num_batches = (n + batch - 1) / batch;
+  pool_->ParallelFor(0, num_batches, [&](size_t b) {
+    const size_t lo = b * batch;
+    const size_t hi = std::min(n, lo + batch);
+    auto out = registry_.FindBasePagesBatch(
+        std::span<const PageFingerprint>(fingerprints).subspan(lo, hi - lo), sb.node, sb.id,
+        options_.max_base_pages_per_page);
+    std::move(out.begin(), out.end(), candidates.begin() + static_cast<ptrdiff_t>(lo));
+  });
+
+  // 4. Base-page reads, serial in canonical page order: the fabric cache's
+  // hit/miss sequence — and therefore the modelled RDMA cost — depends only
+  // on page order, never on worker interleaving.
+  SimDuration rdma_cost = 0;
+  std::vector<std::vector<uint8_t>> base_bytes(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (candidates[i].empty()) {
       continue;
     }
     // The patch is computed against the concatenation of the chosen base
     // page(s); restore must fetch them all.
-    std::vector<uint8_t> base_bytes;
-    base_bytes.reserve(candidates.size() * kPageSize);
-    for (const BasePageCandidate& candidate : candidates) {
+    base_bytes[i].reserve(candidates[i].size() * kPageSize);
+    for (const BasePageCandidate& candidate : candidates[i]) {
       std::vector<uint8_t> one = fabric_.ReadPage(candidate.location, sb.node, &rdma_cost);
-      base_bytes.insert(base_bytes.end(), one.begin(), one.end());
+      base_bytes[i].insert(base_bytes[i].end(), one.begin(), one.end());
+    }
+  }
+
+  // 5. Delta-encode against the chosen bases (parallel; the accept decision
+  // is per-page and deterministic).
+  std::vector<std::vector<uint8_t>> patches(n);
+  std::vector<uint8_t> accepted(n, 0);
+  pool_->ParallelFor(0, n, [&](size_t i) {
+    if (candidates[i].empty()) {
+      return;
     }
     std::vector<uint8_t> patch;
     try {
-      patch = DeltaEncode(base_bytes, cp.PageData(page), options_.delta);
+      patch = DeltaEncode(base_bytes[i], cp.PageData(resident[i]), options_.delta);
     } catch (const DeltaError&) {
-      ++result.pages_unique;
-      continue;
+      return;  // counted unique in the merge
     }
     if (static_cast<double>(patch.size()) >
         options_.patch_accept_max_ratio * static_cast<double>(kPageSize)) {
-      ++result.pages_unique;  // patch too big to be worth it
+      return;  // patch too big to be worth it
+    }
+    patches[i] = std::move(patch);
+    accepted[i] = 1;
+  });
+
+  // 6. Merge in page order: counters, refcounts, patch records, slot edits.
+  sb.patches.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t page = resident[i];
+    if (accepted[i] == 0) {
+      ++result.pages_unique;
       continue;
     }
-    result.patch_bytes += patch.size();
-    result.saved_bytes += kPageSize - patch.size();
+    result.patch_bytes += patches[i].size();
+    result.saved_bytes += kPageSize - patches[i].size();
     ++result.pages_deduped;
-    const BaseSnapshot* snap = cluster_.FindBaseSnapshot(candidates.front().location.sandbox);
+    const BaseSnapshot* snap = cluster_.FindBaseSnapshot(candidates[i].front().location.sandbox);
     if (snap != nullptr && snap->function == sb.function) {
       ++result.same_function_pages;
     } else {
@@ -82,18 +133,18 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     }
     PatchRecord record;
     record.page = static_cast<uint32_t>(page);
-    for (const BasePageCandidate& candidate : candidates) {
+    for (const BasePageCandidate& candidate : candidates[i]) {
       registry_.Ref(candidate.location.sandbox);
       record.bases.push_back(candidate.location);
     }
     sb.patches.push_back(std::move(record));
-    cp.ReplaceWithPatch(page, std::move(patch));
+    cp.ReplaceWithPatch(page, std::move(patches[i]));
   }
   // Zero pages also count as saved memory relative to the warm state.
   result.saved_bytes += result.pages_zero * kPageSize;
 
   result.lookup_time = static_cast<SimDuration>(
-      static_cast<double>(options_.controller_lookup_per_page) * static_cast<double>(lookups) *
+      static_cast<double>(options_.controller_lookup_per_page) * static_cast<double>(n) *
       scale);
   result.patch_time =
       static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale) +
@@ -120,12 +171,16 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
   const double scale = ScaleFactor();
   MemoryCheckpoint& cp = *sb.checkpoint;
   const bool payloads = !cp.payloads_dropped();
+  const size_t n = sb.patches.size();
 
+  // 1. Base-page reads, serial in patch-record order (deterministic cache
+  // behaviour — see DedupOp), plus refcount release.
   SimDuration rdma_cost = 0;
   size_t patch_bytes_applied = 0;
-  for (const PatchRecord& record : sb.patches) {
-    std::vector<uint8_t> base_bytes;
-    base_bytes.reserve(record.bases.size() * kPageSize);
+  std::vector<std::vector<uint8_t>> base_bytes(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PatchRecord& record = sb.patches[i];
+    base_bytes[i].reserve(record.bases.size() * kPageSize);
     for (const PageLocation& base : record.bases) {
       std::vector<uint8_t> one = fabric_.ReadPage(base, sb.node, &rdma_cost);
       ++result.base_pages_read;
@@ -133,16 +188,25 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
       if (base.node != sb.node) {
         ++result.remote_reads;
       }
-      base_bytes.insert(base_bytes.end(), one.begin(), one.end());
+      base_bytes[i].insert(base_bytes[i].end(), one.begin(), one.end());
       registry_.Unref(base.sandbox);
     }
     patch_bytes_applied += cp.PatchSize(record.page);
+  }
+
+  // 2. Reconstruct original pages from patches (parallel).
+  std::vector<std::vector<uint8_t>> originals(n);
+  pool_->ParallelFor(0, n, [&](size_t i) {
     if (payloads) {
-      std::vector<uint8_t> original = DeltaDecode(base_bytes, cp.PatchData(record.page));
-      cp.RestorePage(record.page, std::move(original));
+      originals[i] = DeltaDecode(base_bytes[i], cp.PatchData(sb.patches[i].page));
     } else {
-      cp.RestorePage(record.page, std::vector<uint8_t>(kPageSize, 0));
+      originals[i] = std::vector<uint8_t>(kPageSize, 0);
     }
+  });
+
+  // 3. Merge: put the reconstructed bytes back, in record order.
+  for (size_t i = 0; i < n; ++i) {
+    cp.RestorePage(sb.patches[i].page, std::move(originals[i]));
   }
 
   result.read_base_time = static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale);
@@ -179,14 +243,18 @@ BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {
   }
   MemoryImage image = cluster_.BuildImage(sb);
   MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
-  std::vector<PageFingerprint> fingerprints;
-  fingerprints.reserve(cp.NumPages());
+  std::vector<size_t> resident;
+  resident.reserve(cp.NumPages());
   for (size_t page = 0; page < cp.NumPages(); ++page) {
     if (cp.SlotState(page) == PageSlotState::kResident) {
-      fingerprints.push_back(fingerprinter_.FingerprintPage(cp.PageData(page)));
-    } else {
-      fingerprints.emplace_back();  // zero pages are not inserted
+      resident.push_back(page);
     }
+  }
+  std::vector<PageFingerprint> resident_fps = FingerprintPages(cp, resident);
+  // Zero pages keep empty fingerprints (not inserted into the registry).
+  std::vector<PageFingerprint> fingerprints(cp.NumPages());
+  for (size_t i = 0; i < resident.size(); ++i) {
+    fingerprints[resident[i]] = std::move(resident_fps[i]);
   }
   registry_.InsertBaseSandbox(sb.node, sb.id, fingerprints);
   return cluster_.AddBaseSnapshot(sb, std::move(cp));

@@ -16,15 +16,27 @@
 // Timing is modelled against *represented* sizes: the synthetic images are
 // built at `bytes_per_mb` scale, so modelled durations multiply measured
 // byte/page counts by the scale ratio back to full size.
+//
+// Execution is a staged pipeline fanned out over a thread pool (paper
+// Section 4 pipelines this work across sandboxes; we parallelise across
+// pages, which are independent):
+//   fingerprint (parallel) -> registry lookup (parallel, batched) ->
+//   base-page read (serial, canonical page order, through the fabric cache)
+//   -> delta encode/decode (parallel) -> merge (serial, page order).
+// The serial read stage makes cache hit/miss decisions and all modelled
+// SimDuration costs a function of page order alone, so every DedupOpResult,
+// patch record, and cost is bit-identical across thread counts.
 #ifndef MEDES_DEDUPAGENT_DEDUP_AGENT_H_
 #define MEDES_DEDUPAGENT_DEDUP_AGENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "checkpoint/checkpoint.h"
 #include "chunking/fingerprint.h"
 #include "cluster/cluster.h"
+#include "common/thread_pool.h"
 #include "delta/delta.h"
 #include "rdma/rdma.h"
 #include "registry/fingerprint_registry.h"
@@ -50,6 +62,11 @@ struct DedupAgentOptions {
   // Keep checkpoint payload bytes after the op (true = byte-exact restores
   // can be verified; false = size-only accounting for fast simulation).
   bool keep_payloads = true;
+  // Pipeline worker threads: 0 = MEDES_THREADS env var, else hardware
+  // concurrency; 1 = fully serial (the determinism-test reference).
+  size_t num_threads = 0;
+  // Pages per registry lookup batch (one FindBasePagesBatch call per task).
+  size_t lookup_batch_pages = 64;
 };
 
 struct DedupOpResult {
@@ -106,12 +123,21 @@ class DedupAgent {
   // Represented-scale multiplier for this cluster's image scale.
   double ScaleFactor() const;
 
+  // Resolved pipeline width (>= 1).
+  size_t NumThreads() const { return pool_->NumThreads(); }
+
  private:
+  // Fingerprints of all resident pages (parallel stage; `pages[i]` indexes
+  // into `cp`, the result is positionally aligned with `pages`).
+  std::vector<PageFingerprint> FingerprintPages(const MemoryCheckpoint& cp,
+                                                const std::vector<size_t>& pages);
+
   Cluster& cluster_;
   RegistryBackend& registry_;
   RdmaFabric& fabric_;
   DedupAgentOptions options_;
   PageFingerprinter fingerprinter_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace medes

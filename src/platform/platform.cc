@@ -172,6 +172,7 @@ class ServerlessPlatform::Impl {
       if (base_victim != 0) {
         registry_->RemoveBaseSandbox(base_victim);
         cluster_.RemoveBaseSnapshot(base_victim);
+        fabric_.InvalidateSandbox(base_victim);  // reclaim its cached pages
         ++metrics_.evictions;
         continue;
       }
@@ -425,6 +426,9 @@ PlatformOptions MakePlatformOptions(PolicyKind policy) {
   options.cluster.num_nodes = 19;
   options.cluster.node_memory_mb = 2048;
   options.cluster.bytes_per_mb = 8192;
+  // Base-page read cache: hot bases (one per function, hit by every dedup
+  // and restore of that function) stop paying repeated fabric reads.
+  options.rdma.page_cache_capacity = 4096;
   return options;
 }
 

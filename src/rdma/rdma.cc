@@ -12,8 +12,42 @@ SimDuration RdmaFabric::ReadCost(size_t bytes, bool remote) const {
   return (remote ? options_.per_read_latency : options_.local_per_read_latency) + transfer;
 }
 
+const std::vector<uint8_t>* RdmaFabric::CacheLookup(const PageLocation& location) {
+  auto it = cache_index_.find(location);
+  if (it == cache_index_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return &it->second->bytes;
+}
+
+void RdmaFabric::CacheInsert(const PageLocation& location, const std::vector<uint8_t>& bytes) {
+  auto it = cache_index_.find(location);
+  if (it != cache_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;  // raced fetch of the same page: already cached
+  }
+  while (lru_.size() >= options_.page_cache_capacity && !lru_.empty()) {
+    cache_index_.erase(lru_.back().location);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+  lru_.push_front(CacheEntry{location, bytes});
+  cache_index_[location] = lru_.begin();
+}
+
 std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId reader_node,
                                           SimDuration* cost) {
+  if (options_.page_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (const std::vector<uint8_t>* cached = CacheLookup(location)) {
+      ++stats_.cache_hits;
+      if (cost != nullptr) {
+        *cost += options_.cache_hit_latency;
+      }
+      return *cached;
+    }
+  }
   if (!provider_) {
     throw RdmaError("RdmaFabric: no page provider installed");
   }
@@ -22,17 +56,41 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
     throw RdmaError("RdmaFabric: base page unavailable");
   }
   const bool remote = location.node != reader_node;
-  if (remote) {
-    ++stats_.remote_reads;
-    stats_.remote_bytes += bytes.size();
-  } else {
-    ++stats_.local_reads;
-    stats_.local_bytes += bytes.size();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (remote) {
+      ++stats_.remote_reads;
+      stats_.remote_bytes += bytes.size();
+    } else {
+      ++stats_.local_reads;
+      stats_.local_bytes += bytes.size();
+    }
+    if (options_.page_cache_capacity > 0) {
+      ++stats_.cache_misses;
+      CacheInsert(location, bytes);
+    }
   }
   if (cost != nullptr) {
     *cost += ReadCost(bytes.size(), remote);
   }
   return bytes;
+}
+
+void RdmaFabric::InvalidateSandbox(SandboxId sandbox) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->location.sandbox == sandbox) {
+      cache_index_.erase(it->location);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t RdmaFabric::CachedPages() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return lru_.size();
 }
 
 }  // namespace medes

@@ -8,13 +8,24 @@
 // also routes the *actual bytes*: a PageProvider callback resolves a
 // PageLocation to the bytes held by the target node's base-sandbox
 // checkpoint, so reconstruction operates on real data.
+//
+// An optional LRU cache sits in front of the provider, keyed by
+// PageLocation. Base pages are immutable while pinned and sandbox ids are
+// never reused, so cached bytes can never go stale — invalidation (on base
+// purge) only reclaims capacity. Hot base pages (every dedup sandbox of a
+// function patches against the same base) then cost one fabric read instead
+// of one per restore; a hit is charged `cache_hit_latency` (a local DRAM
+// copy) instead of the modelled fabric read.
 #ifndef MEDES_RDMA_RDMA_H_
 #define MEDES_RDMA_RDMA_H_
 
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <mutex>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
@@ -27,6 +38,10 @@ struct RdmaOptions {
   double bandwidth_gbps = 10.0;                // NIC line rate
   SimDuration local_per_read_latency = 0;      // node-local copies
   double local_bandwidth_gbps = 80.0;          // DRAM-ish copy rate
+  // Base-page read cache capacity in pages; 0 disables the cache.
+  size_t page_cache_capacity = 0;
+  // Modelled cost of serving a read from the cache (DRAM copy + bookkeeping).
+  SimDuration cache_hit_latency = 1;           // us
 };
 
 struct RdmaStats {
@@ -34,6 +49,16 @@ struct RdmaStats {
   uint64_t remote_bytes = 0;
   uint64_t local_reads = 0;
   uint64_t local_bytes = 0;
+  // Base-page cache counters (hits never touch the fabric, so they are not
+  // double-counted in the read/byte totals above).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
 };
 
 class RdmaError : public std::runtime_error {
@@ -51,20 +76,43 @@ class RdmaFabric {
   void set_provider(PageProvider provider) { provider_ = std::move(provider); }
 
   // One-sided read of a base page. `reader_node` decides local vs remote
-  // cost. Returns the bytes and adds the modelled cost to `*cost`.
+  // cost. Returns the bytes and adds the modelled cost to `*cost`. Served
+  // from the cache when possible.
   std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
                                 SimDuration* cost);
 
   // Pure timing model (used when the caller already has byte counts).
   SimDuration ReadCost(size_t bytes, bool remote) const;
 
+  // Drops every cached page belonging to `sandbox` (called when a base
+  // sandbox is purged). Pure capacity hygiene — ids are never reused.
+  void InvalidateSandbox(SandboxId sandbox);
+
+  size_t CachedPages() const;
+
   const RdmaStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
  private:
+  struct CacheEntry {
+    PageLocation location;
+    std::vector<uint8_t> bytes;
+  };
+
+  // Returns the cached bytes or nullptr. Promotes hits to MRU.
+  const std::vector<uint8_t>* CacheLookup(const PageLocation& location);
+  void CacheInsert(const PageLocation& location, const std::vector<uint8_t>& bytes);
+
   RdmaOptions options_;
   PageProvider provider_;
   RdmaStats stats_;
+
+  // LRU cache: list front = most recently used. Guarded by cache_mu_ so
+  // pipeline workers may share a fabric.
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<PageLocation, std::list<CacheEntry>::iterator, PageLocationHash>
+      cache_index_;
 };
 
 }  // namespace medes

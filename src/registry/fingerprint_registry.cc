@@ -1,46 +1,136 @@
 #include "registry/fingerprint_registry.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "common/hash.h"
 
 namespace medes {
 
-FingerprintRegistry::FingerprintRegistry(RegistryOptions options) : options_(options) {}
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+FingerprintRegistry::FingerprintRegistry(RegistryOptions options) : options_(options) {
+  const size_t shards = RoundUpPow2(std::max<size_t>(options_.num_shards, 1));
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+FingerprintRegistry::FingerprintRegistry(const FingerprintRegistry& other)
+    : FingerprintRegistry(other.options_) {
+  CopyFrom(other);
+}
+
+FingerprintRegistry& FingerprintRegistry::operator=(const FingerprintRegistry& other) {
+  if (this == &other) {
+    return *this;
+  }
+  options_ = other.options_;
+  shards_.clear();
+  const size_t shards = RoundUpPow2(std::max<size_t>(options_.num_shards, 1));
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  base_refcounts_.clear();
+  CopyFrom(other);
+  return *this;
+}
+
+void FingerprintRegistry::CopyFrom(const FingerprintRegistry& other) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& src = *other.shards_[s];
+    Shard& dst = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(src.mu);
+    dst.table = src.table;
+    dst.keys_by_sandbox = src.keys_by_sandbox;
+    dst.key_hits.store(src.key_hits.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(other.sandbox_mu_);
+    base_refcounts_ = other.base_refcounts_;
+  }
+  lookups_.store(other.lookups_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+size_t FingerprintRegistry::ShardIndex(uint64_t key) const {
+  // MixBits spreads truncated keys (which may share low bits) across stripes.
+  return static_cast<size_t>(MixBits(key)) & (shards_.size() - 1);
+}
 
 void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
                                             const std::vector<PageFingerprint>& fingerprints) {
-  base_refcounts_.try_emplace(sandbox, 0);
+  {
+    std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
+    base_refcounts_.try_emplace(sandbox, 0);
+  }
   for (size_t page = 0; page < fingerprints.size(); ++page) {
     for (const SampledChunk& chunk : fingerprints[page].chunks) {
-      auto& locations = table_[chunk.key];
+      Shard& shard = ShardFor(chunk.key);
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      auto& locations = shard.table[chunk.key];
       if (locations.size() < options_.max_locations_per_key) {
         locations.push_back({node, sandbox, static_cast<uint32_t>(page)});
+        shard.keys_by_sandbox[sandbox].push_back(chunk.key);
       }
     }
   }
 }
 
 void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
-  base_refcounts_.erase(sandbox);
-  for (auto it = table_.begin(); it != table_.end();) {
-    auto& locations = it->second;
-    std::erase_if(locations, [&](const PageLocation& loc) { return loc.sandbox == sandbox; });
-    if (locations.empty()) {
-      it = table_.erase(it);
-    } else {
-      ++it;
-    }
+  {
+    std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
+    base_refcounts_.erase(sandbox);
   }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto owned = shard.keys_by_sandbox.find(sandbox);
+    if (owned == shard.keys_by_sandbox.end()) {
+      continue;
+    }
+    for (uint64_t key : owned->second) {
+      auto it = shard.table.find(key);
+      if (it == shard.table.end()) {
+        continue;  // earlier duplicate of this key already emptied it
+      }
+      std::erase_if(it->second,
+                    [&](const PageLocation& loc) { return loc.sandbox == sandbox; });
+      if (it->second.empty()) {
+        shard.table.erase(it);
+      }
+    }
+    shard.keys_by_sandbox.erase(owned);
+  }
+}
+
+bool FingerprintRegistry::IsBaseSandbox(SandboxId sandbox) const {
+  std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+  return base_refcounts_.contains(sandbox);
 }
 
 void FingerprintRegistry::AccumulateTally(
     const PageFingerprint& fingerprint, SandboxId exclude_sandbox,
     std::unordered_map<PageLocation, int, PageLocationHash>& tally) {
   for (const SampledChunk& chunk : fingerprint.chunks) {
-    auto it = table_.find(chunk.key);
-    if (it == table_.end()) {
+    Shard& shard = ShardFor(chunk.key);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.table.find(chunk.key);
+    if (it == shard.table.end()) {
       continue;
     }
-    ++key_hits_;
+    shard.key_hits.fetch_add(1, std::memory_order_relaxed);
     for (const PageLocation& loc : it->second) {
       if (loc.sandbox == exclude_sandbox) {
         continue;
@@ -53,13 +143,64 @@ void FingerprintRegistry::AccumulateTally(
 std::vector<BasePageCandidate> FingerprintRegistry::FindBasePages(
     const PageFingerprint& fingerprint, NodeId local_node, SandboxId exclude_sandbox,
     size_t max_results) {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   std::unordered_map<PageLocation, int, PageLocationHash> tally;
   AccumulateTally(fingerprint, exclude_sandbox, tally);
   return RankCandidates(tally, local_node, max_results);
 }
 
+std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBatch(
+    std::span<const PageFingerprint> fingerprints, NodeId local_node,
+    SandboxId exclude_sandbox, size_t max_results) {
+  lookups_.fetch_add(fingerprints.size(), std::memory_order_relaxed);
+
+  // Group (fingerprint, chunk) references by owning shard so each shard's
+  // lock is taken once per batch rather than once per key.
+  struct KeyRef {
+    uint64_t key;
+    uint32_t fp_index;
+  };
+  std::vector<std::vector<KeyRef>> per_shard(shards_.size());
+  for (size_t i = 0; i < fingerprints.size(); ++i) {
+    for (const SampledChunk& chunk : fingerprints[i].chunks) {
+      per_shard[ShardIndex(chunk.key)].push_back({chunk.key, static_cast<uint32_t>(i)});
+    }
+  }
+
+  std::vector<std::unordered_map<PageLocation, int, PageLocationHash>> tallies(
+      fingerprints.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) {
+      continue;
+    }
+    Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const KeyRef& ref : per_shard[s]) {
+      auto it = shard.table.find(ref.key);
+      if (it == shard.table.end()) {
+        continue;
+      }
+      shard.key_hits.fetch_add(1, std::memory_order_relaxed);
+      auto& tally = tallies[ref.fp_index];
+      for (const PageLocation& loc : it->second) {
+        if (loc.sandbox == exclude_sandbox) {
+          continue;
+        }
+        ++tally[loc];
+      }
+    }
+  }
+
+  std::vector<std::vector<BasePageCandidate>> results;
+  results.reserve(fingerprints.size());
+  for (auto& tally : tallies) {
+    results.push_back(RankCandidates(tally, local_node, max_results));
+  }
+  return results;
+}
+
 void FingerprintRegistry::Ref(SandboxId base_sandbox) {
+  std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
   auto it = base_refcounts_.find(base_sandbox);
   if (it != base_refcounts_.end()) {
     ++it->second;
@@ -67,6 +208,7 @@ void FingerprintRegistry::Ref(SandboxId base_sandbox) {
 }
 
 void FingerprintRegistry::Unref(SandboxId base_sandbox) {
+  std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
   auto it = base_refcounts_.find(base_sandbox);
   if (it != base_refcounts_.end() && it->second > 0) {
     --it->second;
@@ -74,19 +216,32 @@ void FingerprintRegistry::Unref(SandboxId base_sandbox) {
 }
 
 int FingerprintRegistry::RefCount(SandboxId base_sandbox) const {
+  std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
   auto it = base_refcounts_.find(base_sandbox);
   return it == base_refcounts_.end() ? 0 : it->second;
 }
 
+size_t FingerprintRegistry::NumBaseSandboxes() const {
+  std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+  return base_refcounts_.size();
+}
+
 RegistryStats FingerprintRegistry::stats() const {
   RegistryStats s;
-  s.num_keys = table_.size();
-  for (const auto& [key, locations] : table_) {
-    s.num_entries += locations.size();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    s.num_keys += shard.table.size();
+    for (const auto& [key, locations] : shard.table) {
+      s.num_entries += locations.size();
+    }
+    s.key_hits += shard.key_hits.load(std::memory_order_relaxed);
   }
-  s.num_base_sandboxes = base_refcounts_.size();
-  s.lookups = lookups_;
-  s.key_hits = key_hits_;
+  {
+    std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+    s.num_base_sandboxes = base_refcounts_.size();
+  }
+  s.lookups = lookups_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -7,11 +7,23 @@
 // fingerprint and return ranked base-page candidates: pages sharing the most
 // sampled chunks first, ties broken in favour of pages local to the
 // requesting node (saves an RDMA read at restore).
+//
+// Concurrency: the table is split into `num_shards` shards keyed by chunk
+// key, each guarded by its own reader/writer lock, so the parallel dedup
+// pipeline's per-page lookups proceed without contending on one global lock
+// (paper Section 7.7 notes lookups "can be parallelized given they are
+// independent"). Sandbox-level state (refcounts, membership) sits behind a
+// separate lock. A per-sandbox reverse index records which keys a base
+// sandbox owns entries under, making RemoveBaseSandbox O(keys owned) instead
+// of a full-table scan.
 #ifndef MEDES_REGISTRY_FINGERPRINT_REGISTRY_H_
 #define MEDES_REGISTRY_FINGERPRINT_REGISTRY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,26 +35,40 @@ struct RegistryOptions {
   // Cap on locations tracked per chunk key — popular chunks (e.g. common
   // interpreter structures) would otherwise accumulate unbounded lists.
   size_t max_locations_per_key = 8;
+  // Lock stripes. Rounded up to a power of two; 1 = a single-lock table
+  // (useful inside DistributedRegistry replicas, which shard externally).
+  size_t num_shards = 16;
 };
 
 class FingerprintRegistry : public RegistryBackend {
  public:
   explicit FingerprintRegistry(RegistryOptions options = {});
 
+  // Deep copies (fresh locks). Used by chain-replication re-sync; the source
+  // may be serving concurrent readers, the destination must be quiescent.
+  FingerprintRegistry(const FingerprintRegistry& other);
+  FingerprintRegistry& operator=(const FingerprintRegistry& other);
+
   void InsertBaseSandbox(NodeId node, SandboxId sandbox,
                          const std::vector<PageFingerprint>& fingerprints) override;
 
-  // Removes every entry belonging to `sandbox`. O(table size); called only
-  // when a base sandbox is purged, which is rare.
+  // Removes every entry belonging to `sandbox` via the reverse index:
+  // O(keys the sandbox owns), not O(table size).
   void RemoveBaseSandbox(SandboxId sandbox) override;
 
-  bool IsBaseSandbox(SandboxId sandbox) const override {
-    return base_refcounts_.contains(sandbox);
-  }
+  bool IsBaseSandbox(SandboxId sandbox) const override;
 
   std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
                                                NodeId local_node, SandboxId exclude_sandbox,
                                                size_t max_results) override;
+
+  // Batched lookup: one shard-grouped pass over all fingerprints, locking
+  // each shard once per batch instead of once per key. Results are
+  // positionally aligned with `fingerprints` and identical to looping
+  // FindBasePages.
+  std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+      std::span<const PageFingerprint> fingerprints, NodeId local_node,
+      SandboxId exclude_sandbox, size_t max_results) override;
 
   // Adds this registry's (location -> matched-chunk count) contributions for
   // `fingerprint` into `tally` — the building block distributed shards merge.
@@ -54,14 +80,31 @@ class FingerprintRegistry : public RegistryBackend {
   int RefCount(SandboxId base_sandbox) const override;
 
   RegistryStats stats() const override;
-  size_t NumBaseSandboxes() const { return base_refcounts_.size(); }
+  size_t NumBaseSandboxes() const;
+  size_t NumShards() const { return shards_.size(); }
 
  private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, std::vector<PageLocation>> table;
+    // Reverse index: keys under which each base sandbox holds locations in
+    // this shard (a key appears once per location inserted).
+    std::unordered_map<SandboxId, std::vector<uint64_t>> keys_by_sandbox;
+    // Atomic: bumped by readers holding only the shared lock.
+    std::atomic<uint64_t> key_hits{0};
+  };
+
+  Shard& ShardFor(uint64_t key) { return *shards_[ShardIndex(key)]; }
+  size_t ShardIndex(uint64_t key) const;
+  void CopyFrom(const FingerprintRegistry& other);
+
   RegistryOptions options_;
-  std::unordered_map<uint64_t, std::vector<PageLocation>> table_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
+
+  mutable std::shared_mutex sandbox_mu_;
   std::unordered_map<SandboxId, int> base_refcounts_;
-  mutable uint64_t lookups_ = 0;
-  mutable uint64_t key_hits_ = 0;
+
+  mutable std::atomic<uint64_t> lookups_{0};
 };
 
 }  // namespace medes

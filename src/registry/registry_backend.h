@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -107,6 +108,21 @@ class RegistryBackend {
                                                        NodeId local_node,
                                                        SandboxId exclude_sandbox,
                                                        size_t max_results) = 0;
+
+  // Batched lookup for the pipelined dedup path: one result vector per
+  // fingerprint, positionally aligned with the input and identical to
+  // calling FindBasePages per element. Backends override this to amortise
+  // locking/routing across the batch.
+  virtual std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+      std::span<const PageFingerprint> fingerprints, NodeId local_node,
+      SandboxId exclude_sandbox, size_t max_results) {
+    std::vector<std::vector<BasePageCandidate>> results;
+    results.reserve(fingerprints.size());
+    for (const PageFingerprint& fp : fingerprints) {
+      results.push_back(FindBasePages(fp, local_node, exclude_sandbox, max_results));
+    }
+    return results;
+  }
 
   // Convenience: the single best candidate.
   std::optional<BasePageCandidate> FindBasePage(const PageFingerprint& fingerprint,

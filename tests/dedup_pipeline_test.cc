@@ -1,0 +1,176 @@
+// Determinism of the parallel dedup/restore pipeline: every DedupOpResult
+// counter, modelled duration, patch record, and patch byte must be
+// bit-identical between the serial reference (num_threads = 1) and a wide
+// pipeline, with the base-page cache enabled in both.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dedupagent/dedup_agent.h"
+
+namespace medes {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions opts;
+  opts.num_nodes = 2;
+  opts.node_memory_mb = 4096;
+  opts.bytes_per_mb = 16384;
+  return opts;
+}
+
+// One self-contained environment: cluster, registry, cached fabric, agent.
+struct Env {
+  explicit Env(size_t num_threads)
+      : cluster(SmallCluster()),
+        fabric({.page_cache_capacity = 512},
+               [this](const PageLocation& loc) { return cluster.ReadBasePage(loc); }),
+        agent(cluster, registry, fabric, {.num_threads = num_threads}) {}
+
+  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
+    Sandbox& sb = cluster.Spawn(ProfileByName(name), node, now);
+    cluster.MarkWarm(sb, now);
+    return sb;
+  }
+
+  Cluster cluster;
+  FingerprintRegistry registry;
+  RdmaFabric fabric;
+  DedupAgent agent;
+};
+
+void ExpectSameDedupResult(const DedupOpResult& a, const DedupOpResult& b,
+                           const std::string& what) {
+  EXPECT_EQ(a.pages_total, b.pages_total) << what;
+  EXPECT_EQ(a.pages_deduped, b.pages_deduped) << what;
+  EXPECT_EQ(a.pages_zero, b.pages_zero) << what;
+  EXPECT_EQ(a.pages_unique, b.pages_unique) << what;
+  EXPECT_EQ(a.patch_bytes, b.patch_bytes) << what;
+  EXPECT_EQ(a.saved_bytes, b.saved_bytes) << what;
+  EXPECT_EQ(a.same_function_pages, b.same_function_pages) << what;
+  EXPECT_EQ(a.cross_function_pages, b.cross_function_pages) << what;
+  EXPECT_EQ(a.checkpoint_time, b.checkpoint_time) << what;
+  EXPECT_EQ(a.lookup_time, b.lookup_time) << what;
+  EXPECT_EQ(a.patch_time, b.patch_time) << what;
+  EXPECT_EQ(a.total_time, b.total_time) << what;
+}
+
+void ExpectSamePatches(const Sandbox& a, const Sandbox& b) {
+  ASSERT_EQ(a.patches.size(), b.patches.size());
+  for (size_t i = 0; i < a.patches.size(); ++i) {
+    EXPECT_EQ(a.patches[i].page, b.patches[i].page) << "patch " << i;
+    ASSERT_EQ(a.patches[i].bases.size(), b.patches[i].bases.size()) << "patch " << i;
+    for (size_t j = 0; j < a.patches[i].bases.size(); ++j) {
+      EXPECT_EQ(a.patches[i].bases[j], b.patches[i].bases[j]) << "patch " << i << " base " << j;
+    }
+  }
+  ASSERT_TRUE(a.checkpoint.has_value());
+  ASSERT_TRUE(b.checkpoint.has_value());
+  const MemoryCheckpoint& ca = *a.checkpoint;
+  const MemoryCheckpoint& cb = *b.checkpoint;
+  ASSERT_EQ(ca.NumPages(), cb.NumPages());
+  for (size_t page = 0; page < ca.NumPages(); ++page) {
+    ASSERT_EQ(ca.SlotState(page), cb.SlotState(page)) << "page " << page;
+    if (ca.SlotState(page) == PageSlotState::kPatched) {
+      auto pa = ca.PatchData(page);
+      auto pb = cb.PatchData(page);
+      ASSERT_EQ(pa.size(), pb.size()) << "page " << page;
+      EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin()))
+          << "patch bytes differ at page " << page;
+    }
+  }
+}
+
+TEST(DedupPipelineTest, ParallelDedupOpMatchesSerialPageForPage) {
+  Env serial(1);
+  Env parallel(8);
+  ASSERT_EQ(serial.agent.NumThreads(), 1u);
+  ASSERT_EQ(parallel.agent.NumThreads(), 8u);
+
+  // Identical clusters (same seed, same operation sequence) in both envs:
+  // a base per function plus victims on both nodes, cross- and same-function.
+  for (Env* env : {&serial, &parallel}) {
+    Sandbox& vanilla_base = env->WarmSandbox("Vanilla", 0);
+    env->agent.DesignateBase(vanilla_base);
+    Sandbox& linalg_base = env->WarmSandbox("LinAlg", 0);
+    env->agent.DesignateBase(linalg_base);
+  }
+
+  const struct {
+    const char* function;
+    NodeId node;
+  } victims[] = {{"Vanilla", 0}, {"Vanilla", 1}, {"LinAlg", 1}, {"FeatureGen", 0}};
+
+  std::vector<SandboxId> serial_ids;
+  std::vector<SandboxId> parallel_ids;
+  for (const auto& v : victims) {
+    Sandbox& sa = serial.WarmSandbox(v.function, v.node, 10);
+    Sandbox& sb = parallel.WarmSandbox(v.function, v.node, 10);
+    ASSERT_EQ(sa.id, sb.id) << "environments diverged";
+    DedupOpResult ra = serial.agent.DedupOp(sa, 20);
+    DedupOpResult rb = parallel.agent.DedupOp(sb, 20);
+    ExpectSameDedupResult(ra, rb, v.function);
+    ExpectSamePatches(sa, sb);
+    EXPECT_GT(ra.pages_total, 0u);
+    serial_ids.push_back(sa.id);
+    parallel_ids.push_back(sb.id);
+  }
+  // The dedup path exercised the cache identically in both environments.
+  EXPECT_EQ(serial.fabric.stats().cache_hits, parallel.fabric.stats().cache_hits);
+  EXPECT_EQ(serial.fabric.stats().cache_misses, parallel.fabric.stats().cache_misses);
+
+  // Restores: identical modelled costs and byte-exact reconstructions.
+  for (size_t i = 0; i < serial_ids.size(); ++i) {
+    Sandbox* sa = serial.cluster.Find(serial_ids[i]);
+    Sandbox* sb = parallel.cluster.Find(parallel_ids[i]);
+    ASSERT_NE(sa, nullptr);
+    ASSERT_NE(sb, nullptr);
+    RestoreOpResult ra = serial.agent.RestoreOp(*sa, 30, /*verify=*/true);
+    RestoreOpResult rb = parallel.agent.RestoreOp(*sb, 30, /*verify=*/true);
+    EXPECT_TRUE(ra.verified);
+    EXPECT_TRUE(rb.verified);
+    EXPECT_EQ(ra.base_pages_read, rb.base_pages_read) << "victim " << i;
+    EXPECT_EQ(ra.base_bytes_read, rb.base_bytes_read) << "victim " << i;
+    EXPECT_EQ(ra.remote_reads, rb.remote_reads) << "victim " << i;
+    EXPECT_EQ(ra.read_base_time, rb.read_base_time) << "victim " << i;
+    EXPECT_EQ(ra.compute_time, rb.compute_time) << "victim " << i;
+    EXPECT_EQ(ra.sandbox_restore_time, rb.sandbox_restore_time) << "victim " << i;
+    EXPECT_EQ(ra.total_time, rb.total_time) << "victim " << i;
+  }
+}
+
+TEST(DedupPipelineTest, CacheServesRepeatBaseReads) {
+  Env env(4);
+  Sandbox& base = env.WarmSandbox("Vanilla", 0);
+  env.agent.DesignateBase(base);
+  Sandbox& first = env.WarmSandbox("Vanilla", 1, 5);
+  Sandbox& second = env.WarmSandbox("Vanilla", 1, 5);
+  env.agent.DedupOp(first, 10);
+  const uint64_t misses_after_first = env.fabric.stats().cache_misses;
+  const uint64_t remote_after_first = env.fabric.stats().remote_reads;
+  env.agent.DedupOp(second, 10);
+  // The second sandbox dedups against the same hot base pages: its reads are
+  // (almost all) cache hits, not new fabric traffic.
+  EXPECT_GT(env.fabric.stats().cache_hits, 0u);
+  EXPECT_LT(env.fabric.stats().cache_misses - misses_after_first, misses_after_first / 2 + 8);
+  EXPECT_LT(env.fabric.stats().remote_reads - remote_after_first, remote_after_first / 2 + 8);
+}
+
+TEST(DedupPipelineTest, ThreadCountDoesNotChangePlatformObservables) {
+  // A dedup + restore round trip must leave the same cluster state whatever
+  // MEDES_THREADS resolves to (the agent reads it when num_threads = 0).
+  Env wide(6);
+  Sandbox& base = wide.WarmSandbox("FeatureGen", 0);
+  wide.agent.DesignateBase(base);
+  Sandbox& victim = wide.WarmSandbox("FeatureGen", 1, 1);
+  DedupOpResult dedup = wide.agent.DedupOp(victim, 2);
+  EXPECT_GT(dedup.pages_deduped, 0u);
+  RestoreOpResult restore = wide.agent.RestoreOp(victim, 3, /*verify=*/true);
+  EXPECT_TRUE(restore.verified);
+  EXPECT_EQ(victim.state, SandboxState::kWarm);
+  EXPECT_TRUE(victim.patches.empty());
+  EXPECT_EQ(wide.registry.RefCount(base.id), 0);
+}
+
+}  // namespace
+}  // namespace medes

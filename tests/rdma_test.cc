@@ -78,5 +78,70 @@ TEST(RdmaTest, ResetStats) {
   EXPECT_EQ(fabric.stats().remote_reads, 0u);
 }
 
+// ---- Base-page cache -------------------------------------------------------
+
+PageLocation Loc(SandboxId sandbox, uint32_t page) {
+  return {.node = 1, .sandbox = sandbox, .page_index = page};
+}
+
+TEST(RdmaCacheTest, RepeatReadsHitCache) {
+  int provider_calls = 0;
+  RdmaFabric fabric({.page_cache_capacity = 8}, [&](const PageLocation& loc) {
+    ++provider_calls;
+    return FakePage(static_cast<uint8_t>(loc.page_index));
+  });
+  SimDuration first_cost = 0;
+  auto a = fabric.ReadPage(Loc(1, 0), /*reader_node=*/0, &first_cost);
+  SimDuration second_cost = 0;
+  auto b = fabric.ReadPage(Loc(1, 0), /*reader_node=*/0, &second_cost);
+  EXPECT_EQ(a, b) << "cache returns the same bytes";
+  EXPECT_EQ(provider_calls, 1) << "second read never reached the provider";
+  EXPECT_LT(second_cost, first_cost) << "a hit is a DRAM copy, not a fabric read";
+  EXPECT_EQ(fabric.stats().cache_hits, 1u);
+  EXPECT_EQ(fabric.stats().cache_misses, 1u);
+  EXPECT_EQ(fabric.stats().remote_reads, 1u) << "hits are not counted as fabric reads";
+  EXPECT_DOUBLE_EQ(fabric.stats().CacheHitRate(), 0.5);
+}
+
+TEST(RdmaCacheTest, LruEvictsLeastRecentlyUsed) {
+  RdmaFabric fabric({.page_cache_capacity = 2},
+                    [](const PageLocation& loc) { return FakePage(static_cast<uint8_t>(loc.page_index)); });
+  fabric.ReadPage(Loc(1, 0), 0, nullptr);  // miss: cache [0]
+  fabric.ReadPage(Loc(1, 1), 0, nullptr);  // miss: cache [1, 0]
+  fabric.ReadPage(Loc(1, 0), 0, nullptr);  // hit: 0 promoted -> [0, 1]
+  fabric.ReadPage(Loc(1, 2), 0, nullptr);  // miss: evicts 1 (LRU) -> [2, 0]
+  EXPECT_EQ(fabric.stats().cache_evictions, 1u);
+  fabric.ReadPage(Loc(1, 1), 0, nullptr);  // miss: 1 was evicted, evicts 0
+  EXPECT_EQ(fabric.stats().cache_misses, 4u);
+  EXPECT_EQ(fabric.stats().cache_hits, 1u);
+  EXPECT_EQ(fabric.stats().cache_evictions, 2u);
+}
+
+TEST(RdmaCacheTest, ZeroCapacityDisablesCache) {
+  int provider_calls = 0;
+  RdmaFabric fabric({}, [&](const PageLocation&) {
+    ++provider_calls;
+    return FakePage(0);
+  });
+  fabric.ReadPage(Loc(1, 0), 0, nullptr);
+  fabric.ReadPage(Loc(1, 0), 0, nullptr);
+  EXPECT_EQ(provider_calls, 2);
+  EXPECT_EQ(fabric.stats().cache_hits, 0u);
+  EXPECT_EQ(fabric.stats().cache_misses, 0u);
+}
+
+TEST(RdmaCacheTest, InvalidateSandboxDropsItsPages) {
+  RdmaFabric fabric({.page_cache_capacity = 8},
+                    [](const PageLocation&) { return FakePage(0); });
+  fabric.ReadPage(Loc(7, 0), 0, nullptr);
+  fabric.ReadPage(Loc(7, 1), 0, nullptr);
+  fabric.ReadPage(Loc(9, 0), 0, nullptr);
+  EXPECT_EQ(fabric.CachedPages(), 3u);
+  fabric.InvalidateSandbox(7);
+  EXPECT_EQ(fabric.CachedPages(), 1u);
+  fabric.ReadPage(Loc(9, 0), 0, nullptr);  // the survivor still hits
+  EXPECT_EQ(fabric.stats().cache_hits, 1u);
+}
+
 }  // namespace
 }  // namespace medes

@@ -75,14 +75,21 @@ TEST(Sha1Test, DistinctInputsDistinctDigests) {
   EXPECT_NE(a, b);
 }
 
-TEST(Sha1Test, Prefix64IsStable) {
+TEST(Sha1Test, Prefix64KnownAnswers) {
+  // Big-endian: the returned integer reads like the first 16 hex digits of
+  // the digest. SHA-1("abc") = a9993e364706816a ba3e25717850c26c 9cd0d89d.
+  EXPECT_EQ(Sha1::Hash(Bytes("abc")).Prefix64(), 0xa9993e364706816aull);
+  // SHA-1("") = da39a3ee5e6b4b0d 3255bfef95601890 afd80709.
+  EXPECT_EQ(Sha1::Hash(Bytes("")).Prefix64(), 0xda39a3ee5e6b4b0dull);
+}
+
+TEST(Sha1Test, Prefix64TruncationKeepsDigestPrefix) {
+  // Dropping to key_bits keeps the digest's *leading* bits: for "abc" the
+  // top 16 bits of Prefix64 are the first two digest bytes, 0xa999.
   Sha1Digest d = Sha1::Hash(Bytes("abc"));
-  // First 8 bytes little-endian of a9993e3647068168...
-  uint64_t expected = 0;
-  for (int i = 7; i >= 0; --i) {
-    expected = (expected << 8) | d.bytes[static_cast<size_t>(i)];
-  }
-  EXPECT_EQ(d.Prefix64(), expected);
+  EXPECT_EQ(d.Prefix64() >> 48, 0xa999u);
+  EXPECT_EQ(d.bytes[0], 0xa9u);
+  EXPECT_EQ(d.bytes[1], 0x99u);
 }
 
 TEST(Sha1Test, DigestOrderingIsConsistent) {

@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace medes {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsTasksImmediately) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  int runs = 0;
+  pool.Submit([&] { ++runs; });
+  EXPECT_EQ(runs, 1) << "size-1 pools execute inline";
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.ParallelFor(0, counts.size(), [&](size_t i) { counts[i].fetch_add(1); });
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsRangeBounds) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+  pool.ParallelFor(5, 5, [&](size_t) { FAIL() << "empty range must not run"; });
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeWaitReturns) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 64,
+                                [](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(0, 8, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateFromInlinePool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 4,
+                                [](size_t) { throw std::logic_error("inline boom"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonoursEnvKnob) {
+  // MEDES_THREADS is the CI knob for exercising 1-, 2- and 8-thread configs.
+  ASSERT_EQ(setenv("MEDES_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 3u);
+  ASSERT_EQ(setenv("MEDES_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u) << "garbage falls back to hardware";
+  ASSERT_EQ(unsetenv("MEDES_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace medes
