@@ -15,6 +15,17 @@
 
 using namespace medes;
 
+namespace {
+
+DistributedRegistryOptions RegOpts(int num_shards, int replication_factor) {
+  DistributedRegistryOptions opts;
+  opts.num_shards = num_shards;
+  opts.replication_factor = replication_factor;
+  return opts;
+}
+
+}  // namespace
+
 int main() {
   bench::Header("Controller scaling: sharded fingerprint registry",
                 "Section 4.3 distribution + chain replication");
@@ -22,7 +33,7 @@ int main() {
   bench::Section("Per-page lookup latency vs shard count (5-chunk fingerprints)");
   std::printf("%-8s %22s\n", "shards", "page lookup (us)");
   for (int shards : {1, 2, 4, 8, 16}) {
-    DistributedRegistry reg({.num_shards = shards, .replication_factor = 3});
+    DistributedRegistry reg(RegOpts(shards, 3));
     std::printf("%-8d %22lld\n", shards,
                 static_cast<long long>(reg.PageLookupLatency(5)));
   }
@@ -46,7 +57,7 @@ int main() {
 
   bench::Section("Shard load balance under the live run");
   {
-    DistributedRegistry reg({.num_shards = 8, .replication_factor = 3});
+    DistributedRegistry reg(RegOpts(8, 3));
     // Re-drive the registry with the ten functions' base images.
     ClusterOptions copts;
     copts.num_nodes = 2;
@@ -79,7 +90,7 @@ int main() {
 
   bench::Section("Fault tolerance: replica failures during dedup traffic");
   {
-    DistributedRegistry reg({.num_shards = 4, .replication_factor = 3});
+    DistributedRegistry reg(RegOpts(4, 3));
     ClusterOptions copts;
     copts.num_nodes = 2;
     copts.node_memory_mb = 1e9;

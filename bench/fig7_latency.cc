@@ -70,7 +70,8 @@ int main() {
   bench::Section("Sources of improvement (Section 7.2.1)");
   std::printf("total cold starts      : fixed=%lu adaptive=%lu medes=%lu\n",
               fixed.TotalColdStarts(), adaptive.TotalColdStarts(), medes.TotalColdStarts());
-  std::printf("cold-start reduction   : %.2fx vs fixed, %.2fx vs adaptive (paper: up to 1.85x/6.2x)\n",
+  std::printf(
+      "cold-start reduction   : %.2fx vs fixed, %.2fx vs adaptive (paper: up to 1.85x/6.2x)\n",
               medes.TotalColdStarts() ? static_cast<double>(fixed.TotalColdStarts()) /
                                             static_cast<double>(medes.TotalColdStarts())
                                       : 0.0,

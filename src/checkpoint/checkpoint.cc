@@ -87,7 +87,8 @@ std::vector<uint8_t> MemoryCheckpoint::ToBytes() const {
     const Slot& slot = slots_[p];
     switch (slot.state) {
       case PageSlotState::kResident:
-        std::copy(slot.payload.begin(), slot.payload.end(), out.begin() + static_cast<ptrdiff_t>(p * kPageSize));
+        std::copy(slot.payload.begin(), slot.payload.end(),
+                  out.begin() + static_cast<ptrdiff_t>(p * kPageSize));
         break;
       case PageSlotState::kZero:
         break;  // already zero

@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -50,26 +50,30 @@ void ThreadPool::Submit(std::function<void()> task) {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       RecordException();
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) {
+      done_cv_.Wait(mu_);
+    }
+    error = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
+  }
+  if (error) {
     std::rethrow_exception(error);
   }
 }
@@ -78,8 +82,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) {
+        work_cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // stopping and drained
       }
@@ -89,13 +95,13 @@ void ThreadPool::WorkerLoop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       RecordException();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--in_flight_ == 0) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }

@@ -15,14 +15,15 @@
 #ifndef MEDES_COMMON_THREAD_POOL_H_
 #define MEDES_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace medes {
 
@@ -41,11 +42,11 @@ class ThreadPool {
   size_t NumThreads() const { return num_threads_; }
 
   // Enqueues one task. Inline pools run it before returning.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until every submitted task has finished. Rethrows the first
   // exception a task raised (subsequent ones are dropped).
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   // fn(i) for every i in [begin, end), fanned out across the workers in
   // contiguous chunks, then joined. Safe to call with an empty range.
@@ -57,19 +58,19 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
-  void RecordException();
+  void WorkerLoop() EXCLUDES(mu_);
+  void RecordException() REQUIRES(mu_);
 
   size_t num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
-  std::condition_variable done_cv_;   // Wait(): all tasks drained
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  std::exception_ptr first_error_;
-  bool stopping_ = false;
+  Mutex mu_{"thread pool queue", LockRank::kPoolQueue};
+  CondVar work_cv_;  // workers: queue non-empty or stopping
+  CondVar done_cv_;  // Wait(): all tasks drained
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + currently executing
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace medes

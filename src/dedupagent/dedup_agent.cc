@@ -160,6 +160,13 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   }
   sb.checkpoint = std::move(cp);
   cluster_.MarkDedup(sb, now);
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.dedup_ops;
+    stats_.pages_deduped += result.pages_deduped;
+    stats_.patch_bytes += result.patch_bytes;
+    stats_.saved_bytes += result.saved_bytes;
+  }
   return result;
 }
 
@@ -234,6 +241,12 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
 
   sb.patches.clear();
   cluster_.MarkRestored(sb, now);
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.restore_ops;
+    stats_.pages_restored += n;
+    stats_.base_bytes_read += result.base_bytes_read;
+  }
   return result;
 }
 
@@ -257,7 +270,16 @@ BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {
     fingerprints[resident[i]] = std::move(resident_fps[i]);
   }
   registry_.InsertBaseSandbox(sb.node, sb.id, fingerprints);
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.bases_designated;
+  }
   return cluster_.AddBaseSnapshot(sb, std::move(cp));
+}
+
+DedupAgentStats DedupAgent::stats() const {
+  MutexLock lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace medes

@@ -36,6 +36,8 @@
 #include "checkpoint/checkpoint.h"
 #include "chunking/fingerprint.h"
 #include "cluster/cluster.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "delta/delta.h"
 #include "rdma/rdma.h"
@@ -85,6 +87,20 @@ struct DedupOpResult {
   SimDuration total_time = 0;
 };
 
+// Cumulative per-agent counters, aggregated across every op the agent has
+// run. Ops on different sandboxes may execute concurrently (the controller
+// schedules one op per sandbox), so the counters sit behind a lock.
+struct DedupAgentStats {
+  uint64_t dedup_ops = 0;
+  uint64_t restore_ops = 0;
+  uint64_t bases_designated = 0;
+  uint64_t pages_deduped = 0;
+  uint64_t pages_restored = 0;
+  uint64_t patch_bytes = 0;
+  uint64_t saved_bytes = 0;
+  uint64_t base_bytes_read = 0;
+};
+
 struct RestoreOpResult {
   size_t base_pages_read = 0;
   size_t base_bytes_read = 0;    // real bytes at image scale
@@ -126,6 +142,9 @@ class DedupAgent {
   // Resolved pipeline width (>= 1).
   size_t NumThreads() const { return pool_->NumThreads(); }
 
+  // Consistent snapshot of the cumulative counters.
+  DedupAgentStats stats() const EXCLUDES(stats_mu_);
+
  private:
   // Fingerprints of all resident pages (parallel stage; `pages[i]` indexes
   // into `cp`, the result is positionally aligned with `pages`).
@@ -138,6 +157,11 @@ class DedupAgent {
   DedupAgentOptions options_;
   PageFingerprinter fingerprinter_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Cumulative counters; updated once per completed op, with no other lock
+  // held (kMetrics is the leaf-most rank in the hierarchy).
+  mutable Mutex stats_mu_{"dedup agent stats", LockRank::kMetrics};
+  DedupAgentStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace medes

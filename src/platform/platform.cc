@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace medes {
 
@@ -25,10 +26,12 @@ class ServerlessPlatform::Impl {
       : options_(std::move(options)),
         cluster_(options_.cluster),
         registry_(MakeRegistry(options_)),
-        fabric_(options_.rdma, [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); }),
+        fabric_(options_.rdma,
+                [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); }),
         agent_(cluster_, *registry_, fabric_, WithPayloadPolicy(options_)),
         controller_(cluster_, options_.medes),
         adaptive_(FunctionBenchProfiles().size(), AdaptiveKeepAlive(options_.adaptive)) {
+    MutexLock lock(metrics_mu_);
     metrics_.per_function.resize(FunctionBenchProfiles().size());
   }
 
@@ -57,8 +60,13 @@ class ServerlessPlatform::Impl {
       sim_.Schedule(t, [this] { SampleMemory(); });
     }
     sim_.Run();
-    metrics_.registry = registry_->stats();
-    metrics_.rdma = fabric_.stats();
+    // Component stats are pulled before taking the metrics lock: their
+    // accessors acquire lower-ranked locks (registry shards, rdma cache).
+    const RegistryStats registry_stats = registry_->stats();
+    const RdmaStats rdma_stats = fabric_.stats();
+    MutexLock lock(metrics_mu_);
+    metrics_.registry = registry_stats;
+    metrics_.rdma = rdma_stats;
     return std::move(metrics_);
   }
 
@@ -142,7 +150,7 @@ class ServerlessPlatform::Impl {
       }
       if (warm_victim != nullptr) {
         PurgeSandbox(*warm_victim);
-        ++metrics_.evictions;
+        RecordEviction();
         continue;
       }
       Sandbox* dedup_victim = nullptr;
@@ -157,7 +165,7 @@ class ServerlessPlatform::Impl {
       }
       if (dedup_victim != nullptr) {
         PurgeSandbox(*dedup_victim);
-        ++metrics_.evictions;
+        RecordEviction();
         continue;
       }
       // Unreferenced base snapshots go last: evicting one forces an expensive
@@ -173,7 +181,7 @@ class ServerlessPlatform::Impl {
         registry_->RemoveBaseSandbox(base_victim);
         cluster_.RemoveBaseSnapshot(base_victim);
         fabric_.InvalidateSandbox(base_victim);  // reclaim its cached pages
-        ++metrics_.evictions;
+        RecordEviction();
         continue;
       }
       return false;  // only running sandboxes and referenced bases left
@@ -196,9 +204,15 @@ class ServerlessPlatform::Impl {
         sim_.ScheduleAfter(options_.medes.keep_dedup, [this, id] { OnKeepDedupTimer(id); });
   }
 
+  void RecordEviction() EXCLUDES(metrics_mu_) {
+    MutexLock lock(metrics_mu_);
+    ++metrics_.evictions;
+  }
+
   // Dedup-op metrics shared by the policy path and the pressure path.
-  void RecordDedup(Sandbox& sb, const DedupOpResult& result) {
+  void RecordDedup(Sandbox& sb, const DedupOpResult& result) EXCLUDES(metrics_mu_) {
     controller_.RecordDedupResult(sb.function, result);
+    MutexLock lock(metrics_mu_);
     ++metrics_.dedup_ops;
     ++metrics_.sandboxes_deduped;
     metrics_.same_function_pages += result.same_function_pages;
@@ -242,42 +256,52 @@ class ServerlessPlatform::Impl {
       CancelTimer(*sb);
       RestoreOpResult restore = agent_.RestoreOp(*sb, now, options_.verify_restores);
       controller_.RecordRestoreResult(ev.function, restore);
-      auto& fm = metrics_.per_function[static_cast<size_t>(ev.function)];
-      fm.restore_read_ms.Record(ToMillis(restore.read_base_time));
-      fm.restore_compute_ms.Record(ToMillis(restore.compute_time));
-      fm.restore_criu_ms.Record(ToMillis(restore.sandbox_restore_time));
-      ++metrics_.restores;
+      {
+        MutexLock lock(metrics_mu_);
+        auto& fm = metrics_.per_function[static_cast<size_t>(ev.function)];
+        fm.restore_read_ms.Record(ToMillis(restore.read_base_time));
+        fm.restore_compute_ms.Record(ToMillis(restore.compute_time));
+        fm.restore_criu_ms.Record(ToMillis(restore.sandbox_restore_time));
+        ++metrics_.restores;
+      }
       type = StartType::kDedup;
       startup = restore.total_time;
       cluster_.MarkRunning(*sb, now);
     } else {
       NodeId node = cluster_.LeastUsedNode();
       if (!EnsureFits(node, profile.memory_mb)) {
+        MutexLock lock(metrics_mu_);
         ++metrics_.overcommit_events;
       }
       sb = &cluster_.Spawn(profile, node, now);
-      ++metrics_.sandboxes_spawned;
+      {
+        MutexLock lock(metrics_mu_);
+        ++metrics_.sandboxes_spawned;
+      }
       type = StartType::kCold;
       startup = options_.emulate_catalyzer ? options_.catalyzer_restore : profile.cold_start;
     }
 
     const SimDuration e2e = startup + profile.exec_time;
     RequestRecord record{ev.function, now, type, startup, e2e};
-    metrics_.requests.push_back(record);
-    auto& fm = metrics_.per_function[static_cast<size_t>(ev.function)];
-    switch (type) {
-      case StartType::kWarm:
-        ++fm.warm_starts;
-        break;
-      case StartType::kDedup:
-        ++fm.dedup_starts;
-        break;
-      case StartType::kCold:
-        ++fm.cold_starts;
-        break;
+    {
+      MutexLock lock(metrics_mu_);
+      metrics_.requests.push_back(record);
+      auto& fm = metrics_.per_function[static_cast<size_t>(ev.function)];
+      switch (type) {
+        case StartType::kWarm:
+          ++fm.warm_starts;
+          break;
+        case StartType::kDedup:
+          ++fm.dedup_starts;
+          break;
+        case StartType::kCold:
+          ++fm.cold_starts;
+          break;
+      }
+      fm.e2e_ms.Record(ToMillis(e2e));
+      fm.startup_ms.Record(ToMillis(startup));
     }
-    fm.e2e_ms.Record(ToMillis(e2e));
-    fm.startup_ms.Record(ToMillis(startup));
 
     const SandboxId id = sb->id;
     sim_.ScheduleAfter(e2e, [this, id] { OnComplete(id); });
@@ -346,7 +370,10 @@ class ServerlessPlatform::Impl {
         if (EnsureFits(sb->node, cluster_.ProfileOf(*sb).memory_mb, sb->id,
                        /*spare_warm=*/true)) {
           agent_.DesignateBase(*sb);
-          ++metrics_.base_designations;
+          {
+            MutexLock lock(metrics_mu_);
+            ++metrics_.base_designations;
+          }
         } else if (keep_alive_expired) {
           // No room for a base; the sandbox follows the normal warm
           // lifecycle so it cannot linger forever.
@@ -392,7 +419,8 @@ class ServerlessPlatform::Impl {
       }
     }
     s.bases = cluster_.base_snapshots().size();
-    metrics_.memory_timeline.push_back(s);
+    MutexLock lock(metrics_mu_);
+    metrics_.memory_timeline.push_back(std::move(s));
   }
 
   PlatformOptions options_;
@@ -403,7 +431,13 @@ class ServerlessPlatform::Impl {
   DedupAgent agent_;
   MedesController controller_;
   std::vector<AdaptiveKeepAlive> adaptive_;
-  RunMetrics metrics_;
+
+  // The discrete-event loop is single-threaded today, but recording sites
+  // take this lock so per-op metrics stay coherent when ops move onto the
+  // pool. kMetrics is the leaf rank: never hold it while calling into the
+  // agent, registry, or fabric.
+  Mutex metrics_mu_{"platform metrics", LockRank::kMetrics};
+  RunMetrics metrics_ GUARDED_BY(metrics_mu_);
   bool ran_ = false;
 };
 

@@ -39,7 +39,7 @@ void RdmaFabric::CacheInsert(const PageLocation& location, const std::vector<uin
 std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId reader_node,
                                           SimDuration* cost) {
   if (options_.page_cache_capacity > 0) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     if (const std::vector<uint8_t>* cached = CacheLookup(location)) {
       ++stats_.cache_hits;
       if (cost != nullptr) {
@@ -57,7 +57,7 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
   }
   const bool remote = location.node != reader_node;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     if (remote) {
       ++stats_.remote_reads;
       stats_.remote_bytes += bytes.size();
@@ -77,7 +77,7 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
 }
 
 void RdmaFabric::InvalidateSandbox(SandboxId sandbox) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->location.sandbox == sandbox) {
       cache_index_.erase(it->location);
@@ -89,8 +89,18 @@ void RdmaFabric::InvalidateSandbox(SandboxId sandbox) {
 }
 
 size_t RdmaFabric::CachedPages() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return lru_.size();
+}
+
+RdmaStats RdmaFabric::stats() const {
+  MutexLock lock(cache_mu_);
+  return stats_;
+}
+
+void RdmaFabric::ResetStats() {
+  MutexLock lock(cache_mu_);
+  stats_ = {};
 }
 
 }  // namespace medes

@@ -22,12 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/time.h"
 #include "registry/fingerprint_registry.h"
 
@@ -79,19 +80,20 @@ class RdmaFabric {
   // cost. Returns the bytes and adds the modelled cost to `*cost`. Served
   // from the cache when possible.
   std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
-                                SimDuration* cost);
+                                SimDuration* cost) EXCLUDES(cache_mu_);
 
   // Pure timing model (used when the caller already has byte counts).
   SimDuration ReadCost(size_t bytes, bool remote) const;
 
   // Drops every cached page belonging to `sandbox` (called when a base
   // sandbox is purged). Pure capacity hygiene — ids are never reused.
-  void InvalidateSandbox(SandboxId sandbox);
+  void InvalidateSandbox(SandboxId sandbox) EXCLUDES(cache_mu_);
 
-  size_t CachedPages() const;
+  size_t CachedPages() const EXCLUDES(cache_mu_);
 
-  const RdmaStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Consistent snapshot of the counters (they advance under cache_mu_).
+  RdmaStats stats() const EXCLUDES(cache_mu_);
+  void ResetStats() EXCLUDES(cache_mu_);
 
  private:
   struct CacheEntry {
@@ -100,19 +102,21 @@ class RdmaFabric {
   };
 
   // Returns the cached bytes or nullptr. Promotes hits to MRU.
-  const std::vector<uint8_t>* CacheLookup(const PageLocation& location);
-  void CacheInsert(const PageLocation& location, const std::vector<uint8_t>& bytes);
+  const std::vector<uint8_t>* CacheLookup(const PageLocation& location) REQUIRES(cache_mu_);
+  void CacheInsert(const PageLocation& location, const std::vector<uint8_t>& bytes)
+      REQUIRES(cache_mu_);
 
   RdmaOptions options_;
   PageProvider provider_;
-  RdmaStats stats_;
 
   // LRU cache: list front = most recently used. Guarded by cache_mu_ so
-  // pipeline workers may share a fabric.
-  mutable std::mutex cache_mu_;
-  std::list<CacheEntry> lru_;
+  // pipeline workers may share a fabric. Stats advance under the same lock
+  // (they are updated on every read, cached or not).
+  mutable Mutex cache_mu_{"rdma page cache", LockRank::kRdmaCache};
+  RdmaStats stats_ GUARDED_BY(cache_mu_);
+  std::list<CacheEntry> lru_ GUARDED_BY(cache_mu_);
   std::unordered_map<PageLocation, std::list<CacheEntry>::iterator, PageLocationHash>
-      cache_index_;
+      cache_index_ GUARDED_BY(cache_mu_);
 };
 
 }  // namespace medes

@@ -11,12 +11,14 @@ DistributedRegistry::DistributedRegistry(DistributedRegistryOptions options)
   if (options_.num_shards <= 0 || options_.replication_factor <= 0) {
     throw std::invalid_argument("DistributedRegistry: shards and replicas must be positive");
   }
+  WriterLock topology(topology_mu_);
   shards_.resize(static_cast<size_t>(options_.num_shards));
   for (Shard& shard : shards_) {
     for (int r = 0; r < options_.replication_factor; ++r) {
       shard.chain.emplace_back(Replica{FingerprintRegistry(options_.per_shard), true});
     }
   }
+  MutexLock stats(stats_mu_);
   dist_stats_.lookups_per_shard.assign(static_cast<size_t>(options_.num_shards), 0);
   dist_stats_.writes_per_shard.assign(static_cast<size_t>(options_.num_shards), 0);
 }
@@ -39,6 +41,7 @@ int DistributedRegistry::EffectiveTail(const Shard& shard) const {
 }
 
 bool DistributedRegistry::ShardAvailable(int shard) const {
+  ReaderLock topology(topology_mu_);
   return EffectiveTail(shards_.at(static_cast<size_t>(shard))) >= 0;
 }
 
@@ -53,13 +56,18 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       per_shard[static_cast<size_t>(ShardOf(chunk.key))][page].chunks.push_back(chunk);
     }
   }
+  ReaderLock topology(topology_mu_);
   for (int s = 0; s < options_.num_shards; ++s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
     if (EffectiveTail(shard) < 0) {
+      MutexLock stats(stats_mu_);
       ++dist_stats_.dropped_writes;
       continue;
     }
-    ++dist_stats_.writes_per_shard[static_cast<size_t>(s)];
+    {
+      MutexLock stats(stats_mu_);
+      ++dist_stats_.writes_per_shard[static_cast<size_t>(s)];
+    }
     // Chain replication: the write flows head -> tail through live replicas.
     for (Replica& replica : shard.chain) {
       if (replica.alive) {
@@ -79,6 +87,7 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
 }
 
 void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
+  ReaderLock topology(topology_mu_);
   for (Shard& shard : shards_) {
     for (Replica& replica : shard.chain) {
       if (replica.alive) {
@@ -89,6 +98,7 @@ void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
 }
 
 bool DistributedRegistry::IsBaseSandbox(SandboxId sandbox) const {
+  ReaderLock topology(topology_mu_);
   const Shard& home = shards_[static_cast<size_t>(SandboxShard(sandbox))];
   int tail = EffectiveTail(home);
   if (tail < 0) {
@@ -107,6 +117,7 @@ std::vector<BasePageCandidate> DistributedRegistry::FindBasePages(
     per_shard[static_cast<size_t>(ShardOf(chunk.key))].chunks.push_back(chunk);
   }
   std::unordered_map<PageLocation, int, PageLocationHash> tally;
+  ReaderLock topology(topology_mu_);
   for (int s = 0; s < options_.num_shards; ++s) {
     if (per_shard[static_cast<size_t>(s)].chunks.empty()) {
       continue;
@@ -114,13 +125,17 @@ std::vector<BasePageCandidate> DistributedRegistry::FindBasePages(
     Shard& shard = shards_[static_cast<size_t>(s)];
     int tail = EffectiveTail(shard);
     if (tail < 0) {
+      MutexLock stats(stats_mu_);
       ++dist_stats_.unavailable_lookups;
       continue;
     }
-    if (tail != static_cast<int>(shard.chain.size()) - 1) {
-      ++dist_stats_.failovers;
+    {
+      MutexLock stats(stats_mu_);
+      if (tail != static_cast<int>(shard.chain.size()) - 1) {
+        ++dist_stats_.failovers;
+      }
+      ++dist_stats_.lookups_per_shard[static_cast<size_t>(s)];
     }
-    ++dist_stats_.lookups_per_shard[static_cast<size_t>(s)];
     shard.chain[static_cast<size_t>(tail)].registry.AccumulateTally(
         per_shard[static_cast<size_t>(s)], exclude_sandbox, tally);
   }
@@ -128,6 +143,7 @@ std::vector<BasePageCandidate> DistributedRegistry::FindBasePages(
 }
 
 void DistributedRegistry::Ref(SandboxId base_sandbox) {
+  ReaderLock topology(topology_mu_);
   Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
   for (Replica& replica : home.chain) {
     if (replica.alive) {
@@ -137,6 +153,7 @@ void DistributedRegistry::Ref(SandboxId base_sandbox) {
 }
 
 void DistributedRegistry::Unref(SandboxId base_sandbox) {
+  ReaderLock topology(topology_mu_);
   Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
   for (Replica& replica : home.chain) {
     if (replica.alive) {
@@ -146,6 +163,7 @@ void DistributedRegistry::Unref(SandboxId base_sandbox) {
 }
 
 int DistributedRegistry::RefCount(SandboxId base_sandbox) const {
+  ReaderLock topology(topology_mu_);
   const Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
   int tail = EffectiveTail(home);
   if (tail < 0) {
@@ -156,6 +174,7 @@ int DistributedRegistry::RefCount(SandboxId base_sandbox) const {
 
 RegistryStats DistributedRegistry::stats() const {
   RegistryStats total;
+  ReaderLock topology(topology_mu_);
   for (const Shard& shard : shards_) {
     int tail = EffectiveTail(shard);
     if (tail < 0) {
@@ -183,11 +202,18 @@ SimDuration DistributedRegistry::PageLookupLatency(size_t keys) const {
          static_cast<SimDuration>(per_shard) * options_.per_key_lookup;
 }
 
+DistributedRegistryStats DistributedRegistry::distributed_stats() const {
+  MutexLock stats(stats_mu_);
+  return dist_stats_;
+}
+
 void DistributedRegistry::FailReplica(int shard, int replica) {
+  WriterLock topology(topology_mu_);
   shards_.at(static_cast<size_t>(shard)).chain.at(static_cast<size_t>(replica)).alive = false;
 }
 
 void DistributedRegistry::RecoverReplica(int shard, int replica) {
+  WriterLock topology(topology_mu_);
   Shard& s = shards_.at(static_cast<size_t>(shard));
   Replica& r = s.chain.at(static_cast<size_t>(replica));
   if (r.alive) {

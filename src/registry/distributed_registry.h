@@ -25,6 +25,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/time.h"
 #include "registry/fingerprint_registry.h"
 #include "registry/registry_backend.h"
@@ -68,7 +70,8 @@ class DistributedRegistry : public RegistryBackend {
 
   // Aggregated table stats across shard tails.
   RegistryStats stats() const override;
-  const DistributedRegistryStats& distributed_stats() const { return dist_stats_; }
+  // Consistent snapshot (counters advance under their own lock).
+  DistributedRegistryStats distributed_stats() const EXCLUDES(stats_mu_);
 
   // Modelled latency of one page lookup of `keys` sampled chunks, assuming
   // the per-shard lookups proceed in parallel (Section 7.7 notes lookups
@@ -76,11 +79,11 @@ class DistributedRegistry : public RegistryBackend {
   SimDuration PageLookupLatency(size_t keys) const;
 
   // ---- Fault injection --------------------------------------------------
-  void FailReplica(int shard, int replica);
+  void FailReplica(int shard, int replica) EXCLUDES(topology_mu_);
   // Recovers a replica by re-syncing its state from a live peer (no-op if
   // the whole shard is down — there is nothing to sync from).
-  void RecoverReplica(int shard, int replica);
-  bool ShardAvailable(int shard) const;
+  void RecoverReplica(int shard, int replica) EXCLUDES(topology_mu_);
+  bool ShardAvailable(int shard) const EXCLUDES(topology_mu_);
   int NumShards() const { return options_.num_shards; }
   int ReplicationFactor() const { return options_.replication_factor; }
 
@@ -98,14 +101,24 @@ class DistributedRegistry : public RegistryBackend {
   };
 
   // Index of the effective tail (last live replica) or -1 if none.
-  int EffectiveTail(const Shard& shard) const;
+  int EffectiveTail(const Shard& shard) const REQUIRES_SHARED(topology_mu_);
 
   DistributedRegistryOptions options_;
-  std::vector<Shard> shards_;
+
+  // Chain topology: the shard vector's structure and every replica's `alive`
+  // flag. Reads (routing a request, walking a chain) hold the shared lock;
+  // fault injection and recovery hold it exclusively. Replica *contents*
+  // (FingerprintRegistry state) are protected by each registry's own
+  // higher-ranked locks, so holding the topology lock across a replica call
+  // respects the lock hierarchy.
+  mutable SharedMutex topology_mu_{"registry topology", LockRank::kRegistryTopology};
+  std::vector<Shard> shards_ GUARDED_BY(topology_mu_);
+
   // Sandbox-level state (refcounts, membership) is sharded by sandbox id.
   int SandboxShard(SandboxId sandbox) const;
 
-  mutable DistributedRegistryStats dist_stats_;
+  mutable Mutex stats_mu_{"distributed registry stats", LockRank::kMetrics};
+  mutable DistributedRegistryStats dist_stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace medes

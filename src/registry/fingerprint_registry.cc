@@ -1,9 +1,10 @@
 #include "registry/fingerprint_registry.h"
 
 #include <algorithm>
-#include <mutex>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 
 namespace medes {
 
@@ -42,7 +43,6 @@ FingerprintRegistry& FingerprintRegistry::operator=(const FingerprintRegistry& o
   for (size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  base_refcounts_.clear();
   CopyFrom(other);
   return *this;
 }
@@ -51,15 +51,33 @@ void FingerprintRegistry::CopyFrom(const FingerprintRegistry& other) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& src = *other.shards_[s];
     Shard& dst = *shards_[s];
-    std::shared_lock<std::shared_mutex> lock(src.mu);
-    dst.table = src.table;
-    dst.keys_by_sandbox = src.keys_by_sandbox;
-    dst.key_hits.store(src.key_hits.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
+    // Snapshot the source shard, then install into the destination shard.
+    // Two sequential critical sections: source and destination shards share
+    // a lock rank, so they must never be held together.
+    std::unordered_map<uint64_t, std::vector<PageLocation>> table;
+    std::unordered_map<SandboxId, std::vector<uint64_t>> keys_by_sandbox;
+    uint64_t key_hits = 0;
+    {
+      ReaderLock lock(src.mu);
+      table = src.table;
+      keys_by_sandbox = src.keys_by_sandbox;
+      key_hits = src.key_hits.load(std::memory_order_relaxed);
+    }
+    {
+      WriterLock lock(dst.mu);
+      dst.table = std::move(table);
+      dst.keys_by_sandbox = std::move(keys_by_sandbox);
+    }
+    dst.key_hits.store(key_hits, std::memory_order_relaxed);
+  }
+  std::unordered_map<SandboxId, int> refcounts;
+  {
+    ReaderLock lock(other.sandbox_mu_);
+    refcounts = other.base_refcounts_;
   }
   {
-    std::shared_lock<std::shared_mutex> lock(other.sandbox_mu_);
-    base_refcounts_ = other.base_refcounts_;
+    WriterLock lock(sandbox_mu_);
+    base_refcounts_ = std::move(refcounts);
   }
   lookups_.store(other.lookups_.load(std::memory_order_relaxed), std::memory_order_relaxed);
 }
@@ -72,13 +90,13 @@ size_t FingerprintRegistry::ShardIndex(uint64_t key) const {
 void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
                                             const std::vector<PageFingerprint>& fingerprints) {
   {
-    std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
+    WriterLock lock(sandbox_mu_);
     base_refcounts_.try_emplace(sandbox, 0);
   }
   for (size_t page = 0; page < fingerprints.size(); ++page) {
     for (const SampledChunk& chunk : fingerprints[page].chunks) {
       Shard& shard = ShardFor(chunk.key);
-      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      WriterLock lock(shard.mu);
       auto& locations = shard.table[chunk.key];
       if (locations.size() < options_.max_locations_per_key) {
         locations.push_back({node, sandbox, static_cast<uint32_t>(page)});
@@ -90,12 +108,12 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
 
 void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
   {
-    std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
+    WriterLock lock(sandbox_mu_);
     base_refcounts_.erase(sandbox);
   }
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLock lock(shard.mu);
     auto owned = shard.keys_by_sandbox.find(sandbox);
     if (owned == shard.keys_by_sandbox.end()) {
       continue;
@@ -116,7 +134,7 @@ void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
 }
 
 bool FingerprintRegistry::IsBaseSandbox(SandboxId sandbox) const {
-  std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+  ReaderLock lock(sandbox_mu_);
   return base_refcounts_.contains(sandbox);
 }
 
@@ -125,7 +143,7 @@ void FingerprintRegistry::AccumulateTally(
     std::unordered_map<PageLocation, int, PageLocationHash>& tally) {
   for (const SampledChunk& chunk : fingerprint.chunks) {
     Shard& shard = ShardFor(chunk.key);
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLock lock(shard.mu);
     auto it = shard.table.find(chunk.key);
     if (it == shard.table.end()) {
       continue;
@@ -174,7 +192,7 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
       continue;
     }
     Shard& shard = *shards_[s];
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLock lock(shard.mu);
     for (const KeyRef& ref : per_shard[s]) {
       auto it = shard.table.find(ref.key);
       if (it == shard.table.end()) {
@@ -200,7 +218,7 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
 }
 
 void FingerprintRegistry::Ref(SandboxId base_sandbox) {
-  std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
+  WriterLock lock(sandbox_mu_);
   auto it = base_refcounts_.find(base_sandbox);
   if (it != base_refcounts_.end()) {
     ++it->second;
@@ -208,7 +226,7 @@ void FingerprintRegistry::Ref(SandboxId base_sandbox) {
 }
 
 void FingerprintRegistry::Unref(SandboxId base_sandbox) {
-  std::unique_lock<std::shared_mutex> lock(sandbox_mu_);
+  WriterLock lock(sandbox_mu_);
   auto it = base_refcounts_.find(base_sandbox);
   if (it != base_refcounts_.end() && it->second > 0) {
     --it->second;
@@ -216,13 +234,13 @@ void FingerprintRegistry::Unref(SandboxId base_sandbox) {
 }
 
 int FingerprintRegistry::RefCount(SandboxId base_sandbox) const {
-  std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+  ReaderLock lock(sandbox_mu_);
   auto it = base_refcounts_.find(base_sandbox);
   return it == base_refcounts_.end() ? 0 : it->second;
 }
 
 size_t FingerprintRegistry::NumBaseSandboxes() const {
-  std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+  ReaderLock lock(sandbox_mu_);
   return base_refcounts_.size();
 }
 
@@ -230,7 +248,7 @@ RegistryStats FingerprintRegistry::stats() const {
   RegistryStats s;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLock lock(shard.mu);
     s.num_keys += shard.table.size();
     for (const auto& [key, locations] : shard.table) {
       s.num_entries += locations.size();
@@ -238,7 +256,7 @@ RegistryStats FingerprintRegistry::stats() const {
     s.key_hits += shard.key_hits.load(std::memory_order_relaxed);
   }
   {
-    std::shared_lock<std::shared_mutex> lock(sandbox_mu_);
+    ReaderLock lock(sandbox_mu_);
     s.num_base_sandboxes = base_refcounts_.size();
   }
   s.lookups = lookups_.load(std::memory_order_relaxed);

@@ -23,10 +23,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "registry/registry_backend.h"
 
 namespace medes {
@@ -85,24 +86,29 @@ class FingerprintRegistry : public RegistryBackend {
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, std::vector<PageLocation>> table;
+    mutable SharedMutex mu{"registry shard", LockRank::kRegistryShard};
+    std::unordered_map<uint64_t, std::vector<PageLocation>> table GUARDED_BY(mu);
     // Reverse index: keys under which each base sandbox holds locations in
     // this shard (a key appears once per location inserted).
-    std::unordered_map<SandboxId, std::vector<uint64_t>> keys_by_sandbox;
+    std::unordered_map<SandboxId, std::vector<uint64_t>> keys_by_sandbox GUARDED_BY(mu);
     // Atomic: bumped by readers holding only the shared lock.
     std::atomic<uint64_t> key_hits{0};
   };
 
   Shard& ShardFor(uint64_t key) { return *shards_[ShardIndex(key)]; }
   size_t ShardIndex(uint64_t key) const;
+  // Destination shards/refcounts must be quiescent; the source may be serving
+  // concurrent readers. Never holds a source and a destination lock at once
+  // (both carry the same rank).
   void CopyFrom(const FingerprintRegistry& other);
 
   RegistryOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
 
-  mutable std::shared_mutex sandbox_mu_;
-  std::unordered_map<SandboxId, int> base_refcounts_;
+  // Sandbox-level state: membership + refcounts (the sandbox-level reverse
+  // index). Ordered after the shard locks in the global hierarchy.
+  mutable SharedMutex sandbox_mu_{"registry sandbox index", LockRank::kRegistrySandbox};
+  std::unordered_map<SandboxId, int> base_refcounts_ GUARDED_BY(sandbox_mu_);
 
   mutable std::atomic<uint64_t> lookups_{0};
 };

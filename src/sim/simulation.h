@@ -27,7 +27,9 @@ class Simulation {
   // Schedules `cb` at absolute time `t` (>= Now()). Returns a handle usable
   // with Cancel().
   EventId Schedule(SimTime t, Callback cb);
-  EventId ScheduleAfter(SimDuration delay, Callback cb) { return Schedule(now_ + delay, std::move(cb)); }
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    return Schedule(now_ + delay, std::move(cb));
+  }
 
   // Cancels a pending event. Idempotent; cancelling a fired event is a no-op.
   void Cancel(EventId id);

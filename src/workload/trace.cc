@@ -13,8 +13,8 @@ std::vector<ArrivalPattern> DefaultAzurePatterns() {
   // The mix follows the Azure trace characterisation: a couple of steady
   // services, several timers, and several bursty rarely-invoked functions.
   std::vector<ArrivalPattern> patterns;
-  auto add = [&](const std::string& name, ArrivalKind kind, double rate, SimDuration on = 60 * kSecond,
-                 SimDuration off = 240 * kSecond) {
+  auto add = [&](const std::string& name, ArrivalKind kind, double rate,
+                 SimDuration on = 60 * kSecond, SimDuration off = 240 * kSecond) {
     ArrivalPattern p;
     p.function = ProfileByName(name).id;
     p.kind = kind;

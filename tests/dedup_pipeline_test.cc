@@ -19,13 +19,19 @@ ClusterOptions SmallCluster() {
   return opts;
 }
 
+DedupAgentOptions AgentOpts(size_t num_threads) {
+  DedupAgentOptions opts;
+  opts.num_threads = num_threads;
+  return opts;
+}
+
 // One self-contained environment: cluster, registry, cached fabric, agent.
 struct Env {
   explicit Env(size_t num_threads)
       : cluster(SmallCluster()),
         fabric({.page_cache_capacity = 512},
                [this](const PageLocation& loc) { return cluster.ReadBasePage(loc); }),
-        agent(cluster, registry, fabric, {.num_threads = num_threads}) {}
+        agent(cluster, registry, fabric, AgentOpts(num_threads)) {}
 
   Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
     Sandbox& sb = cluster.Spawn(ProfileByName(name), node, now);

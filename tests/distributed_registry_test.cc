@@ -9,14 +9,11 @@
 namespace medes {
 namespace {
 
-PageFingerprint Fp(std::initializer_list<uint64_t> keys) {
-  PageFingerprint fp;
-  uint32_t offset = 0;
-  for (uint64_t k : keys) {
-    fp.chunks.push_back({k, offset});
-    offset += 64;
-  }
-  return fp;
+DistributedRegistryOptions Opts(int num_shards, int replication_factor = 3) {
+  DistributedRegistryOptions opts;
+  opts.num_shards = num_shards;
+  opts.replication_factor = replication_factor;
+  return opts;
 }
 
 // Random fingerprints whose keys spread across shards.
@@ -32,7 +29,7 @@ std::vector<PageFingerprint> RandomFingerprints(size_t pages, uint64_t seed) {
 }
 
 TEST(DistributedRegistryTest, AgreesWithCentralizedRegistry) {
-  DistributedRegistry dist({.num_shards = 4, .replication_factor = 3});
+  DistributedRegistry dist(Opts(4));
   FingerprintRegistry central;
   auto fps_a = RandomFingerprints(40, 1);
   auto fps_b = RandomFingerprints(40, 2);
@@ -57,7 +54,7 @@ TEST(DistributedRegistryTest, AgreesWithCentralizedRegistry) {
 }
 
 TEST(DistributedRegistryTest, ShardingSpreadsKeys) {
-  DistributedRegistry dist({.num_shards = 8, .replication_factor = 1});
+  DistributedRegistry dist(Opts(8, 1));
   dist.InsertBaseSandbox(0, 100, RandomFingerprints(200, 3));
   // Probe many random fingerprints to exercise lookups on all shards.
   for (const auto& fp : RandomFingerprints(200, 3)) {
@@ -72,7 +69,7 @@ TEST(DistributedRegistryTest, ShardingSpreadsKeys) {
 }
 
 TEST(DistributedRegistryTest, SurvivesTailFailure) {
-  DistributedRegistry dist({.num_shards = 2, .replication_factor = 3});
+  DistributedRegistry dist(Opts(2));
   auto fps = RandomFingerprints(20, 4);
   dist.InsertBaseSandbox(0, 100, fps);
   // Kill the tail replica of both shards: reads fail over to the middle.
@@ -87,7 +84,7 @@ TEST(DistributedRegistryTest, SurvivesTailFailure) {
 }
 
 TEST(DistributedRegistryTest, SurvivesAllButOneReplica) {
-  DistributedRegistry dist({.num_shards = 1, .replication_factor = 3});
+  DistributedRegistry dist(Opts(1));
   auto fps = RandomFingerprints(10, 5);
   dist.InsertBaseSandbox(0, 100, fps);
   dist.FailReplica(0, 0);
@@ -98,7 +95,7 @@ TEST(DistributedRegistryTest, SurvivesAllButOneReplica) {
 }
 
 TEST(DistributedRegistryTest, WholeShardDownDegradesGracefully) {
-  DistributedRegistry dist({.num_shards = 1, .replication_factor = 2});
+  DistributedRegistry dist(Opts(1, 2));
   auto fps = RandomFingerprints(10, 6);
   dist.InsertBaseSandbox(0, 100, fps);
   dist.FailReplica(0, 0);
@@ -112,7 +109,7 @@ TEST(DistributedRegistryTest, WholeShardDownDegradesGracefully) {
 }
 
 TEST(DistributedRegistryTest, RecoveryResyncsState) {
-  DistributedRegistry dist({.num_shards = 1, .replication_factor = 3});
+  DistributedRegistry dist(Opts(1));
   auto before = RandomFingerprints(10, 8);
   dist.InsertBaseSandbox(0, 100, before);
   dist.FailReplica(0, 1);
@@ -136,7 +133,7 @@ TEST(DistributedRegistryTest, RecoveryResyncsState) {
 }
 
 TEST(DistributedRegistryTest, RefcountsSurviveFailover) {
-  DistributedRegistry dist({.num_shards = 4, .replication_factor = 3});
+  DistributedRegistry dist(Opts(4));
   dist.InsertBaseSandbox(0, 100, RandomFingerprints(5, 10));
   dist.Ref(100);
   dist.Ref(100);
@@ -152,7 +149,7 @@ TEST(DistributedRegistryTest, RefcountsSurviveFailover) {
 }
 
 TEST(DistributedRegistryTest, RemoveBaseSandboxEverywhere) {
-  DistributedRegistry dist({.num_shards = 4, .replication_factor = 2});
+  DistributedRegistry dist(Opts(4, 2));
   auto fps = RandomFingerprints(20, 11);
   dist.InsertBaseSandbox(0, 100, fps);
   dist.RemoveBaseSandbox(100);
@@ -165,20 +162,20 @@ TEST(DistributedRegistryTest, RemoveBaseSandboxEverywhere) {
 }
 
 TEST(DistributedRegistryTest, PageLookupLatencyShrinksWithShards) {
-  DistributedRegistry one({.num_shards = 1, .replication_factor = 1});
-  DistributedRegistry eight({.num_shards = 8, .replication_factor = 1});
+  DistributedRegistry one(Opts(1, 1));
+  DistributedRegistry eight(Opts(8, 1));
   EXPECT_GT(one.PageLookupLatency(8), eight.PageLookupLatency(8));
   EXPECT_EQ(one.PageLookupLatency(0), 0);
 }
 
 TEST(DistributedRegistryTest, InvalidOptionsRejected) {
-  EXPECT_THROW(DistributedRegistry({.num_shards = 0}), std::invalid_argument);
-  EXPECT_THROW(DistributedRegistry({.num_shards = 2, .replication_factor = 0}),
+  EXPECT_THROW(DistributedRegistry(Opts(0)), std::invalid_argument);
+  EXPECT_THROW(DistributedRegistry(Opts(2, 0)),
                std::invalid_argument);
 }
 
 TEST(DistributedRegistryTest, ShardOfIsStable) {
-  DistributedRegistry dist({.num_shards = 4, .replication_factor = 1});
+  DistributedRegistry dist(Opts(4, 1));
   std::set<int> seen;
   for (uint64_t k = 0; k < 64; ++k) {
     int s = dist.ShardOf(k);

@@ -28,7 +28,8 @@ TEST(RdmaTest, ProviderRoutesBytesAndCountsStats) {
     return FakePage(static_cast<uint8_t>(loc.page_index));
   });
   SimDuration cost = 0;
-  auto bytes = fabric.ReadPage({.node = 2, .sandbox = 1, .page_index = 7}, /*reader_node=*/0, &cost);
+  auto bytes =
+      fabric.ReadPage({.node = 2, .sandbox = 1, .page_index = 7}, /*reader_node=*/0, &cost);
   ASSERT_EQ(bytes.size(), 4096u);
   EXPECT_EQ(bytes[0], 7);
   EXPECT_GT(cost, 0);
@@ -104,8 +105,9 @@ TEST(RdmaCacheTest, RepeatReadsHitCache) {
 }
 
 TEST(RdmaCacheTest, LruEvictsLeastRecentlyUsed) {
-  RdmaFabric fabric({.page_cache_capacity = 2},
-                    [](const PageLocation& loc) { return FakePage(static_cast<uint8_t>(loc.page_index)); });
+  RdmaFabric fabric({.page_cache_capacity = 2}, [](const PageLocation& loc) {
+    return FakePage(static_cast<uint8_t>(loc.page_index));
+  });
   fabric.ReadPage(Loc(1, 0), 0, nullptr);  // miss: cache [0]
   fabric.ReadPage(Loc(1, 1), 0, nullptr);  // miss: cache [1, 0]
   fabric.ReadPage(Loc(1, 0), 0, nullptr);  // hit: 0 promoted -> [0, 1]
