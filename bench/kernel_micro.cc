@@ -1,0 +1,252 @@
+// Per-kernel microbenchmark: MB/s of each hot-path kernel at every tier the
+// machine can bind — 64-byte chunk hashing (single and batched), the bulk
+// rolling-hash scan, match extension, and delta decode. Emits JSON with a
+// speedup-vs-scalar column so CI can smoke-check the dispatch layer and
+// archive per-tier throughput.
+//
+// Workload sizes mirror the real pipeline: 4 KiB pages, 64 B chunks, ~8
+// sampled chunks per page. MEDES_BENCH_KERNEL_MS overrides the per-kernel
+// measurement budget (milliseconds, default 200).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chunking/fingerprint.h"
+#include "common/kernels/cpu_features.h"
+#include "common/kernels/memops.h"
+#include "common/kernels/rolling_kernels.h"
+#include "common/kernels/sha1_kernels.h"
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "delta/delta.h"
+
+using namespace medes;
+
+namespace {
+
+constexpr size_t kPage = 4096;
+constexpr size_t kChunk = 64;
+constexpr size_t kChunksPerBatch = 8;  // cardinality-ish sampled chunks/page
+
+double BudgetMs() {
+  const char* env = std::getenv("MEDES_BENCH_KERNEL_MS");
+  if (env != nullptr) {
+    double v = std::strtod(env, nullptr);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return 200.0;
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// Runs `body(iters)` repeatedly until the budget elapses; returns MB/s given
+// `bytes_per_iter`. The body must consume its input fully per iteration.
+template <typename Body>
+double MeasureMBps(size_t bytes_per_iter, Body&& body) {
+  const double budget_ms = BudgetMs();
+  // Warm up and self-calibrate the batch size to ~1/20 of the budget.
+  size_t batch = 1;
+  for (;;) {
+    auto t0 = std::chrono::steady_clock::now();
+    body(batch);
+    double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (ms * 20.0 >= budget_ms || batch >= (size_t{1} << 24)) {
+      break;
+    }
+    batch *= 2;
+  }
+  size_t iters = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed_ms = 0;
+  do {
+    body(batch);
+    iters += batch;
+    elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+  } while (elapsed_ms < budget_ms);
+  double bytes = static_cast<double>(iters) * static_cast<double>(bytes_per_iter);
+  return bytes / (elapsed_ms / 1000.0) / (1024.0 * 1024.0);
+}
+
+volatile uint64_t g_sink = 0;  // defeats dead-code elimination
+
+struct KernelResult {
+  std::string name;
+  std::vector<std::pair<kernels::Tier, double>> mbps;  // per bound tier
+};
+
+std::vector<kernels::Tier> BindableTiers() {
+  std::vector<kernels::Tier> tiers;
+  for (kernels::Tier t : {kernels::Tier::kScalar, kernels::Tier::kSwar, kernels::Tier::kSse42,
+                          kernels::Tier::kAvx2}) {
+    if (t <= kernels::MaxSupportedTier()) {
+      tiers.push_back(t);
+    }
+  }
+  return tiers;
+}
+
+// Benchmarks one kernel across every bindable tier. `fn(iters)` runs the
+// dispatched kernel `iters` times over `bytes_per_iter` bytes each.
+template <typename Body>
+KernelResult RunKernel(const char* name, size_t bytes_per_iter, Body&& body) {
+  KernelResult r;
+  r.name = name;
+  for (kernels::Tier tier : BindableTiers()) {
+    kernels::ForceTier(tier);
+    r.mbps.emplace_back(tier, MeasureMBps(bytes_per_iter, body));
+  }
+  kernels::ResetTierFromEnvironment();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto page = RandomBytes(kPage, 1);
+  const auto base = RandomBytes(kPage, 2);
+  std::vector<uint8_t> target = base;
+  {
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+      target[rng.Below(target.size())] = static_cast<uint8_t>(rng.Next());
+    }
+  }
+  const std::vector<uint8_t> delta = DeltaEncode(base, target);
+
+  std::vector<const uint8_t*> chunk_ptrs(kChunksPerBatch);
+  for (size_t i = 0; i < kChunksPerBatch; ++i) {
+    chunk_ptrs[i] = page.data() + i * (kPage / kChunksPerBatch);
+  }
+
+  std::vector<KernelResult> results;
+
+  // 1. Single 64-byte chunk digest (the Sha1::HashChunk64 fast path).
+  results.push_back(RunKernel("sha1_chunk64", kChunk, [&](size_t iters) {
+    uint32_t state[5];
+    for (size_t i = 0; i < iters; ++i) {
+      kernels::Sha1Chunk64(page.data() + (i % kChunksPerBatch) * kChunk, state);
+      g_sink += state[0];
+    }
+  }));
+
+  // 2. Batched chunk digests — what FingerprintPage issues per page.
+  results.push_back(
+      RunKernel("sha1_chunk64_batch", kChunk * kChunksPerBatch, [&](size_t iters) {
+        uint32_t states[kChunksPerBatch][5];
+        for (size_t i = 0; i < iters; ++i) {
+          kernels::Sha1Chunk64Batch(chunk_ptrs.data(), kChunksPerBatch, states);
+          g_sink += states[0][0];
+        }
+      }));
+
+  // 3. Rolling-hash scan of a full page (every 64 B window).
+  {
+    uint64_t pow_w1 = 1;
+    for (size_t i = 1; i < kChunk; ++i) {
+      pow_w1 *= kernels::kRollingBase;
+    }
+    static std::vector<uint64_t> hashes(kPage - kChunk + 1);
+    results.push_back(RunKernel("rolling_bulk_page", kPage, [&, pow_w1](size_t iters) {
+      for (size_t i = 0; i < iters; ++i) {
+        kernels::RollingBulk(page.data(), kPage, kChunk, pow_w1, hashes.data());
+        g_sink += hashes.back();
+      }
+    }));
+  }
+
+  // 4. Match extension over identical pages (the long-match worst case).
+  results.push_back(RunKernel("match_forward_page", kPage, [&](size_t iters) {
+    for (size_t i = 0; i < iters; ++i) {
+      g_sink += kernels::MatchForward(base.data(), base.data(), kPage);
+    }
+  }));
+
+  // 5. Delta decode of a realistic sparse-edit page patch.
+  {
+    static std::vector<uint8_t> out;
+    results.push_back(RunKernel("delta_decode_page", kPage, [&](size_t iters) {
+      for (size_t i = 0; i < iters; ++i) {
+        DeltaDecodeInto(base, delta, out);
+        g_sink += out[0];
+      }
+    }));
+  }
+
+  // 5b. Reference: the pre-kernels decoder (validate-while-growing via
+  // vector::insert) so the JSON shows the structural win of the pre-sized
+  // single-pass decode, which no tier column can (CopyBytes is not tiered).
+  results.push_back(RunKernel("delta_decode_page_legacy", kPage, [&](size_t iters) {
+    for (size_t i = 0; i < iters; ++i) {
+      size_t pos = 4;
+      size_t p2 = pos;
+      delta_internal::ReadVarint(delta, p2);
+      uint64_t target_len = delta_internal::ReadVarint(delta, p2);
+      pos = p2;
+      std::vector<uint8_t> out;
+      out.reserve(target_len);
+      while (pos < delta.size()) {
+        uint8_t op = delta[pos++];
+        if (op == 0x00) {
+          uint64_t len = delta_internal::ReadVarint(delta, pos);
+          out.insert(out.end(), delta.begin() + static_cast<ptrdiff_t>(pos),
+                     delta.begin() + static_cast<ptrdiff_t>(pos + len));
+          pos += len;
+        } else {
+          uint64_t off = delta_internal::ReadVarint(delta, pos);
+          uint64_t len = delta_internal::ReadVarint(delta, pos);
+          out.insert(out.end(), base.begin() + static_cast<ptrdiff_t>(off),
+                     base.begin() + static_cast<ptrdiff_t>(off + len));
+        }
+      }
+      g_sink += out[0];
+    }
+  }));
+
+  // 6. Whole-page fingerprint through the public API (ties 1-3 together).
+  {
+    PageFingerprinter fp({});
+    results.push_back(RunKernel("fingerprint_page", kPage, [&](size_t iters) {
+      for (size_t i = 0; i < iters; ++i) {
+        g_sink += fp.FingerprintPage(page).Cardinality();
+      }
+    }));
+  }
+
+  const kernels::CpuFeatures feats = kernels::DetectCpuFeatures();
+  std::printf("{\n  \"benchmark\": \"kernel_micro\",\n");
+  std::printf("  \"cpu\": {\"sse42\": %s, \"avx2\": %s, \"sha_ni\": %s, \"bmi2\": %s},\n",
+              feats.sse42 ? "true" : "false", feats.avx2 ? "true" : "false",
+              feats.sha_ni ? "true" : "false", feats.bmi2 ? "true" : "false");
+  std::printf("  \"max_tier\": \"%s\",\n", kernels::TierName(kernels::MaxSupportedTier()));
+  std::printf("  \"sha_ni_active_at_max\": %s,\n", kernels::ShaNiActive() ? "true" : "false");
+  std::printf("  \"kernels\": [\n");
+  for (size_t k = 0; k < results.size(); ++k) {
+    const KernelResult& r = results[k];
+    const double scalar = r.mbps.front().second;
+    std::printf("    {\"name\": \"%s\", \"tiers\": [\n", r.name.c_str());
+    for (size_t i = 0; i < r.mbps.size(); ++i) {
+      const auto& [tier, mbps] = r.mbps[i];
+      std::printf("      {\"tier\": \"%s\", \"mb_per_sec\": %.1f, \"speedup_vs_scalar\": "
+                  "%.2f}%s\n",
+                  kernels::TierName(tier), mbps, scalar > 0 ? mbps / scalar : 0.0,
+                  i + 1 < r.mbps.size() ? "," : "");
+    }
+    std::printf("    ]}%s\n", k + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -3,23 +3,29 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "chunking/rabin.h"
 #include "common/rng.h"
 #include "common/sha1.h"
 
 namespace medes {
+namespace {
 
-PageFingerprinter::PageFingerprinter(FingerprintOptions options) : options_(options) {
-  if (options_.chunk_size == 0) {
+const FingerprintOptions& Validate(const FingerprintOptions& options) {
+  if (options.chunk_size == 0) {
     throw std::invalid_argument("chunk_size must be positive");
   }
-  if (options_.cardinality == 0) {
+  if (options.cardinality == 0) {
     throw std::invalid_argument("cardinality must be positive");
   }
-  if (options_.key_bits < 1 || options_.key_bits > 64) {
+  if (options.key_bits < 1 || options.key_bits > 64) {
     throw std::invalid_argument("key_bits must be in [1, 64]");
   }
+  return options;
 }
+
+}  // namespace
+
+PageFingerprinter::PageFingerprinter(FingerprintOptions options)
+    : options_(Validate(options)), rolling_(options.chunk_size) {}
 
 PageFingerprint PageFingerprinter::FingerprintPage(std::span<const uint8_t> page) const {
   PageFingerprint fp;
@@ -28,15 +34,13 @@ PageFingerprint PageFingerprinter::FingerprintPage(std::span<const uint8_t> page
     return fp;
   }
 
-  // Candidate chunks: (selection priority, offset). Kept as the K smallest
-  // SHA-1 keys among value-selected windows so the fingerprint is an
-  // order-independent function of page content.
-  std::vector<SampledChunk> candidates;
-
-  auto add_candidate = [&](size_t offset) {
-    Sha1Digest digest = Sha1::Hash(page.subspan(offset, w));
-    candidates.push_back({TruncateKey(digest.Prefix64()), static_cast<uint32_t>(offset)});
-  };
+  // Stage 1: pick the sampled chunk offsets. Selection depends only on the
+  // rolling hash values, so the (slow) chunk digests can be batched after.
+  // The scratch vectors are thread-local so per-page work does zero
+  // steady-state allocation, including under pool workers.
+  thread_local std::vector<uint32_t> offsets_scratch;
+  std::vector<uint32_t>& offsets = offsets_scratch;
+  offsets.clear();
 
   if (options_.mode == SamplingMode::kRandomOffsets) {
     // Difference Engine-style: fixed pseudo-random offsets, *not* content
@@ -44,55 +48,73 @@ PageFingerprint PageFingerprinter::FingerprintPage(std::span<const uint8_t> page
     // completely differently.
     Rng rng(options_.random_seed);
     for (size_t i = 0; i < options_.cardinality; ++i) {
-      size_t offset = rng.Below(page.size() - w + 1);
-      add_candidate(offset);
+      offsets.push_back(static_cast<uint32_t>(rng.Below(page.size() - w + 1)));
     }
   } else {
-    RollingHash rh(w);
-    uint64_t h = rh.Init(page);
+    const size_t positions = page.size() - w + 1;
+    thread_local std::vector<uint64_t> hash_scratch;
+    hash_scratch.resize(positions);
+    rolling_.BulkHash(page, hash_scratch.data());
+
     size_t last_selected_end = 0;  // avoid overlapping selected chunks
-    if ((h & options_.sample_mask) == options_.sample_pattern) {
-      add_candidate(0);
-      last_selected_end = w;
-    }
-    for (size_t i = w; i < page.size(); ++i) {
-      h = rh.Roll(h, page[i - w], page[i]);
-      size_t offset = i - w + 1;
+    for (size_t offset = 0; offset < positions; ++offset) {
       if (offset < last_selected_end) {
         continue;
       }
-      if ((h & options_.sample_mask) == options_.sample_pattern) {
-        add_candidate(offset);
+      if ((hash_scratch[offset] & options_.sample_mask) == options_.sample_pattern) {
+        offsets.push_back(static_cast<uint32_t>(offset));
         last_selected_end = offset + w;
       }
     }
-    if (candidates.size() < options_.cardinality) {
+    if (offsets.size() < options_.cardinality) {
       // Sparse/uniform pages select too few windows; fall back to fixed-stride
       // chunks so every page still has a full-cardinality fingerprint. Stride
       // offsets overlapping an already-selected content-defined chunk are
       // skipped (they would duplicate it), and the loop stops as soon as the
       // fingerprint budget is met.
-      const size_t selected = candidates.size();
+      const size_t selected = offsets.size();
       const size_t stride = std::max<size_t>(w, page.size() / (options_.cardinality + 1));
       for (size_t offset = 0;
-           offset + w <= page.size() && candidates.size() < options_.cardinality;
+           offset + w <= page.size() && offsets.size() < options_.cardinality;
            offset += stride) {
         bool covered = false;
         for (size_t i = 0; i < selected; ++i) {
-          const size_t sel = candidates[i].offset;
+          const size_t sel = offsets[i];
           if (offset < sel + w && sel < offset + w) {
             covered = true;
             break;
           }
         }
         if (!covered) {
-          add_candidate(offset);
+          offsets.push_back(static_cast<uint32_t>(offset));
         }
       }
     }
   }
 
+  // Stage 2: digest every sampled chunk. 64-byte chunks — the Medes RSC
+  // size — go through the multi-buffer kernel in one batched call.
+  thread_local std::vector<Sha1Digest> digest_scratch;
+  digest_scratch.resize(offsets.size());
+  if (w == 64) {
+    thread_local std::vector<const uint8_t*> ptr_scratch;
+    ptr_scratch.resize(offsets.size());
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      ptr_scratch[i] = page.data() + offsets[i];
+    }
+    Sha1::HashChunk64Batch(ptr_scratch.data(), ptr_scratch.size(), digest_scratch.data());
+  } else {
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      digest_scratch[i] = Sha1::Hash(page.subspan(offsets[i], w));
+    }
+  }
+
   // Keep the K smallest keys (deduplicated) — deterministic and unordered.
+  std::vector<SampledChunk> candidates;
+  candidates.reserve(offsets.size());
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    candidates.push_back({TruncateKey(digest_scratch[i].Prefix64()), offsets[i]});
+  }
   std::sort(candidates.begin(), candidates.end(),
             [](const SampledChunk& a, const SampledChunk& b) {
               return a.key < b.key || (a.key == b.key && a.offset < b.offset);

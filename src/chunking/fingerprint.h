@@ -20,6 +20,8 @@
 #include <span>
 #include <vector>
 
+#include "chunking/rabin.h"
+
 namespace medes {
 
 // A single value-sampled chunk within a page.
@@ -83,6 +85,9 @@ class PageFingerprinter {
 
  private:
   FingerprintOptions options_;
+  // Shared rolling-hash tables — built once here so the per-page scan never
+  // reconstructs them. Stateless at scan time, so safe across pool workers.
+  RollingHash rolling_;
 };
 
 }  // namespace medes

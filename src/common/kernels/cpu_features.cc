@@ -1,0 +1,116 @@
+#include "common/kernels/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/kernels/memops.h"
+#include "common/kernels/rolling_kernels.h"
+#include "common/kernels/sha1_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define MEDES_KERNELS_X86 1
+#endif
+
+namespace medes::kernels {
+namespace {
+
+// Tier is a process-wide mode switch flipped only by tests/benchmarks (and
+// once lazily at startup); relaxed ordering is enough because every variant
+// is bit-identical — a racing reader at worst runs one call at the old tier.
+std::atomic<Tier> g_tier{Tier::kScalar};
+std::atomic<bool> g_tier_bound{false};
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("MEDES_FORCE_SCALAR");
+  if (v == nullptr || v[0] == '\0') {
+    return false;
+  }
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 && std::strcmp(v, "false") != 0;
+}
+
+Tier Bind(Tier tier) {
+  if (tier > MaxSupportedTier()) {
+    tier = MaxSupportedTier();
+  }
+  g_tier.store(tier, std::memory_order_relaxed);
+  g_tier_bound.store(true, std::memory_order_relaxed);
+  BindSha1Kernels(tier);
+  BindRollingKernels(tier);
+  BindMemopsKernels(tier);
+  return tier;
+}
+
+}  // namespace
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#if defined(MEDES_KERNELS_X86)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    f.sse42 = (ecx & bit_SSE4_2) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & bit_AVX2) != 0;
+    f.sha_ni = (ebx & bit_SHA) != 0;
+    f.bmi2 = (ebx & bit_BMI2) != 0;
+  }
+#endif
+  return f;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSwar:
+      return "swar";
+    case Tier::kSse42:
+      return "sse42";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Tier MaxSupportedTier() {
+#if defined(MEDES_KERNELS_X86)
+  static const Tier max = [] {
+    CpuFeatures f = DetectCpuFeatures();
+    if (f.avx2) {
+      return Tier::kAvx2;
+    }
+    if (f.sse42) {
+      return Tier::kSse42;
+    }
+    return Tier::kSwar;
+  }();
+  return max;
+#else
+  return Tier::kSwar;
+#endif
+}
+
+Tier ActiveTier() {
+  if (!g_tier_bound.load(std::memory_order_relaxed)) {
+    return ResetTierFromEnvironment();
+  }
+  return g_tier.load(std::memory_order_relaxed);
+}
+
+bool ShaNiActive() {
+  return Sha1ShaNiCompiled() && DetectCpuFeatures().sha_ni && ActiveTier() >= Tier::kSse42;
+}
+
+Tier ForceTier(Tier tier) { return Bind(tier); }
+
+Tier ResetTierFromEnvironment() {
+#if defined(MEDES_FORCE_SCALAR)
+  return Bind(Tier::kScalar);
+#else
+  return Bind(EnvForcesScalar() ? Tier::kScalar : MaxSupportedTier());
+#endif
+}
+
+}  // namespace medes::kernels

@@ -1,0 +1,38 @@
+// Bulk rolling-hash kernels feeding the fingerprint scan.
+//
+// The fingerprint pass needs the Rabin-style hash of *every* W-byte window
+// of a page. The scalar recurrence h' = (h - out*B^(W-1))*B + in is a
+// serial dependency chain; the unrolled variant splits the positions into
+// four independent lanes (lane j covers positions j, j+4, j+8, ...) and
+// steps each lane four positions at a time with precomputed powers of the
+// base, which is exact in mod-2^64 arithmetic and therefore bit-identical
+// to the scalar walk. See cpu_features.h for the dispatch contract.
+#ifndef MEDES_COMMON_KERNELS_ROLLING_KERNELS_H_
+#define MEDES_COMMON_KERNELS_ROLLING_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/kernels/cpu_features.h"
+
+namespace medes::kernels {
+
+// Polynomial base shared with RollingHash (chunking/rabin.h keeps the same
+// constant; rabin_test locks the two together).
+inline constexpr uint64_t kRollingBase = 0x100000001b3ull;
+
+// Writes the hash of every window of `data` (n bytes, n >= window) into
+// out[0 .. n - window]. `pow_w1` must equal kRollingBase^(window-1) mod
+// 2^64 (the caller — RollingHash — already maintains it).
+void RollingBulk(const uint8_t* data, size_t n, size_t window, uint64_t pow_w1, uint64_t* out);
+void RollingBulkScalar(const uint8_t* data, size_t n, size_t window, uint64_t pow_w1,
+                       uint64_t* out);
+void RollingBulkUnrolled(const uint8_t* data, size_t n, size_t window, uint64_t pow_w1,
+                         uint64_t* out);
+
+// Rebinds the dispatched entry point (called by cpu_features).
+void BindRollingKernels(Tier tier);
+
+}  // namespace medes::kernels
+
+#endif  // MEDES_COMMON_KERNELS_ROLLING_KERNELS_H_

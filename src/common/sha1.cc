@@ -2,20 +2,24 @@
 
 #include <cstring>
 
+#include "common/kernels/sha1_kernels.h"
+
 namespace medes {
 namespace {
-
-inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
-
-inline uint32_t LoadBe32(const uint8_t* p) {
-  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) | (uint32_t{p[2]} << 8) | uint32_t{p[3]};
-}
 
 inline void StoreBe32(uint8_t* p, uint32_t v) {
   p[0] = static_cast<uint8_t>(v >> 24);
   p[1] = static_cast<uint8_t>(v >> 16);
   p[2] = static_cast<uint8_t>(v >> 8);
   p[3] = static_cast<uint8_t>(v);
+}
+
+inline Sha1Digest StateToDigest(const uint32_t state[5]) {
+  Sha1Digest digest;
+  for (size_t i = 0; i < 5; ++i) {
+    StoreBe32(digest.bytes.data() + 4 * i, state[i]);
+  }
+  return digest;
 }
 
 }  // namespace
@@ -40,7 +44,7 @@ uint64_t Sha1Digest::Prefix64() const {
 }
 
 void Sha1::Reset() {
-  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  std::memcpy(state_.data(), kernels::kSha1Init, sizeof(kernels::kSha1Init));
   total_bytes_ = 0;
   buffered_ = 0;
 }
@@ -54,12 +58,12 @@ void Sha1::Update(std::span<const uint8_t> data) {
     buffered_ += take;
     offset += take;
     if (buffered_ == buffer_.size()) {
-      ProcessBlock(buffer_.data());
+      kernels::Sha1Compress(state_.data(), buffer_.data());
       buffered_ = 0;
     }
   }
   while (offset + 64 <= data.size()) {
-    ProcessBlock(data.data() + offset);
+    kernels::Sha1Compress(state_.data(), data.data() + offset);
     offset += 64;
   }
   if (offset < data.size()) {
@@ -83,57 +87,40 @@ Sha1Digest Sha1::Finish() {
   }
   Update({len_be, 8});
 
-  Sha1Digest digest;
-  for (size_t i = 0; i < 5; ++i) {
-    StoreBe32(digest.bytes.data() + 4 * i, state_[i]);
-  }
+  Sha1Digest digest = StateToDigest(state_.data());
   Reset();
   return digest;
 }
 
-void Sha1::ProcessBlock(const uint8_t* block) {
-  uint32_t w[80];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = LoadBe32(block + 4 * i);
-  }
-  for (int i = 16; i < 80; ++i) {
-    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
-  for (int i = 0; i < 80; ++i) {
-    uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5A827999u;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    uint32_t tmp = RotL(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = RotL(b, 30);
-    b = a;
-    a = tmp;
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-}
-
 Sha1Digest Sha1::Hash(std::span<const uint8_t> data) {
+  if (data.size() == 64) {
+    return HashChunk64(data.data());
+  }
   Sha1 hasher;
   hasher.Update(data);
   return hasher.Finish();
+}
+
+Sha1Digest Sha1::HashChunk64(const uint8_t* chunk) {
+  uint32_t state[5];
+  kernels::Sha1Chunk64(chunk, state);
+  return StateToDigest(state);
+}
+
+void Sha1::HashChunk64Batch(const uint8_t* const* chunks, size_t n, Sha1Digest* out) {
+  // The kernel batch works on raw states; convert in fixed-size strips so
+  // large batches stay cache-resident and allocation-free.
+  constexpr size_t kStrip = 64;
+  uint32_t states[kStrip][5];
+  size_t done = 0;
+  while (done < n) {
+    const size_t take = std::min(kStrip, n - done);
+    kernels::Sha1Chunk64Batch(chunks + done, take, states);
+    for (size_t i = 0; i < take; ++i) {
+      out[done + i] = StateToDigest(states[i]);
+    }
+    done += take;
+  }
 }
 
 }  // namespace medes

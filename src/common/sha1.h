@@ -36,7 +36,9 @@ struct Sha1Digest {
   uint64_t Prefix64() const;
 };
 
-// Incremental SHA-1 hasher.
+// Incremental SHA-1 hasher. Block compression dispatches through the
+// hot-path kernel layer (common/kernels/sha1_kernels.h): SHA-NI when the
+// CPU has it, the scalar reference otherwise — bit-identical either way.
 class Sha1 {
  public:
   Sha1() { Reset(); }
@@ -48,9 +50,17 @@ class Sha1 {
   // One-shot convenience.
   static Sha1Digest Hash(std::span<const uint8_t> data);
 
- private:
-  void ProcessBlock(const uint8_t* block);
+  // Fixed-length fast path: digest of exactly 64 message bytes — one RSC.
+  // Skips the streaming buffer/length state machine entirely (a 64-byte
+  // message's padding block is a constant). Equals Hash({chunk, 64}).
+  static Sha1Digest HashChunk64(const uint8_t* chunk);
 
+  // Multi-buffer batch of the above: out[i] = HashChunk64(chunks[i]).
+  // Lets the interleaved/vector kernel variants hash all sampled chunks of
+  // a page in one call.
+  static void HashChunk64Batch(const uint8_t* const* chunks, size_t n, Sha1Digest* out);
+
+ private:
   std::array<uint32_t, 5> state_{};
   std::array<uint8_t, 64> buffer_{};
   uint64_t total_bytes_ = 0;

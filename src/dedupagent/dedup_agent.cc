@@ -93,24 +93,28 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   }
 
   // 5. Delta-encode against the chosen bases (parallel; the accept decision
-  // is per-page and deterministic).
+  // is per-page and deterministic). Each worker encodes into thread-local
+  // scratch — seed-index slots and patch bytes — so the steady state
+  // allocates only the exact-size copy of each accepted patch.
   std::vector<std::vector<uint8_t>> patches(n);
   std::vector<uint8_t> accepted(n, 0);
   pool_->ParallelFor(0, n, [&](size_t i) {
     if (candidates[i].empty()) {
       return;
     }
-    std::vector<uint8_t> patch;
+    thread_local DeltaScratch delta_scratch;
+    thread_local std::vector<uint8_t> patch_buf;
     try {
-      patch = DeltaEncode(base_bytes[i], cp.PageData(resident[i]), options_.delta);
+      DeltaEncodeInto(base_bytes[i], cp.PageData(resident[i]), options_.delta, patch_buf,
+                      &delta_scratch);
     } catch (const DeltaError&) {
       return;  // counted unique in the merge
     }
-    if (static_cast<double>(patch.size()) >
+    if (static_cast<double>(patch_buf.size()) >
         options_.patch_accept_max_ratio * static_cast<double>(kPageSize)) {
       return;  // patch too big to be worth it
     }
-    patches[i] = std::move(patch);
+    patches[i].assign(patch_buf.begin(), patch_buf.end());
     accepted[i] = 1;
   });
 
@@ -201,11 +205,14 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
     patch_bytes_applied += cp.PatchSize(record.page);
   }
 
-  // 2. Reconstruct original pages from patches (parallel).
+  // 2. Reconstruct original pages from patches (parallel). DeltaDecodeInto
+  // writes straight into the output slot: the reconstructed page is required
+  // storage anyway, and the pre-sized single-pass decode avoids the growth
+  // reallocations DeltaDecode's incremental append would incur.
   std::vector<std::vector<uint8_t>> originals(n);
   pool_->ParallelFor(0, n, [&](size_t i) {
     if (payloads) {
-      originals[i] = DeltaDecode(base_bytes[i], cp.PatchData(sb.patches[i].page));
+      DeltaDecodeInto(base_bytes[i], cp.PatchData(sb.patches[i].page), originals[i]);
     } else {
       originals[i] = std::vector<uint8_t>(kPageSize, 0);
     }

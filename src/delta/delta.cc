@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/hash.h"
+#include "common/kernels/memops.h"
 
 namespace medes {
 namespace delta_internal {
@@ -46,12 +47,16 @@ constexpr uint8_t kOpCopy = 0x01;
 // Seed-index over the base buffer: maps hashed seeds to base offsets.
 // Open-addressed, power-of-two sized, each slot holding up to `depth` offsets
 // chained via per-slot arrays would complicate things; instead we use a
-// bucketed table with a small fixed depth (newest offsets win).
+// bucketed table with a small fixed depth (newest offsets win). The backing
+// store is borrowed from the caller (DeltaScratch) so repeated encodes reuse
+// its capacity.
 class SeedIndex {
  public:
-  SeedIndex(std::span<const uint8_t> base, size_t seed_len, size_t stride, size_t depth)
-      : base_(base), seed_len_(seed_len), depth_(depth) {
+  SeedIndex(std::span<const uint8_t> base, size_t seed_len, size_t stride, size_t depth,
+            std::vector<size_t>& slots)
+      : base_(base), seed_len_(seed_len), depth_(depth), slots_(slots) {
     if (base.size() < seed_len) {
+      slots_.clear();
       return;
     }
     size_t positions = (base.size() - seed_len) / stride + 1;
@@ -84,7 +89,7 @@ class SeedIndex {
       if (cand == kEmpty) {
         break;
       }
-      if (std::memcmp(base_.data() + cand, target.data() + t_off, seed_len_) != 0) {
+      if (!kernels::MemEqual(base_.data() + cand, target.data() + t_off, seed_len_)) {
         continue;
       }
       size_t len = ExtendForward(target, t_off, cand);
@@ -97,12 +102,8 @@ class SeedIndex {
   }
 
   size_t ExtendForward(std::span<const uint8_t> target, size_t t_off, size_t b_off) const {
-    size_t len = 0;
     size_t max = std::min(base_.size() - b_off, target.size() - t_off);
-    while (len < max && base_[b_off + len] == target[t_off + len]) {
-      ++len;
-    }
-    return len;
+    return kernels::MatchForward(base_.data() + b_off, target.data() + t_off, max);
   }
 
  private:
@@ -125,7 +126,7 @@ class SeedIndex {
   size_t seed_len_;
   size_t depth_;
   size_t mask_ = 0;
-  std::vector<size_t> slots_;
+  std::vector<size_t>& slots_;
 };
 
 void EmitAdd(std::vector<uint8_t>& out, std::span<const uint8_t> literal) {
@@ -143,14 +144,33 @@ void EmitCopy(std::vector<uint8_t>& out, size_t base_off, size_t len) {
   AppendVarint(out, len);
 }
 
+// Parses and bounds-checks the delta header. Returns the op-stream start.
+size_t CheckHeader(std::span<const uint8_t> delta, uint64_t* base_len, uint64_t* target_len) {
+  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
+    throw DeltaError("bad delta magic");
+  }
+  size_t pos = 4;
+  *base_len = ReadVarint(delta, pos);
+  *target_len = ReadVarint(delta, pos);
+  return pos;
+}
+
 }  // namespace
 
 std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const uint8_t> target,
                                  const DeltaOptions& options) {
+  std::vector<uint8_t> out;
+  DeltaEncodeInto(base, target, options, out);
+  return out;
+}
+
+void DeltaEncodeInto(std::span<const uint8_t> base, std::span<const uint8_t> target,
+                     const DeltaOptions& options, std::vector<uint8_t>& out,
+                     DeltaScratch* scratch) {
   if (options.seed_length < 4) {
     throw DeltaError("seed_length must be >= 4");
   }
-  std::vector<uint8_t> out;
+  out.clear();
   out.reserve(target.size() / 4 + 32);
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
   AppendVarint(out, base.size());
@@ -159,14 +179,16 @@ std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const 
   int level = std::clamp(options.level, 0, 9);
   if (level == 0 || base.size() < options.seed_length) {
     EmitAdd(out, target);
-    return out;
+    return;
   }
 
   // Level controls index density (stride over base) and bucket depth.
   // Level 1: stride = seed/2, depth 2 (fast). Level 9: stride 1, depth 8.
   size_t stride = std::max<size_t>(1, options.seed_length / (1 + static_cast<size_t>(level)));
   size_t depth = 1 + static_cast<size_t>(level) / 2 + 1;
-  SeedIndex index(base, options.seed_length, stride, depth);
+  DeltaScratch local_scratch;
+  DeltaScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  SeedIndex index(base, options.seed_length, stride, depth, sc.seed_slots);
 
   size_t pending = 0;  // start of unmatched literal run
   size_t pos = 0;
@@ -178,10 +200,8 @@ std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const 
     }
     size_t fwd = index.ExtendForward(target, pos, cand);
     // Extend backwards into the pending literal run.
-    size_t back = 0;
-    while (back < pos - pending && back < cand && base[cand - back - 1] == target[pos - back - 1]) {
-      ++back;
-    }
+    size_t back = kernels::MatchBackward(base.data() + cand, target.data() + pos,
+                                         std::min(pos - pending, cand));
     size_t match_off = cand - back;
     size_t match_pos = pos - back;
     size_t match_len = fwd + back;
@@ -195,65 +215,93 @@ std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const 
     pending = pos;
   }
   EmitAdd(out, target.subspan(pending));
-  return out;
 }
 
 std::vector<uint8_t> DeltaDecode(std::span<const uint8_t> base, std::span<const uint8_t> delta) {
-  size_t pos = 0;
-  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
-    throw DeltaError("bad delta magic");
-  }
-  pos = 4;
-  uint64_t base_len = ReadVarint(delta, pos);
-  uint64_t target_len = ReadVarint(delta, pos);
+  std::vector<uint8_t> out;
+  DeltaDecodeInto(base, delta, out);
+  return out;
+}
+
+void DeltaDecodeInto(std::span<const uint8_t> base, std::span<const uint8_t> delta,
+                     std::vector<uint8_t>& out) {
+  uint64_t base_len = 0;
+  uint64_t target_len = 0;
+  const size_t ops_start = CheckHeader(delta, &base_len, &target_len);
   if (base_len != base.size()) {
     throw DeltaError("delta was computed against a different base length");
   }
-  std::vector<uint8_t> out;
-  out.reserve(target_len);
+
+  // Pass 1: validate the whole op stream — opcodes, varints and bounds —
+  // before the output buffer is touched or sized. All checks are written in
+  // subtraction form: `pos + len` style sums can wrap for huge varint
+  // lengths and let a corrupt delta through.
+  uint64_t total = 0;
+  size_t pos = ops_start;
   while (pos < delta.size()) {
     uint8_t op = delta[pos++];
     if (op == kOpAdd) {
       uint64_t len = ReadVarint(delta, pos);
-      if (pos + len > delta.size()) {
+      if (len > delta.size() - pos) {
         throw DeltaError("ADD overruns delta");
       }
-      out.insert(out.end(), delta.begin() + static_cast<ptrdiff_t>(pos),
-                 delta.begin() + static_cast<ptrdiff_t>(pos + len));
       pos += len;
+      if (len > target_len - total) {
+        throw DeltaError("reconstructed length mismatch");
+      }
+      total += len;
     } else if (op == kOpCopy) {
       uint64_t off = ReadVarint(delta, pos);
       uint64_t len = ReadVarint(delta, pos);
-      if (off + len > base.size()) {
+      if (off > base.size() || len > base.size() - off) {
         throw DeltaError("COPY overruns base");
       }
-      out.insert(out.end(), base.begin() + static_cast<ptrdiff_t>(off),
-                 base.begin() + static_cast<ptrdiff_t>(off + len));
+      if (len > target_len - total) {
+        throw DeltaError("reconstructed length mismatch");
+      }
+      total += len;
     } else {
       throw DeltaError("unknown delta opcode");
     }
   }
-  if (out.size() != target_len) {
+  if (total != target_len) {
     throw DeltaError("reconstructed length mismatch");
   }
-  return out;
+
+  // Pass 2: single sized allocation, then straight memcpys. The stream was
+  // validated above, so this pass re-reads varints without re-checking.
+  out.resize(target_len);
+  uint8_t* dst = out.data();
+  pos = ops_start;
+  while (pos < delta.size()) {
+    uint8_t op = delta[pos++];
+    if (op == kOpAdd) {
+      uint64_t len = ReadVarint(delta, pos);
+      kernels::CopyBytes(dst, delta.data() + pos, len);
+      pos += len;
+      dst += len;
+    } else {
+      uint64_t off = ReadVarint(delta, pos);
+      uint64_t len = ReadVarint(delta, pos);
+      kernels::CopyBytes(dst, base.data() + off, len);
+      dst += len;
+    }
+  }
 }
 
 DeltaStats InspectDelta(std::span<const uint8_t> delta) {
   DeltaStats stats;
   stats.delta_length = delta.size();
-  size_t pos = 0;
-  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
-    throw DeltaError("bad delta magic");
-  }
-  pos = 4;
-  stats.base_length = ReadVarint(delta, pos);
-  stats.target_length = ReadVarint(delta, pos);
+  uint64_t base_len = 0;
+  uint64_t target_len = 0;
+  size_t pos = CheckHeader(delta, &base_len, &target_len);
+  stats.base_length = base_len;
+  stats.target_length = target_len;
   while (pos < delta.size()) {
     uint8_t op = delta[pos++];
     if (op == kOpAdd) {
       uint64_t len = ReadVarint(delta, pos);
-      if (pos + len > delta.size()) {
+      if (len > delta.size() - pos) {
         throw DeltaError("ADD overruns delta");
       }
       stats.add_bytes += len;
@@ -272,12 +320,10 @@ DeltaStats InspectDelta(std::span<const uint8_t> delta) {
 }
 
 size_t DeltaTargetLength(std::span<const uint8_t> delta) {
-  if (delta.size() < 4 || std::memcmp(delta.data(), kMagic, 4) != 0) {
-    throw DeltaError("bad delta magic");
-  }
-  size_t pos = 4;
-  ReadVarint(delta, pos);          // base_len
-  return ReadVarint(delta, pos);   // target_len
+  uint64_t base_len = 0;
+  uint64_t target_len = 0;
+  CheckHeader(delta, &base_len, &target_len);
+  return target_len;
 }
 
 }  // namespace medes

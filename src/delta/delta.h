@@ -14,6 +14,13 @@
 // trades encode effort (seed indexing density and bucket depth) for patch
 // size. The paper runs Xdelta3 at level 1 to keep restores fast; our default
 // matches that.
+//
+// Hot-path notes: seed comparison and match extension run through the
+// dispatched word/vector kernels (common/kernels/memops.h); DeltaDecode
+// validates the instruction stream in one pass and then memcpys into a
+// buffer pre-sized from the header instead of growing it op by op. The
+// *Into overloads write into caller-owned buffers and accept an optional
+// DeltaScratch so steady-state encode/decode performs no allocation.
 #ifndef MEDES_DELTA_DELTA_H_
 #define MEDES_DELTA_DELTA_H_
 
@@ -52,13 +59,31 @@ struct DeltaStats {
   size_t copy_ops = 0;
 };
 
+// Reusable encoder working storage (the seed-index table). Keep one per
+// worker thread and pass it to DeltaEncodeInto to avoid reallocating the
+// index for every page.
+struct DeltaScratch {
+  std::vector<size_t> seed_slots;
+};
+
 // Encodes `target` as a delta against `base`.
 std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const uint8_t> target,
                                  const DeltaOptions& options = {});
 
+// As DeltaEncode, but replaces the contents of `out` (capacity is reused)
+// and optionally uses `scratch` for the seed index.
+void DeltaEncodeInto(std::span<const uint8_t> base, std::span<const uint8_t> target,
+                     const DeltaOptions& options, std::vector<uint8_t>& out,
+                     DeltaScratch* scratch = nullptr);
+
 // Reconstructs the target from `base` and `delta`. Throws DeltaError if the
 // delta is corrupt or references out-of-range base bytes.
 std::vector<uint8_t> DeltaDecode(std::span<const uint8_t> base, std::span<const uint8_t> delta);
+
+// As DeltaDecode, but replaces the contents of `out` (capacity is reused).
+// The op stream is fully validated before `out` is touched.
+void DeltaDecodeInto(std::span<const uint8_t> base, std::span<const uint8_t> delta,
+                     std::vector<uint8_t>& out);
 
 // Parses a delta's instruction stream without materialising the target.
 DeltaStats InspectDelta(std::span<const uint8_t> delta);

@@ -43,6 +43,21 @@ TEST(RollingHashTest, ZeroWindowRejected) {
   EXPECT_THROW(RollingHash(0), std::invalid_argument);
 }
 
+TEST(RollingHashTest, InitRejectsShortData) {
+  RollingHash rh(64);
+  auto data = RandomBytes(63, 9);
+  EXPECT_THROW(rh.Init(data), std::invalid_argument);
+  EXPECT_THROW(rh.Init(std::span<const uint8_t>{}), std::invalid_argument);
+  std::vector<uint64_t> out(1);
+  EXPECT_THROW(rh.BulkHash(data, out.data()), std::invalid_argument);
+}
+
+TEST(RollingHashTest, InitAcceptsExactWindow) {
+  RollingHash rh(64);
+  auto data = RandomBytes(64, 10);
+  EXPECT_NO_THROW(rh.Init(data));
+}
+
 TEST(RollingHashTest, ContentDefinedAcrossShifts) {
   // The same 64 bytes hash identically wherever they sit.
   auto chunk = RandomBytes(64, 3);

@@ -66,13 +66,16 @@ TEST(RegistryConcurrencyTest, ConcurrentInsertLookupRemove) {
       for (uint64_t p = 0; p < 8; ++p) {
         batch.push_back(Fp({1000 + p, 3 + p}));
       }
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: on a loaded single-core host the writers can finish (and
+      // set `stop`) before a reader is first scheduled; every reader still
+      // contributes at least one iteration so results_seen stays meaningful.
+      do {
         auto single = registry.FindBasePages(batch[0], 0, 0, 4);
         auto many = registry.FindBasePagesBatch(batch, 0, 0, 4);
         results_seen.fetch_add(single.size() + many.size(), std::memory_order_relaxed);
         (void)registry.stats();
         (void)registry.IsBaseSandbox(1);
-      }
+      } while (!stop.load(std::memory_order_relaxed));
     });
   }
   for (int w = 0; w < kWriters; ++w) {
