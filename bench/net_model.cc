@@ -1,0 +1,206 @@
+// Network-model benchmark: per-message-type traffic and latency through the
+// unified cluster transport, healthy and under fault injection.
+//
+// Drives a full dedup + restore workload (a base per function, then three
+// rounds of victims across the worker nodes) against a distributed registry
+// and an RDMA fabric sharing one Transport, twice: once healthy, once with
+// registry replicas partitioned off the network (shard 0 loses its tail —
+// reads fail over down the chain; shard 1 loses every replica — its lookups
+// go unavailable and its writes are dropped). The pipeline must keep running
+// either way: dedup degrades to fewer candidates, restores keep reading base
+// pages over the data plane.
+//
+// Output: a human-readable summary on stdout plus a JSON document (stdout,
+// and to a file when a path is given as argv[1]) with per-message-type
+// message/request/byte/drop counts, mean and max modelled latency, and the
+// power-of-two latency histogram — the artifact CI uploads.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace medes;
+
+namespace {
+
+struct RunSummary {
+  TransportStats transport;
+  DistributedRegistryStats registry;
+  uint64_t dedup_ops = 0;
+  uint64_t restores = 0;
+  uint64_t pages_deduped = 0;
+  SimDuration total_lookup_time = 0;
+  SimDuration total_restore_time = 0;
+};
+
+RunSummary RunOnce(bool partitioned) {
+  ClusterOptions copts;
+  copts.num_nodes = 4;
+  copts.node_memory_mb = 1e9;  // no pressure: isolate the wire traffic
+  copts.bytes_per_mb = 16384;
+  Cluster cluster(copts);
+
+  auto transport = std::make_shared<Transport>();
+  DistributedRegistryOptions dopts;
+  dopts.num_shards = 4;
+  dopts.replication_factor = 3;
+  DistributedRegistry registry(dopts, transport);
+  RdmaFabric fabric({.page_cache_capacity = 512},
+                    [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); }, transport);
+  DedupAgent agent(cluster, registry, fabric, {});
+
+  if (partitioned) {
+    auto policy = std::make_shared<StaticFaultPolicy>();
+    // Shard 0: tail partitioned -> reads fail over to the middle replica.
+    policy->PartitionNode(registry.ReplicaNode(0, dopts.replication_factor - 1));
+    // Shard 1: every replica partitioned -> lookups unavailable, writes drop.
+    for (int r = 0; r < dopts.replication_factor; ++r) {
+      policy->PartitionNode(registry.ReplicaNode(1, r));
+    }
+    transport->InstallFaultPolicy(policy);
+  }
+
+  RunSummary summary;
+  for (const auto& p : FunctionBenchProfiles()) {
+    Sandbox& base = cluster.Spawn(p, 0, 0);
+    cluster.MarkWarm(base, 0);
+    agent.DesignateBase(base);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& p : FunctionBenchProfiles()) {
+      Sandbox& sb = cluster.Spawn(p, 1 + round % 3, 0);
+      cluster.MarkWarm(sb, 0);
+      DedupOpResult d = agent.DedupOp(sb, 1);
+      ++summary.dedup_ops;
+      summary.pages_deduped += d.pages_deduped;
+      summary.total_lookup_time += d.lookup_time;
+      RestoreOpResult r = agent.RestoreOp(sb, 2, /*verify=*/true);
+      ++summary.restores;
+      summary.total_restore_time += r.total_time;
+      cluster.Purge(sb.id);
+    }
+  }
+  summary.transport = transport->stats();
+  summary.registry = registry.distributed_stats();
+  return summary;
+}
+
+void PrintTypeJson(FILE* out, const TransportStats& stats, bool last) {
+  for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    const MessageStats& ms = stats.by_type[t];
+    std::fprintf(out,
+                 "      \"%s\": {\"messages\": %llu, \"requests\": %llu, \"bytes\": %llu, "
+                 "\"dropped\": %llu, \"mean_latency_us\": %.2f, \"max_latency_us\": %lld, "
+                 "\"latency_histogram\": [",
+                 ToString(static_cast<MessageType>(t)),
+                 static_cast<unsigned long long>(ms.messages),
+                 static_cast<unsigned long long>(ms.requests),
+                 static_cast<unsigned long long>(ms.bytes),
+                 static_cast<unsigned long long>(ms.dropped), ms.MeanLatency(),
+                 static_cast<long long>(ms.max_latency));
+    for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      std::fprintf(out, "%s%llu", b == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(ms.latency.Count(b)));
+    }
+    std::fprintf(out, "]}%s\n", (last && t + 1 == kNumMessageTypes) ? "" : ",");
+  }
+}
+
+void PrintRunJson(FILE* out, const char* name, const RunSummary& run, bool last) {
+  std::fprintf(out, "  \"%s\": {\n    \"by_type\": {\n", name);
+  PrintTypeJson(out, run.transport, true);
+  std::fprintf(out, "    },\n");
+  std::fprintf(out,
+               "    \"total_messages\": %llu, \"total_bytes\": %llu, \"total_dropped\": %llu,\n",
+               static_cast<unsigned long long>(run.transport.TotalMessages()),
+               static_cast<unsigned long long>(run.transport.TotalBytes()),
+               static_cast<unsigned long long>(run.transport.TotalDropped()));
+  std::fprintf(out,
+               "    \"registry\": {\"unavailable_lookups\": %llu, \"dropped_writes\": %llu, "
+               "\"failovers\": %llu},\n",
+               static_cast<unsigned long long>(run.registry.unavailable_lookups),
+               static_cast<unsigned long long>(run.registry.dropped_writes),
+               static_cast<unsigned long long>(run.registry.failovers));
+  std::fprintf(out,
+               "    \"dedup_ops\": %llu, \"restores\": %llu, \"pages_deduped\": %llu,\n"
+               "    \"total_lookup_ms\": %.1f, \"total_restore_ms\": %.1f\n  }%s\n",
+               static_cast<unsigned long long>(run.dedup_ops),
+               static_cast<unsigned long long>(run.restores),
+               static_cast<unsigned long long>(run.pages_deduped),
+               ToMillis(run.total_lookup_time), ToMillis(run.total_restore_time), last ? "" : ",");
+}
+
+void PrintJson(FILE* out, const RunSummary& healthy, const RunSummary& faulty) {
+  std::fprintf(out, "{\n");
+  PrintRunJson(out, "healthy", healthy, /*last=*/false);
+  PrintRunJson(out, "partitioned", faulty, /*last=*/true);
+  std::fprintf(out, "}\n");
+}
+
+void PrintSummary(const char* name, const RunSummary& run) {
+  bench::Section(name);
+  std::printf("%-18s %10s %10s %12s %8s %10s %8s\n", "type", "messages", "requests", "bytes",
+              "dropped", "mean(us)", "max(us)");
+  for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    const MessageStats& ms = run.transport.by_type[t];
+    std::printf("%-18s %10llu %10llu %12llu %8llu %10.2f %8lld\n",
+                ToString(static_cast<MessageType>(t)),
+                static_cast<unsigned long long>(ms.messages),
+                static_cast<unsigned long long>(ms.requests),
+                static_cast<unsigned long long>(ms.bytes),
+                static_cast<unsigned long long>(ms.dropped), ms.MeanLatency(),
+                static_cast<long long>(ms.max_latency));
+  }
+  std::printf("registry: unavailable_lookups=%llu dropped_writes=%llu failovers=%llu\n",
+              static_cast<unsigned long long>(run.registry.unavailable_lookups),
+              static_cast<unsigned long long>(run.registry.dropped_writes),
+              static_cast<unsigned long long>(run.registry.failovers));
+  std::printf("ops: dedup=%llu restore=%llu pages_deduped=%llu lookup=%.1fms restore=%.1fms\n",
+              static_cast<unsigned long long>(run.dedup_ops),
+              static_cast<unsigned long long>(run.restores),
+              static_cast<unsigned long long>(run.pages_deduped),
+              ToMillis(run.total_lookup_time), ToMillis(run.total_restore_time));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Header("Network model: per-message-type transport traffic",
+                "Dedup + restore workload, distributed registry (4 shards x 3 replicas)");
+
+  RunSummary healthy = RunOnce(/*partitioned=*/false);
+  RunSummary faulty = RunOnce(/*partitioned=*/true);
+
+  PrintSummary("Healthy cluster", healthy);
+  PrintSummary("Partitioned: shard 0 tail + all of shard 1", faulty);
+
+  bench::Section("JSON");
+  PrintJson(stdout, healthy, faulty);
+  if (argc > 1) {
+    FILE* out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    PrintJson(out, healthy, faulty);
+    std::fclose(out);
+    std::printf("(written to %s)\n", argv[1]);
+  }
+
+  // The fault run must *degrade*, not fail: lookups lost to the dead shard,
+  // reads still flowing and every restore still byte-exact.
+  if (faulty.registry.unavailable_lookups == 0 || faulty.registry.failovers == 0) {
+    std::fprintf(stderr, "expected the partition to degrade lookups\n");
+    return 1;
+  }
+  if (faulty.restores != healthy.restores ||
+      faulty.transport.For(MessageType::kBaseRead).messages == 0) {
+    std::fprintf(stderr, "expected restores to keep flowing under partition\n");
+    return 1;
+  }
+  if (faulty.pages_deduped >= healthy.pages_deduped) {
+    std::fprintf(stderr, "expected fewer dedup candidates under partition\n");
+    return 1;
+  }
+  return 0;
+}

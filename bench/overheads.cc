@@ -42,10 +42,9 @@ int main() {
                 ToMillis(d.checkpoint_time), ToMillis(d.lookup_time), ToMillis(d.patch_time),
                 ToMillis(d.total_time));
   }
-  DedupAgentOptions agent_opts;
   std::printf("(paper: 2000 ms for Vanilla (4k pages) to 3300 ms for ModelTrain (22k pages);\n"
               " lookup alone 130 -> 1850 ms at ~%ld us/page single-threaded)\n",
-              static_cast<long>(agent_opts.controller_lookup_per_page));
+              static_cast<long>(RegistryOptions().lookup_per_page));
 
   bench::Section("Controller: fingerprint registry footprint (base restriction, Section 4.1.3)");
   RegistryStats stats = registry.stats();

@@ -125,8 +125,10 @@ const char* ToString(LockRank rank) {
       return "rank 4: registry sandbox index";
     case LockRank::kRdmaCache:
       return "rank 5: rdma cache";
+    case LockRank::kTransport:
+      return "rank 6: transport";
     case LockRank::kMetrics:
-      return "rank 6: metrics";
+      return "rank 7: metrics";
   }
   return "unknown";
 }

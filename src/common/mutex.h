@@ -44,7 +44,8 @@ enum class LockRank : int {
   kRegistryShard = 3,     // FingerprintRegistry striped shard locks
   kRegistrySandbox = 4,   // FingerprintRegistry sandbox refcounts / reverse index
   kRdmaCache = 5,         // RdmaFabric base-page LRU cache
-  kMetrics = 6,           // stats/metrics sinks (platform, agents, registries)
+  kTransport = 6,         // Transport fault-policy slot / StaticFaultPolicy state
+  kMetrics = 7,           // stats/metrics sinks (platform, agents, registries)
 };
 
 const char* ToString(LockRank rank);

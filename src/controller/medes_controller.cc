@@ -1,12 +1,16 @@
 #include "controller/medes_controller.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace medes {
 
-MedesController::MedesController(Cluster& cluster, MedesControllerOptions options)
+MedesController::MedesController(Cluster& cluster, MedesControllerOptions options,
+                                 std::shared_ptr<Transport> transport, NodeId controller_node)
     : cluster_(cluster),
       options_(options),
+      transport_(std::move(transport)),
+      controller_node_(controller_node),
       tracking_(FunctionBenchProfiles().size()),
       scale_to_mb_(1.0 / static_cast<double>(cluster.options().bytes_per_mb)) {}
 
@@ -82,6 +86,14 @@ double MedesController::AlphaFor(FunctionId function) const {
 }
 
 IdleDecision MedesController::OnIdleExpiry(const Sandbox& sb, SimTime now) {
+  // The decision itself is computed controller-side; delivering it to the
+  // sandbox's node is one small control-plane message. Drops are ignored —
+  // an undelivered decision just leaves the sandbox warm until the next
+  // idle-period expiry re-raises it.
+  if (transport_ != nullptr) {
+    transport_->Send(MessageType::kControlDecision, controller_node_, sb.node,
+                     kControlDecisionBytes);
+  }
   const FunctionId f = sb.function;
   const int dedups = static_cast<int>(cluster_.SandboxesIn(f, SandboxState::kDedup).size());
   const int bases = cluster_.NumBaseSnapshots(f);

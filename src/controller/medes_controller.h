@@ -10,11 +10,13 @@
 #ifndef MEDES_CONTROLLER_MEDES_CONTROLLER_H_
 #define MEDES_CONTROLLER_MEDES_CONTROLLER_H_
 
+#include <memory>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/time.h"
 #include "dedupagent/dedup_agent.h"
+#include "net/transport.h"
 #include "policy/keep_alive.h"
 #include "policy/medes_policy.h"
 
@@ -60,9 +62,18 @@ enum class IdleDecision {
   kDesignateBase,
 };
 
+// Modelled wire size of one controller decision message (a verdict plus
+// sandbox identity — tiny; the latency term dominates).
+inline constexpr size_t kControlDecisionBytes = 64;
+
 class MedesController {
  public:
-  MedesController(Cluster& cluster, MedesControllerOptions options);
+  // With a transport bound, every idle-expiry decision is charged as one
+  // kControlDecision message from `controller_node` to the sandbox's node.
+  // The default (no transport) keeps the controller purely local — existing
+  // standalone users and tests are unaffected.
+  MedesController(Cluster& cluster, MedesControllerOptions options,
+                  std::shared_ptr<Transport> transport = nullptr, NodeId controller_node = -1);
 
   const MedesControllerOptions& options() const { return options_; }
 
@@ -106,6 +117,8 @@ class MedesController {
 
   Cluster& cluster_;
   MedesControllerOptions options_;
+  std::shared_ptr<Transport> transport_;
+  NodeId controller_node_ = -1;
   std::vector<FunctionTracking> tracking_;
   double scale_to_mb_;  // 1 / bytes_per_mb
 };

@@ -61,22 +61,32 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
 
   // 3. Registry lookups, batched and fanned out (parallel; the registry's
   // striped locks let lookups proceed concurrently, and each task's
-  // FindBasePagesBatch call amortises shard locking across a batch).
+  // FindBasePagesBatch call amortises shard locking across a batch). Each
+  // batch also reports its modelled cost — a pure function of the batch's
+  // contents — into its own slot, so the serial sum below is identical at
+  // every thread count.
   std::vector<std::vector<BasePageCandidate>> candidates(n);
   const size_t batch = std::max<size_t>(options_.lookup_batch_pages, 1);
   const size_t num_batches = (n + batch - 1) / batch;
+  std::vector<SimDuration> batch_costs(num_batches, 0);
   pool_->ParallelFor(0, num_batches, [&](size_t b) {
     const size_t lo = b * batch;
     const size_t hi = std::min(n, lo + batch);
     auto out = registry_.FindBasePagesBatch(
         std::span<const PageFingerprint>(fingerprints).subspan(lo, hi - lo), sb.node, sb.id,
-        options_.max_base_pages_per_page);
+        options_.max_base_pages_per_page, &batch_costs[b]);
     std::move(out.begin(), out.end(), candidates.begin() + static_cast<ptrdiff_t>(lo));
   });
+  SimDuration lookup_cost = 0;
+  for (SimDuration c : batch_costs) {
+    lookup_cost += c;
+  }
 
   // 4. Base-page reads, serial in canonical page order: the fabric cache's
   // hit/miss sequence — and therefore the modelled RDMA cost — depends only
-  // on page order, never on worker interleaving.
+  // on page order, never on worker interleaving. A read dropped by the
+  // transport's fault policy degrades that page to unique (the candidate is
+  // discarded) instead of failing the op.
   SimDuration rdma_cost = 0;
   std::vector<std::vector<uint8_t>> base_bytes(n);
   for (size_t i = 0; i < n; ++i) {
@@ -86,9 +96,14 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     // The patch is computed against the concatenation of the chosen base
     // page(s); restore must fetch them all.
     base_bytes[i].reserve(candidates[i].size() * kPageSize);
-    for (const BasePageCandidate& candidate : candidates[i]) {
-      std::vector<uint8_t> one = fabric_.ReadPage(candidate.location, sb.node, &rdma_cost);
-      base_bytes[i].insert(base_bytes[i].end(), one.begin(), one.end());
+    try {
+      for (const BasePageCandidate& candidate : candidates[i]) {
+        std::vector<uint8_t> one = fabric_.ReadPage(candidate.location, sb.node, &rdma_cost);
+        base_bytes[i].insert(base_bytes[i].end(), one.begin(), one.end());
+      }
+    } catch (const RdmaUnavailable&) {
+      candidates[i].clear();  // counted unique in the merge
+      base_bytes[i].clear();
     }
   }
 
@@ -147,9 +162,8 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   // Zero pages also count as saved memory relative to the warm state.
   result.saved_bytes += result.pages_zero * kPageSize;
 
-  result.lookup_time = static_cast<SimDuration>(
-      static_cast<double>(options_.controller_lookup_per_page) * static_cast<double>(n) *
-      scale);
+  result.lookup_time =
+      static_cast<SimDuration>(static_cast<double>(lookup_cost) * scale);
   result.patch_time =
       static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale) +
       static_cast<SimDuration>(static_cast<double>(result.patch_bytes) * scale /

@@ -52,9 +52,11 @@ struct DedupAgentOptions {
   // A patch is only kept if it is smaller than this fraction of the page
   // (otherwise deduplication of that page isn't worth the metadata).
   double patch_accept_max_ratio = 0.85;
-  // Controller-side lookup cost per page (paper Section 7.7 reports ~80 us
-  // per page in their single-threaded implementation).
-  SimDuration controller_lookup_per_page = 80;
+  // NOTE: the flat `controller_lookup_per_page` constant that used to live
+  // here is gone — DedupOpResult::lookup_time now comes from the registry's
+  // own cost model (RegistryOptions::lookup_per_page plus transport message
+  // costs; DistributedRegistry models its shard fan-out), so centralized and
+  // distributed configurations no longer disagree about the same operation.
   // How many ranked base pages a patch may be computed against (Section
   // 4.1.2 says "base page(s)"; 1 keeps restore reads minimal — the Fig. 16
   // cardinality sensitivity raises it).
@@ -82,7 +84,9 @@ struct DedupOpResult {
   size_t cross_function_pages = 0;  // ... of a different function (Section 7.3.1)
   // Modelled durations at represented scale.
   SimDuration checkpoint_time = 0;
-  SimDuration lookup_time = 0;   // fingerprints to controller + registry lookups
+  // Registry lookups (the registry's modelled cost: transport messages plus
+  // controller-side per-page work, summed across the op's batches).
+  SimDuration lookup_time = 0;
   SimDuration patch_time = 0;    // base page reads + patch computation
   SimDuration total_time = 0;
 };

@@ -25,6 +25,7 @@
 #include "memstate/image.h"                 // IWYU pragma: export
 #include "memstate/library_pool.h"          // IWYU pragma: export
 #include "memstate/profiles.h"              // IWYU pragma: export
+#include "net/transport.h"                  // IWYU pragma: export
 #include "platform/metrics.h"               // IWYU pragma: export
 #include "platform/platform.h"              // IWYU pragma: export
 #include "policy/keep_alive.h"              // IWYU pragma: export

@@ -1,0 +1,173 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace medes {
+
+const char* ToString(MessageType type) {
+  switch (type) {
+    case MessageType::kRegistryLookup:
+      return "registry_lookup";
+    case MessageType::kRegistryInsert:
+      return "registry_insert";
+    case MessageType::kBaseRead:
+      return "base_read";
+    case MessageType::kControlDecision:
+      return "control_decision";
+    case MessageType::kReplicaSync:
+      return "replica_sync";
+  }
+  return "?";
+}
+
+SimDuration LinkCost(size_t bytes, const LinkModel& link) {
+  if (link.bandwidth_gbps <= 0) {
+    return link.latency;
+  }
+  // bytes / (gbps Gbit/s) in microseconds: bytes * 8 / (gbps * 1000) us.
+  const auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                                 (link.bandwidth_gbps * 1000.0));
+  return link.latency + transfer;
+}
+
+// ---- StaticFaultPolicy ---------------------------------------------------
+
+Fault StaticFaultPolicy::OnMessage(MessageType type, NodeId src, NodeId dst, size_t bytes) {
+  (void)bytes;
+  ReaderLock lock(mu_);
+  Fault fault;
+  if (cut_links_.contains(Topology::PairKey(src, dst))) {
+    fault.drop = true;
+    return fault;
+  }
+  fault.added_delay = type_delay_[static_cast<size_t>(type)];
+  return fault;
+}
+
+bool StaticFaultPolicy::NodePartitioned(NodeId node) const {
+  ReaderLock lock(mu_);
+  return partitioned_nodes_.contains(node);
+}
+
+void StaticFaultPolicy::PartitionNode(NodeId node) {
+  WriterLock lock(mu_);
+  partitioned_nodes_.insert(node);
+}
+
+void StaticFaultPolicy::HealNode(NodeId node) {
+  WriterLock lock(mu_);
+  partitioned_nodes_.erase(node);
+}
+
+void StaticFaultPolicy::PartitionLink(NodeId a, NodeId b) {
+  WriterLock lock(mu_);
+  cut_links_.insert(Topology::PairKey(a, b));
+  cut_links_.insert(Topology::PairKey(b, a));
+}
+
+void StaticFaultPolicy::HealLink(NodeId a, NodeId b) {
+  WriterLock lock(mu_);
+  cut_links_.erase(Topology::PairKey(a, b));
+  cut_links_.erase(Topology::PairKey(b, a));
+}
+
+void StaticFaultPolicy::SetTypeDelay(MessageType type, SimDuration delay) {
+  WriterLock lock(mu_);
+  type_delay_[static_cast<size_t>(type)] = delay;
+}
+
+// ---- TransportStats ------------------------------------------------------
+
+uint64_t TransportStats::TotalMessages() const {
+  uint64_t total = 0;
+  for (const MessageStats& ms : by_type) {
+    total += ms.messages;
+  }
+  return total;
+}
+
+uint64_t TransportStats::TotalBytes() const {
+  uint64_t total = 0;
+  for (const MessageStats& ms : by_type) {
+    total += ms.bytes;
+  }
+  return total;
+}
+
+uint64_t TransportStats::TotalDropped() const {
+  uint64_t total = 0;
+  for (const MessageStats& ms : by_type) {
+    total += ms.dropped;
+  }
+  return total;
+}
+
+SimDuration TransportStats::TotalLatency() const {
+  SimDuration total = 0;
+  for (const MessageStats& ms : by_type) {
+    total += ms.total_latency;
+  }
+  return total;
+}
+
+// ---- Transport -----------------------------------------------------------
+
+Transport::Transport(Topology topology) : topology_(std::move(topology)) {}
+
+std::shared_ptr<FaultPolicy> Transport::CurrentPolicy() const {
+  ReaderLock lock(policy_mu_);
+  return policy_;
+}
+
+void Transport::InstallFaultPolicy(std::shared_ptr<FaultPolicy> policy) {
+  WriterLock lock(policy_mu_);
+  policy_ = std::move(policy);
+}
+
+bool Transport::NodeUp(NodeId node) const {
+  std::shared_ptr<FaultPolicy> policy = CurrentPolicy();
+  return policy == nullptr || !policy->NodePartitioned(node);
+}
+
+Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, size_t bytes,
+                                      uint64_t requests) {
+  Fault fault;
+  if (std::shared_ptr<FaultPolicy> policy = CurrentPolicy()) {
+    if (policy->NodePartitioned(src) || policy->NodePartitioned(dst)) {
+      fault.drop = true;
+    } else {
+      fault = policy->OnMessage(type, src, dst, bytes);
+    }
+  }
+  SendResult result;
+  result.delivered = !fault.drop;
+  result.cost = MessageCost(src, dst, bytes) + fault.added_delay;
+  {
+    MutexLock lock(stats_mu_);
+    MessageStats& ms = stats_.by_type[static_cast<size_t>(type)];
+    ++ms.messages;
+    ms.requests += requests;
+    ms.bytes += bytes;
+    if (result.delivered) {
+      ms.total_latency += result.cost;
+      ms.max_latency = std::max(ms.max_latency, result.cost);
+      ms.latency.Record(result.cost);
+    } else {
+      ++ms.dropped;
+    }
+  }
+  return result;
+}
+
+TransportStats Transport::stats() const {
+  MutexLock lock(stats_mu_);
+  return stats_;
+}
+
+void Transport::ResetStats() {
+  MutexLock lock(stats_mu_);
+  stats_ = {};
+}
+
+}  // namespace medes

@@ -1,0 +1,293 @@
+// Unified cluster transport: every modelled cross-node byte in medes flows
+// through this layer.
+//
+// Medes' architecture is an explicit control-plane/data-plane split: dedup
+// agents make batched fingerprint lookups against the controller's registry,
+// while restores read base pages over one-sided RDMA with no controller
+// involvement (paper Sections 4.2-4.3). Before this layer existed, each of
+// those wires carried its own private latency/bandwidth model; now they all
+// charge a single Transport over a cluster Topology:
+//
+//   - Topology: node count plus per-link latency/bandwidth (a default remote
+//     link, a node-local fast path, and optional per-(src,dst) overrides).
+//   - Typed messages: each send is tagged with a MessageType so per-type
+//     counters, byte totals, and latency histograms accumulate separately.
+//   - Batched request accounting: a single message may carry many logical
+//     requests (e.g. one registry lookup message carrying a batch of keys);
+//     `requests` tracks the logical count alongside the message count.
+//   - Fault injection: an installable FaultPolicy can add delay, drop
+//     individual messages, or partition nodes/links. Callers observe drops
+//     via SendResult::delivered and degrade gracefully.
+//
+// Determinism contract: MessageCost is a pure function of (src, dst, bytes)
+// and Send's result additionally depends only on the installed policy's
+// answer for (type, src, dst, bytes) — never on wall-clock time, thread
+// identity, or call interleaving. Stats are order-independent accumulations
+// (sums, maxima, histogram bucket counts), so concurrent senders produce
+// bit-identical stats regardless of schedule. A FaultPolicy must likewise be
+// a pure function of the message and its own configured state for the
+// pipeline's bit-identical-across-thread-counts guarantee to hold.
+#ifndef MEDES_NET_TRANSPORT_H_
+#define MEDES_NET_TRANSPORT_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/time.h"
+
+namespace medes {
+
+// Also declared (identically) in registry/registry_backend.h; net/ sits
+// below registry/ in the dependency order so it cannot include it.
+using NodeId = int;
+
+// ---- Message taxonomy ----------------------------------------------------
+
+enum class MessageType : int {
+  kRegistryLookup = 0,   // agent -> registry: batched fingerprint lookups
+  kRegistryInsert = 1,   // agent -> registry: base-sandbox fingerprint insert
+  kBaseRead = 2,         // one-sided RDMA base-page read (data plane)
+  kControlDecision = 3,  // controller -> node: idle-policy decision
+  kReplicaSync = 4,      // registry replica -> replica: chain re-sync
+};
+inline constexpr size_t kNumMessageTypes = 5;
+
+const char* ToString(MessageType type);
+
+// ---- Links and topology --------------------------------------------------
+
+struct LinkModel {
+  SimDuration latency = 3;      // us, per-message setup cost
+  double bandwidth_gbps = 10.0;  // line rate; <= 0 means infinite bandwidth
+
+  bool operator==(const LinkModel&) const = default;
+};
+
+// Modelled cost of moving `bytes` over `link`:
+//     latency + bytes * 8 / (bandwidth_gbps * 1000) us
+// with the transfer term truncated to whole microseconds (SimDuration
+// granularity). Sub-microsecond transfers therefore cost `latency` alone,
+// and a non-positive bandwidth disables the transfer term entirely.
+SimDuration LinkCost(size_t bytes, const LinkModel& link);
+
+// Cluster shape: `num_nodes` nodes, a default remote link between distinct
+// nodes, a node-local fast path (src == dst), and optional per-directed-pair
+// overrides. Plain data, immutable once handed to a Transport.
+struct Topology {
+  int num_nodes = 1;
+  LinkModel remote;                         // default inter-node link
+  LinkModel local{.latency = 0, .bandwidth_gbps = 80.0};  // same-node fast path
+
+  // Directed (src, dst) link overrides, keyed by PairKey().
+  std::unordered_map<uint64_t, LinkModel> overrides;
+
+  static uint64_t PairKey(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(dst));
+  }
+  void SetLink(NodeId src, NodeId dst, LinkModel link) { overrides[PairKey(src, dst)] = link; }
+  void SetBidirectionalLink(NodeId a, NodeId b, LinkModel link) {
+    SetLink(a, b, link);
+    SetLink(b, a, link);
+  }
+  // The link a (src -> dst) message travels: override if present, else the
+  // local fast path when src == dst, else the default remote link.
+  const LinkModel& LinkFor(NodeId src, NodeId dst) const {
+    auto it = overrides.find(PairKey(src, dst));
+    if (it != overrides.end()) {
+      return it->second;
+    }
+    return src == dst ? local : remote;
+  }
+};
+
+// The platform-level network configuration: the two default link classes a
+// Topology is built from (per-pair overrides are programmatic).
+struct NetworkModel {
+  LinkModel remote{.latency = 3, .bandwidth_gbps = 10.0};
+  LinkModel local{.latency = 0, .bandwidth_gbps = 80.0};
+};
+
+// ---- Fault injection -----------------------------------------------------
+
+struct Fault {
+  bool drop = false;            // message is lost; SendResult.delivered = false
+  SimDuration added_delay = 0;  // extra latency charged on top of the link cost
+};
+
+// Installable fault seam. Implementations MUST be pure functions of the
+// message tuple and their own configured state (no RNG, no clocks, no
+// per-call mutation) or the determinism contract breaks.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  // The fault (if any) applied to one message. Called outside any transport
+  // lock; implementations synchronise their own state.
+  virtual Fault OnMessage(MessageType type, NodeId src, NodeId dst, size_t bytes) = 0;
+
+  // True when `node` is partitioned from the cluster entirely. Transport
+  // drops every message to or from a partitioned node without consulting
+  // OnMessage; components also use this to route around dead peers.
+  virtual bool NodePartitioned(NodeId /*node*/) const { return false; }
+};
+
+// A concrete FaultPolicy driven by explicit configuration calls: partition
+// whole nodes, cut individual (bidirectional) links, or delay all messages
+// of one type. Deterministic by construction.
+class StaticFaultPolicy : public FaultPolicy {
+ public:
+  Fault OnMessage(MessageType type, NodeId src, NodeId dst, size_t bytes) override
+      EXCLUDES(mu_);
+  bool NodePartitioned(NodeId node) const override EXCLUDES(mu_);
+
+  void PartitionNode(NodeId node) EXCLUDES(mu_);
+  void HealNode(NodeId node) EXCLUDES(mu_);
+  void PartitionLink(NodeId a, NodeId b) EXCLUDES(mu_);
+  void HealLink(NodeId a, NodeId b) EXCLUDES(mu_);
+  void SetTypeDelay(MessageType type, SimDuration delay) EXCLUDES(mu_);
+
+ private:
+  mutable SharedMutex mu_{"static fault policy", LockRank::kTransport};
+  std::unordered_set<NodeId> partitioned_nodes_ GUARDED_BY(mu_);
+  std::unordered_set<uint64_t> cut_links_ GUARDED_BY(mu_);  // Topology::PairKey, both dirs
+  std::array<SimDuration, kNumMessageTypes> type_delay_ GUARDED_BY(mu_) = {};
+};
+
+// ---- Stats ---------------------------------------------------------------
+
+// Order-independent latency histogram: power-of-two buckets (bucket i counts
+// durations whose bit width is i, i.e. [2^(i-1), 2^i - 1]; bucket 0 counts
+// <= 0). Unlike SampleRecorder it stores no per-sample state, so concurrent
+// recording in any order yields identical contents.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 22;
+
+  void Record(SimDuration value) {
+    ++buckets_[BucketIndex(value)];
+  }
+  uint64_t Count(size_t bucket) const { return buckets_.at(bucket); }
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (uint64_t b : buckets_) {
+      total += b;
+    }
+    return total;
+  }
+  // Inclusive upper bound of a bucket (us); bucket 0 holds <= 0.
+  static SimDuration BucketUpperBound(size_t bucket) {
+    if (bucket == 0) {
+      return 0;
+    }
+    return static_cast<SimDuration>((1ull << bucket) - 1);
+  }
+  static size_t BucketIndex(SimDuration value) {
+    if (value <= 0) {
+      return 0;
+    }
+    const auto width = static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_ = {};
+};
+
+struct MessageStats {
+  uint64_t messages = 0;       // sends (delivered or dropped)
+  uint64_t requests = 0;       // logical requests batched into those messages
+  uint64_t bytes = 0;          // payload bytes attempted
+  uint64_t dropped = 0;        // sends lost to the fault policy
+  SimDuration total_latency = 0;  // summed cost of *delivered* messages
+  SimDuration max_latency = 0;    // worst delivered message
+  LatencyHistogram latency;       // delivered-message cost distribution
+
+  double MeanLatency() const {
+    const uint64_t delivered = messages - dropped;
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(total_latency) / static_cast<double>(delivered);
+  }
+  bool operator==(const MessageStats&) const = default;
+};
+
+struct TransportStats {
+  std::array<MessageStats, kNumMessageTypes> by_type;
+
+  const MessageStats& For(MessageType type) const {
+    return by_type.at(static_cast<size_t>(type));
+  }
+  uint64_t TotalMessages() const;
+  uint64_t TotalBytes() const;
+  uint64_t TotalDropped() const;
+  SimDuration TotalLatency() const;
+
+  bool operator==(const TransportStats&) const = default;
+};
+
+// ---- Transport -----------------------------------------------------------
+
+class Transport {
+ public:
+  explicit Transport(Topology topology = {});
+
+  const Topology& topology() const { return topology_; }
+
+  // Pure timing model: the cost of a (src -> dst) message of `bytes`,
+  // ignoring faults and recording nothing.
+  SimDuration MessageCost(NodeId src, NodeId dst, size_t bytes) const {
+    return LinkCost(bytes, topology_.LinkFor(src, dst));
+  }
+
+  struct SendResult {
+    bool delivered = true;
+    // Modelled cost of the attempt (link cost + any injected delay). The
+    // sender pays this whether or not the message was delivered; callers
+    // that model fire-and-forget drops may ignore it when !delivered.
+    SimDuration cost = 0;
+  };
+
+  // Sends one message carrying `requests` logical requests. Consults the
+  // fault policy (node partitions first, then OnMessage), accumulates
+  // per-type stats, and returns the outcome. Thread-safe; see the
+  // determinism contract in the file comment.
+  SendResult Send(MessageType type, NodeId src, NodeId dst, size_t bytes, uint64_t requests = 1)
+      EXCLUDES(policy_mu_, stats_mu_);
+
+  // Installs (or clears, with nullptr) the fault seam. The policy is shared:
+  // tests keep their handle to flip partitions mid-run.
+  void InstallFaultPolicy(std::shared_ptr<FaultPolicy> policy) EXCLUDES(policy_mu_);
+
+  // False when the installed policy partitions `node` from the cluster.
+  bool NodeUp(NodeId node) const EXCLUDES(policy_mu_);
+
+  TransportStats stats() const EXCLUDES(stats_mu_);
+  void ResetStats() EXCLUDES(stats_mu_);
+
+ private:
+  std::shared_ptr<FaultPolicy> CurrentPolicy() const EXCLUDES(policy_mu_);
+
+  const Topology topology_;
+
+  // The policy slot is copied out under a brief reader lock and released
+  // before calling into the policy (which may take its own kTransport-ranked
+  // lock; two locks of one rank are never held together).
+  mutable SharedMutex policy_mu_{"transport fault policy", LockRank::kTransport};
+  std::shared_ptr<FaultPolicy> policy_ GUARDED_BY(policy_mu_);
+
+  mutable Mutex stats_mu_{"transport stats", LockRank::kMetrics};
+  TransportStats stats_ GUARDED_BY(stats_mu_);
+};
+
+}  // namespace medes
+
+#endif  // MEDES_NET_TRANSPORT_H_

@@ -10,6 +10,7 @@
 #include "common/histogram.h"
 #include "common/time.h"
 #include "memstate/profiles.h"
+#include "net/transport.h"
 #include "rdma/rdma.h"
 #include "registry/fingerprint_registry.h"
 
@@ -81,6 +82,9 @@ struct RunMetrics {
 
   RegistryStats registry;
   RdmaStats rdma;
+  // Per-message-type counters and latency histograms from the shared
+  // cluster transport (lookups, inserts, base reads, control decisions).
+  TransportStats transport;
 
   uint64_t TotalColdStarts() const;
   uint64_t TotalRequests() const;

@@ -25,25 +25,51 @@ class ServerlessPlatform::Impl {
   explicit Impl(PlatformOptions options)
       : options_(std::move(options)),
         cluster_(options_.cluster),
-        registry_(MakeRegistry(options_)),
+        transport_(MakeTransport(options_)),
+        registry_(MakeRegistry(options_, transport_)),
         fabric_(options_.rdma,
-                [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); }),
+                [this](const PageLocation& loc) { return cluster_.ReadBasePage(loc); },
+                transport_),
         agent_(cluster_, *registry_, fabric_, WithPayloadPolicy(options_)),
-        controller_(cluster_, options_.medes),
+        controller_(cluster_, options_.medes, transport_, ControllerNode(options_)),
         adaptive_(FunctionBenchProfiles().size(), AdaptiveKeepAlive(options_.adaptive)) {
     MutexLock lock(metrics_mu_);
     metrics_.per_function.resize(FunctionBenchProfiles().size());
   }
 
-  static std::unique_ptr<RegistryBackend> MakeRegistry(const PlatformOptions& options) {
+  // The controller occupies the node right after the workers; registry shard
+  // replicas (distributed mode) come after the controller.
+  static NodeId ControllerNode(const PlatformOptions& options) {
+    return options.cluster.num_nodes;
+  }
+
+  static std::shared_ptr<Transport> MakeTransport(const PlatformOptions& options) {
+    Topology topology;
+    int nodes = options.cluster.num_nodes + 1;  // workers + controller
+    if (options.registry_shards > 0) {
+      nodes += options.registry_shards * options.registry_replication;
+    }
+    topology.num_nodes = nodes;
+    topology.remote = options.network.remote;
+    topology.local = options.network.local;
+    return std::make_shared<Transport>(topology);
+  }
+
+  static std::unique_ptr<RegistryBackend> MakeRegistry(const PlatformOptions& options,
+                                                       std::shared_ptr<Transport> transport) {
     if (options.registry_shards > 0) {
       DistributedRegistryOptions dopts;
       dopts.num_shards = options.registry_shards;
       dopts.replication_factor = options.registry_replication;
       dopts.per_shard = options.registry;
-      return std::make_unique<DistributedRegistry>(dopts);
+      dopts.first_registry_node = ControllerNode(options) + 1;
+      return std::make_unique<DistributedRegistry>(dopts, std::move(transport));
     }
-    return std::make_unique<FingerprintRegistry>(options.registry);
+    auto registry = std::make_unique<FingerprintRegistry>(options.registry);
+    // Centralized mode: the registry lives with the controller, so lookups
+    // and inserts are charged as messages to the controller's node.
+    registry->BindTransport(std::move(transport), ControllerNode(options));
+    return registry;
   }
 
   RunMetrics Run(const std::vector<TraceEvent>& trace) {
@@ -64,15 +90,18 @@ class ServerlessPlatform::Impl {
     // accessors acquire lower-ranked locks (registry shards, rdma cache).
     const RegistryStats registry_stats = registry_->stats();
     const RdmaStats rdma_stats = fabric_.stats();
+    const TransportStats transport_stats = transport_->stats();
     MutexLock lock(metrics_mu_);
     metrics_.registry = registry_stats;
     metrics_.rdma = rdma_stats;
+    metrics_.transport = transport_stats;
     return std::move(metrics_);
   }
 
   Cluster& cluster() { return cluster_; }
   RegistryBackend& registry() { return *registry_; }
   MedesController& controller() { return controller_; }
+  Transport& transport() { return *transport_; }
 
  private:
   static DedupAgentOptions WithPayloadPolicy(const PlatformOptions& options) {
@@ -426,6 +455,7 @@ class ServerlessPlatform::Impl {
   PlatformOptions options_;
   Simulation sim_;
   Cluster cluster_;
+  std::shared_ptr<Transport> transport_;
   std::unique_ptr<RegistryBackend> registry_;
   RdmaFabric fabric_;
   DedupAgent agent_;
@@ -453,6 +483,7 @@ RunMetrics ServerlessPlatform::Run(const std::vector<TraceEvent>& trace) {
 Cluster& ServerlessPlatform::cluster() { return impl_->cluster(); }
 RegistryBackend& ServerlessPlatform::registry() { return impl_->registry(); }
 MedesController& ServerlessPlatform::controller() { return impl_->controller(); }
+Transport& ServerlessPlatform::transport() { return impl_->transport(); }
 
 PlatformOptions MakePlatformOptions(PolicyKind policy) {
   PlatformOptions options;

@@ -15,6 +15,7 @@
 #include "cluster/cluster.h"
 #include "controller/medes_controller.h"
 #include "dedupagent/dedup_agent.h"
+#include "net/transport.h"
 #include "platform/metrics.h"
 #include "policy/keep_alive.h"
 #include "rdma/rdma.h"
@@ -40,6 +41,12 @@ struct PlatformOptions {
   DedupAgentOptions agent;
   MedesControllerOptions medes;
   AdaptiveKeepAliveOptions adaptive;
+  // Link parameters for the shared cluster transport. Node numbering:
+  // workers are 0..num_nodes-1, the controller sits on node num_nodes, and
+  // registry shard replicas (distributed mode) occupy num_nodes+1 onward.
+  // Every cross-node charge — registry lookups/inserts, base-page reads,
+  // control decisions — flows through one Transport built from this model.
+  NetworkModel network;
 
   PolicyKind policy = PolicyKind::kMedes;
   SimDuration fixed_keep_alive = 10 * kMinute;
@@ -75,6 +82,7 @@ class ServerlessPlatform {
   Cluster& cluster();
   RegistryBackend& registry();
   MedesController& controller();
+  Transport& transport();
 
  private:
   class Impl;

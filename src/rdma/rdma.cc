@@ -2,14 +2,24 @@
 
 namespace medes {
 
-RdmaFabric::RdmaFabric(RdmaOptions options, PageProvider provider)
-    : options_(options), provider_(std::move(provider)) {}
+RdmaFabric::RdmaFabric(RdmaOptions options, PageProvider provider,
+                       std::shared_ptr<Transport> transport)
+    : options_(options), provider_(std::move(provider)), transport_(std::move(transport)) {
+  if (transport_ == nullptr) {
+    // Standalone use: a private transport built from the options' wire
+    // fields, so kBaseRead charges and stats exist without a platform.
+    Topology topology;
+    topology.remote = {.latency = options_.per_read_latency,
+                       .bandwidth_gbps = options_.bandwidth_gbps};
+    topology.local = {.latency = options_.local_per_read_latency,
+                      .bandwidth_gbps = options_.local_bandwidth_gbps};
+    transport_ = std::make_shared<Transport>(std::move(topology));
+  }
+}
 
 SimDuration RdmaFabric::ReadCost(size_t bytes, bool remote) const {
-  const double gbps = remote ? options_.bandwidth_gbps : options_.local_bandwidth_gbps;
-  // bytes / (gbps Gbit/s) in microseconds: bytes * 8 / (gbps * 1000) us.
-  auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / (gbps * 1000.0));
-  return (remote ? options_.per_read_latency : options_.local_per_read_latency) + transfer;
+  const Topology& topology = transport_->topology();
+  return LinkCost(bytes, remote ? topology.remote : topology.local);
 }
 
 const std::vector<uint8_t>* RdmaFabric::CacheLookup(const PageLocation& location) {
@@ -56,6 +66,14 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
     throw RdmaError("RdmaFabric: base page unavailable");
   }
   const bool remote = location.node != reader_node;
+  // One-sided read: the bytes travel owner -> reader as one kBaseRead
+  // message. A drop (fault policy) aborts the read before any stats or
+  // cache mutation, so degraded runs stay a pure function of page order.
+  const auto sent =
+      transport_->Send(MessageType::kBaseRead, location.node, reader_node, bytes.size());
+  if (!sent.delivered) {
+    throw RdmaUnavailable("RdmaFabric: base-page read dropped by fault policy");
+  }
   {
     MutexLock lock(cache_mu_);
     if (remote) {
@@ -71,7 +89,7 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
     }
   }
   if (cost != nullptr) {
-    *cost += ReadCost(bytes.size(), remote);
+    *cost += sent.cost;
   }
   return bytes;
 }

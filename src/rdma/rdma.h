@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
@@ -30,11 +31,16 @@
 #include "common/annotations.h"
 #include "common/mutex.h"
 #include "common/time.h"
+#include "net/transport.h"
 #include "registry/fingerprint_registry.h"
 
 namespace medes {
 
 struct RdmaOptions {
+  // Wire model used when no shared Transport is passed to the constructor:
+  // the fabric then builds a private Transport whose remote/local links come
+  // from these four fields. With a shared Transport, its Topology is
+  // authoritative and these are ignored.
   SimDuration per_read_latency = 3;            // us, one-sided read setup
   double bandwidth_gbps = 10.0;                // NIC line rate
   SimDuration local_per_read_latency = 0;      // node-local copies
@@ -67,23 +73,42 @@ class RdmaError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// A read whose kBaseRead message was dropped by the transport's fault
+// policy (source node partitioned, link cut, ...). Callers that can degrade
+// (dedup candidate selection) catch this and treat the page as unique;
+// restore paths propagate it — a restore cannot proceed without its bases.
+class RdmaUnavailable : public RdmaError {
+ public:
+  using RdmaError::RdmaError;
+};
+
 class RdmaFabric {
  public:
   // Resolves a page location to its bytes (empty result = page unavailable).
   using PageProvider = std::function<std::vector<uint8_t>(const PageLocation&)>;
 
-  explicit RdmaFabric(RdmaOptions options = {}, PageProvider provider = nullptr);
+  // With a null `transport` the fabric builds a private Transport from the
+  // options' wire fields, so base reads are charged as kBaseRead messages
+  // either way; the platform passes its shared cluster transport.
+  explicit RdmaFabric(RdmaOptions options = {}, PageProvider provider = nullptr,
+                      std::shared_ptr<Transport> transport = nullptr);
 
   void set_provider(PageProvider provider) { provider_ = std::move(provider); }
 
   // One-sided read of a base page. `reader_node` decides local vs remote
   // cost. Returns the bytes and adds the modelled cost to `*cost`. Served
-  // from the cache when possible.
+  // from the cache when possible (a hit charges `cache_hit_latency` locally
+  // and sends no message — the bytes never cross the wire). Throws
+  // RdmaUnavailable when the fault policy drops the read.
   std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
                                 SimDuration* cost) EXCLUDES(cache_mu_);
 
-  // Pure timing model (used when the caller already has byte counts).
+  // Pure timing model (used when the caller already has byte counts):
+  // LinkCost over the transport topology's default remote or local link.
   SimDuration ReadCost(size_t bytes, bool remote) const;
+
+  // The transport base reads are charged through.
+  const std::shared_ptr<Transport>& transport() const { return transport_; }
 
   // Drops every cached page belonging to `sandbox` (called when a base
   // sandbox is purged). Pure capacity hygiene — ids are never reused.
@@ -108,6 +133,7 @@ class RdmaFabric {
 
   RdmaOptions options_;
   PageProvider provider_;
+  std::shared_ptr<Transport> transport_;
 
   // LRU cache: list front = most recently used. Guarded by cache_mu_ so
   // pipeline workers may share a fabric. Stats advance under the same lock

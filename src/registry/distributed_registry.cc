@@ -1,15 +1,23 @@
 #include "registry/distributed_registry.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/hash.h"
 
 namespace medes {
 
-DistributedRegistry::DistributedRegistry(DistributedRegistryOptions options)
-    : options_(options) {
+DistributedRegistry::DistributedRegistry(DistributedRegistryOptions options,
+                                         std::shared_ptr<Transport> transport)
+    : options_(options), transport_(std::move(transport)) {
   if (options_.num_shards <= 0 || options_.replication_factor <= 0) {
     throw std::invalid_argument("DistributedRegistry: shards and replicas must be positive");
+  }
+  if (transport_ == nullptr) {
+    // Standalone use: a private transport with default links keeps every
+    // charge flowing through the shared wire model.
+    transport_ = std::make_shared<Transport>();
   }
   WriterLock topology(topology_mu_);
   shards_.resize(static_cast<size_t>(options_.num_shards));
@@ -31,9 +39,14 @@ int DistributedRegistry::SandboxShard(SandboxId sandbox) const {
   return static_cast<int>(MixBits(sandbox) % static_cast<uint64_t>(options_.num_shards));
 }
 
-int DistributedRegistry::EffectiveTail(const Shard& shard) const {
+bool DistributedRegistry::ReplicaServing(const Shard& shard, int shard_index, int r) const {
+  return shard.chain[static_cast<size_t>(r)].alive &&
+         transport_->NodeUp(ReplicaNode(shard_index, r));
+}
+
+int DistributedRegistry::EffectiveTail(const Shard& shard, int shard_index) const {
   for (int r = static_cast<int>(shard.chain.size()) - 1; r >= 0; --r) {
-    if (shard.chain[static_cast<size_t>(r)].alive) {
+    if (ReplicaServing(shard, shard_index, r)) {
       return r;
     }
   }
@@ -42,7 +55,7 @@ int DistributedRegistry::EffectiveTail(const Shard& shard) const {
 
 bool DistributedRegistry::ShardAvailable(int shard) const {
   ReaderLock topology(topology_mu_);
-  return EffectiveTail(shards_.at(static_cast<size_t>(shard))) >= 0;
+  return EffectiveTail(shards_.at(static_cast<size_t>(shard)), shard) >= 0;
 }
 
 void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
@@ -51,15 +64,36 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
   std::vector<std::vector<PageFingerprint>> per_shard(
       static_cast<size_t>(options_.num_shards),
       std::vector<PageFingerprint>(fingerprints.size()));
+  std::vector<size_t> keys_per_shard(static_cast<size_t>(options_.num_shards), 0);
   for (size_t page = 0; page < fingerprints.size(); ++page) {
     for (const SampledChunk& chunk : fingerprints[page].chunks) {
-      per_shard[static_cast<size_t>(ShardOf(chunk.key))][page].chunks.push_back(chunk);
+      const auto s = static_cast<size_t>(ShardOf(chunk.key));
+      per_shard[s][page].chunks.push_back(chunk);
+      ++keys_per_shard[s];
     }
   }
   ReaderLock topology(topology_mu_);
   for (int s = 0; s < options_.num_shards; ++s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
-    if (EffectiveTail(shard) < 0) {
+    // Writes enter the chain at the first serving replica and propagate
+    // toward the tail. A shard with no serving replica drops the write.
+    int entry = -1;
+    for (int r = 0; r < static_cast<int>(shard.chain.size()); ++r) {
+      if (ReplicaServing(shard, s, r)) {
+        entry = r;
+        break;
+      }
+    }
+    if (entry < 0) {
+      MutexLock stats(stats_mu_);
+      ++dist_stats_.dropped_writes;
+      continue;
+    }
+    const auto sent =
+        transport_->Send(MessageType::kRegistryInsert, node, ReplicaNode(s, entry),
+                         keys_per_shard[static_cast<size_t>(s)] * kRegistryWireBytesPerKey,
+                         fingerprints.size());
+    if (!sent.delivered) {
       MutexLock stats(stats_mu_);
       ++dist_stats_.dropped_writes;
       continue;
@@ -68,30 +102,34 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       MutexLock stats(stats_mu_);
       ++dist_stats_.writes_per_shard[static_cast<size_t>(s)];
     }
-    // Chain replication: the write flows head -> tail through live replicas.
-    for (Replica& replica : shard.chain) {
-      if (replica.alive) {
-        replica.registry.InsertBaseSandbox(node, sandbox, per_shard[static_cast<size_t>(s)]);
+    // Chain replication: the write flows through every serving replica.
+    // Partitioned replicas miss it and must re-sync on recovery.
+    for (int r = 0; r < static_cast<int>(shard.chain.size()); ++r) {
+      if (ReplicaServing(shard, s, r)) {
+        shard.chain[static_cast<size_t>(r)].registry.InsertBaseSandbox(
+            node, sandbox, per_shard[static_cast<size_t>(s)]);
       }
     }
   }
   // Sandbox-level membership/refcount state lives on the sandbox's shard
   // (the insert above already created it there; this covers the case where
   // none of the sandbox's chunk keys mapped to that shard).
-  Shard& home = shards_[static_cast<size_t>(SandboxShard(sandbox))];
-  for (Replica& replica : home.chain) {
-    if (replica.alive) {
-      replica.registry.InsertBaseSandbox(node, sandbox, {});
+  const int home_index = SandboxShard(sandbox);
+  Shard& home = shards_[static_cast<size_t>(home_index)];
+  for (int r = 0; r < static_cast<int>(home.chain.size()); ++r) {
+    if (ReplicaServing(home, home_index, r)) {
+      home.chain[static_cast<size_t>(r)].registry.InsertBaseSandbox(node, sandbox, {});
     }
   }
 }
 
 void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
   ReaderLock topology(topology_mu_);
-  for (Shard& shard : shards_) {
-    for (Replica& replica : shard.chain) {
-      if (replica.alive) {
-        replica.registry.RemoveBaseSandbox(sandbox);
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    for (int r = 0; r < static_cast<int>(shard.chain.size()); ++r) {
+      if (ReplicaServing(shard, s, r)) {
+        shard.chain[static_cast<size_t>(r)].registry.RemoveBaseSandbox(sandbox);
       }
     }
   }
@@ -99,8 +137,9 @@ void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
 
 bool DistributedRegistry::IsBaseSandbox(SandboxId sandbox) const {
   ReaderLock topology(topology_mu_);
-  const Shard& home = shards_[static_cast<size_t>(SandboxShard(sandbox))];
-  int tail = EffectiveTail(home);
+  const int home_index = SandboxShard(sandbox);
+  const Shard& home = shards_[static_cast<size_t>(home_index)];
+  int tail = EffectiveTail(home, home_index);
   if (tail < 0) {
     return false;
   }
@@ -110,62 +149,117 @@ bool DistributedRegistry::IsBaseSandbox(SandboxId sandbox) const {
 std::vector<BasePageCandidate> DistributedRegistry::FindBasePages(
     const PageFingerprint& fingerprint, NodeId local_node, SandboxId exclude_sandbox,
     size_t max_results) {
-  // Fan the page's sampled chunks out to their owning shards and merge the
-  // tallies (reads go to each chain's tail).
-  std::vector<PageFingerprint> per_shard(static_cast<size_t>(options_.num_shards));
-  for (const SampledChunk& chunk : fingerprint.chunks) {
-    per_shard[static_cast<size_t>(ShardOf(chunk.key))].chunks.push_back(chunk);
+  auto results = FindBasePagesBatch(std::span<const PageFingerprint>(&fingerprint, 1),
+                                    local_node, exclude_sandbox, max_results, nullptr);
+  return std::move(results.front());
+}
+
+std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBatch(
+    std::span<const PageFingerprint> fingerprints, NodeId local_node,
+    SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
+  // Partition the batch's sampled chunks by owning shard, keeping the chunks
+  // grouped per fingerprint so per-shard tallies land in the right slot.
+  const auto num_shards = static_cast<size_t>(options_.num_shards);
+  struct FingerprintSlice {
+    uint32_t fp_index;
+    PageFingerprint chunks;  // only this shard's chunks of that fingerprint
+  };
+  std::vector<std::vector<FingerprintSlice>> per_shard(num_shards);
+  std::vector<size_t> keys_per_shard(num_shards, 0);
+  for (size_t i = 0; i < fingerprints.size(); ++i) {
+    for (const SampledChunk& chunk : fingerprints[i].chunks) {
+      const auto s = static_cast<size_t>(ShardOf(chunk.key));
+      if (per_shard[s].empty() || per_shard[s].back().fp_index != i) {
+        per_shard[s].push_back({static_cast<uint32_t>(i), {}});
+      }
+      per_shard[s].back().chunks.chunks.push_back(chunk);
+      ++keys_per_shard[s];
+    }
   }
-  std::unordered_map<PageLocation, int, PageLocationHash> tally;
+
+  std::vector<std::unordered_map<PageLocation, int, PageLocationHash>> tallies(
+      fingerprints.size());
+  // The modelled cost of the batch: shards are queried in parallel, so the
+  // critical path is the slowest shard's message plus its per-key work.
+  SimDuration slowest_shard = 0;
   ReaderLock topology(topology_mu_);
-  for (int s = 0; s < options_.num_shards; ++s) {
-    if (per_shard[static_cast<size_t>(s)].chunks.empty()) {
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (per_shard[s].empty()) {
       continue;
     }
-    Shard& shard = shards_[static_cast<size_t>(s)];
-    int tail = EffectiveTail(shard);
+    const auto page_lookups = static_cast<uint64_t>(per_shard[s].size());
+    Shard& shard = shards_[s];
+    int tail = EffectiveTail(shard, static_cast<int>(s));
     if (tail < 0) {
       MutexLock stats(stats_mu_);
-      ++dist_stats_.unavailable_lookups;
+      dist_stats_.unavailable_lookups += page_lookups;
+      continue;
+    }
+    const auto sent = transport_->Send(MessageType::kRegistryLookup, local_node,
+                                       ReplicaNode(static_cast<int>(s), tail),
+                                       keys_per_shard[s] * kRegistryWireBytesPerKey,
+                                       page_lookups);
+    slowest_shard = std::max(
+        slowest_shard,
+        sent.cost + static_cast<SimDuration>(keys_per_shard[s]) * options_.per_key_lookup);
+    if (!sent.delivered) {
+      // Lost on the wire (link fault): same client-visible outcome as an
+      // all-down shard — the batch degrades to fewer candidates.
+      MutexLock stats(stats_mu_);
+      dist_stats_.unavailable_lookups += page_lookups;
       continue;
     }
     {
       MutexLock stats(stats_mu_);
       if (tail != static_cast<int>(shard.chain.size()) - 1) {
-        ++dist_stats_.failovers;
+        dist_stats_.failovers += page_lookups;
       }
-      ++dist_stats_.lookups_per_shard[static_cast<size_t>(s)];
+      dist_stats_.lookups_per_shard[s] += page_lookups;
     }
-    shard.chain[static_cast<size_t>(tail)].registry.AccumulateTally(
-        per_shard[static_cast<size_t>(s)], exclude_sandbox, tally);
+    FingerprintRegistry& serving = shard.chain[static_cast<size_t>(tail)].registry;
+    for (const FingerprintSlice& slice : per_shard[s]) {
+      serving.AccumulateTally(slice.chunks, exclude_sandbox, tallies[slice.fp_index]);
+    }
   }
-  return RankCandidates(tally, local_node, max_results);
+  if (lookup_cost != nullptr) {
+    *lookup_cost += slowest_shard;
+  }
+
+  std::vector<std::vector<BasePageCandidate>> results;
+  results.reserve(fingerprints.size());
+  for (auto& tally : tallies) {
+    results.push_back(RankCandidates(tally, local_node, max_results));
+  }
+  return results;
 }
 
 void DistributedRegistry::Ref(SandboxId base_sandbox) {
   ReaderLock topology(topology_mu_);
-  Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
-  for (Replica& replica : home.chain) {
-    if (replica.alive) {
-      replica.registry.Ref(base_sandbox);
+  const int home_index = SandboxShard(base_sandbox);
+  Shard& home = shards_[static_cast<size_t>(home_index)];
+  for (int r = 0; r < static_cast<int>(home.chain.size()); ++r) {
+    if (ReplicaServing(home, home_index, r)) {
+      home.chain[static_cast<size_t>(r)].registry.Ref(base_sandbox);
     }
   }
 }
 
 void DistributedRegistry::Unref(SandboxId base_sandbox) {
   ReaderLock topology(topology_mu_);
-  Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
-  for (Replica& replica : home.chain) {
-    if (replica.alive) {
-      replica.registry.Unref(base_sandbox);
+  const int home_index = SandboxShard(base_sandbox);
+  Shard& home = shards_[static_cast<size_t>(home_index)];
+  for (int r = 0; r < static_cast<int>(home.chain.size()); ++r) {
+    if (ReplicaServing(home, home_index, r)) {
+      home.chain[static_cast<size_t>(r)].registry.Unref(base_sandbox);
     }
   }
 }
 
 int DistributedRegistry::RefCount(SandboxId base_sandbox) const {
   ReaderLock topology(topology_mu_);
-  const Shard& home = shards_[static_cast<size_t>(SandboxShard(base_sandbox))];
-  int tail = EffectiveTail(home);
+  const int home_index = SandboxShard(base_sandbox);
+  const Shard& home = shards_[static_cast<size_t>(home_index)];
+  int tail = EffectiveTail(home, home_index);
   if (tail < 0) {
     return 0;
   }
@@ -175,31 +269,35 @@ int DistributedRegistry::RefCount(SandboxId base_sandbox) const {
 RegistryStats DistributedRegistry::stats() const {
   RegistryStats total;
   ReaderLock topology(topology_mu_);
-  for (const Shard& shard : shards_) {
-    int tail = EffectiveTail(shard);
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    int tail = EffectiveTail(shard, s);
     if (tail < 0) {
       continue;
     }
-    RegistryStats s = shard.chain[static_cast<size_t>(tail)].registry.stats();
-    total.num_keys += s.num_keys;
-    total.num_entries += s.num_entries;
-    total.num_base_sandboxes = std::max(total.num_base_sandboxes, s.num_base_sandboxes);
-    total.lookups += s.lookups;
-    total.key_hits += s.key_hits;
+    RegistryStats st = shard.chain[static_cast<size_t>(tail)].registry.stats();
+    total.num_keys += st.num_keys;
+    total.num_entries += st.num_entries;
+    total.num_base_sandboxes = std::max(total.num_base_sandboxes, st.num_base_sandboxes);
+    total.lookups += st.lookups;
+    total.key_hits += st.key_hits;
   }
   return total;
 }
 
-SimDuration DistributedRegistry::PageLookupLatency(size_t keys) const {
+SimDuration DistributedRegistry::PageLookupLatency(size_t keys, NodeId from) const {
   if (keys == 0) {
     return 0;
   }
   // Shards are queried in parallel; with K keys over S shards the critical
-  // path is the most loaded shard: ceil(K/S) key lookups plus one hop.
+  // path is the most loaded shard: one message carrying ceil(K/S) keys plus
+  // that many per-key lookups.
   const auto shards = static_cast<size_t>(options_.num_shards);
   const size_t per_shard = (keys + shards - 1) / shards;
-  return options_.hop_latency +
-         static_cast<SimDuration>(per_shard) * options_.per_key_lookup;
+  const SimDuration wire = transport_->MessageCost(
+      from, ReplicaNode(0, options_.replication_factor - 1),
+      per_shard * kRegistryWireBytesPerKey);
+  return wire + static_cast<SimDuration>(per_shard) * options_.per_key_lookup;
 }
 
 DistributedRegistryStats DistributedRegistry::distributed_stats() const {
@@ -216,14 +314,28 @@ void DistributedRegistry::RecoverReplica(int shard, int replica) {
   WriterLock topology(topology_mu_);
   Shard& s = shards_.at(static_cast<size_t>(shard));
   Replica& r = s.chain.at(static_cast<size_t>(replica));
-  if (r.alive) {
-    return;
+  // Sync source: the last serving replica other than the one recovering.
+  int peer = -1;
+  for (int i = static_cast<int>(s.chain.size()) - 1; i >= 0; --i) {
+    if (i != replica && ReplicaServing(s, shard, i)) {
+      peer = i;
+      break;
+    }
   }
-  int tail = EffectiveTail(s);
-  if (tail < 0) {
+  if (peer < 0) {
     return;  // whole shard lost: nothing to re-sync from
   }
-  r.registry = s.chain[static_cast<size_t>(tail)].registry;  // state transfer
+  const FingerprintRegistry& source = s.chain[static_cast<size_t>(peer)].registry;
+  // The state transfer is one kReplicaSync message sized by the table
+  // (entry count ~ transfer size). An undeliverable transfer (recovering
+  // replica still partitioned) leaves the replica untouched.
+  const auto sent = transport_->Send(MessageType::kReplicaSync, ReplicaNode(shard, peer),
+                                     ReplicaNode(shard, replica),
+                                     source.stats().num_entries * kRegistryWireBytesPerKey, 1);
+  if (!sent.delivered) {
+    return;
+  }
+  r.registry = source;  // state transfer
   r.alive = true;
 }
 

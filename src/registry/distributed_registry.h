@@ -19,6 +19,15 @@
 // page lookup fans out to every shard owning one of its keys and merges the
 // per-shard tallies — mirroring the paper's observation that per-page
 // lookups parallelise naturally.
+//
+// Wire model: every replica occupies a Transport node
+// (`first_registry_node + shard * replication_factor + replica`), and every
+// lookup/insert is a typed transport message to the serving replica — so
+// shard latency, batching, and fault injection (node partitions via
+// FaultPolicy) all compose with the rest of the cluster's network model. A
+// replica is *serving* only when its `alive` flag is set and its transport
+// node is not partitioned; a partitioned replica may miss writes and must be
+// re-synced (RecoverReplica) after it heals.
 #ifndef MEDES_REGISTRY_DISTRIBUTED_REGISTRY_H_
 #define MEDES_REGISTRY_DISTRIBUTED_REGISTRY_H_
 
@@ -28,6 +37,7 @@
 #include "common/annotations.h"
 #include "common/mutex.h"
 #include "common/time.h"
+#include "net/transport.h"
 #include "registry/fingerprint_registry.h"
 #include "registry/registry_backend.h"
 
@@ -36,10 +46,12 @@ namespace medes {
 struct DistributedRegistryOptions {
   int num_shards = 4;
   int replication_factor = 3;
-  // Timing model for the scaling study: one network hop to a shard plus
-  // per-key lookup work at the shard.
-  SimDuration hop_latency = 10;      // us
-  SimDuration per_key_lookup = 15;   // us
+  // Per-key lookup work at the serving shard (controller CPU, not wire).
+  SimDuration per_key_lookup = 15;  // us
+  // Transport node id of shard 0's chain head; replica (s, r) occupies node
+  // first_registry_node + s * replication_factor + r. Defaults far above any
+  // worker node id; the platform assigns a contiguous range.
+  NodeId first_registry_node = 1000;
   RegistryOptions per_shard;
 };
 
@@ -53,7 +65,11 @@ struct DistributedRegistryStats {
 
 class DistributedRegistry : public RegistryBackend {
  public:
-  explicit DistributedRegistry(DistributedRegistryOptions options = {});
+  // `transport` is the shared cluster transport; when omitted the registry
+  // builds a private one with default links, so the wire model (and its
+  // stats) exist even standalone.
+  explicit DistributedRegistry(DistributedRegistryOptions options = {},
+                               std::shared_ptr<Transport> transport = nullptr);
 
   void InsertBaseSandbox(NodeId node, SandboxId sandbox,
                          const std::vector<PageFingerprint>& fingerprints) override;
@@ -64,6 +80,15 @@ class DistributedRegistry : public RegistryBackend {
                                                NodeId local_node, SandboxId exclude_sandbox,
                                                size_t max_results) override;
 
+  // Batched lookup: one kRegistryLookup message per touched shard carrying
+  // the batch's keys for that shard. The modelled cost is the slowest shard
+  // (message + per-key work) — shards are queried in parallel (Section 7.7:
+  // lookups "can be parallelized given they are independent").
+  using RegistryBackend::FindBasePagesBatch;
+  std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+      std::span<const PageFingerprint> fingerprints, NodeId local_node,
+      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) override;
+
   void Ref(SandboxId base_sandbox) override;
   void Unref(SandboxId base_sandbox) override;
   int RefCount(SandboxId base_sandbox) const override;
@@ -73,15 +98,27 @@ class DistributedRegistry : public RegistryBackend {
   // Consistent snapshot (counters advance under their own lock).
   DistributedRegistryStats distributed_stats() const EXCLUDES(stats_mu_);
 
-  // Modelled latency of one page lookup of `keys` sampled chunks, assuming
-  // the per-shard lookups proceed in parallel (Section 7.7 notes lookups
-  // "can be parallelized given they are independent").
-  SimDuration PageLookupLatency(size_t keys) const;
+  // Modelled latency of one page lookup of `keys` sampled chunks from node
+  // `from`, assuming the per-shard lookups proceed in parallel: the critical
+  // path is the most loaded shard — ceil(keys / num_shards) key lookups plus
+  // one transport round trip carrying those keys.
+  SimDuration PageLookupLatency(size_t keys, NodeId from = 0) const;
+
+  // The shared (or private) transport this registry charges.
+  const std::shared_ptr<Transport>& transport() const { return transport_; }
+
+  // Transport node id of replica (shard, replica).
+  NodeId ReplicaNode(int shard, int replica) const {
+    return options_.first_registry_node + shard * options_.replication_factor + replica;
+  }
 
   // ---- Fault injection --------------------------------------------------
   void FailReplica(int shard, int replica) EXCLUDES(topology_mu_);
-  // Recovers a replica by re-syncing its state from a live peer (no-op if
-  // the whole shard is down — there is nothing to sync from).
+  // Recovers a replica by re-syncing its state from the shard's effective
+  // tail (no-op if no other replica is serving — there is nothing to sync
+  // from). Also heals *stale* replicas: calling it on a live replica that
+  // missed writes while partitioned re-copies the authoritative state and
+  // charges a kReplicaSync transfer.
   void RecoverReplica(int shard, int replica) EXCLUDES(topology_mu_);
   bool ShardAvailable(int shard) const EXCLUDES(topology_mu_);
   int NumShards() const { return options_.num_shards; }
@@ -100,17 +137,23 @@ class DistributedRegistry : public RegistryBackend {
     std::vector<Replica> chain;  // head first, tail last
   };
 
-  // Index of the effective tail (last live replica) or -1 if none.
-  int EffectiveTail(const Shard& shard) const REQUIRES_SHARED(topology_mu_);
+  // True when replica (shard, r) is serving: alive and not partitioned off
+  // the transport.
+  bool ReplicaServing(const Shard& shard, int shard_index, int r) const
+      REQUIRES_SHARED(topology_mu_);
+  // Index of the effective tail (last serving replica) or -1 if none.
+  int EffectiveTail(const Shard& shard, int shard_index) const REQUIRES_SHARED(topology_mu_);
 
   DistributedRegistryOptions options_;
+  std::shared_ptr<Transport> transport_;
 
   // Chain topology: the shard vector's structure and every replica's `alive`
   // flag. Reads (routing a request, walking a chain) hold the shared lock;
   // fault injection and recovery hold it exclusively. Replica *contents*
   // (FingerprintRegistry state) are protected by each registry's own
   // higher-ranked locks, so holding the topology lock across a replica call
-  // respects the lock hierarchy.
+  // respects the lock hierarchy (transport sends likewise acquire only
+  // higher-ranked locks).
   mutable SharedMutex topology_mu_{"registry topology", LockRank::kRegistryTopology};
   std::vector<Shard> shards_ GUARDED_BY(topology_mu_);
 

@@ -87,8 +87,25 @@ size_t FingerprintRegistry::ShardIndex(uint64_t key) const {
   return static_cast<size_t>(MixBits(key)) & (shards_.size() - 1);
 }
 
+void FingerprintRegistry::BindTransport(std::shared_ptr<Transport> transport,
+                                        NodeId registry_node) {
+  transport_ = std::move(transport);
+  registry_node_ = registry_node;
+}
+
 void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
                                             const std::vector<PageFingerprint>& fingerprints) {
+  if (transport_ != nullptr) {
+    size_t keys = 0;
+    for (const PageFingerprint& fp : fingerprints) {
+      keys += fp.chunks.size();
+    }
+    const auto sent = transport_->Send(MessageType::kRegistryInsert, node, registry_node_,
+                                       keys * kRegistryWireBytesPerKey, fingerprints.size());
+    if (!sent.delivered) {
+      return;  // insert lost: the sandbox is simply never registered
+    }
+  }
   {
     WriterLock lock(sandbox_mu_);
     base_refcounts_.try_emplace(sandbox, 0);
@@ -169,8 +186,35 @@ std::vector<BasePageCandidate> FingerprintRegistry::FindBasePages(
 
 std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBatch(
     std::span<const PageFingerprint> fingerprints, NodeId local_node,
-    SandboxId exclude_sandbox, size_t max_results) {
+    SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
   lookups_.fetch_add(fingerprints.size(), std::memory_order_relaxed);
+
+  // Modelled cost: one round trip carrying the whole batch's keys (wire),
+  // plus the controller's per-page lookup work (CPU). A dropped lookup
+  // message degrades to an empty answer — every page in the batch is
+  // treated as unique (paper: missing a candidate is always safe).
+  if (lookup_cost != nullptr || transport_ != nullptr) {
+    size_t keys = 0;
+    for (const PageFingerprint& fp : fingerprints) {
+      keys += fp.chunks.size();
+    }
+    SimDuration cost =
+        static_cast<SimDuration>(fingerprints.size()) * options_.lookup_per_page;
+    bool delivered = true;
+    if (transport_ != nullptr && !fingerprints.empty()) {
+      const auto sent =
+          transport_->Send(MessageType::kRegistryLookup, local_node, registry_node_,
+                           keys * kRegistryWireBytesPerKey, fingerprints.size());
+      cost += sent.cost;
+      delivered = sent.delivered;
+    }
+    if (lookup_cost != nullptr) {
+      *lookup_cost += cost;
+    }
+    if (!delivered) {
+      return std::vector<std::vector<BasePageCandidate>>(fingerprints.size());
+    }
+  }
 
   // Group (fingerprint, chunk) references by owning shard so each shard's
   // lock is taken once per batch rather than once per key.

@@ -28,6 +28,7 @@
 
 #include "common/annotations.h"
 #include "common/mutex.h"
+#include "net/transport.h"
 #include "registry/registry_backend.h"
 
 namespace medes {
@@ -39,6 +40,10 @@ struct RegistryOptions {
   // Lock stripes. Rounded up to a power of two; 1 = a single-lock table
   // (useful inside DistributedRegistry replicas, which shard externally).
   size_t num_shards = 16;
+  // Controller-side lookup cost per page (paper Section 7.7 reports ~80 us
+  // per page in their single-threaded implementation). Charged by the
+  // cost-aware FindBasePagesBatch on top of any transport message cost.
+  SimDuration lookup_per_page = 80;
 };
 
 class FingerprintRegistry : public RegistryBackend {
@@ -66,10 +71,18 @@ class FingerprintRegistry : public RegistryBackend {
   // Batched lookup: one shard-grouped pass over all fingerprints, locking
   // each shard once per batch instead of once per key. Results are
   // positionally aligned with `fingerprints` and identical to looping
-  // FindBasePages.
+  // FindBasePages. The modelled cost is one kRegistryLookup message for the
+  // batch (when a transport is bound) plus `lookup_per_page` per page.
+  using RegistryBackend::FindBasePagesBatch;
   std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
-      SandboxId exclude_sandbox, size_t max_results) override;
+      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) override;
+
+  // Binds the shared cluster transport: lookups/inserts from node N are
+  // charged as messages N -> `registry_node`. Configuration-time only (not
+  // thread-safe against concurrent operations); unbound registries charge
+  // pure controller CPU cost with no wire component.
+  void BindTransport(std::shared_ptr<Transport> transport, NodeId registry_node);
 
   // Adds this registry's (location -> matched-chunk count) contributions for
   // `fingerprint` into `tally` — the building block distributed shards merge.
@@ -104,6 +117,11 @@ class FingerprintRegistry : public RegistryBackend {
 
   RegistryOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
+
+  // Optional shared transport (see BindTransport). Not copied: a replica
+  // clone is table state, not a network endpoint.
+  std::shared_ptr<Transport> transport_;
+  NodeId registry_node_ = -1;
 
   // Sandbox-level state: membership + refcounts (the sandbox-level reverse
   // index). Ordered after the shard locks in the global hierarchy.

@@ -16,11 +16,16 @@
 #include <vector>
 
 #include "chunking/fingerprint.h"
+#include "common/time.h"
 
 namespace medes {
 
 using SandboxId = uint64_t;
 using NodeId = int;
+
+// Modelled wire size of one sampled-chunk key in a registry message
+// (truncated key + page-location answer, round trip).
+inline constexpr size_t kRegistryWireBytesPerKey = 24;
 
 struct PageLocation {
   NodeId node = -1;
@@ -112,16 +117,29 @@ class RegistryBackend {
   // Batched lookup for the pipelined dedup path: one result vector per
   // fingerprint, positionally aligned with the input and identical to
   // calling FindBasePages per element. Backends override this to amortise
-  // locking/routing across the batch.
+  // locking/routing across the batch. When `lookup_cost` is non-null the
+  // backend adds the modelled latency of serving the whole batch — its
+  // transport messages plus per-key registry work — so callers charge the
+  // registry's real topology-dependent cost rather than a flat constant.
+  // The added cost is a pure function of the batch's contents (never of
+  // thread interleaving), preserving the pipeline determinism contract.
   virtual std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
-      SandboxId exclude_sandbox, size_t max_results) {
+      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
+    (void)lookup_cost;  // backends without a wire model charge nothing
     std::vector<std::vector<BasePageCandidate>> results;
     results.reserve(fingerprints.size());
     for (const PageFingerprint& fp : fingerprints) {
       results.push_back(FindBasePages(fp, local_node, exclude_sandbox, max_results));
     }
     return results;
+  }
+
+  // Convenience overload for callers that do not consume the cost.
+  std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+      std::span<const PageFingerprint> fingerprints, NodeId local_node,
+      SandboxId exclude_sandbox, size_t max_results) {
+    return FindBasePagesBatch(fingerprints, local_node, exclude_sandbox, max_results, nullptr);
   }
 
   // Convenience: the single best candidate.

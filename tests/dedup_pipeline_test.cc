@@ -4,9 +4,11 @@
 // pipeline, with the base-page cache enabled in both.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "dedupagent/dedup_agent.h"
+#include "registry/distributed_registry.h"
 
 namespace medes {
 namespace {
@@ -176,6 +178,134 @@ TEST(DedupPipelineTest, ThreadCountDoesNotChangePlatformObservables) {
   EXPECT_EQ(victim.state, SandboxState::kWarm);
   EXPECT_TRUE(victim.patches.empty());
   EXPECT_EQ(wide.registry.RefCount(base.id), 0);
+}
+
+// ---- Lookup-cost regression (the registry model, not a flat constant) ----
+
+TEST(DedupPipelineTest, CentralizedLookupTimeIsTheRegistryModel) {
+  // Without a bound transport, the centralized registry charges exactly
+  // lookup_per_page (default 80 us) per looked-up page — the same figure the
+  // agent's removed `controller_lookup_per_page` constant used to model, so
+  // standalone results are unchanged by the refactor.
+  Env env(1);
+  Sandbox& base = env.WarmSandbox("Vanilla", 0);
+  env.agent.DesignateBase(base);
+  Sandbox& victim = env.WarmSandbox("Vanilla", 1, 1);
+  DedupOpResult r = env.agent.DedupOp(victim, 2);
+  const size_t resident = r.pages_total - r.pages_zero;
+  ASSERT_GT(resident, 0u);
+  const SimDuration expected = static_cast<SimDuration>(
+      static_cast<double>(RegistryOptions().lookup_per_page * static_cast<SimDuration>(resident)) *
+      env.agent.ScaleFactor());
+  EXPECT_EQ(r.lookup_time, expected);
+}
+
+// A distributed environment sharing one transport between the registry and
+// the fabric — what the platform wires up.
+struct DistEnv {
+  explicit DistEnv(size_t num_threads, Topology topology = {},
+                   DistributedRegistryOptions dopts = {})
+      : cluster(SmallCluster()),
+        transport(std::make_shared<Transport>(std::move(topology))),
+        registry(dopts, transport),
+        fabric({.page_cache_capacity = 512},
+               [this](const PageLocation& loc) { return cluster.ReadBasePage(loc); }, transport),
+        agent(cluster, registry, fabric, AgentOpts(num_threads)) {}
+
+  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
+    Sandbox& sb = cluster.Spawn(ProfileByName(name), node, now);
+    cluster.MarkWarm(sb, now);
+    return sb;
+  }
+
+  Cluster cluster;
+  std::shared_ptr<Transport> transport;
+  DistributedRegistry registry;
+  RdmaFabric fabric;
+  DedupAgent agent;
+};
+
+TEST(DedupPipelineTest, DistributedLookupTimeMatchesShardWireModel) {
+  // One shard over an infinite-bandwidth link makes the registry's modelled
+  // cost recoverable from the transport's own counters: each lookup message
+  // costs the link latency, plus per_key_lookup for each key it carried
+  // (bytes / kRegistryWireBytesPerKey). The agent must report exactly that —
+  // not a flat per-page constant.
+  Topology topo;
+  topo.remote = {.latency = 7, .bandwidth_gbps = 0.0};
+  topo.local = {.latency = 7, .bandwidth_gbps = 0.0};  // node-independent cost
+  DistributedRegistryOptions dopts;
+  dopts.num_shards = 1;
+  dopts.replication_factor = 1;
+  DistEnv env(1, topo, dopts);
+
+  Sandbox& base = env.WarmSandbox("Vanilla", 0);
+  env.agent.DesignateBase(base);
+  env.transport->ResetStats();  // isolate the dedup op's lookup messages
+
+  Sandbox& victim = env.WarmSandbox("Vanilla", 1, 1);
+  DedupOpResult r = env.agent.DedupOp(victim, 2);
+
+  const TransportStats net_stats = env.transport->stats();
+  const MessageStats& lookups = net_stats.For(MessageType::kRegistryLookup);
+  ASSERT_GT(lookups.messages, 0u);
+  const SimDuration raw =
+      7 * static_cast<SimDuration>(lookups.messages) +
+      DistributedRegistryOptions().per_key_lookup *
+          static_cast<SimDuration>(lookups.bytes / kRegistryWireBytesPerKey);
+  EXPECT_EQ(r.lookup_time,
+            static_cast<SimDuration>(static_cast<double>(raw) * env.agent.ScaleFactor()));
+}
+
+// ---- Transport determinism across thread counts --------------------------
+
+TEST(DedupPipelineTest, TransportStatsIdenticalAcrossThreadCounts) {
+  // A full dedup + restore workload against a distributed registry and a
+  // shared transport: per-message-type counters, byte totals, and latency
+  // histograms — and every modelled duration — must be bit-identical at
+  // 1 thread, 4 threads, and whatever MEDES_THREADS/hardware resolves to.
+  DistEnv one(1);
+  DistEnv four(4);
+  DistEnv hw(0);
+  std::vector<DistEnv*> envs = {&one, &four, &hw};
+
+  for (DistEnv* env : envs) {
+    Sandbox& vanilla_base = env->WarmSandbox("Vanilla", 0);
+    env->agent.DesignateBase(vanilla_base);
+    Sandbox& linalg_base = env->WarmSandbox("LinAlg", 0);
+    env->agent.DesignateBase(linalg_base);
+  }
+
+  const struct {
+    const char* function;
+    NodeId node;
+  } victims[] = {{"Vanilla", 0}, {"Vanilla", 1}, {"LinAlg", 1}, {"FeatureGen", 0}};
+
+  for (const auto& v : victims) {
+    std::vector<DedupOpResult> results;
+    std::vector<SandboxId> ids;
+    for (DistEnv* env : envs) {
+      Sandbox& sb = env->WarmSandbox(v.function, v.node, 10);
+      results.push_back(env->agent.DedupOp(sb, 20));
+      ids.push_back(sb.id);
+    }
+    ExpectSameDedupResult(results[0], results[1], v.function);
+    ExpectSameDedupResult(results[0], results[2], v.function);
+    for (size_t e = 0; e < envs.size(); ++e) {
+      Sandbox* sb = envs[e]->cluster.Find(ids[e]);
+      ASSERT_NE(sb, nullptr);
+      RestoreOpResult restore = envs[e]->agent.RestoreOp(*sb, 30, /*verify=*/true);
+      EXPECT_TRUE(restore.verified);
+    }
+  }
+
+  const TransportStats ref = one.transport->stats();
+  EXPECT_GT(ref.For(MessageType::kRegistryLookup).messages, 0u);
+  EXPECT_GT(ref.For(MessageType::kRegistryInsert).messages, 0u);
+  EXPECT_GT(ref.For(MessageType::kBaseRead).messages, 0u);
+  EXPECT_EQ(ref, four.transport->stats());
+  EXPECT_EQ(ref, hw.transport->stats());
+  EXPECT_EQ(ref.TotalLatency(), four.transport->stats().TotalLatency());
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <span>
 
 #include "common/rng.h"
+#include "net/transport.h"
 
 namespace medes {
 namespace {
@@ -172,6 +175,113 @@ TEST(DistributedRegistryTest, InvalidOptionsRejected) {
   EXPECT_THROW(DistributedRegistry(Opts(0)), std::invalid_argument);
   EXPECT_THROW(DistributedRegistry(Opts(2, 0)),
                std::invalid_argument);
+}
+
+// ---- Transport fault seam: partitions instead of FailReplica ------------
+
+struct FaultyNet {
+  FaultyNet()
+      : transport(std::make_shared<Transport>()), policy(std::make_shared<StaticFaultPolicy>()) {
+    transport->InstallFaultPolicy(policy);
+  }
+  std::shared_ptr<Transport> transport;
+  std::shared_ptr<StaticFaultPolicy> policy;
+};
+
+TEST(DistributedRegistryTransportTest, PartitionedTailFailsOverToPrecedingReplica) {
+  FaultyNet net;
+  DistributedRegistry dist(Opts(1), net.transport);
+  auto fps = RandomFingerprints(20, 21);
+  dist.InsertBaseSandbox(0, 100, fps);
+
+  // Partition the tail replica's transport node mid-workload: reads must
+  // fall back to the preceding live replica, writes keep flowing.
+  net.policy->PartitionNode(dist.ReplicaNode(0, 2));
+  for (const auto& fp : fps) {
+    auto hit = dist.FindBasePage(fp, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->location.sandbox, 100u);
+  }
+  EXPECT_GT(dist.distributed_stats().failovers, 0u);
+  dist.InsertBaseSandbox(0, 200, RandomFingerprints(5, 22));
+  EXPECT_EQ(dist.distributed_stats().dropped_writes, 0u);
+  EXPECT_EQ(dist.distributed_stats().unavailable_lookups, 0u);
+}
+
+TEST(DistributedRegistryTransportTest, FullyPartitionedShardDegradesGracefully) {
+  FaultyNet net;
+  DistributedRegistry dist(Opts(1, 2), net.transport);
+  auto fps = RandomFingerprints(10, 23);
+  dist.InsertBaseSandbox(0, 100, fps);
+  net.policy->PartitionNode(dist.ReplicaNode(0, 0));
+  net.policy->PartitionNode(dist.ReplicaNode(0, 1));
+  EXPECT_FALSE(dist.ShardAvailable(0));
+  EXPECT_FALSE(dist.FindBasePage(fps[0], 0).has_value());
+  EXPECT_GT(dist.distributed_stats().unavailable_lookups, 0u);
+  dist.InsertBaseSandbox(0, 200, RandomFingerprints(5, 24));
+  EXPECT_GT(dist.distributed_stats().dropped_writes, 0u);
+}
+
+TEST(DistributedRegistryTransportTest, HealedStaleReplicaResyncsFromLivePeer) {
+  FaultyNet net;
+  DistributedRegistry dist(Opts(1), net.transport);
+  auto before = RandomFingerprints(10, 25);
+  dist.InsertBaseSandbox(0, 100, before);
+
+  // The tail misses writes while partitioned.
+  const NodeId tail_node = dist.ReplicaNode(0, 2);
+  net.policy->PartitionNode(tail_node);
+  auto during = RandomFingerprints(10, 26);
+  dist.InsertBaseSandbox(0, 200, during);
+
+  // A resync attempt against the still-partitioned replica is dropped and
+  // must not copy anything.
+  dist.RecoverReplica(0, 2);
+  EXPECT_EQ(net.transport->stats().For(MessageType::kReplicaSync).dropped, 1u);
+
+  // After healing, the tail serves reads again — but it is *stale*: the
+  // writes it missed are invisible until a resync.
+  net.policy->HealNode(tail_node);
+  EXPECT_FALSE(dist.FindBasePage(during[0], 0).has_value());
+  for (const auto& fp : before) {
+    ASSERT_TRUE(dist.FindBasePage(fp, 0).has_value());
+  }
+
+  // RecoverReplica re-syncs the full state from a live peer over the
+  // transport (one kReplicaSync transfer) and restores read-your-writes.
+  dist.RecoverReplica(0, 2);
+  const TransportStats net_stats = net.transport->stats();
+  const MessageStats& sync = net_stats.For(MessageType::kReplicaSync);
+  EXPECT_EQ(sync.messages, 2u);
+  EXPECT_EQ(sync.dropped, 1u);
+  EXPECT_GT(sync.bytes, 0u);
+  for (const auto& fp : during) {
+    auto hit = dist.FindBasePage(fp, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->location.sandbox, 200u);
+  }
+}
+
+TEST(DistributedRegistryTransportTest, LookupsAndInsertsChargeTheTransport) {
+  FaultyNet net;
+  DistributedRegistry dist(Opts(2), net.transport);
+  dist.InsertBaseSandbox(0, 100, RandomFingerprints(20, 27));
+  const TransportStats after_insert = net.transport->stats();
+  const MessageStats& inserts = after_insert.For(MessageType::kRegistryInsert);
+  EXPECT_GT(inserts.messages, 0u);
+  EXPECT_GT(inserts.bytes, 0u);
+
+  SimDuration cost = 0;
+  auto probes = RandomFingerprints(8, 27);
+  dist.FindBasePagesBatch(std::span<const PageFingerprint>(probes), 0, 0, 1, &cost);
+  EXPECT_GT(cost, 0);
+  const TransportStats after_lookup = net.transport->stats();
+  const MessageStats& lookups = after_lookup.For(MessageType::kRegistryLookup);
+  EXPECT_GT(lookups.messages, 0u);
+  // Each touched shard counts the batch pages it served; with keys spread
+  // over 2 shards that is between 1x and 2x the page count.
+  EXPECT_GE(lookups.requests, 8u);
+  EXPECT_LE(lookups.requests, 16u);
 }
 
 TEST(DistributedRegistryTest, ShardOfIsStable) {
