@@ -8,11 +8,17 @@
 #ifndef MEDES_BENCH_BENCH_UTIL_H_
 #define MEDES_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "common/kernels/cpu_features.h"
 #include "medes.h"
 
 namespace medes::bench {
@@ -85,6 +91,172 @@ inline PlatformOptions RepresentativeOptions(PolicyKind policy, double node_memo
   PlatformOptions options = EvalOptions(policy, node_memory_mb);
   options.cluster.num_nodes = 4;
   return options;
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+//
+// Benchmarks that CI ingests emit one JSON document through this builder
+// instead of hand-rolled printf JSON: it tracks nesting and commas, escapes
+// strings, and always leads with a common metadata block so every artifact
+// self-describes the configuration that produced it.
+// ---------------------------------------------------------------------------
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject(std::string_view key = {}) { return Open('{', key); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray(std::string_view key = {}) { return Open('[', key); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Field(std::string_view key, std::string_view value) {
+    Prefix(key);
+    AppendEscaped(value);
+    return *this;
+  }
+  JsonWriter& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  JsonWriter& Field(std::string_view key, bool value) {
+    Prefix(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Field(std::string_view key, double value, int precision = 2) {
+    Prefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    out_ += buf;
+    return *this;
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  JsonWriter& Field(std::string_view key, T value) {
+    Prefix(key);
+    char buf[32];
+    if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, static_cast<uint64_t>(value));
+    }
+    out_ += buf;
+    return *this;
+  }
+  // Bare array element (no key).
+  template <typename T>
+  JsonWriter& Value(T value) {
+    return Field({}, value);
+  }
+  JsonWriter& Value(double value, int precision) { return Field({}, value, precision); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char bracket, std::string_view key) {
+    Prefix(key);
+    out_ += bracket;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& Close(char bracket) {
+    out_ += bracket;
+    need_comma_ = true;
+    return *this;
+  }
+  void Prefix(std::string_view key) {
+    if (need_comma_) {
+      out_ += ',';
+    }
+    need_comma_ = true;
+    if (!key.empty()) {
+      AppendEscaped(key);
+      out_ += ':';
+    }
+  }
+  void AppendEscaped(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        default:
+          out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+inline const char* SanitizerName() {
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#else
+  return "none";
+#endif
+}
+
+// The common metadata block every bench JSON leads with: which benchmark,
+// which thread/kernel/sanitizer configuration, and whether observability was
+// live while it ran (obs skews timings, so artifacts must say so).
+inline void WriteMetadata(JsonWriter& w, std::string_view bench_name) {
+  const char* threads_env = std::getenv("MEDES_THREADS");
+  w.BeginObject("metadata")
+      .Field("bench", bench_name)
+      .Field("medes_threads", threads_env != nullptr ? threads_env : "default")
+      .Field("kernel_tier", kernels::TierName(kernels::MaxSupportedTier()))
+      .Field("sanitizer", SanitizerName())
+      .Field("trace_enabled", obs::TraceEnabled())
+      .Field("metrics_enabled", obs::MetricsEnabled())
+      .EndObject();
+}
+
+inline bool WriteTextFile(const std::string& path, const std::string& content) {
+  if (!obs::WriteFile(path, content)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  // stderr: several benches pipe pure JSON through stdout.
+  std::fprintf(stderr, "(written to %s)\n", path.c_str());
+  return true;
+}
+
+// Drains the observability singletons into files next to the bench output
+// when tracing/metrics are enabled (MEDES_TRACE / MEDES_METRICS):
+//   <dir>/<bench>_trace.json   Chrome trace-event JSON (load in Perfetto)
+//   <dir>/<bench>.prom         Prometheus text exposition
+//   <dir>/<bench>_metrics.json metrics snapshot as JSON
+// <dir> comes from MEDES_OBS_DIR (default: current directory).
+inline void ExportObservability(std::string_view bench_name) {
+  const char* dir_env = std::getenv("MEDES_OBS_DIR");
+  const std::string prefix =
+      (dir_env != nullptr ? std::string(dir_env) + "/" : std::string()) + std::string(bench_name);
+  if (obs::TraceEnabled()) {
+    WriteTextFile(prefix + "_trace.json", obs::ChromeTraceJson(obs::Tracer::Default().Drain()));
+  }
+  if (obs::MetricsEnabled()) {
+    const auto snapshot = obs::MetricsRegistry::Default().Snapshot();
+    WriteTextFile(prefix + ".prom", obs::PrometheusText(snapshot));
+    WriteTextFile(prefix + "_metrics.json", obs::MetricsJson(snapshot));
+  }
 }
 
 inline uint64_t TotalDedupStarts(const RunMetrics& m) {

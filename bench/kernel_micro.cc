@@ -13,14 +13,10 @@
 #include <string>
 #include <vector>
 
-#include "chunking/fingerprint.h"
-#include "common/kernels/cpu_features.h"
+#include "bench_util.h"
 #include "common/kernels/memops.h"
 #include "common/kernels/rolling_kernels.h"
 #include "common/kernels/sha1_kernels.h"
-#include "common/rng.h"
-#include "common/sha1.h"
-#include "delta/delta.h"
 
 using namespace medes;
 
@@ -139,7 +135,7 @@ int main() {
     uint32_t state[5];
     for (size_t i = 0; i < iters; ++i) {
       kernels::Sha1Chunk64(page.data() + (i % kChunksPerBatch) * kChunk, state);
-      g_sink += state[0];
+      g_sink = g_sink + state[0];
     }
   }));
 
@@ -149,7 +145,7 @@ int main() {
         uint32_t states[kChunksPerBatch][5];
         for (size_t i = 0; i < iters; ++i) {
           kernels::Sha1Chunk64Batch(chunk_ptrs.data(), kChunksPerBatch, states);
-          g_sink += states[0][0];
+          g_sink = g_sink + states[0][0];
         }
       }));
 
@@ -163,7 +159,7 @@ int main() {
     results.push_back(RunKernel("rolling_bulk_page", kPage, [&, pow_w1](size_t iters) {
       for (size_t i = 0; i < iters; ++i) {
         kernels::RollingBulk(page.data(), kPage, kChunk, pow_w1, hashes.data());
-        g_sink += hashes.back();
+        g_sink = g_sink + hashes.back();
       }
     }));
   }
@@ -171,7 +167,7 @@ int main() {
   // 4. Match extension over identical pages (the long-match worst case).
   results.push_back(RunKernel("match_forward_page", kPage, [&](size_t iters) {
     for (size_t i = 0; i < iters; ++i) {
-      g_sink += kernels::MatchForward(base.data(), base.data(), kPage);
+      g_sink = g_sink + kernels::MatchForward(base.data(), base.data(), kPage);
     }
   }));
 
@@ -181,7 +177,7 @@ int main() {
     results.push_back(RunKernel("delta_decode_page", kPage, [&](size_t iters) {
       for (size_t i = 0; i < iters; ++i) {
         DeltaDecodeInto(base, delta, out);
-        g_sink += out[0];
+        g_sink = g_sink + out[0];
       }
     }));
   }
@@ -212,7 +208,7 @@ int main() {
                      base.begin() + static_cast<ptrdiff_t>(off + len));
         }
       }
-      g_sink += out[0];
+      g_sink = g_sink + out[0];
     }
   }));
 
@@ -221,32 +217,37 @@ int main() {
     PageFingerprinter fp({});
     results.push_back(RunKernel("fingerprint_page", kPage, [&](size_t iters) {
       for (size_t i = 0; i < iters; ++i) {
-        g_sink += fp.FingerprintPage(page).Cardinality();
+        g_sink = g_sink + fp.FingerprintPage(page).Cardinality();
       }
     }));
   }
 
   const kernels::CpuFeatures feats = kernels::DetectCpuFeatures();
-  std::printf("{\n  \"benchmark\": \"kernel_micro\",\n");
-  std::printf("  \"cpu\": {\"sse42\": %s, \"avx2\": %s, \"sha_ni\": %s, \"bmi2\": %s},\n",
-              feats.sse42 ? "true" : "false", feats.avx2 ? "true" : "false",
-              feats.sha_ni ? "true" : "false", feats.bmi2 ? "true" : "false");
-  std::printf("  \"max_tier\": \"%s\",\n", kernels::TierName(kernels::MaxSupportedTier()));
-  std::printf("  \"sha_ni_active_at_max\": %s,\n", kernels::ShaNiActive() ? "true" : "false");
-  std::printf("  \"kernels\": [\n");
-  for (size_t k = 0; k < results.size(); ++k) {
-    const KernelResult& r = results[k];
+  bench::JsonWriter w;
+  w.BeginObject();
+  bench::WriteMetadata(w, "kernel_micro");
+  w.BeginObject("cpu")
+      .Field("sse42", feats.sse42)
+      .Field("avx2", feats.avx2)
+      .Field("sha_ni", feats.sha_ni)
+      .Field("bmi2", feats.bmi2)
+      .EndObject();
+  w.Field("max_tier", kernels::TierName(kernels::MaxSupportedTier()))
+      .Field("sha_ni_active_at_max", kernels::ShaNiActive());
+  w.BeginArray("kernels");
+  for (const KernelResult& r : results) {
     const double scalar = r.mbps.front().second;
-    std::printf("    {\"name\": \"%s\", \"tiers\": [\n", r.name.c_str());
-    for (size_t i = 0; i < r.mbps.size(); ++i) {
-      const auto& [tier, mbps] = r.mbps[i];
-      std::printf("      {\"tier\": \"%s\", \"mb_per_sec\": %.1f, \"speedup_vs_scalar\": "
-                  "%.2f}%s\n",
-                  kernels::TierName(tier), mbps, scalar > 0 ? mbps / scalar : 0.0,
-                  i + 1 < r.mbps.size() ? "," : "");
+    w.BeginObject().Field("name", r.name).BeginArray("tiers");
+    for (const auto& [tier, mbps] : r.mbps) {
+      w.BeginObject()
+          .Field("tier", kernels::TierName(tier))
+          .Field("mb_per_sec", mbps, 1)
+          .Field("speedup_vs_scalar", scalar > 0 ? mbps / scalar : 0.0)
+          .EndObject();
     }
-    std::printf("    ]}%s\n", k + 1 < results.size() ? "," : "");
+    w.EndArray().EndObject();
   }
-  std::printf("  ]\n}\n");
+  w.EndArray().EndObject();
+  std::printf("%s\n", w.str().c_str());
   return 0;
 }

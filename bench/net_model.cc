@@ -16,6 +16,7 @@
 // power-of-two latency histogram — the artifact CI uploads.
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 
@@ -85,56 +86,49 @@ RunSummary RunOnce(bool partitioned) {
   return summary;
 }
 
-void PrintTypeJson(FILE* out, const TransportStats& stats, bool last) {
+void WriteRunJson(bench::JsonWriter& w, const char* name, const RunSummary& run) {
+  w.BeginObject(name);
+  w.BeginObject("by_type");
   for (size_t t = 0; t < kNumMessageTypes; ++t) {
-    const MessageStats& ms = stats.by_type[t];
-    std::fprintf(out,
-                 "      \"%s\": {\"messages\": %llu, \"requests\": %llu, \"bytes\": %llu, "
-                 "\"dropped\": %llu, \"mean_latency_us\": %.2f, \"max_latency_us\": %lld, "
-                 "\"latency_histogram\": [",
-                 ToString(static_cast<MessageType>(t)),
-                 static_cast<unsigned long long>(ms.messages),
-                 static_cast<unsigned long long>(ms.requests),
-                 static_cast<unsigned long long>(ms.bytes),
-                 static_cast<unsigned long long>(ms.dropped), ms.MeanLatency(),
-                 static_cast<long long>(ms.max_latency));
+    const MessageStats& ms = run.transport.by_type[t];
+    w.BeginObject(ToString(static_cast<MessageType>(t)))
+        .Field("messages", ms.messages)
+        .Field("requests", ms.requests)
+        .Field("bytes", ms.bytes)
+        .Field("dropped", ms.dropped)
+        .Field("mean_latency_us", ms.MeanLatency())
+        .Field("max_latency_us", ms.max_latency);
+    w.BeginArray("latency_histogram");
     for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
-      std::fprintf(out, "%s%llu", b == 0 ? "" : ", ",
-                   static_cast<unsigned long long>(ms.latency.Count(b)));
+      w.Value(ms.latency.Count(b));
     }
-    std::fprintf(out, "]}%s\n", (last && t + 1 == kNumMessageTypes) ? "" : ",");
+    w.EndArray().EndObject();
   }
+  w.EndObject();
+  w.Field("total_messages", run.transport.TotalMessages())
+      .Field("total_bytes", run.transport.TotalBytes())
+      .Field("total_dropped", run.transport.TotalDropped());
+  w.BeginObject("registry")
+      .Field("unavailable_lookups", run.registry.unavailable_lookups)
+      .Field("dropped_writes", run.registry.dropped_writes)
+      .Field("failovers", run.registry.failovers)
+      .EndObject();
+  w.Field("dedup_ops", run.dedup_ops)
+      .Field("restores", run.restores)
+      .Field("pages_deduped", run.pages_deduped)
+      .Field("total_lookup_ms", ToMillis(run.total_lookup_time), 1)
+      .Field("total_restore_ms", ToMillis(run.total_restore_time), 1)
+      .EndObject();
 }
 
-void PrintRunJson(FILE* out, const char* name, const RunSummary& run, bool last) {
-  std::fprintf(out, "  \"%s\": {\n    \"by_type\": {\n", name);
-  PrintTypeJson(out, run.transport, true);
-  std::fprintf(out, "    },\n");
-  std::fprintf(out,
-               "    \"total_messages\": %llu, \"total_bytes\": %llu, \"total_dropped\": %llu,\n",
-               static_cast<unsigned long long>(run.transport.TotalMessages()),
-               static_cast<unsigned long long>(run.transport.TotalBytes()),
-               static_cast<unsigned long long>(run.transport.TotalDropped()));
-  std::fprintf(out,
-               "    \"registry\": {\"unavailable_lookups\": %llu, \"dropped_writes\": %llu, "
-               "\"failovers\": %llu},\n",
-               static_cast<unsigned long long>(run.registry.unavailable_lookups),
-               static_cast<unsigned long long>(run.registry.dropped_writes),
-               static_cast<unsigned long long>(run.registry.failovers));
-  std::fprintf(out,
-               "    \"dedup_ops\": %llu, \"restores\": %llu, \"pages_deduped\": %llu,\n"
-               "    \"total_lookup_ms\": %.1f, \"total_restore_ms\": %.1f\n  }%s\n",
-               static_cast<unsigned long long>(run.dedup_ops),
-               static_cast<unsigned long long>(run.restores),
-               static_cast<unsigned long long>(run.pages_deduped),
-               ToMillis(run.total_lookup_time), ToMillis(run.total_restore_time), last ? "" : ",");
-}
-
-void PrintJson(FILE* out, const RunSummary& healthy, const RunSummary& faulty) {
-  std::fprintf(out, "{\n");
-  PrintRunJson(out, "healthy", healthy, /*last=*/false);
-  PrintRunJson(out, "partitioned", faulty, /*last=*/true);
-  std::fprintf(out, "}\n");
+std::string BuildJson(const RunSummary& healthy, const RunSummary& faulty) {
+  bench::JsonWriter w;
+  w.BeginObject();
+  bench::WriteMetadata(w, "net_model");
+  WriteRunJson(w, "healthy", healthy);
+  WriteRunJson(w, "partitioned", faulty);
+  w.EndObject();
+  return w.str();
 }
 
 void PrintSummary(const char* name, const RunSummary& run) {
@@ -175,17 +169,12 @@ int main(int argc, char** argv) {
   PrintSummary("Partitioned: shard 0 tail + all of shard 1", faulty);
 
   bench::Section("JSON");
-  PrintJson(stdout, healthy, faulty);
-  if (argc > 1) {
-    FILE* out = std::fopen(argv[1], "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
-    }
-    PrintJson(out, healthy, faulty);
-    std::fclose(out);
-    std::printf("(written to %s)\n", argv[1]);
+  const std::string json = BuildJson(healthy, faulty);
+  std::printf("%s\n", json.c_str());
+  if (argc > 1 && !bench::WriteTextFile(argv[1], json)) {
+    return 1;
   }
+  bench::ExportObservability("net_model");
 
   // The fault run must *degrade*, not fail: lookups lost to the dead shard,
   // reads still flowing and every restore still byte-exact.

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "dedupagent/dedup_agent.h"
+#include "bench_util.h"
 
 using namespace medes;
 
@@ -116,24 +116,30 @@ int main() {
   }
   const RunResult& serial = results.front();
 
-  std::printf("{\n  \"benchmark\": \"pipeline_throughput\",\n");
-  std::printf("  \"victims_per_function\": %d,\n", victims_per_function);
-  std::printf("  \"configs\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    std::printf("    {\"threads\": %zu, \"pages\": %zu, \"pages_deduped\": %zu,\n"
-                "     \"dedup_ms\": %.2f, \"restore_ms\": %.2f,\n"
-                "     \"dedup_pages_per_sec\": %.0f, \"restore_pages_per_sec\": %.0f,\n"
-                "     \"dedup_speedup_vs_serial\": %.2f, \"restore_speedup_vs_serial\": %.2f,\n"
-                "     \"cache_hits\": %llu, \"cache_misses\": %llu, \"cache_hit_rate\": %.4f}%s\n",
-                r.threads, r.pages, r.pages_deduped, r.dedup_ms, r.restore_ms,
-                r.dedup_pages_per_sec, r.restore_pages_per_sec,
-                serial.dedup_ms > 0 ? serial.dedup_ms / r.dedup_ms : 0.0,
-                serial.restore_ms > 0 ? serial.restore_ms / r.restore_ms : 0.0,
-                static_cast<unsigned long long>(r.cache_hits),
-                static_cast<unsigned long long>(r.cache_misses), r.cache_hit_rate,
-                i + 1 < results.size() ? "," : "");
+  bench::JsonWriter w;
+  w.BeginObject();
+  bench::WriteMetadata(w, "pipeline_throughput");
+  w.Field("victims_per_function", victims_per_function);
+  w.BeginArray("configs");
+  for (const RunResult& r : results) {
+    w.BeginObject()
+        .Field("threads", r.threads)
+        .Field("pages", r.pages)
+        .Field("pages_deduped", r.pages_deduped)
+        .Field("dedup_ms", r.dedup_ms)
+        .Field("restore_ms", r.restore_ms)
+        .Field("dedup_pages_per_sec", r.dedup_pages_per_sec, 0)
+        .Field("restore_pages_per_sec", r.restore_pages_per_sec, 0)
+        .Field("dedup_speedup_vs_serial", serial.dedup_ms > 0 ? serial.dedup_ms / r.dedup_ms : 0.0)
+        .Field("restore_speedup_vs_serial",
+               serial.restore_ms > 0 ? serial.restore_ms / r.restore_ms : 0.0)
+        .Field("cache_hits", r.cache_hits)
+        .Field("cache_misses", r.cache_misses)
+        .Field("cache_hit_rate", r.cache_hit_rate, 4)
+        .EndObject();
   }
-  std::printf("  ]\n}\n");
+  w.EndArray().EndObject();
+  std::printf("%s\n", w.str().c_str());
+  bench::ExportObservability("pipeline_throughput");
   return 0;
 }

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (as emitted by obs::PrometheusText).
+
+Checks, without external dependencies:
+  - every non-comment line parses as `name{labels} value` or `name value`;
+  - every series is preceded by exactly one # HELP and one # TYPE for its
+    family, and the TYPE is one of counter/gauge/histogram;
+  - histogram families carry cumulative le buckets ending in +Inf, plus
+    _sum and _count, and bucket counts never decrease;
+  - series are in sorted order (the exporter's determinism contract).
+
+Usage: check_prometheus_text.py FILE [--min-series N]
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+SERIES_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+]+|\+Inf)$")
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+
+def family_of(name: str) -> str:
+    """Strip histogram series suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def fail(lineno: int, message: str) -> None:
+    sys.exit(f"line {lineno}: {message}")
+
+
+def check(path: str, min_series: int) -> int:
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    series_keys: list[str] = []
+    bucket_counts: dict[str, float] = {}  # family+labels -> last cumulative count
+    num_series = 0
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4:
+                    fail(lineno, f"malformed HELP: {line!r}")
+                if parts[2] in helps:
+                    fail(lineno, f"duplicate HELP for {parts[2]}")
+                helps[parts[2]] = parts[3]
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                    fail(lineno, f"malformed TYPE: {line!r}")
+                if parts[2] in types:
+                    fail(lineno, f"duplicate TYPE for {parts[2]}")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                fail(lineno, f"unknown comment: {line!r}")
+
+            m = SERIES_RE.match(line)
+            if m is None:
+                fail(lineno, f"unparseable series: {line!r}")
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            family = family_of(name)
+            if family not in types:
+                fail(lineno, f"series {name} has no preceding TYPE")
+            if family not in helps:
+                fail(lineno, f"series {name} has no preceding HELP")
+            if name != family and types[family] != "histogram":
+                fail(lineno, f"{name} suffix on non-histogram family {family}")
+            num_series += 1
+
+            key = f"{name}{labels}"
+            series_keys.append(key)
+            if name.endswith("_bucket"):
+                le = re.search(r'le="([^"]*)"', labels)
+                if le is None:
+                    fail(lineno, f"bucket without le label: {line!r}")
+                without_le = re.sub(r',?le="[^"]*"', "", labels)
+                bkey = f"{family}{without_le}"
+                count = float(value)
+                if count < bucket_counts.get(bkey, 0.0):
+                    fail(lineno, f"non-cumulative bucket counts in {bkey}")
+                bucket_counts[bkey] = count
+                if le.group(1) == "+Inf":
+                    del bucket_counts[bkey]  # family complete
+
+    if bucket_counts:
+        sys.exit(f"histogram families missing a +Inf bucket: {sorted(bucket_counts)}")
+    # _bucket/_count/_sum interleave within a family, so compare family order.
+    families = [family_of(k.split("{", 1)[0]) for k in series_keys]
+    if families != sorted(families):
+        sys.exit("series families are not in sorted order")
+    if num_series < min_series:
+        sys.exit(f"expected at least {min_series} series, found {num_series}")
+    print(f"{path}: OK ({num_series} series, {len(types)} families)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--min-series", type=int, default=1)
+    args = parser.parse_args()
+    return check(args.file, args.min_series)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

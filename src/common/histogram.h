@@ -1,13 +1,42 @@
 // Simple value recorders used for experiment metrics: exact percentiles over
-// recorded samples and a fixed-bucket histogram for streaming summaries.
+// recorded samples, a fixed-bucket histogram for streaming summaries, and the
+// shared power-of-two bucketing convention used by every order-independent
+// histogram in the tree (net::LatencyHistogram, obs::Histogram).
 #ifndef MEDES_COMMON_HISTOGRAM_H_
 #define MEDES_COMMON_HISTOGRAM_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace medes {
+
+// ---- Power-of-two bucketing ----------------------------------------------
+//
+// Bucket i counts values whose bit width is i, i.e. [2^(i-1), 2^i - 1];
+// bucket 0 counts values <= 0. Bucket *counts* are order-independent sums, so
+// concurrent recording in any interleaving yields identical contents — the
+// property the transport stats and the obs metrics determinism contracts are
+// built on.
+
+inline constexpr size_t kPow2HistogramBuckets = 22;
+
+inline size_t Pow2BucketIndex(int64_t value) {
+  if (value <= 0) {
+    return 0;
+  }
+  const auto width = static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+  return width < kPow2HistogramBuckets ? width : kPow2HistogramBuckets - 1;
+}
+
+// Inclusive upper bound of a bucket; bucket 0 holds <= 0.
+inline constexpr int64_t Pow2BucketUpperBound(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  return static_cast<int64_t>((1ull << bucket) - 1);
+}
 
 // Records every sample; answers exact order statistics. Fine for the scale of
 // our experiments (at most a few million samples per run).

@@ -1,10 +1,11 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace medes {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,14 +20,31 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Small sequential id per logging thread (std::this_thread::get_id is opaque
+// and unstable across runs; these are assigned in first-log order).
+int ThreadLogId() {
+  static std::atomic<int> next{0};
+  static thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 namespace internal {
 void EmitLog(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[medes %s] %s\n", LevelName(level), message.c_str());
+  // One formatted record, one write: stdio locks the stream per call, so
+  // concurrent loggers interleave whole lines rather than fragments.
+  std::string line = "[medes ";
+  line += LevelName(level);
+  line += " t";
+  line += std::to_string(ThreadLogId());
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace internal
 

@@ -1,8 +1,12 @@
 // Minimal leveled logging to stderr.
 //
 // Kept deliberately tiny: experiments run quietly by default (kWarn); tests
-// and examples can raise verbosity. Not thread-safe beyond what stderr gives
-// us — the simulator is single-threaded by design (determinism).
+// and examples can raise verbosity. Thread-safe: the event loop is serial,
+// but dedup/restore stages run on the agent's thread pool and may log from
+// workers, so EmitLog formats each record into a single string — level tag,
+// a small per-thread id, then the message — and writes it with one stdio
+// call, which POSIX locks per call. Lines from concurrent threads interleave
+// whole, never mid-line. The level itself is a relaxed atomic.
 #ifndef MEDES_COMMON_LOGGING_H_
 #define MEDES_COMMON_LOGGING_H_
 

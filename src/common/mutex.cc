@@ -129,6 +129,10 @@ const char* ToString(LockRank rank) {
       return "rank 6: transport";
     case LockRank::kMetrics:
       return "rank 7: metrics";
+    case LockRank::kObsRegistry:
+      return "rank 8: obs registry";
+    case LockRank::kObsBuffer:
+      return "rank 9: obs span buffer";
   }
   return "unknown";
 }

@@ -46,6 +46,8 @@ enum class LockRank : int {
   kRdmaCache = 5,         // RdmaFabric base-page LRU cache
   kTransport = 6,         // Transport fault-policy slot / StaticFaultPolicy state
   kMetrics = 7,           // stats/metrics sinks (platform, agents, registries)
+  kObsRegistry = 8,       // obs instrument map / tracer thread-buffer registry
+  kObsBuffer = 9,         // obs per-thread span buffers (after kObsRegistry in drains)
 };
 
 const char* ToString(LockRank rank);

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace medes {
+
+const char* ToString(IdleDecision decision) {
+  switch (decision) {
+    case IdleDecision::kKeepWarm:
+      return "keep_warm";
+    case IdleDecision::kDedup:
+      return "dedup";
+    case IdleDecision::kDesignateBase:
+      return "designate_base";
+  }
+  return "?";
+}
 
 MedesController::MedesController(Cluster& cluster, MedesControllerOptions options,
                                  std::shared_ptr<Transport> transport, NodeId controller_node)
@@ -86,6 +101,38 @@ double MedesController::AlphaFor(FunctionId function) const {
 }
 
 IdleDecision MedesController::OnIdleExpiry(const Sandbox& sb, SimTime now) {
+  const IdleDecision decision = DecideIdleExpiry(sb, now);
+  if (obs::MetricsEnabled()) {
+    struct DecisionCounters {
+      obs::Counter* keep_warm;
+      obs::Counter* dedup;
+      obs::Counter* designate_base;
+    };
+    static const DecisionCounters counters = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      auto get = [&](const char* value) {
+        return &registry.GetCounter("medes_controller_decisions_total",
+                                    "Idle-expiry decisions issued by the controller", "decision",
+                                    value);
+      };
+      return DecisionCounters{get("keep_warm"), get("dedup"), get("designate_base")};
+    }();
+    switch (decision) {
+      case IdleDecision::kKeepWarm:
+        counters.keep_warm->Add(1);
+        break;
+      case IdleDecision::kDedup:
+        counters.dedup->Add(1);
+        break;
+      case IdleDecision::kDesignateBase:
+        counters.designate_base->Add(1);
+        break;
+    }
+  }
+  return decision;
+}
+
+IdleDecision MedesController::DecideIdleExpiry(const Sandbox& sb, SimTime now) {
   // The decision itself is computed controller-side; delivering it to the
   // sandbox's node is one small control-plane message. Drops are ignored —
   // an undelivered decision just leaves the sandbox warm until the next

@@ -62,6 +62,8 @@ enum class IdleDecision {
   kDesignateBase,
 };
 
+const char* ToString(IdleDecision decision);
+
 // Modelled wire size of one controller decision message (a verdict plus
 // sandbox identity — tiny; the latency term dominates).
 inline constexpr size_t kControlDecisionBytes = 64;
@@ -100,6 +102,8 @@ class MedesController {
   double AlphaFor(FunctionId function) const;
 
  private:
+  IdleDecision DecideIdleExpiry(const Sandbox& sb, SimTime now);
+
   struct FunctionTracking {
     RateTracker rate;
     // EMAs seeded lazily from the first measurements.

@@ -26,6 +26,10 @@
 #include "memstate/library_pool.h"          // IWYU pragma: export
 #include "memstate/profiles.h"              // IWYU pragma: export
 #include "net/transport.h"                  // IWYU pragma: export
+#include "obs/export.h"                     // IWYU pragma: export
+#include "obs/metrics.h"                    // IWYU pragma: export
+#include "obs/obs.h"                        // IWYU pragma: export
+#include "obs/trace.h"                      // IWYU pragma: export
 #include "platform/metrics.h"               // IWYU pragma: export
 #include "platform/platform.h"              // IWYU pragma: export
 #include "policy/keep_alive.h"              // IWYU pragma: export

@@ -31,7 +31,6 @@
 #define MEDES_NET_TRANSPORT_H_
 
 #include <array>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -39,6 +38,7 @@
 #include <unordered_set>
 
 #include "common/annotations.h"
+#include "common/histogram.h"
 #include "common/mutex.h"
 #include "common/time.h"
 
@@ -163,13 +163,13 @@ class StaticFaultPolicy : public FaultPolicy {
 
 // ---- Stats ---------------------------------------------------------------
 
-// Order-independent latency histogram: power-of-two buckets (bucket i counts
-// durations whose bit width is i, i.e. [2^(i-1), 2^i - 1]; bucket 0 counts
-// <= 0). Unlike SampleRecorder it stores no per-sample state, so concurrent
-// recording in any order yields identical contents.
+// Order-independent latency histogram using the shared power-of-two bucket
+// convention (common/histogram.h). Unlike SampleRecorder it stores no
+// per-sample state, so concurrent recording in any order yields identical
+// contents.
 class LatencyHistogram {
  public:
-  static constexpr size_t kNumBuckets = 22;
+  static constexpr size_t kNumBuckets = kPow2HistogramBuckets;
 
   void Record(SimDuration value) {
     ++buckets_[BucketIndex(value)];
@@ -184,17 +184,10 @@ class LatencyHistogram {
   }
   // Inclusive upper bound of a bucket (us); bucket 0 holds <= 0.
   static SimDuration BucketUpperBound(size_t bucket) {
-    if (bucket == 0) {
-      return 0;
-    }
-    return static_cast<SimDuration>((1ull << bucket) - 1);
+    return static_cast<SimDuration>(Pow2BucketUpperBound(bucket));
   }
   static size_t BucketIndex(SimDuration value) {
-    if (value <= 0) {
-      return 0;
-    }
-    const auto width = static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
-    return width < kNumBuckets ? width : kNumBuckets - 1;
+    return Pow2BucketIndex(static_cast<int64_t>(value));
   }
 
   bool operator==(const LatencyHistogram&) const = default;

@@ -1,0 +1,263 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+namespace medes::obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendInt(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+// `name{key="value"} ` or `name ` when unlabelled; `extra` (e.g. le="...")
+// joins any series label inside the braces.
+void AppendPromSeries(std::string& out, const MetricSnapshot& snap, std::string_view suffix,
+                      std::string_view extra = {}) {
+  out += snap.name;
+  out += suffix;
+  if (!snap.label_key.empty() || !extra.empty()) {
+    out += '{';
+    if (!snap.label_key.empty()) {
+      out += snap.label_key;
+      out += "=\"";
+      out += snap.label_value;
+      out += '"';
+      if (!extra.empty()) {
+        out += ',';
+      }
+    }
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(out, span.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, span.category);
+    out += "\",\"ph\":\"";
+    const bool instant = span.dur == kInstantDuration;
+    out += instant ? 'i' : 'X';
+    out += "\",\"ts\":";
+    AppendInt(out, span.ts);
+    if (!instant) {
+      out += ",\"dur\":";
+      AppendInt(out, span.dur);
+    }
+    out += ",\"pid\":0,\"tid\":";
+    AppendInt(out, span.lane);
+    if (instant) {
+      out += ",\"s\":\"t\"";  // thread-scoped instant marker
+    }
+    if (span.num_args > 0 || span.wall_ns >= 0) {
+      out += ",\"args\":{";
+      for (uint32_t i = 0; i < span.num_args; ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        AppendJsonEscaped(out, span.args[i].key);
+        out += "\":";
+        AppendInt(out, span.args[i].value);
+      }
+      if (span.wall_ns >= 0) {
+        if (span.num_args > 0) {
+          out += ',';
+        }
+        out += "\"wall_ns\":";
+        AppendInt(out, span.wall_ns);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string PrometheusText(const std::vector<MetricSnapshot>& snapshots) {
+  std::string out;
+  std::string_view last_name;
+  for (const MetricSnapshot& snap : snapshots) {
+    if (snap.name != last_name) {
+      // One HELP/TYPE header per metric family (input is sorted by name, so
+      // all of a family's labelled series are contiguous).
+      out += "# HELP ";
+      out += snap.name;
+      out += ' ';
+      out += snap.help;
+      out += "\n# TYPE ";
+      out += snap.name;
+      out += ' ';
+      out += ToString(snap.kind);
+      out += '\n';
+      last_name = snap.name;
+    }
+    switch (snap.kind) {
+      case InstrumentKind::kCounter:
+      case InstrumentKind::kGauge:
+        AppendPromSeries(out, snap, "");
+        AppendInt(out, snap.value);
+        out += '\n';
+        break;
+      case InstrumentKind::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+          cumulative += snap.buckets[b];
+          std::string le = "le=\"";
+          if (b + 1 == Histogram::kNumBuckets) {
+            le += "+Inf";
+          } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%" PRId64, Histogram::BucketUpperBound(b));
+            le += buf;
+          }
+          le += '"';
+          AppendPromSeries(out, snap, "_bucket", le);
+          AppendUint(out, cumulative);
+          out += '\n';
+        }
+        AppendPromSeries(out, snap, "_sum");
+        AppendInt(out, snap.sum);
+        out += '\n';
+        AppendPromSeries(out, snap, "_count");
+        AppendUint(out, snap.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsJson(const std::vector<MetricSnapshot>& snapshots) {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSnapshot& snap : snapshots) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(out, snap.name);
+    out += "\",\"kind\":\"";
+    out += ToString(snap.kind);
+    out += '"';
+    if (!snap.label_key.empty()) {
+      out += ",\"";
+      AppendJsonEscaped(out, snap.label_key);
+      out += "\":\"";
+      AppendJsonEscaped(out, snap.label_value);
+      out += '"';
+    }
+    if (snap.kind == InstrumentKind::kHistogram) {
+      out += ",\"count\":";
+      AppendUint(out, snap.count);
+      out += ",\"sum\":";
+      AppendInt(out, snap.sum);
+      out += ",\"buckets\":[";
+      for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        if (b > 0) {
+          out += ',';
+        }
+        AppendUint(out, snap.buckets[b]);
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":";
+      AppendInt(out, snap.value);
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string SeriesJson(const std::vector<SnapshotSeries::Point>& points) {
+  std::string out = "[";
+  bool first_point = true;
+  for (const SnapshotSeries::Point& point : points) {
+    if (!first_point) {
+      out += ',';
+    }
+    first_point = false;
+    out += "\n{\"t\":";
+    AppendInt(out, point.t);
+    out += ",\"values\":{";
+    bool first_value = true;
+    for (const auto& [key, value] : point.values) {
+      if (!first_value) {
+        out += ',';
+      }
+      first_value = false;
+      out += '"';
+      AppendJsonEscaped(out, key);
+      out += "\":";
+      AppendInt(out, value);
+    }
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool WriteFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == content.size() && close_rc == 0;
+}
+
+}  // namespace medes::obs

@@ -1,0 +1,48 @@
+// Exporters for the observability subsystem:
+//
+//   - ChromeTraceJson: spans -> Chrome trace-event JSON (load in Perfetto /
+//     chrome://tracing). Sim-time microseconds map directly onto the trace
+//     "ts"/"dur" microsecond fields; lanes map onto tid rows.
+//   - PrometheusText: metric snapshots -> Prometheus text exposition format
+//     (# HELP / # TYPE, cumulative le-bucket histograms, _sum/_count).
+//   - MetricsJson: the same snapshots as a JSON document (bench artifacts).
+//   - SeriesJson: a SnapshotSeries time series as JSON.
+//
+// All exporters are pure functions of their (already canonically sorted)
+// inputs, so their output inherits the determinism of the recorded data.
+#ifndef MEDES_OBS_EXPORT_H_
+#define MEDES_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace medes::obs {
+
+// Chrome trace-event JSON for `spans` (as returned by Tracer::Drain()).
+// Complete spans become "X" events with ts/dur; kInstantDuration spans become
+// "i" instant events. Span args are attached; a measured wall_ns (>= 0) is
+// exported as an extra "wall_ns" arg.
+std::string ChromeTraceJson(const std::vector<Span>& spans);
+
+// Prometheus text exposition format for `snapshots` (as returned by
+// MetricsRegistry::Snapshot()). Series sharing a name emit one HELP/TYPE
+// header; histograms expand to cumulative le buckets plus _sum and _count.
+std::string PrometheusText(const std::vector<MetricSnapshot>& snapshots);
+
+// The same snapshots as a JSON array of instrument objects.
+std::string MetricsJson(const std::vector<MetricSnapshot>& snapshots);
+
+// A SnapshotSeries as JSON: [{"t": ..., "values": {name: value, ...}}, ...].
+std::string SeriesJson(const std::vector<SnapshotSeries::Point>& points);
+
+// Writes `content` to `path`, replacing any existing file. Returns false on
+// I/O failure.
+bool WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace medes::obs
+
+#endif  // MEDES_OBS_EXPORT_H_

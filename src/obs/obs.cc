@@ -1,0 +1,40 @@
+#include "obs/obs.h"
+
+#ifndef MEDES_OBS_DISABLED
+
+#include <cstdlib>
+#include <cstring>
+
+namespace medes::obs {
+namespace internal {
+
+std::atomic<int> g_trace_enabled{-1};
+std::atomic<int> g_metrics_enabled{-1};
+std::atomic<int> g_wall_profiling{-1};
+
+bool SlowInit(std::atomic<int>& flag, const char* env_var) {
+  const char* env = std::getenv(env_var);
+  const bool on = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  // A concurrent SetXxxEnabled wins over the environment default.
+  int expected = -1;
+  flag.compare_exchange_strong(expected, on ? 1 : 0, std::memory_order_relaxed);
+  return flag.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void SetWallClockProfiling(bool enabled) {
+  internal::g_wall_profiling.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace medes::obs
+
+#endif  // MEDES_OBS_DISABLED

@@ -1,0 +1,72 @@
+// Observability runtime switches.
+//
+// The tracing layer (obs/trace.h) and the metrics registry (obs/metrics.h)
+// are both gated on process-wide flags so instrumented hot paths cost one
+// relaxed atomic load and a predictable branch when observability is off:
+//
+//   - MEDES_TRACE=1    enables span recording (Chrome-trace export).
+//   - MEDES_METRICS=1  enables counter/gauge/histogram recording.
+//   - MEDES_TRACE_WALL=1 additionally stamps spans with measured wall-clock
+//     durations. Wall times are inherently nondeterministic, so this knob is
+//     excluded from the bit-identical-across-thread-counts contract.
+//
+// Tests and tools can flip the flags programmatically (SetTraceEnabled etc.);
+// the environment variables only seed the initial state. Building with
+// -DMEDES_OBS=OFF defines MEDES_OBS_DISABLED, which pins every flag to a
+// constexpr false so the optimizer deletes instrumentation sites entirely.
+#ifndef MEDES_OBS_OBS_H_
+#define MEDES_OBS_OBS_H_
+
+#ifndef MEDES_OBS_DISABLED
+#include <atomic>
+#endif
+
+namespace medes::obs {
+
+#ifdef MEDES_OBS_DISABLED
+
+inline constexpr bool TraceEnabled() { return false; }
+inline constexpr bool MetricsEnabled() { return false; }
+inline constexpr bool WallClockProfilingEnabled() { return false; }
+inline void SetTraceEnabled(bool /*enabled*/) {}
+inline void SetMetricsEnabled(bool /*enabled*/) {}
+inline void SetWallClockProfiling(bool /*enabled*/) {}
+
+#else
+
+namespace internal {
+// Tri-state: -1 = not yet initialised from the environment, else 0/1. The
+// lazy read avoids static-initialisation-order dependencies between TUs.
+extern std::atomic<int> g_trace_enabled;
+extern std::atomic<int> g_metrics_enabled;
+extern std::atomic<int> g_wall_profiling;
+bool SlowInit(std::atomic<int>& flag, const char* env_var);
+
+inline bool Enabled(std::atomic<int>& flag, const char* env_var) {
+  const int v = flag.load(std::memory_order_relaxed);
+  if (v >= 0) {
+    return v != 0;
+  }
+  return SlowInit(flag, env_var);
+}
+}  // namespace internal
+
+inline bool TraceEnabled() {
+  return internal::Enabled(internal::g_trace_enabled, "MEDES_TRACE");
+}
+inline bool MetricsEnabled() {
+  return internal::Enabled(internal::g_metrics_enabled, "MEDES_METRICS");
+}
+inline bool WallClockProfilingEnabled() {
+  return internal::Enabled(internal::g_wall_profiling, "MEDES_TRACE_WALL");
+}
+
+void SetTraceEnabled(bool enabled);
+void SetMetricsEnabled(bool enabled);
+void SetWallClockProfiling(bool enabled);
+
+#endif  // MEDES_OBS_DISABLED
+
+}  // namespace medes::obs
+
+#endif  // MEDES_OBS_OBS_H_

@@ -1,0 +1,187 @@
+// Tracing layer: RAII spans with deterministic simulation-time timestamps,
+// buffered per thread and drained into a process-wide sink for Chrome
+// trace-event export (obs/export.h).
+//
+// A Span is a fixed-size POD: name and category are string literals, the
+// timestamp and duration are simulation time (common/time.h), `lane` selects
+// the Chrome-trace "thread" row (we use it for node ids and pipeline lanes),
+// and up to kMaxSpanArgs integer arguments ride along as trace args.
+//
+// Usage:
+//
+//   obs::ScopedSpan span("restore/base_read", "restore", now, node_id);
+//   span.AddArg("pages", num_pages);
+//   ... compute modelled cost ...
+//   span.SetSimDuration(read_cost);   // else duration stays 0
+//
+// The span is recorded on scope exit iff TraceEnabled() was true at
+// construction. With MEDES_TRACE_WALL=1 the destructor additionally stamps
+// the measured wall-clock duration of the scope (wall_ns); wall times are
+// nondeterministic and excluded from the bit-identical contract.
+//
+// Recording appends to a per-thread buffer under a leaf-ranked mutex; full
+// buffers are flushed wholesale onto a lock-free chunk stack, so the hot path
+// never contends on a global lock. Tracer::Drain() collects everything and
+// sorts canonically by content, erasing buffer/flush interleaving — in the
+// simulator spans carry sim-time stamps and are emitted by the serial event
+// loop, so the drained sequence is bit-identical at any MEDES_THREADS.
+#ifndef MEDES_OBS_TRACE_H_
+#define MEDES_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/time.h"
+#include "obs/obs.h"
+
+namespace medes::obs {
+
+inline constexpr size_t kMaxSpanArgs = 4;
+
+// Sentinel duration marking an instant event ("i" phase in Chrome trace)
+// rather than a complete span ("X" phase).
+inline constexpr SimDuration kInstantDuration = -1;
+
+struct SpanArg {
+  const char* key = "";
+  int64_t value = 0;
+};
+
+struct Span {
+  const char* name = "";
+  const char* category = "";
+  SimTime ts = 0;                    // sim-time start (us)
+  SimDuration dur = 0;               // sim-time duration (us); kInstantDuration = instant
+  int32_t lane = 0;                  // Chrome-trace tid row (node id / pipeline lane)
+  uint32_t num_args = 0;
+  std::array<SpanArg, kMaxSpanArgs> args = {};
+  int64_t wall_ns = -1;  // measured wall duration; -1 unless MEDES_TRACE_WALL
+};
+
+struct ThreadSpanBuffer;
+
+// Process-wide span sink. Thread-safe; spans are buffered per recording
+// thread and only surface via Drain().
+class Tracer {
+ public:
+  static Tracer& Default();
+
+  // Appends one span (no enablement check — ScopedSpan gates on construction;
+  // direct callers check TraceEnabled() themselves).
+  void Record(const Span& span);
+
+  // Removes and returns every recorded span, sorted canonically by content
+  // (ts, lane, name, category, dur, args; wall_ns excluded) so the result is
+  // independent of buffer and flush interleaving.
+  std::vector<Span> Drain();
+
+  // Discards all recorded spans.
+  void Clear();
+
+ private:
+  friend struct ThreadSpanBuffer;
+
+  Tracer() = default;
+
+  struct Chunk {
+    std::vector<Span> spans;
+    Chunk* next = nullptr;
+  };
+
+  void RegisterBuffer(ThreadSpanBuffer* buffer) EXCLUDES(registry_mu_);
+  void UnregisterBuffer(ThreadSpanBuffer* buffer) EXCLUDES(registry_mu_);
+  void PushChunk(std::vector<Span> spans);
+
+  Mutex registry_mu_{"obs tracer buffers", LockRank::kObsRegistry};
+  std::vector<ThreadSpanBuffer*> buffers_ GUARDED_BY(registry_mu_);
+
+  // Lock-free stack of flushed chunks; Drain exchanges the head.
+  std::atomic<Chunk*> chunks_{nullptr};
+};
+
+// Per-thread span buffer (implementation detail of Tracer; public only so the
+// thread_local in trace.cc can name it).
+struct ThreadSpanBuffer {
+  static constexpr size_t kFlushThreshold = 256;
+
+  ThreadSpanBuffer();
+  ~ThreadSpanBuffer();
+
+  void Append(const Span& span) EXCLUDES(mu);
+
+  Mutex mu{"obs thread span buffer", LockRank::kObsBuffer};
+  std::vector<Span> spans GUARDED_BY(mu);
+};
+
+// RAII span. Records on destruction iff tracing was enabled at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category, SimTime sim_start, int32_t lane = 0)
+      : enabled_(TraceEnabled()) {
+    if (!enabled_) {
+      return;
+    }
+    span_.name = name;
+    span_.category = category;
+    span_.ts = sim_start;
+    span_.lane = lane;
+    if (WallClockProfilingEnabled()) {
+      wall_ = true;
+      wall_start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (!enabled_) {
+      return;
+    }
+    if (wall_) {
+      span_.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - wall_start_)
+                          .count();
+    }
+    Tracer::Default().Record(span_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Sets the modelled duration (defaults to 0 if never called).
+  void SetSimDuration(SimDuration dur) {
+    if (enabled_) {
+      span_.dur = dur;
+    }
+  }
+  // Marks this span as an instant event.
+  void SetInstant() {
+    if (enabled_) {
+      span_.dur = kInstantDuration;
+    }
+  }
+  // Attaches an integer argument (silently dropped past kMaxSpanArgs).
+  void AddArg(const char* key, int64_t value) {
+    if (enabled_ && span_.num_args < kMaxSpanArgs) {
+      span_.args[span_.num_args++] = SpanArg{key, value};
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  Span span_;
+  bool enabled_ = false;
+  bool wall_ = false;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+// Records a standalone instant event (no RAII scope needed).
+void RecordInstant(const char* name, const char* category, SimTime ts, int32_t lane = 0);
+
+}  // namespace medes::obs
+
+#endif  // MEDES_OBS_TRACE_H_

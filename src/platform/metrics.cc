@@ -17,6 +17,19 @@ const char* ToString(StartType type) {
   return "?";
 }
 
+std::optional<StartType> StartTypeFromString(std::string_view name) {
+  if (name == "warm") {
+    return StartType::kWarm;
+  }
+  if (name == "dedup") {
+    return StartType::kDedup;
+  }
+  if (name == "cold") {
+    return StartType::kCold;
+  }
+  return std::nullopt;
+}
+
 uint64_t RunMetrics::TotalColdStarts() const {
   uint64_t total = 0;
   for (const auto& f : per_function) {

@@ -4,7 +4,9 @@
 #define MEDES_PLATFORM_METRICS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/histogram.h"
@@ -23,6 +25,9 @@ enum class StartType {
 };
 
 const char* ToString(StartType type);
+
+// Inverse of ToString (exact match); nullopt for anything unrecognised.
+std::optional<StartType> StartTypeFromString(std::string_view name);
 
 struct RequestRecord {
   FunctionId function = -1;

@@ -5,8 +5,69 @@
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace medes {
+
+namespace {
+
+struct PlatformInstruments {
+  obs::Counter* warm_starts;
+  obs::Counter* dedup_starts;
+  obs::Counter* cold_starts;
+  obs::Counter* spawns;
+  obs::Counter* evictions;
+  obs::Counter* overcommits;
+  obs::Counter* base_designations;
+  obs::Gauge* live_sandboxes;
+  obs::Gauge* warm_sandboxes;
+  obs::Gauge* dedup_sandboxes;
+  obs::Gauge* base_snapshots;
+  obs::Gauge* used_mb;
+  obs::Histogram* e2e_us;
+  obs::Histogram* startup_us;
+};
+
+const PlatformInstruments& Instruments() {
+  static const PlatformInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    auto starts = [&](const char* value) {
+      return &registry.GetCounter("medes_platform_requests_total",
+                                  "Requests served, by start type", "start_type", value);
+    };
+    return PlatformInstruments{
+        .warm_starts = starts(ToString(StartType::kWarm)),
+        .dedup_starts = starts(ToString(StartType::kDedup)),
+        .cold_starts = starts(ToString(StartType::kCold)),
+        .spawns = &registry.GetCounter("medes_platform_spawns_total", "Cold sandbox spawns"),
+        .evictions =
+            &registry.GetCounter("medes_platform_evictions_total", "Sandboxes/bases evicted"),
+        .overcommits = &registry.GetCounter("medes_platform_overcommit_events_total",
+                                            "Requests admitted despite not fitting in memory"),
+        .base_designations = &registry.GetCounter("medes_platform_base_designations_total",
+                                                  "Base snapshots created"),
+        .live_sandboxes =
+            &registry.GetGauge("medes_platform_live_sandboxes", "Sandboxes currently alive"),
+        .warm_sandboxes =
+            &registry.GetGauge("medes_platform_warm_sandboxes", "Sandboxes currently warm"),
+        .dedup_sandboxes = &registry.GetGauge("medes_platform_dedup_sandboxes",
+                                              "Sandboxes currently in dedup state"),
+        .base_snapshots =
+            &registry.GetGauge("medes_platform_base_snapshots", "Live base snapshots"),
+        .used_mb =
+            &registry.GetGauge("medes_platform_used_mb", "Cluster memory in use (modelled MB)"),
+        .e2e_us = &registry.GetHistogram("medes_platform_e2e_us",
+                                         "End-to-end request latency (us)"),
+        .startup_us =
+            &registry.GetHistogram("medes_platform_startup_us", "Request startup latency (us)"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 const char* ToString(PolicyKind kind) {
   switch (kind) {
@@ -179,7 +240,7 @@ class ServerlessPlatform::Impl {
       }
       if (warm_victim != nullptr) {
         PurgeSandbox(*warm_victim);
-        RecordEviction();
+        RecordEviction(node);
         continue;
       }
       Sandbox* dedup_victim = nullptr;
@@ -194,7 +255,7 @@ class ServerlessPlatform::Impl {
       }
       if (dedup_victim != nullptr) {
         PurgeSandbox(*dedup_victim);
-        RecordEviction();
+        RecordEviction(node);
         continue;
       }
       // Unreferenced base snapshots go last: evicting one forces an expensive
@@ -210,7 +271,7 @@ class ServerlessPlatform::Impl {
         registry_->RemoveBaseSandbox(base_victim);
         cluster_.RemoveBaseSnapshot(base_victim);
         fabric_.InvalidateSandbox(base_victim);  // reclaim its cached pages
-        RecordEviction();
+        RecordEviction(node);
         continue;
       }
       return false;  // only running sandboxes and referenced bases left
@@ -233,9 +294,15 @@ class ServerlessPlatform::Impl {
         sim_.ScheduleAfter(options_.medes.keep_dedup, [this, id] { OnKeepDedupTimer(id); });
   }
 
-  void RecordEviction() EXCLUDES(metrics_mu_) {
-    MutexLock lock(metrics_mu_);
-    ++metrics_.evictions;
+  void RecordEviction(NodeId node) EXCLUDES(metrics_mu_) {
+    {
+      MutexLock lock(metrics_mu_);
+      ++metrics_.evictions;
+    }
+    if (obs::MetricsEnabled()) {
+      Instruments().evictions->Add(1);
+    }
+    obs::RecordInstant("evict", "platform", sim_.Now(), node);
   }
 
   // Dedup-op metrics shared by the policy path and the pressure path.
@@ -299,14 +366,24 @@ class ServerlessPlatform::Impl {
     } else {
       NodeId node = cluster_.LeastUsedNode();
       if (!EnsureFits(node, profile.memory_mb)) {
-        MutexLock lock(metrics_mu_);
-        ++metrics_.overcommit_events;
+        {
+          MutexLock lock(metrics_mu_);
+          ++metrics_.overcommit_events;
+        }
+        if (obs::MetricsEnabled()) {
+          Instruments().overcommits->Add(1);
+        }
+        obs::RecordInstant("overcommit", "platform", now, node);
       }
       sb = &cluster_.Spawn(profile, node, now);
       {
         MutexLock lock(metrics_mu_);
         ++metrics_.sandboxes_spawned;
       }
+      if (obs::MetricsEnabled()) {
+        Instruments().spawns->Add(1);
+      }
+      obs::RecordInstant("spawn", "platform", now, node);
       type = StartType::kCold;
       startup = options_.emulate_catalyzer ? options_.catalyzer_restore : profile.cold_start;
     }
@@ -330,6 +407,29 @@ class ServerlessPlatform::Impl {
       }
       fm.e2e_ms.Record(ToMillis(e2e));
       fm.startup_ms.Record(ToMillis(startup));
+    }
+    if (obs::MetricsEnabled()) {
+      const PlatformInstruments& ins = Instruments();
+      switch (type) {
+        case StartType::kWarm:
+          ins.warm_starts->Add(1);
+          break;
+        case StartType::kDedup:
+          ins.dedup_starts->Add(1);
+          break;
+        case StartType::kCold:
+          ins.cold_starts->Add(1);
+          break;
+      }
+      ins.e2e_us->Record(e2e);
+      ins.startup_us->Record(startup);
+    }
+    if (obs::TraceEnabled()) {
+      obs::ScopedSpan span("request", "platform", now, sb->node);
+      span.SetSimDuration(e2e);
+      span.AddArg("function", static_cast<int64_t>(ev.function));
+      span.AddArg("start_type", static_cast<int64_t>(type));
+      span.AddArg("startup_us", startup);
     }
 
     const SandboxId id = sb->id;
@@ -403,6 +503,10 @@ class ServerlessPlatform::Impl {
             MutexLock lock(metrics_mu_);
             ++metrics_.base_designations;
           }
+          if (obs::MetricsEnabled()) {
+            Instruments().base_designations->Add(1);
+          }
+          obs::RecordInstant("base_designation", "platform", now, sb->node);
         } else if (keep_alive_expired) {
           // No room for a base; the sandbox follows the normal warm
           // lifecycle so it cannot linger forever.
@@ -448,6 +552,17 @@ class ServerlessPlatform::Impl {
       }
     }
     s.bases = cluster_.base_snapshots().size();
+    if (obs::MetricsEnabled()) {
+      // Refresh the level gauges, then append one point to the sim-time
+      // snapshot series (the poller the exporters read back).
+      const PlatformInstruments& ins = Instruments();
+      ins.live_sandboxes->Set(static_cast<int64_t>(s.sandboxes));
+      ins.warm_sandboxes->Set(static_cast<int64_t>(s.warm));
+      ins.dedup_sandboxes->Set(static_cast<int64_t>(s.dedup));
+      ins.base_snapshots->Set(static_cast<int64_t>(s.bases));
+      ins.used_mb->Set(static_cast<int64_t>(s.used_mb));
+      obs::SnapshotSeries::Default().Sample(s.time);
+    }
     MutexLock lock(metrics_mu_);
     metrics_.memory_timeline.push_back(std::move(s));
   }

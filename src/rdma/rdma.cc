@@ -1,6 +1,46 @@
 #include "rdma/rdma.h"
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace medes {
+
+namespace {
+
+struct RdmaInstruments {
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Counter* remote_reads;
+  obs::Counter* remote_bytes;
+  obs::Counter* local_reads;
+  obs::Counter* local_bytes;
+};
+
+const RdmaInstruments& Instruments() {
+  static const RdmaInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    return RdmaInstruments{
+        .cache_hits = &registry.GetCounter("medes_rdma_cache_hits_total",
+                                           "Base-page reads served from the local page cache"),
+        .cache_misses = &registry.GetCounter("medes_rdma_cache_misses_total",
+                                             "Base-page reads that missed the page cache"),
+        .cache_evictions = &registry.GetCounter("medes_rdma_cache_evictions_total",
+                                                "Pages evicted from the base-page cache"),
+        .remote_reads = &registry.GetCounter("medes_rdma_remote_reads_total",
+                                             "One-sided base-page reads from a remote node"),
+        .remote_bytes = &registry.GetCounter("medes_rdma_remote_bytes_total",
+                                             "Bytes read one-sided from remote nodes"),
+        .local_reads = &registry.GetCounter("medes_rdma_local_reads_total",
+                                            "Base-page reads served by the local node"),
+        .local_bytes = &registry.GetCounter("medes_rdma_local_bytes_total",
+                                            "Bytes read from the local node"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 RdmaFabric::RdmaFabric(RdmaOptions options, PageProvider provider,
                        std::shared_ptr<Transport> transport)
@@ -52,6 +92,9 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
     MutexLock lock(cache_mu_);
     if (const std::vector<uint8_t>* cached = CacheLookup(location)) {
       ++stats_.cache_hits;
+      if (obs::MetricsEnabled()) {
+        Instruments().cache_hits->Add(1);
+      }
       if (cost != nullptr) {
         *cost += options_.cache_hit_latency;
       }
@@ -74,6 +117,7 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
   if (!sent.delivered) {
     throw RdmaUnavailable("RdmaFabric: base-page read dropped by fault policy");
   }
+  size_t evictions = 0;
   {
     MutexLock lock(cache_mu_);
     if (remote) {
@@ -85,7 +129,23 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
     }
     if (options_.page_cache_capacity > 0) {
       ++stats_.cache_misses;
+      const uint64_t before = stats_.cache_evictions;
       CacheInsert(location, bytes);
+      evictions = stats_.cache_evictions - before;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    const RdmaInstruments& ins = Instruments();
+    if (remote) {
+      ins.remote_reads->Add(1);
+      ins.remote_bytes->Add(bytes.size());
+    } else {
+      ins.local_reads->Add(1);
+      ins.local_bytes->Add(bytes.size());
+    }
+    if (options_.page_cache_capacity > 0) {
+      ins.cache_misses->Add(1);
+      ins.cache_evictions->Add(evictions);
     }
   }
   if (cost != nullptr) {

@@ -5,8 +5,41 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace medes {
+
+namespace {
+
+struct DistRegistryInstruments {
+  obs::Counter* failovers;
+  obs::Counter* unavailable_lookups;
+  obs::Counter* dropped_writes;
+  obs::Counter* replica_syncs;
+};
+
+const DistRegistryInstruments& Instruments() {
+  static const DistRegistryInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    return DistRegistryInstruments{
+        .failovers = &registry.GetCounter(
+            "medes_distregistry_failovers_total",
+            "Page lookups served by a non-tail replica after a failover"),
+        .unavailable_lookups = &registry.GetCounter(
+            "medes_distregistry_unavailable_lookups_total",
+            "Page lookups degraded to empty because a shard had no serving replica"),
+        .dropped_writes =
+            &registry.GetCounter("medes_distregistry_dropped_writes_total",
+                                 "Per-shard insert writes lost to partitions or drops"),
+        .replica_syncs = &registry.GetCounter("medes_distregistry_replica_syncs_total",
+                                              "Completed replica recovery state transfers"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 DistributedRegistry::DistributedRegistry(DistributedRegistryOptions options,
                                          std::shared_ptr<Transport> transport)
@@ -85,6 +118,9 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       }
     }
     if (entry < 0) {
+      if (obs::MetricsEnabled()) {
+        Instruments().dropped_writes->Add(1);
+      }
       MutexLock stats(stats_mu_);
       ++dist_stats_.dropped_writes;
       continue;
@@ -94,6 +130,9 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
                          keys_per_shard[static_cast<size_t>(s)] * kRegistryWireBytesPerKey,
                          fingerprints.size());
     if (!sent.delivered) {
+      if (obs::MetricsEnabled()) {
+        Instruments().dropped_writes->Add(1);
+      }
       MutexLock stats(stats_mu_);
       ++dist_stats_.dropped_writes;
       continue;
@@ -191,6 +230,9 @@ std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBa
     Shard& shard = shards_[s];
     int tail = EffectiveTail(shard, static_cast<int>(s));
     if (tail < 0) {
+      if (obs::MetricsEnabled()) {
+        Instruments().unavailable_lookups->Add(page_lookups);
+      }
       MutexLock stats(stats_mu_);
       dist_stats_.unavailable_lookups += page_lookups;
       continue;
@@ -205,13 +247,20 @@ std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBa
     if (!sent.delivered) {
       // Lost on the wire (link fault): same client-visible outcome as an
       // all-down shard — the batch degrades to fewer candidates.
+      if (obs::MetricsEnabled()) {
+        Instruments().unavailable_lookups->Add(page_lookups);
+      }
       MutexLock stats(stats_mu_);
       dist_stats_.unavailable_lookups += page_lookups;
       continue;
     }
+    const bool failover = tail != static_cast<int>(shard.chain.size()) - 1;
+    if (failover && obs::MetricsEnabled()) {
+      Instruments().failovers->Add(page_lookups);
+    }
     {
       MutexLock stats(stats_mu_);
-      if (tail != static_cast<int>(shard.chain.size()) - 1) {
+      if (failover) {
         dist_stats_.failovers += page_lookups;
       }
       dist_stats_.lookups_per_shard[s] += page_lookups;
@@ -337,6 +386,9 @@ void DistributedRegistry::RecoverReplica(int shard, int replica) {
   }
   r.registry = source;  // state transfer
   r.alive = true;
+  if (obs::MetricsEnabled()) {
+    Instruments().replica_syncs->Add(1);
+  }
 }
 
 }  // namespace medes

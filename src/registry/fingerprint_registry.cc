@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace medes {
 
@@ -16,6 +18,36 @@ size_t RoundUpPow2(size_t v) {
     p <<= 1;
   }
   return p;
+}
+
+struct RegistryInstruments {
+  obs::Counter* lookups;
+  obs::Counter* batches;
+  obs::Counter* inserts;
+  obs::Counter* insert_keys;
+  obs::Counter* removes;
+  obs::Histogram* batch_cost_us;
+};
+
+const RegistryInstruments& Instruments() {
+  static const RegistryInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    return RegistryInstruments{
+        .lookups = &registry.GetCounter("medes_registry_lookups_total",
+                                        "Per-page fingerprint lookups against the registry"),
+        .batches = &registry.GetCounter("medes_registry_lookup_batches_total",
+                                        "Batched lookup round trips to the registry"),
+        .inserts = &registry.GetCounter("medes_registry_inserts_total",
+                                        "Base-sandbox fingerprint inserts"),
+        .insert_keys = &registry.GetCounter("medes_registry_insert_keys_total",
+                                            "Chunk keys carried by base-sandbox inserts"),
+        .removes = &registry.GetCounter("medes_registry_removes_total",
+                                        "Base sandboxes removed from the registry"),
+        .batch_cost_us = &registry.GetHistogram(
+            "medes_registry_batch_cost_us", "Modelled cost of one batched lookup (us)"),
+    };
+  }();
+  return instruments;
 }
 
 }  // namespace
@@ -106,6 +138,14 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       return;  // insert lost: the sandbox is simply never registered
     }
   }
+  if (obs::MetricsEnabled()) {
+    size_t keys = 0;
+    for (const PageFingerprint& fp : fingerprints) {
+      keys += fp.chunks.size();
+    }
+    Instruments().inserts->Add(1);
+    Instruments().insert_keys->Add(keys);
+  }
   {
     WriterLock lock(sandbox_mu_);
     base_refcounts_.try_emplace(sandbox, 0);
@@ -124,6 +164,9 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
 }
 
 void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
+  if (obs::MetricsEnabled()) {
+    Instruments().removes->Add(1);
+  }
   {
     WriterLock lock(sandbox_mu_);
     base_refcounts_.erase(sandbox);
@@ -179,6 +222,9 @@ std::vector<BasePageCandidate> FingerprintRegistry::FindBasePages(
     const PageFingerprint& fingerprint, NodeId local_node, SandboxId exclude_sandbox,
     size_t max_results) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    Instruments().lookups->Add(1);
+  }
   std::unordered_map<PageLocation, int, PageLocationHash> tally;
   AccumulateTally(fingerprint, exclude_sandbox, tally);
   return RankCandidates(tally, local_node, max_results);
@@ -188,6 +234,10 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
     std::span<const PageFingerprint> fingerprints, NodeId local_node,
     SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
   lookups_.fetch_add(fingerprints.size(), std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    Instruments().lookups->Add(fingerprints.size());
+    Instruments().batches->Add(1);
+  }
 
   // Modelled cost: one round trip carrying the whole batch's keys (wire),
   // plus the controller's per-page lookup work (CPU). A dropped lookup
@@ -210,6 +260,9 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
     }
     if (lookup_cost != nullptr) {
       *lookup_cost += cost;
+    }
+    if (obs::MetricsEnabled()) {
+      Instruments().batch_cost_us->Record(cost);
     }
     if (!delivered) {
       return std::vector<std::vector<BasePageCandidate>>(fingerprints.size());

@@ -67,6 +67,56 @@ TEST(MetricsTest, ImprovementFactorsMatchedStreams) {
   }
 }
 
+TEST(MetricsTest, FunctionPercentileExtremesAndEmpty) {
+  RunMetrics m = MakeMetrics();
+  // Empty recorder: percentile is defined as 0 at any p.
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(3, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(3, 1.0), 0.0);
+  for (int i = 1; i <= 100; ++i) {
+    m.per_function[3].e2e_ms.Record(i);
+  }
+  // p=0 pins to the minimum sample, p=1 to the maximum.
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.FunctionE2ePercentileMs(3, 1.0), 100.0);
+}
+
+TEST(MetricsTest, ImprovementFactorsRejectLengthMismatch) {
+  RunMetrics a = MakeMetrics(), b = MakeMetrics();
+  RequestRecord r;
+  r.function = 0;
+  r.arrival = 1;
+  r.e2e = 10;
+  a.requests.push_back(r);
+  a.requests.push_back(r);
+  b.requests.push_back(r);  // one run has more requests than the other
+  EXPECT_THROW(ImprovementFactors(a, b), std::invalid_argument);
+  EXPECT_THROW(ImprovementFactors(b, a), std::invalid_argument);
+}
+
+TEST(MetricsTest, ImprovementFactorsSkipZeroLatencyRequests) {
+  RunMetrics a = MakeMetrics(), b = MakeMetrics();
+  RequestRecord r;
+  r.function = 0;
+  r.arrival = 1;
+  r.e2e = 0;  // degenerate record: excluded rather than dividing by zero
+  a.requests.push_back(r);
+  r.e2e = 50;
+  b.requests.push_back(r);
+  EXPECT_TRUE(ImprovementFactors(a, b).empty());
+}
+
+TEST(MetricsTest, StartTypeToStringRoundTrip) {
+  for (StartType type : {StartType::kWarm, StartType::kDedup, StartType::kCold}) {
+    const auto parsed = StartTypeFromString(ToString(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(StartTypeFromString("lukewarm").has_value());
+  EXPECT_FALSE(StartTypeFromString("").has_value());
+  EXPECT_FALSE(StartTypeFromString("Warm").has_value());
+}
+
 TEST(MetricsTest, ImprovementFactorsRejectMisalignment) {
   RunMetrics a = MakeMetrics(), b = MakeMetrics();
   RequestRecord r;

@@ -1,0 +1,152 @@
+// The observability determinism contract: for a fixed trace and platform
+// configuration, the exported artifacts (Prometheus text, Chrome trace JSON,
+// snapshot-series JSON) are byte-identical regardless of how many worker
+// threads the dedup agent uses.  Spans carry sim-time timestamps and metrics
+// are order-independent accumulations, so MEDES_THREADS must not leak into
+// any export.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "platform/platform.h"
+
+namespace medes {
+namespace {
+
+#ifndef MEDES_OBS_DISABLED
+
+struct Artifacts {
+  std::string prometheus;
+  std::string chrome_trace;
+  std::string series;
+};
+
+PlatformOptions FastOptions(size_t agent_threads) {
+  PlatformOptions opts = MakePlatformOptions(PolicyKind::kMedes);
+  opts.cluster.num_nodes = 4;
+  opts.cluster.node_memory_mb = 1024;
+  opts.cluster.bytes_per_mb = 4096;  // small images: fast tests
+  opts.medes.idle_period = 30 * kSecond;
+  opts.medes.alpha = 8.0;
+  opts.agent.num_threads = agent_threads;
+  return opts;
+}
+
+// Instrument registration is process-lifetime (function-local statics at the
+// call sites), so the first run in a process registers instruments mid-run as
+// code paths first execute, while every later run sees the full set from its
+// first sample onwards.  Warm the registry once so all compared runs start
+// from identical registration state; separate processes — the real
+// MEDES_THREADS scenario — each warm up the same way and need no such step.
+void WarmUpInstruments() {
+  static const bool warmed = [] {
+    obs::SetMetricsEnabled(true);
+    obs::SetTraceEnabled(true);
+    TraceOptions topts;
+    topts.duration = 8 * kMinute;
+    topts.rate_scale = 2.0;
+    ServerlessPlatform platform(FastOptions(1));
+    platform.Run(GenerateTrace(DefaultAzurePatterns(), topts));
+    obs::SetMetricsEnabled(false);
+    obs::SetTraceEnabled(false);
+    obs::Tracer::Default().Clear();
+    return true;
+  }();
+  (void)warmed;
+}
+
+Artifacts RunAndExport(size_t agent_threads, const std::vector<TraceEvent>& trace) {
+  WarmUpInstruments();
+  obs::MetricsRegistry::Default().ResetValues();
+  obs::Tracer::Default().Clear();
+  obs::SnapshotSeries::Default().Clear();
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  obs::SetWallClockProfiling(false);  // wall clock is outside the contract
+
+  ServerlessPlatform platform(FastOptions(agent_threads));
+  platform.Run(trace);
+
+  Artifacts out;
+  out.prometheus = obs::PrometheusText(obs::MetricsRegistry::Default().Snapshot());
+  out.chrome_trace = obs::ChromeTraceJson(obs::Tracer::Default().Drain());
+  out.series = obs::SeriesJson(obs::SnapshotSeries::Default().Points());
+
+  obs::MetricsRegistry::Default().ResetValues();
+  obs::SnapshotSeries::Default().Clear();
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  return out;
+}
+
+TEST(ObsDeterminismTest, ExportsBitIdenticalAcrossThreadCounts) {
+  TraceOptions topts;
+  topts.duration = 5 * kMinute;
+  topts.rate_scale = 2.0;
+  const auto trace = GenerateTrace(DefaultAzurePatterns(), topts);
+
+  const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  const Artifacts serial = RunAndExport(1, trace);
+
+  // A run produces real data, not empty exports.
+  EXPECT_NE(serial.prometheus.find("medes_dedup_ops_total"), std::string::npos);
+  EXPECT_NE(serial.chrome_trace.find("restore/criu_rebuild"), std::string::npos);
+  EXPECT_NE(serial.series.find("\"t\":"), std::string::npos);
+
+  for (size_t threads : {size_t{4}, hw}) {
+    const Artifacts parallel = RunAndExport(threads, trace);
+    EXPECT_EQ(serial.prometheus, parallel.prometheus) << "threads=" << threads;
+    EXPECT_EQ(serial.chrome_trace, parallel.chrome_trace) << "threads=" << threads;
+    EXPECT_EQ(serial.series, parallel.series) << "threads=" << threads;
+  }
+}
+
+TEST(ObsDeterminismTest, RepeatedRunsAreBitIdentical) {
+  TraceOptions topts;
+  topts.duration = 3 * kMinute;
+  topts.rate_scale = 2.0;
+  const auto trace = GenerateTrace(DefaultAzurePatterns(), topts);
+  const Artifacts a = RunAndExport(2, trace);
+  const Artifacts b = RunAndExport(2, trace);
+  EXPECT_EQ(a.prometheus, b.prometheus);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.series, b.series);
+}
+
+TEST(ObsDeterminismTest, SpanCoverageIncludesAllPipelineStages) {
+  TraceOptions topts;
+  topts.duration = 8 * kMinute;
+  topts.rate_scale = 2.0;
+  const auto trace = GenerateTrace(DefaultAzurePatterns(), topts);
+  const Artifacts run = RunAndExport(2, trace);
+  // Dedup pipeline stages.
+  for (const char* stage : {"dedup_op", "dedup/checkpoint", "dedup/fingerprint",
+                            "dedup/registry_lookup", "dedup/base_read", "dedup/delta_encode",
+                            "dedup/merge"}) {
+    EXPECT_NE(run.chrome_trace.find(stage), std::string::npos) << stage;
+  }
+  // Restore stages: the paper's Fig. 8 breakdown.
+  for (const char* stage :
+       {"restore_op", "restore/base_read", "restore/patch_apply", "restore/criu_rebuild"}) {
+    EXPECT_NE(run.chrome_trace.find(stage), std::string::npos) << stage;
+  }
+  // Platform lifecycle events.
+  for (const char* name : {"request", "spawn"}) {
+    EXPECT_NE(run.chrome_trace.find(name), std::string::npos) << name;
+  }
+}
+
+#else
+
+TEST(ObsDeterminismTest, SkippedWhenObsCompiledOut) { GTEST_SKIP(); }
+
+#endif  // MEDES_OBS_DISABLED
+
+}  // namespace
+}  // namespace medes

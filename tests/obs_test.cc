@@ -1,0 +1,251 @@
+// Unit tests for the observability subsystem: flags, instruments, the span
+// tracer, and the Chrome-trace / Prometheus / JSON exporters.
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace medes::obs {
+namespace {
+
+#ifdef MEDES_OBS_DISABLED
+
+// -DMEDES_OBS=OFF builds: the API surface must still exist, pinned off.
+TEST(ObsTest, DisabledBuildPinsFlagsOff) {
+  static_assert(!TraceEnabled());
+  static_assert(!MetricsEnabled());
+  static_assert(!WallClockProfilingEnabled());
+  SetTraceEnabled(true);  // compiles, does nothing
+  EXPECT_FALSE(TraceEnabled());
+}
+
+#else
+
+// Every test runs with both knobs on and leaves global state empty.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    SetTraceEnabled(true);
+    SetWallClockProfiling(false);
+    MetricsRegistry::Default().ResetValues();
+    Tracer::Default().Clear();
+    SnapshotSeries::Default().Clear();
+  }
+  void TearDown() override {
+    MetricsRegistry::Default().ResetValues();
+    Tracer::Default().Clear();
+    SnapshotSeries::Default().Clear();
+    SetMetricsEnabled(false);
+    SetTraceEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterRespectsEnableFlag) {
+  Counter& c = MetricsRegistry::Default().GetCounter("obs_test_counter_total", "test");
+  c.Add(2);
+  EXPECT_EQ(c.Value(), 2u);
+  SetMetricsEnabled(false);
+  c.Add(5);
+  EXPECT_EQ(c.Value(), 2u);
+  SetMetricsEnabled(true);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 3u);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameInstrumentForSameNameAndLabel) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  Counter& a = registry.GetCounter("obs_test_dup_total", "test", "k", "v1");
+  Counter& b = registry.GetCounter("obs_test_dup_total", "test", "k", "v1");
+  Counter& other = registry.GetCounter("obs_test_dup_total", "test", "k", "v2");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndSum) {
+  Histogram& h = MetricsRegistry::Default().GetHistogram("obs_test_hist_us", "test");
+  h.Record(0);   // bucket 0
+  h.Record(1);   // bucket 1
+  h.Record(3);   // bucket 2
+  h.Record(3);   // bucket 2
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_EQ(h.Sum(), 7);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByNameAndLabel) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  // Register deliberately out of order.
+  registry.GetCounter("obs_test_z_total", "test").Add(1);
+  registry.GetCounter("obs_test_a_total", "test", "k", "v2").Add(1);
+  registry.GetCounter("obs_test_a_total", "test", "k", "v1").Add(1);
+  const auto snaps = MetricsRegistry::Default().Snapshot();
+  std::vector<std::pair<std::string, std::string>> keys;
+  for (const auto& s : snaps) {
+    if (s.name.starts_with("obs_test_")) {
+      keys.emplace_back(s.name, s.label_value);
+    }
+  }
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], (std::pair<std::string, std::string>{"obs_test_a_total", "v1"}));
+  EXPECT_EQ(keys[1], (std::pair<std::string, std::string>{"obs_test_a_total", "v2"}));
+  EXPECT_EQ(keys[2], (std::pair<std::string, std::string>{"obs_test_z_total", ""}));
+}
+
+TEST_F(ObsTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  Counter& c = registry.GetCounter("obs_test_reset_total", "test");
+  c.Add(9);
+  const size_t instruments = registry.NumInstruments();
+  registry.ResetValues();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(registry.NumInstruments(), instruments);
+  // Same address after reset: cached references stay valid.
+  EXPECT_EQ(&registry.GetCounter("obs_test_reset_total", "test"), &c);
+}
+
+TEST_F(ObsTest, ScopedSpanRecordsOnDestruction) {
+  {
+    ScopedSpan span("unit/span", "test", 100, 7);
+    span.SetSimDuration(25);
+    span.AddArg("pages", 42);
+  }
+  auto spans = Tracer::Default().Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit/span");
+  EXPECT_STREQ(spans[0].category, "test");
+  EXPECT_EQ(spans[0].ts, 100);
+  EXPECT_EQ(spans[0].dur, 25);
+  EXPECT_EQ(spans[0].lane, 7);
+  ASSERT_EQ(spans[0].num_args, 1u);
+  EXPECT_STREQ(spans[0].args[0].key, "pages");
+  EXPECT_EQ(spans[0].args[0].value, 42);
+  EXPECT_EQ(spans[0].wall_ns, -1);  // wall profiling off
+}
+
+TEST_F(ObsTest, SpanNotRecordedWhenTracingDisabled) {
+  SetTraceEnabled(false);
+  {
+    ScopedSpan span("unit/disabled", "test", 0);
+    span.SetSimDuration(1);
+  }
+  SetTraceEnabled(true);
+  EXPECT_TRUE(Tracer::Default().Drain().empty());
+}
+
+TEST_F(ObsTest, DrainSortsByTimestampAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 300;  // crosses the flush threshold
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span("unit/mt", "test", i * kThreads + t, t);
+        span.SetSimDuration(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  auto spans = Tracer::Default().Drain();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].ts, spans[i].ts);
+  }
+  EXPECT_TRUE(Tracer::Default().Drain().empty());  // drain consumed everything
+}
+
+TEST_F(ObsTest, WallClockProfilingStampsSpans) {
+  SetWallClockProfiling(true);
+  {
+    ScopedSpan span("unit/wall", "test", 0);
+  }
+  SetWallClockProfiling(false);
+  auto spans = Tracer::Default().Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].wall_ns, 0);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonShape) {
+  {
+    ScopedSpan span("unit/json", "test", 10, 2);
+    span.SetSimDuration(5);
+    span.AddArg("n", 3);
+  }
+  RecordInstant("unit/mark", "test", 11, 2);
+  const std::string json = ChromeTraceJson(Tracer::Default().Drain());
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit/json\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":10,"
+                      "\"dur\":5,\"pid\":0,\"tid\":2,\"args\":{\"n\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit/mark\",\"cat\":\"test\",\"ph\":\"i\",\"ts\":11,"
+                      "\"pid\":0,\"tid\":2,\"s\":\"t\""),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusTextShape) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetCounter("obs_test_prom_total", "counter help", "type", "x").Add(4);
+  registry.GetGauge("obs_test_prom_level", "gauge help").Set(-2);
+  Histogram& h = registry.GetHistogram("obs_test_prom_us", "hist help");
+  h.Record(3);
+  const std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP obs_test_prom_total counter help"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_total{type=\"x\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_level -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_us histogram"), std::string::npos);
+  // Cumulative buckets: value 3 lands in the bit-width-2 bucket (le="3").
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{le=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{le=\"3\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_us_count 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonShape) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetCounter("obs_test_json_total", "help").Add(7);
+  const std::string json = MetricsJson(registry.Snapshot());
+  EXPECT_NE(json.find("{\"name\":\"obs_test_json_total\",\"kind\":\"counter\",\"value\":7}"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotSeriesSamplesCountersAndGauges) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetCounter("obs_test_series_total", "help").Add(1);
+  SnapshotSeries::Default().Sample(1000);
+  registry.GetCounter("obs_test_series_total", "help").Add(2);
+  SnapshotSeries::Default().Sample(2000);
+  const auto points = SnapshotSeries::Default().Points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t, 1000);
+  EXPECT_EQ(points[1].t, 2000);
+  auto value_of = [](const SnapshotSeries::Point& p, const std::string& key) -> int64_t {
+    for (const auto& [k, v] : p.values) {
+      if (k == key) {
+        return v;
+      }
+    }
+    return -1;
+  };
+  EXPECT_EQ(value_of(points[0], "obs_test_series_total"), 1);
+  EXPECT_EQ(value_of(points[1], "obs_test_series_total"), 3);
+  const std::string json = SeriesJson(points);
+  EXPECT_NE(json.find("{\"t\":1000,\"values\":{"), std::string::npos);
+}
+
+#endif  // MEDES_OBS_DISABLED
+
+}  // namespace
+}  // namespace medes::obs
