@@ -8,6 +8,7 @@
 #ifndef MEDES_BENCH_BENCH_UTIL_H_
 #define MEDES_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdint>
@@ -214,11 +215,25 @@ inline const char* SanitizerName() {
 #endif
 }
 
+// Process-wide wall clock, anchored at the first call (static init order is
+// irrelevant: benches call WallSeconds via WriteMetadata at the end of main).
+inline double WallSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Arms the WallSeconds anchor; call first thing in main so wall_seconds
+// covers the whole run, not just the stretch since the first metadata write.
+inline void StartWallClock() { (void)WallSeconds(); }
+
 // The common metadata block every bench JSON leads with: which benchmark,
-// which thread/kernel/sanitizer configuration, and whether observability was
-// live while it ran (obs skews timings, so artifacts must say so).
+// which thread/kernel/sanitizer configuration, whether observability was
+// live while it ran (obs skews timings, so artifacts must say so), and how
+// much wall time / simulation-event throughput the process accumulated.
 inline void WriteMetadata(JsonWriter& w, std::string_view bench_name) {
   const char* threads_env = std::getenv("MEDES_THREADS");
+  const double wall_s = WallSeconds();
+  const uint64_t fired = TotalSimEventsFired();
   w.BeginObject("metadata")
       .Field("bench", bench_name)
       .Field("medes_threads", threads_env != nullptr ? threads_env : "default")
@@ -226,6 +241,9 @@ inline void WriteMetadata(JsonWriter& w, std::string_view bench_name) {
       .Field("sanitizer", SanitizerName())
       .Field("trace_enabled", obs::TraceEnabled())
       .Field("metrics_enabled", obs::MetricsEnabled())
+      .Field("wall_seconds", wall_s, 3)
+      .Field("sim_events_fired", fired)
+      .Field("sim_events_per_sec", wall_s > 0 ? static_cast<double>(fired) / wall_s : 0.0, 1)
       .EndObject();
 }
 

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON report (as emitted by bench_util's JsonWriter).
+
+Checks, without external dependencies:
+  - the file parses as a single JSON object with the shared metadata block
+    (bench name, kernel tier, wall_seconds, sim event counters);
+  - for cluster_scale reports: every sweep entry carries the full set of
+    capacity-campaign fields with sane values, the engine comparison proved
+    bit-identical fire order (fire_hash_match), and the pre-refactor baseline
+    produced identical workload-visible metrics (metrics_match);
+  - optional floor gates on scheduler throughput (--min-replay-events-per-sec,
+    from the op-stream replay, which is machine-dependent but far above any
+    plausible regression) and on the scheduler-isolated before/after ratio
+    (--min-speedup, against scheduler_speedup_vs_pre_refactor).
+
+Usage: check_bench_json.py FILE [--bench NAME] [--min-replay-events-per-sec N]
+                                [--min-speedup X]
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+SWEEP_FIELDS = {
+    "nodes": (int,),
+    "objective": (str,),
+    "rate_scale": (int, float),
+    "trace_duration_s": (int, float),
+    "requests": (int,),
+    "sim_events": (int,),
+    "wall_seconds": (int, float),
+    "events_per_sec": (int, float),
+    "cold_start_rate": (int, float),
+    "p99_e2e_ms": (int, float),
+    "memory_saved_mb": (int, float),
+    "transport_bytes": (int,),
+}
+
+METADATA_FIELDS = {
+    "bench": (str,),
+    "kernel_tier": (str,),
+    "wall_seconds": (int, float),
+    "sim_events_fired": (int,),
+    "sim_events_per_sec": (int, float),
+}
+
+
+def fail(message: str) -> None:
+    sys.exit(f"check_bench_json: {message}")
+
+
+def require(obj: dict, block: str, fields: dict) -> None:
+    for name, types in fields.items():
+        if name not in obj:
+            fail(f"{block}: missing field {name!r}")
+        if not isinstance(obj[name], types) or isinstance(obj[name], bool):
+            fail(f"{block}.{name}: expected {types}, got {type(obj[name]).__name__}")
+
+
+def check_cluster_scale(doc: dict, args: argparse.Namespace) -> str:
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail("sweep: expected a non-empty array")
+    for i, entry in enumerate(sweep):
+        block = f"sweep[{i}]"
+        require(entry, block, SWEEP_FIELDS)
+        if entry["requests"] <= 0 or entry["sim_events"] <= 0:
+            fail(f"{block}: empty run (requests={entry['requests']})")
+        if entry["wall_seconds"] <= 0 or entry["events_per_sec"] <= 0:
+            fail(f"{block}: non-positive timing")
+        if not 0 <= entry["cold_start_rate"] <= 1:
+            fail(f"{block}: cold_start_rate out of [0,1]")
+
+    comparison = doc.get("engine_comparison")
+    if not isinstance(comparison, dict):
+        fail("missing engine_comparison block")
+    for name in ("replayed_events", "calendar_events_per_sec", "heap_events_per_sec",
+                 "speedup_vs_heap", "fire_hash_match"):
+        if name not in comparison:
+            fail(f"engine_comparison: missing field {name!r}")
+    if comparison["fire_hash_match"] is not True:
+        fail("engine_comparison: fire order diverged between engines")
+
+    baseline = doc.get("pre_refactor_baseline")
+    if not isinstance(baseline, dict):
+        fail("missing pre_refactor_baseline block")
+    for name in ("events_per_sec", "refactored_events_per_sec",
+                 "campaign_speedup_vs_pre_refactor",
+                 "scheduler_events_per_sec_before", "scheduler_events_per_sec_after",
+                 "scheduler_speedup_vs_pre_refactor", "metrics_match"):
+        if name not in baseline:
+            fail(f"pre_refactor_baseline: missing field {name!r}")
+    if baseline["metrics_match"] is not True:
+        fail("pre_refactor_baseline: workload-visible metrics diverged")
+
+    if comparison["calendar_events_per_sec"] < args.min_replay_events_per_sec:
+        fail(f"replay throughput {comparison['calendar_events_per_sec']:.0f} ev/s "
+             f"below floor {args.min_replay_events_per_sec:.0f}")
+    if baseline["scheduler_speedup_vs_pre_refactor"] < args.min_speedup:
+        fail(f"scheduler speedup {baseline['scheduler_speedup_vs_pre_refactor']:.2f}x "
+             f"below floor {args.min_speedup:.2f}x")
+    return (f"{len(sweep)} sweep points, replay {comparison['speedup_vs_heap']:.2f}x, "
+            f"campaign {baseline['campaign_speedup_vs_pre_refactor']:.2f}x, "
+            f"scheduler {baseline['scheduler_speedup_vs_pre_refactor']:.2f}x")
+
+
+def check(path: str, args: argparse.Namespace) -> int:
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    metadata = doc.get("metadata")
+    if not isinstance(metadata, dict):
+        fail("missing metadata block")
+    require(metadata, "metadata", METADATA_FIELDS)
+    if args.bench and metadata["bench"] != args.bench:
+        fail(f"metadata.bench is {metadata['bench']!r}, expected {args.bench!r}")
+
+    detail = "generic bench report"
+    if metadata["bench"] == "cluster_scale":
+        detail = check_cluster_scale(doc, args)
+    print(f"{path}: OK ({detail})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--bench", default="", help="required metadata.bench name")
+    parser.add_argument("--min-replay-events-per-sec", type=float, default=0.0)
+    parser.add_argument("--min-speedup", type=float, default=0.0)
+    args = parser.parse_args()
+    return check(args.file, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,8 @@ Sandbox& Cluster::Spawn(const FunctionProfile& profile, NodeId node, SimTime now
   sb.generation = 1;
   auto [it, inserted] = sandboxes_.emplace(sb.id, std::move(sb));
   nodes_.at(static_cast<size_t>(node)).sandboxes.push_back(it->first);
-  by_function_[profile.id].push_back(it->first);
+  by_function_[profile.id].push_back(&it->second);  // map nodes: stable address
+  CountAdjust(profile.id, SandboxState::kRunning, +1);
   AddUsage(node, profile.memory_mb);
   return it->second;
 }
@@ -57,7 +58,8 @@ void Cluster::Purge(SandboxId id) {
   auto& list = nodes_.at(static_cast<size_t>(sb.node)).sandboxes;
   list.erase(std::remove(list.begin(), list.end(), id), list.end());
   auto& fn_list = by_function_[sb.function];
-  fn_list.erase(std::remove(fn_list.begin(), fn_list.end(), id), fn_list.end());
+  fn_list.erase(std::remove(fn_list.begin(), fn_list.end(), &sb), fn_list.end());
+  CountAdjust(sb.function, sb.state, -1);
   sandboxes_.erase(it);
 }
 
@@ -73,16 +75,7 @@ const Sandbox* Cluster::Find(SandboxId id) const {
 
 std::vector<SandboxId> Cluster::SandboxesIn(FunctionId function, SandboxState state) const {
   std::vector<SandboxId> out;
-  auto it = by_function_.find(function);
-  if (it == by_function_.end()) {
-    return out;
-  }
-  for (SandboxId id : it->second) {
-    const Sandbox& sb = sandboxes_.at(id);
-    if (sb.state == state) {
-      out.push_back(id);
-    }
-  }
+  ForEachSandboxIn(function, state, [&out](const Sandbox& sb) { out.push_back(sb.id); });
   return out;
 }
 
@@ -99,14 +92,14 @@ void Cluster::MarkRunning(Sandbox& sb, SimTime now) {
   if (sb.state == SandboxState::kDedup) {
     throw std::logic_error("MarkRunning: restore the sandbox first");
   }
-  sb.state = SandboxState::kRunning;
+  SetState(sb, SandboxState::kRunning);
   sb.last_used = now;
   ++sb.runs;
   ++sb.generation;
 }
 
 void Cluster::MarkWarm(Sandbox& sb, SimTime now) {
-  sb.state = SandboxState::kWarm;
+  SetState(sb, SandboxState::kWarm);
   sb.idle_since = now;
   sb.last_used = now;
 }
@@ -119,7 +112,7 @@ void Cluster::MarkDedup(Sandbox& sb, SimTime now) {
     throw std::logic_error("MarkDedup: checkpoint not installed");
   }
   const double before = WarmFootprintMb(sb);
-  sb.state = SandboxState::kDedup;
+  SetState(sb, SandboxState::kDedup);
   sb.dedup_since = now;
   sb.dedup_footprint_mb = DedupFootprintMb(sb);
   AddUsage(sb.node, sb.dedup_footprint_mb - before);
@@ -130,7 +123,7 @@ void Cluster::MarkRestored(Sandbox& sb, SimTime now) {
     throw std::logic_error("MarkRestored: sandbox not in dedup state");
   }
   const double before = sb.dedup_footprint_mb;
-  sb.state = SandboxState::kWarm;
+  SetState(sb, SandboxState::kWarm);
   sb.idle_since = now;
   sb.checkpoint.reset();
   sb.patches.clear();

@@ -9,6 +9,7 @@
 #ifndef MEDES_CLUSTER_CLUSTER_H_
 #define MEDES_CLUSTER_CLUSTER_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -73,6 +74,9 @@ struct Sandbox {
 
   // Pending lifecycle timer (keep-alive / idle / keep-dedup); 0 = none.
   uint64_t pending_timer = 0;
+  // Deadline the platform's coalesced idle-expiry bucket expects this sandbox
+  // to be handled at; 0 = not enrolled (see ServerlessPlatform).
+  SimTime idle_deadline = 0;
 
   // Statistic: how this sandbox last started.
   uint64_t runs = 0;
@@ -109,6 +113,11 @@ struct ClusterOptions {
   double dedup_metadata_fraction = 0.02;
   bool aslr = false;
   uint64_t seed = 0xc105;
+  // When false, CountIn recounts by materialized scan instead of reading the
+  // incrementally maintained counters — the pre-refactor cost model, kept so
+  // bench/cluster_scale can measure the before/after honestly. (Results are
+  // identical either way; only the cost changes.)
+  bool incremental_state_counts = true;
 };
 
 class Cluster {
@@ -137,6 +146,45 @@ class Cluster {
   // All sandbox ids of `function` in `state` (deterministic order).
   std::vector<SandboxId> SandboxesIn(FunctionId function, SandboxState state) const;
   std::vector<SandboxId> AllSandboxes() const;
+
+  // Number of `function` sandboxes in `state`, maintained incrementally at
+  // every lifecycle transition — O(1), no vector build. The test oracle is
+  // SandboxesIn(...).size().
+  int CountIn(FunctionId function, SandboxState state) const {
+    if (!options_.incremental_state_counts) {
+      return static_cast<int>(SandboxesIn(function, state).size());
+    }
+    auto it = counts_.find(function);
+    return it == counts_.end() ? 0 : it->second[static_cast<size_t>(state)];
+  }
+
+  // Allocation-free scan over `function`'s sandboxes in `state`, in ascending
+  // id order (same order as SandboxesIn). `fn` may mutate the sandbox but not
+  // change its state or purge it mid-scan.
+  template <typename Fn>
+  void ForEachSandboxIn(FunctionId function, SandboxState state, Fn&& fn) {
+    auto it = by_function_.find(function);
+    if (it == by_function_.end()) {
+      return;
+    }
+    for (Sandbox* sb : it->second) {
+      if (sb->state == state) {
+        fn(*sb);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEachSandboxIn(FunctionId function, SandboxState state, Fn&& fn) const {
+    auto it = by_function_.find(function);
+    if (it == by_function_.end()) {
+      return;
+    }
+    for (const Sandbox* sb : it->second) {
+      if (sb->state == state) {
+        fn(*sb);
+      }
+    }
+  }
 
   // State transitions with memory-accounting side effects.
   void MarkRunning(Sandbox& sb, SimTime now);
@@ -182,6 +230,16 @@ class Cluster {
 
  private:
   void AddUsage(NodeId node, double mb);
+  // Incremental (function, state) count maintenance; every state write in
+  // this class funnels through these.
+  void CountAdjust(FunctionId function, SandboxState state, int delta) {
+    counts_[function][static_cast<size_t>(state)] += delta;
+  }
+  void SetState(Sandbox& sb, SandboxState state) {
+    CountAdjust(sb.function, sb.state, -1);
+    CountAdjust(sb.function, state, +1);
+    sb.state = state;
+  }
 
   ClusterOptions options_;
   LibraryPool pool_;
@@ -190,7 +248,10 @@ class Cluster {
   std::map<SandboxId, Sandbox> sandboxes_;  // ordered => deterministic iteration
   std::map<SandboxId, BaseSnapshot> bases_;
   // Per-function index (ascending ids) so scheduling scans stay O(per-fn).
-  std::unordered_map<FunctionId, std::vector<SandboxId>> by_function_;
+  // Raw pointers into sandboxes_ — std::map nodes are address-stable.
+  std::unordered_map<FunctionId, std::vector<Sandbox*>> by_function_;
+  // Per-function live-state counts, indexed by SandboxState.
+  std::unordered_map<FunctionId, std::array<int, 3>> counts_;
 };
 
 }  // namespace medes

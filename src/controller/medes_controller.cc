@@ -57,9 +57,8 @@ MedesPolicyInputs MedesController::EstimateInputs(FunctionId function, SimTime n
   const auto& t = tracking_.at(static_cast<size_t>(function));
 
   MedesPolicyInputs in;
-  in.total_sandboxes =
-      static_cast<int>(cluster_.SandboxesIn(function, SandboxState::kWarm).size() +
-                       cluster_.SandboxesIn(function, SandboxState::kDedup).size());
+  in.total_sandboxes = cluster_.CountIn(function, SandboxState::kWarm) +
+                       cluster_.CountIn(function, SandboxState::kDedup);
   in.lambda_max = t.rate.MaxRate(now);
   in.warm_start_s = ToSeconds(profile.warm_start);
   // Until measured, estimate the dedup start as a fifth of the cold start —
@@ -142,7 +141,7 @@ IdleDecision MedesController::DecideIdleExpiry(const Sandbox& sb, SimTime now) {
                      kControlDecisionBytes);
   }
   const FunctionId f = sb.function;
-  const int dedups = static_cast<int>(cluster_.SandboxesIn(f, SandboxState::kDedup).size());
+  const int dedups = cluster_.CountIn(f, SandboxState::kDedup);
   const int bases = cluster_.NumBaseSnapshots(f);
 
   MedesPolicyInputs in = EstimateInputs(f, now);
@@ -167,7 +166,7 @@ IdleDecision MedesController::DecideIdleExpiry(const Sandbox& sb, SimTime now) {
   if (under_pressure || !targets.feasible) {
     // Paper fallback: deduplicate aggressively; keep the sandbox warm only
     // when it is needed to sustain the arrival rate.
-    const int idle_warm = static_cast<int>(cluster_.SandboxesIn(f, SandboxState::kWarm).size());
+    const int idle_warm = cluster_.CountIn(f, SandboxState::kWarm);
     want_dedup = ServiceableRate(in, idle_warm - 1, dedups + 1) >= in.lambda_max;
   } else {
     want_dedup = dedups < targets.dedup;

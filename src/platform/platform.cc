@@ -1,6 +1,7 @@
 #include "platform/platform.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -85,6 +86,7 @@ class ServerlessPlatform::Impl {
  public:
   explicit Impl(PlatformOptions options)
       : options_(std::move(options)),
+        sim_(options_.sim),
         cluster_(options_.cluster),
         transport_(MakeTransport(options_)),
         registry_(MakeRegistry(options_, transport_)),
@@ -138,8 +140,30 @@ class ServerlessPlatform::Impl {
       throw std::logic_error("ServerlessPlatform::Run may only be called once");
     }
     ran_ = true;
-    for (const TraceEvent& ev : trace) {
-      sim_.Schedule(ev.time, [this, ev] { HandleRequest(ev); });
+    {
+      // Pre-size the per-request records and the sample timeline: both grow
+      // to known sizes, so the hot path never pays a reallocation copy.
+      MutexLock lock(metrics_mu_);
+      metrics_.requests.reserve(trace.size());
+      metrics_.memory_timeline.reserve(
+          trace.empty() ? 1
+                        : static_cast<size_t>((trace.back().time + 10 * kMinute) /
+                                              options_.memory_sample_interval) +
+                              2);
+    }
+    if (options_.stream_trace_arrivals) {
+      // Reserve the whole trace's tie-break seqs up front: streamed feeding
+      // then fires in exactly the order bulk feeding would have, so the two
+      // modes are bit-identical in everything but scheduler cost.
+      arrival_seq_base_ = sim_.ReserveSeqBlock(trace.size());
+      ScheduleArrivalChain(trace, 0);
+    } else {
+      // Pre-refactor bulk feed: the whole trace enters the scheduler at once
+      // and far-future arrivals camp in its long-range tier for the entire
+      // run. Kept for bench/cluster_scale's before/after comparison.
+      for (const TraceEvent& ev : trace) {
+        sim_.Schedule(ev.time, [this, ev] { HandleRequest(ev); });
+      }
     }
     // Memory sampling covers the trace plus a drain tail.
     SimTime end = trace.empty() ? 0 : trace.back().time;
@@ -163,8 +187,23 @@ class ServerlessPlatform::Impl {
   RegistryBackend& registry() { return *registry_; }
   MedesController& controller() { return controller_; }
   Transport& transport() { return *transport_; }
+  Simulation& sim() { return sim_; }
 
  private:
+  // Streams the sorted trace through the scheduler: each arrival's callback
+  // schedules its successor, so pending arrivals never exceed one regardless
+  // of trace length. `trace` is Run's argument and outlives every arrival
+  // event (Run drains the simulation before returning).
+  void ScheduleArrivalChain(const std::vector<TraceEvent>& trace, size_t index) {
+    if (index >= trace.size()) {
+      return;
+    }
+    sim_.ScheduleWithSeq(trace[index].time, arrival_seq_base_ + index, [this, &trace, index] {
+      ScheduleArrivalChain(trace, index + 1);
+      HandleRequest(trace[index]);
+    });
+  }
+
   static DedupAgentOptions WithPayloadPolicy(const PlatformOptions& options) {
     DedupAgentOptions agent = options.agent;
     agent.keep_payloads = options.verify_restores;
@@ -180,27 +219,28 @@ class ServerlessPlatform::Impl {
       sim_.Cancel(sb.pending_timer);
       sb.pending_timer = 0;
     }
+    // Coalesced idle-expiry enrollment cancels lazily: the bucket entry stays
+    // queued and is skipped when its deadline no longer matches.
+    sb.idle_deadline = 0;
   }
 
   Sandbox* PickWarm(FunctionId f) {
     Sandbox* best = nullptr;
-    for (SandboxId id : cluster_.SandboxesIn(f, SandboxState::kWarm)) {
-      Sandbox* sb = cluster_.Find(id);
-      if (best == nullptr || sb->last_used > best->last_used) {
-        best = sb;
+    cluster_.ForEachSandboxIn(f, SandboxState::kWarm, [&best](Sandbox& sb) {
+      if (best == nullptr || sb.last_used > best->last_used) {
+        best = &sb;
       }
-    }
+    });
     return best;
   }
 
   Sandbox* PickDedup(FunctionId f) {
     Sandbox* best = nullptr;
-    for (SandboxId id : cluster_.SandboxesIn(f, SandboxState::kDedup)) {
-      Sandbox* sb = cluster_.Find(id);
-      if (best == nullptr || sb->dedup_since > best->dedup_since) {
-        best = sb;
+    cluster_.ForEachSandboxIn(f, SandboxState::kDedup, [&best](Sandbox& sb) {
+      if (best == nullptr || sb.dedup_since > best->dedup_since) {
+        best = &sb;
       }
-    }
+    });
     return best;
   }
 
@@ -458,10 +498,28 @@ class ServerlessPlatform::Impl {
             [this, id] { OnPurgeTimer(id); });
         break;
       case PolicyKind::kMedes:
-        sb.pending_timer =
-            sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+        ArmIdle(sb);
         break;
     }
+  }
+
+  // Enrolls a warm sandbox for an idle-expiry decision one idle period from
+  // now. Coalesced mode batches every sandbox sharing a deadline behind one
+  // timer event; the fallback arms one timer per sandbox.
+  void ArmIdle(Sandbox& sb) {
+    const SandboxId id = sb.id;
+    if (!options_.coalesce_idle_expiry) {
+      sb.pending_timer =
+          sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+      return;
+    }
+    const SimTime deadline = sim_.Now() + options_.medes.idle_period;
+    sb.idle_deadline = deadline;
+    std::vector<SandboxId>& bucket = idle_buckets_[deadline];
+    if (bucket.empty()) {
+      sim_.Schedule(deadline, [this, deadline] { OnIdleBucket(deadline); });
+    }
+    bucket.push_back(id);
   }
 
   void OnPurgeTimer(SandboxId id) {
@@ -479,6 +537,34 @@ class ServerlessPlatform::Impl {
       return;
     }
     sb->pending_timer = 0;
+    IdleExpiry(*sb);
+  }
+
+  // One deadline's worth of coalesced idle expiries. Entries whose sandbox
+  // died, left kWarm, or re-enrolled under a different deadline are skipped —
+  // that is the lazy cancellation CancelTimer relies on.
+  void OnIdleBucket(SimTime deadline) {
+    auto it = idle_buckets_.find(deadline);
+    if (it == idle_buckets_.end()) {
+      return;
+    }
+    const std::vector<SandboxId> due = std::move(it->second);
+    idle_buckets_.erase(it);
+    for (const SandboxId id : due) {
+      Sandbox* sb = cluster_.Find(id);
+      if (sb == nullptr || sb->state != SandboxState::kWarm || sb->idle_deadline != deadline) {
+        continue;
+      }
+      sb->idle_deadline = 0;
+      IdleExpiry(*sb);
+    }
+  }
+
+  // The Medes idle-period decision for one warm sandbox (paper Fig. 4b):
+  // ask the controller, then keep-warm / designate-base / dedup.
+  void IdleExpiry(Sandbox& sbox) {
+    Sandbox* sb = &sbox;
+    const SandboxId id = sb->id;
     const SimTime now = sim_.Now();
     const bool keep_alive_expired = now - sb->last_used >= options_.medes.keep_alive;
     const IdleDecision decision = controller_.OnIdleExpiry(*sb, now);
@@ -488,8 +574,7 @@ class ServerlessPlatform::Impl {
           PurgeSandbox(*sb);
           return;
         }
-        sb->pending_timer =
-            sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+        ArmIdle(*sb);
         break;
       }
       case IdleDecision::kDesignateBase: {
@@ -513,8 +598,7 @@ class ServerlessPlatform::Impl {
           PurgeSandbox(*sb);
           return;
         }
-        sb->pending_timer =
-            sim_.ScheduleAfter(options_.medes.idle_period, [this, id] { OnIdleTimer(id); });
+        ArmIdle(*sb);
         break;
       }
       case IdleDecision::kDedup: {
@@ -577,6 +661,11 @@ class ServerlessPlatform::Impl {
   MedesController controller_;
   std::vector<AdaptiveKeepAlive> adaptive_;
 
+  // Coalesced Medes idle-expiry: sandboxes due for a decision, bucketed by
+  // deadline. One timer event serves the whole bucket; lazily-cancelled
+  // entries (idle_deadline mismatch) are skipped at fire time.
+  std::map<SimTime, std::vector<SandboxId>> idle_buckets_;
+
   // The discrete-event loop is single-threaded today, but recording sites
   // take this lock so per-op metrics stay coherent when ops move onto the
   // pool. kMetrics is the leaf rank: never hold it while calling into the
@@ -584,6 +673,8 @@ class ServerlessPlatform::Impl {
   Mutex metrics_mu_{"platform metrics", LockRank::kMetrics};
   RunMetrics metrics_ GUARDED_BY(metrics_mu_);
   bool ran_ = false;
+  // First reserved tie-break seq of the streamed arrival chain.
+  uint64_t arrival_seq_base_ = 0;
 };
 
 ServerlessPlatform::ServerlessPlatform(PlatformOptions options)
@@ -599,6 +690,7 @@ Cluster& ServerlessPlatform::cluster() { return impl_->cluster(); }
 RegistryBackend& ServerlessPlatform::registry() { return impl_->registry(); }
 MedesController& ServerlessPlatform::controller() { return impl_->controller(); }
 Transport& ServerlessPlatform::transport() { return impl_->transport(); }
+Simulation& ServerlessPlatform::sim() { return impl_->sim(); }
 
 PlatformOptions MakePlatformOptions(PolicyKind policy) {
   PlatformOptions options;

@@ -1,0 +1,123 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+
+namespace medes {
+
+void SimOpLog::OnSchedule(EventId id, SimTime t, uint64_t seq, uint32_t cb_bytes) {
+  const uint64_t ordinal = fire_ranges_.size();
+  fire_ranges_.emplace_back();
+  live_.emplace(id, ordinal);
+  ops_.push_back(Op{t, seq, static_cast<uint32_t>(ordinal), Op::Kind::kSchedule,
+                    static_cast<uint8_t>(cb_bytes < 255 ? cb_bytes : 255)});
+}
+
+void SimOpLog::OnCancel(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return;  // engines only report effective cancels; defensive
+  }
+  ops_.push_back(Op{0, 0, static_cast<uint32_t>(it->second), Op::Kind::kCancel, 0});
+  live_.erase(it);
+}
+
+void SimOpLog::OnFireBegin(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return;  // never happens for a log attached before the first schedule
+  }
+  open_fire_ = it->second;
+  live_.erase(it);
+  fire_order_.push_back(open_fire_);
+  fire_ranges_[open_fire_].begin = static_cast<uint32_t>(ops_.size());
+  fire_ranges_[open_fire_].end = static_cast<uint32_t>(ops_.size());
+}
+
+void SimOpLog::OnFireEnd() {
+  fire_ranges_[open_fire_].end = static_cast<uint32_t>(ops_.size());
+}
+
+namespace {
+
+struct ReplayCtx {
+  Simulation& sim;
+  const std::vector<SimOpLog::Op>& ops;
+  const std::vector<SimOpLog::FireRange>& ranges;
+  std::vector<EventId> ids;
+  uint64_t hash = 0;
+
+  void Fire(uint64_t ordinal) {
+    hash = FireHashStep(hash, ordinal);
+    const SimOpLog::FireRange r = ranges[ordinal];
+    Exec(r.begin, r.end);
+  }
+
+  // Replay callbacks are padded to the recorded callable's size class so the
+  // engines see the same storage footprint as the original run (a >16-byte
+  // capture is what forces the legacy heap engine's std::function to allocate).
+  struct Fire16 {
+    ReplayCtx* ctx;
+    uint64_t ordinal;
+    void operator()() const { ctx->Fire(ordinal); }
+  };
+  struct Fire24 {
+    ReplayCtx* ctx;
+    uint64_t ordinal;
+    uint64_t pad0 = 0;
+    void operator()() const { ctx->Fire(ordinal); }
+  };
+  struct Fire32 {
+    ReplayCtx* ctx;
+    uint64_t ordinal;
+    uint64_t pad0 = 0;
+    uint64_t pad1 = 0;
+    void operator()() const { ctx->Fire(ordinal); }
+  };
+
+  void Exec(uint32_t begin, uint32_t end) {
+    for (uint32_t i = begin; i < end; ++i) {
+      const SimOpLog::Op& op = ops[i];
+      if (op.kind == SimOpLog::Op::Kind::kSchedule) {
+        const uint64_t ordinal = op.ordinal;
+        if (op.cb_bytes <= sizeof(Fire16)) {
+          ids[ordinal] = sim.ScheduleWithSeq(op.time, op.seq, Fire16{this, ordinal});
+        } else if (op.cb_bytes <= sizeof(Fire24)) {
+          ids[ordinal] = sim.ScheduleWithSeq(op.time, op.seq, Fire24{this, ordinal});
+        } else {
+          ids[ordinal] = sim.ScheduleWithSeq(op.time, op.seq, Fire32{this, ordinal});
+        }
+      } else {
+        sim.Cancel(ids[op.ordinal]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ReplayResult ReplaySimOps(const SimOpLog& log, SimulationOptions options) {
+  Simulation sim(options);
+  ReplayCtx ctx{sim, log.ops(), log.fire_ranges(),
+                std::vector<EventId>(log.num_schedules(), 0)};
+  // Root segments are the gaps between fire ranges (which appear in
+  // ascending-begin order when walked in fire order).
+  uint32_t pos = 0;
+  for (const uint64_t ordinal : log.fire_order()) {
+    const SimOpLog::FireRange r = log.fire_ranges()[ordinal];
+    if (r.begin > pos) {
+      ctx.Exec(pos, r.begin);
+    }
+    pos = std::max(pos, r.end);
+  }
+  if (pos < ctx.ops.size()) {
+    ctx.Exec(pos, static_cast<uint32_t>(ctx.ops.size()));
+  }
+  sim.Run();
+  ReplayResult result;
+  result.events_processed = sim.events_processed();
+  result.fire_hash = ctx.hash;
+  result.end_time = sim.Now();
+  return result;
+}
+
+}  // namespace medes

@@ -1,0 +1,95 @@
+// Schedule/cancel/fire op-stream recording and replay.
+//
+// A SimOpLog attached via Simulation::SetOpLog captures the *dynamic* event
+// workload of a run: every schedule (with its timestamp), every effective
+// cancel, and — for every fired event — the range of ops its callback issued
+// while running. ReplaySimOps then re-drives that exact workload through a
+// fresh Simulation of either engine with no-op payloads: each replayed
+// callback does nothing but issue its recorded child ops.
+//
+// This isolates scheduler cost from callback cost (bench/cluster_scale's
+// engine comparison runs the real campaign op stream through both engines)
+// and proves fire-order equivalence between engines (the differential tests
+// compare the order-sensitive fire hash of a heap replay against a calendar
+// replay of the same log).
+//
+// Replay issues all root ops (those recorded outside any callback) up front
+// and then drains with Run(). For single-Run workloads — every platform run —
+// root ops all precede the first fire, so the replayed op/seq interleaving is
+// exactly the original. Events still pending when recording stopped replay as
+// no-ops.
+#ifndef MEDES_SIM_REPLAY_H_
+#define MEDES_SIM_REPLAY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulation.h"
+
+namespace medes {
+
+class SimOpLog {
+ public:
+  // Packed to 24 bytes — replay streams millions of these, so width is wall
+  // time. The u32 ordinal caps one recording at 4.3 B schedules (FireRange
+  // op indices share the cap); cb_bytes saturates at 255, far above the
+  // largest inline class replay distinguishes.
+  struct Op {
+    enum class Kind : uint8_t { kSchedule, kCancel };
+    SimTime time;      // kSchedule only
+    uint64_t seq;      // kSchedule only: the event's tie-break seq
+    uint32_t ordinal;  // schedule ordinal this op creates / cancels
+    Kind kind;
+    uint8_t cb_bytes;  // kSchedule only: sizeof the scheduled callable
+  };
+  static_assert(sizeof(Op) == 24, "Op packing regressed");
+  // Ops a fired event's callback issued: [begin, end) into ops().
+  struct FireRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  // Hooks invoked by Simulation (see Simulation::SetOpLog). `seq` is the
+  // event's tie-break sequence number — replay re-issues it verbatim, so
+  // reserved-seq scheduling (Simulation::ReserveSeqBlock) replays exactly.
+  // `cb_bytes` is the size of the scheduled callable — replay builds a
+  // callback of the same size class so engine costs that depend on callback
+  // footprint (inline vs heap storage) are reproduced faithfully.
+  void OnSchedule(EventId id, SimTime t, uint64_t seq, uint32_t cb_bytes);
+  void OnCancel(EventId id);
+  void OnFireBegin(EventId id);
+  void OnFireEnd();
+
+  const std::vector<Op>& ops() const { return ops_; }
+  // Indexed by schedule ordinal; zero-range for events that never fired.
+  const std::vector<FireRange>& fire_ranges() const { return fire_ranges_; }
+  // Schedule ordinals in the order they fired.
+  const std::vector<uint64_t>& fire_order() const { return fire_order_; }
+  size_t num_schedules() const { return fire_ranges_.size(); }
+
+ private:
+  std::vector<Op> ops_;
+  std::vector<FireRange> fire_ranges_;
+  std::vector<uint64_t> fire_order_;
+  std::unordered_map<EventId, uint64_t> live_;  // handle -> ordinal
+  uint64_t open_fire_ = 0;                      // ordinal of the in-flight fire
+};
+
+struct ReplayResult {
+  uint64_t events_processed = 0;
+  uint64_t fire_hash = 0;  // order-sensitive hash over fired ordinals
+  SimTime end_time = 0;
+};
+
+ReplayResult ReplaySimOps(const SimOpLog& log, SimulationOptions options);
+
+// Order-sensitive hash step shared by replay and the differential tests.
+inline uint64_t FireHashStep(uint64_t h, uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2))) * 0x100000001b3ULL;
+}
+
+}  // namespace medes
+
+#endif  // MEDES_SIM_REPLAY_H_

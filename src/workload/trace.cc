@@ -1,9 +1,11 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <queue>
 #include <stdexcept>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/rng.h"
 
 namespace medes {
@@ -57,12 +59,20 @@ std::vector<ArrivalPattern> PatternsForFunctions(const std::vector<std::string>&
 
 namespace {
 
+// Every generator emits *sorted runs*: each run is ascending in time, so
+// GenerateTrace can k-way merge them instead of globally sorting. Pattern
+// RNG draws are sequenced exactly as in the original append-then-sort code
+// (one Rng per pattern, shared across a periodic pattern's streams), so the
+// generated arrivals — and, because TraceEvent is only (time, function), the
+// merged output — are byte-identical to what the global sort produced.
+
 void GeneratePoisson(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng,
-                     std::vector<TraceEvent>& out) {
+                     std::vector<std::vector<TraceEvent>>& runs) {
   const double rate = p.rate_per_s * opts.rate_scale;
   if (rate <= 0) {
     return;
   }
+  std::vector<TraceEvent> run;
   double t = 0;
   const double horizon = ToSeconds(opts.duration);
   while (true) {
@@ -70,31 +80,37 @@ void GeneratePoisson(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng
     if (t >= horizon) {
       break;
     }
-    out.push_back({FromSeconds(t), p.function});
+    run.push_back({FromSeconds(t), p.function});
   }
+  runs.push_back(std::move(run));
 }
 
 void GeneratePeriodic(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng,
-                      std::vector<TraceEvent>& out) {
-  // Scaling a timer workload k-fold = k staggered timer streams.
+                      std::vector<std::vector<TraceEvent>>& runs) {
+  // Scaling a timer workload k-fold = k staggered timer streams. One run per
+  // stream — each stream is ascending on its own, the pattern as a whole is
+  // not.
   const auto streams = std::max<int>(1, static_cast<int>(opts.rate_scale));
   const double period = 1.0 / p.rate_per_s;
   const double horizon = ToSeconds(opts.duration);
   for (int s = 0; s < streams; ++s) {
+    std::vector<TraceEvent> run;
     double t = rng.NextDouble() * period;  // random phase
     while (t < horizon) {
-      out.push_back({FromSeconds(t), p.function});
+      run.push_back({FromSeconds(t), p.function});
       double jitter = 1.0 + p.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
       t += period * jitter;
     }
+    runs.push_back(std::move(run));
   }
 }
 
 void GenerateBursty(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng,
-                    std::vector<TraceEvent>& out) {
+                    std::vector<std::vector<TraceEvent>>& runs) {
   // ON/OFF Markov-modulated Poisson process.
   const double on_rate = p.rate_per_s * opts.rate_scale;
   const double horizon = ToSeconds(opts.duration);
+  std::vector<TraceEvent> run;
   double t = 0;
   bool on = rng.Bernoulli(ToSeconds(p.mean_on) /
                           (ToSeconds(p.mean_on) + ToSeconds(p.mean_off)));
@@ -108,36 +124,78 @@ void GenerateBursty(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng,
         if (a >= phase_end) {
           break;
         }
-        out.push_back({FromSeconds(a), p.function});
+        run.push_back({FromSeconds(a), p.function});
       }
     }
     t = phase_end;
     on = !on;
   }
+  runs.push_back(std::move(run));
 }
 
 }  // namespace
 
 std::vector<TraceEvent> GenerateTrace(const std::vector<ArrivalPattern>& patterns,
                                       const TraceOptions& options) {
-  std::vector<TraceEvent> trace;
+  std::vector<std::vector<TraceEvent>> runs;
   for (const ArrivalPattern& p : patterns) {
     Rng rng(HashCombine(options.seed, static_cast<uint64_t>(p.function) + 0x77));
     switch (p.kind) {
       case ArrivalKind::kPoisson:
-        GeneratePoisson(p, options, rng, trace);
+        GeneratePoisson(p, options, rng, runs);
         break;
       case ArrivalKind::kPeriodic:
-        GeneratePeriodic(p, options, rng, trace);
+        GeneratePeriodic(p, options, rng, runs);
         break;
       case ArrivalKind::kBursty:
-        GenerateBursty(p, options, rng, trace);
+        GenerateBursty(p, options, rng, runs);
         break;
     }
   }
-  std::sort(trace.begin(), trace.end(), [](const TraceEvent& a, const TraceEvent& b) {
-    return a.time != b.time ? a.time < b.time : a.function < b.function;
-  });
+
+  size_t total = 0;
+  for (const auto& run : runs) {
+    total += run.size();
+  }
+  const size_t emit = std::min(total, options.max_events);
+  if (emit < total) {
+    MEDES_LOG(kWarn) << "GenerateTrace: truncating trace to max_events=" << options.max_events
+                     << " (dropping " << (total - emit) << " of " << total
+                     << " generated arrivals)";
+  }
+
+  // K-way merge of the sorted runs by (time, function) — k is a handful of
+  // runs, n can be millions of events.
+  struct Head {
+    TraceEvent ev;
+    size_t run;
+    size_t pos;
+  };
+  const auto after = [](const Head& a, const Head& b) {
+    if (a.ev.time != b.ev.time) {
+      return a.ev.time > b.ev.time;
+    }
+    if (a.ev.function != b.ev.function) {
+      return a.ev.function > b.ev.function;
+    }
+    return a.run > b.run;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(after)> heads(after);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) {
+      heads.push({runs[r][0], r, 0});
+    }
+  }
+  std::vector<TraceEvent> trace;
+  trace.reserve(emit);
+  while (trace.size() < emit) {
+    const Head h = heads.top();
+    heads.pop();
+    trace.push_back(h.ev);
+    if (h.pos + 1 < runs[h.run].size()) {
+      heads.push({runs[h.run][h.pos + 1], h.run, h.pos + 1});
+    }
+  }
   return trace;
 }
 

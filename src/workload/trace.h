@@ -50,6 +50,10 @@ struct TraceOptions {
   SimDuration duration = kHour;
   double rate_scale = 5.0;  // the paper's 5x magnification
   uint64_t seed = 0xa22e;
+  // Hard ceiling on generated events. A runaway duration x rate_scale
+  // combination is truncated to the earliest `max_events` arrivals, with a
+  // kWarn log stating exactly how many were dropped — never silently.
+  size_t max_events = 50'000'000;
 };
 
 // The default pattern assignment for the ten FunctionBench functions.
@@ -59,7 +63,10 @@ std::vector<ArrivalPattern> DefaultAzurePatterns();
 // representative set {LinAlg, FeatureGen, ModelTrain} in Section 7.5).
 std::vector<ArrivalPattern> PatternsForFunctions(const std::vector<std::string>& names);
 
-// Generates a time-sorted trace for the given patterns.
+// Generates a time-sorted trace for the given patterns. Each pattern (and,
+// for periodic patterns, each staggered stream) is produced as an already
+// sorted run; the runs are k-way merged into the pre-sized output instead of
+// append-then-global-sort, so generation stays O(n log k).
 std::vector<TraceEvent> GenerateTrace(const std::vector<ArrivalPattern>& patterns,
                                       const TraceOptions& options);
 

@@ -146,6 +146,38 @@ TEST_F(ClusterTest, SandboxesInFiltersByFunctionAndState) {
   EXPECT_TRUE(cluster_.SandboxesIn(rnn_.id, SandboxState::kDedup).empty());
 }
 
+// The incremental per-(function, state) counters must agree with the
+// exhaustive scan at every point of a mixed lifecycle (the controller's
+// hot-path reads go through CountIn; SandboxesIn is the oracle).
+TEST_F(ClusterTest, CountInMatchesSandboxesInOracle) {
+  auto check_all = [&] {
+    for (FunctionId f : {vanilla_.id, rnn_.id}) {
+      for (SandboxState s :
+           {SandboxState::kRunning, SandboxState::kWarm, SandboxState::kDedup}) {
+        EXPECT_EQ(static_cast<size_t>(cluster_.CountIn(f, s)), cluster_.SandboxesIn(f, s).size())
+            << "function " << f << " state " << static_cast<int>(s);
+      }
+    }
+  };
+  check_all();
+  Sandbox& a = cluster_.Spawn(vanilla_, 0, 0);
+  Sandbox& b = cluster_.Spawn(vanilla_, 1, 0);
+  Sandbox& c = cluster_.Spawn(rnn_, 2, 0);
+  check_all();
+  cluster_.MarkWarm(a, 0);
+  cluster_.MarkWarm(b, 0);
+  cluster_.MarkWarm(c, 0);
+  check_all();
+  cluster_.MarkRunning(b, 10);
+  check_all();
+  const SandboxId a_id = a.id;
+  cluster_.Purge(a_id);
+  check_all();
+  EXPECT_EQ(cluster_.CountIn(vanilla_.id, SandboxState::kWarm), 0);
+  EXPECT_EQ(cluster_.CountIn(vanilla_.id, SandboxState::kRunning), 1);
+  EXPECT_EQ(cluster_.CountIn(rnn_.id, SandboxState::kWarm), 1);
+}
+
 TEST_F(ClusterTest, LeastUsedNode) {
   cluster_.Spawn(rnn_, 0, 0);
   cluster_.Spawn(vanilla_, 1, 0);

@@ -100,6 +100,83 @@ TEST(PlatformTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.TotalColdStarts(), b.TotalColdStarts());
 }
 
+// Full workload-visible equality between two runs: every request record,
+// the memory timeline, dedup/restore counters, and transport traffic.
+void ExpectRunMetricsEqual(const RunMetrics& a, const RunMetrics& b) {
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    ASSERT_EQ(a.requests[i].function, b.requests[i].function) << "request " << i;
+    ASSERT_EQ(a.requests[i].arrival, b.requests[i].arrival) << "request " << i;
+    ASSERT_EQ(a.requests[i].start, b.requests[i].start) << "request " << i;
+    ASSERT_EQ(a.requests[i].startup, b.requests[i].startup) << "request " << i;
+    ASSERT_EQ(a.requests[i].e2e, b.requests[i].e2e) << "request " << i;
+  }
+  ASSERT_EQ(a.memory_timeline.size(), b.memory_timeline.size());
+  for (size_t i = 0; i < a.memory_timeline.size(); ++i) {
+    EXPECT_EQ(a.memory_timeline[i].time, b.memory_timeline[i].time) << "sample " << i;
+    EXPECT_EQ(a.memory_timeline[i].used_mb, b.memory_timeline[i].used_mb) << "sample " << i;
+    EXPECT_EQ(a.memory_timeline[i].warm, b.memory_timeline[i].warm) << "sample " << i;
+    EXPECT_EQ(a.memory_timeline[i].dedup, b.memory_timeline[i].dedup) << "sample " << i;
+  }
+  EXPECT_EQ(a.dedup_ops, b.dedup_ops);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_EQ(a.sandboxes_spawned, b.sandboxes_spawned);
+  EXPECT_EQ(a.sandboxes_deduped, b.sandboxes_deduped);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.base_designations, b.base_designations);
+  EXPECT_EQ(a.TotalColdStarts(), b.TotalColdStarts());
+  ASSERT_EQ(a.per_function.size(), b.per_function.size());
+  for (size_t f = 0; f < a.per_function.size(); ++f) {
+    EXPECT_EQ(a.per_function[f].warm_starts, b.per_function[f].warm_starts) << "function " << f;
+    EXPECT_EQ(a.per_function[f].dedup_starts, b.per_function[f].dedup_starts) << "function " << f;
+    EXPECT_EQ(a.per_function[f].cold_starts, b.per_function[f].cold_starts) << "function " << f;
+    EXPECT_EQ(a.per_function[f].total_saved_mb, b.per_function[f].total_saved_mb)
+        << "function " << f;
+  }
+  for (size_t t = 0; t < a.transport.by_type.size(); ++t) {
+    EXPECT_EQ(a.transport.by_type[t], b.transport.by_type[t]) << "message type " << t;
+  }
+}
+
+// The calendar and heap engines must be workload-indistinguishable: a full
+// Medes run produces byte-identical metrics under either.
+TEST(PlatformTest, EventEnginesProduceIdenticalMetrics) {
+  auto trace = ShortTrace(8 * kMinute);
+  PlatformOptions cal_opts = FastOptions(PolicyKind::kMedes);
+  cal_opts.sim.engine = SimEngine::kCalendar;
+  PlatformOptions heap_opts = FastOptions(PolicyKind::kMedes);
+  heap_opts.sim.engine = SimEngine::kHeap;
+  RunMetrics cal = ServerlessPlatform(cal_opts).Run(trace);
+  RunMetrics heap = ServerlessPlatform(heap_opts).Run(trace);
+  ExpectRunMetricsEqual(cal, heap);
+}
+
+// Coalesced idle-expiry (one timer per deadline bucket) must make the same
+// decisions as per-sandbox timers, decision for decision.
+TEST(PlatformTest, CoalescedIdleExpiryMatchesPerSandboxTimers) {
+  auto trace = ShortTrace(8 * kMinute);
+  PlatformOptions on_opts = FastOptions(PolicyKind::kMedes);
+  on_opts.coalesce_idle_expiry = true;
+  PlatformOptions off_opts = FastOptions(PolicyKind::kMedes);
+  off_opts.coalesce_idle_expiry = false;
+  RunMetrics on = ServerlessPlatform(on_opts).Run(trace);
+  RunMetrics off = ServerlessPlatform(off_opts).Run(trace);
+  ExpectRunMetricsEqual(on, off);
+}
+
+// The streaming arrival feed (chained scheduling with reserved seqs) must be
+// workload-invisible: identical metrics to bulk-scheduling the whole trace.
+TEST(PlatformTest, StreamedArrivalFeedMatchesBulkFeed) {
+  auto trace = ShortTrace(8 * kMinute);
+  PlatformOptions stream_opts = FastOptions(PolicyKind::kMedes);
+  stream_opts.stream_trace_arrivals = true;
+  PlatformOptions bulk_opts = FastOptions(PolicyKind::kMedes);
+  bulk_opts.stream_trace_arrivals = false;
+  RunMetrics streamed = ServerlessPlatform(stream_opts).Run(trace);
+  RunMetrics bulk = ServerlessPlatform(bulk_opts).Run(trace);
+  ExpectRunMetricsEqual(streamed, bulk);
+}
+
 TEST(PlatformTest, RunTwiceRejected) {
   ServerlessPlatform platform(FastOptions(PolicyKind::kFixedKeepAlive));
   auto trace = ShortTrace(kMinute);

@@ -2,13 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace medes {
 namespace {
 
-TEST(SimulationTest, EventsFireInTimeOrder) {
-  Simulation sim;
+// Every contract test runs against both engines: the calendar queue must be
+// indistinguishable from the legacy heap through the public API.
+class SimulationTest : public ::testing::TestWithParam<SimEngine> {
+ protected:
+  Simulation sim{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, SimulationTest,
+                         ::testing::Values(SimEngine::kCalendar, SimEngine::kHeap),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST_P(SimulationTest, EventsFireInTimeOrder) {
   std::vector<int> order;
   sim.Schedule(30, [&] { order.push_back(3); });
   sim.Schedule(10, [&] { order.push_back(1); });
@@ -18,8 +29,7 @@ TEST(SimulationTest, EventsFireInTimeOrder) {
   EXPECT_EQ(sim.events_processed(), 3u);
 }
 
-TEST(SimulationTest, EqualTimesFifoByScheduleOrder) {
-  Simulation sim;
+TEST_P(SimulationTest, EqualTimesFifoByScheduleOrder) {
   std::vector<int> order;
   sim.Schedule(5, [&] { order.push_back(1); });
   sim.Schedule(5, [&] { order.push_back(2); });
@@ -28,8 +38,7 @@ TEST(SimulationTest, EqualTimesFifoByScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(SimulationTest, NowAdvancesWithEvents) {
-  Simulation sim;
+TEST_P(SimulationTest, NowAdvancesWithEvents) {
   SimTime seen = -1;
   sim.Schedule(42, [&] { seen = sim.Now(); });
   sim.Run();
@@ -37,8 +46,7 @@ TEST(SimulationTest, NowAdvancesWithEvents) {
   EXPECT_EQ(sim.Now(), 42);
 }
 
-TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
-  Simulation sim;
+TEST_P(SimulationTest, ScheduleAfterUsesCurrentTime) {
   SimTime seen = -1;
   sim.Schedule(10, [&] {
     sim.ScheduleAfter(5, [&] { seen = sim.Now(); });
@@ -47,8 +55,7 @@ TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
   EXPECT_EQ(seen, 15);
 }
 
-TEST(SimulationTest, CancelPreventsExecution) {
-  Simulation sim;
+TEST_P(SimulationTest, CancelPreventsExecution) {
   bool fired = false;
   EventId id = sim.Schedule(10, [&] { fired = true; });
   sim.Cancel(id);
@@ -57,16 +64,14 @@ TEST(SimulationTest, CancelPreventsExecution) {
   EXPECT_EQ(sim.events_processed(), 0u);
 }
 
-TEST(SimulationTest, CancelIsIdempotent) {
-  Simulation sim;
+TEST_P(SimulationTest, CancelIsIdempotent) {
   EventId id = sim.Schedule(10, [] {});
   sim.Cancel(id);
   sim.Cancel(id);
   sim.Run();
 }
 
-TEST(SimulationTest, CancelFromWithinEvent) {
-  Simulation sim;
+TEST_P(SimulationTest, CancelFromWithinEvent) {
   bool fired = false;
   EventId later = sim.Schedule(20, [&] { fired = true; });
   sim.Schedule(10, [&] { sim.Cancel(later); });
@@ -74,8 +79,25 @@ TEST(SimulationTest, CancelFromWithinEvent) {
   EXPECT_FALSE(fired);
 }
 
-TEST(SimulationTest, RunUntilStopsEarly) {
-  Simulation sim;
+// Edge pin: an event may cancel a *same-timestamp* event scheduled after it.
+// Under the calendar engine the victim sits in the already-sorted cursor
+// bucket right behind the firing index — the laziest possible moment to
+// cancel — and must still be suppressed.
+TEST_P(SimulationTest, CancelSameTimePendingEvent) {
+  std::vector<int> order;
+  EventId victim = 0;
+  sim.Schedule(10, [&] {
+    order.push_back(1);
+    sim.Cancel(victim);
+  });
+  sim.Schedule(10, [&] { order.push_back(2); });
+  victim = sim.Schedule(10, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST_P(SimulationTest, RunUntilStopsEarly) {
   std::vector<int> order;
   sim.Schedule(10, [&] { order.push_back(1); });
   sim.Schedule(100, [&] { order.push_back(2); });
@@ -86,15 +108,55 @@ TEST(SimulationTest, RunUntilStopsEarly) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
-TEST(SimulationTest, PastSchedulingRejected) {
-  Simulation sim;
+// Edge pin: RunUntil's bound is inclusive — an event at exactly `until`
+// fires; one microsecond later stays queued.
+TEST_P(SimulationTest, RunUntilBoundaryIsInclusive) {
+  std::vector<int> order;
+  sim.Schedule(50, [&] { order.push_back(1); });
+  sim.Schedule(51, [&] { order.push_back(2); });
+  sim.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_FALSE(sim.Empty());
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Edge pin: scheduling after an early-stopped RunUntil works even at times
+// the engine's cursor has already swept past in wall position (the calendar
+// engine folds such entries into the cursor bucket).
+TEST_P(SimulationTest, ScheduleAfterEarlyStop) {
+  std::vector<int> order;
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+  sim.Schedule(1001, [&] { order.push_back(2); });
+  sim.Schedule(5000, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Edge pin: events_processed counts fired events only — cancellations are
+// invisible to it no matter when they happen.
+TEST_P(SimulationTest, EventsProcessedExcludesCancelled) {
+  EventId a = sim.Schedule(10, [] {});
+  sim.Schedule(20, [] {});
+  EventId c = sim.Schedule(30, [] {});
+  sim.Cancel(a);
+  sim.Schedule(15, [&] { sim.Cancel(c); });
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 2u);
+  EXPECT_EQ(sim.stats().cancelled, 2u);
+  EXPECT_EQ(sim.stats().fired, 2u);
+}
+
+TEST_P(SimulationTest, PastSchedulingRejected) {
   sim.Schedule(10, [] {});
   sim.Run();
   EXPECT_THROW(sim.Schedule(5, [] {}), std::invalid_argument);
 }
 
-TEST(SimulationTest, RecursiveSchedulingChain) {
-  Simulation sim;
+TEST_P(SimulationTest, RecursiveSchedulingChain) {
   int count = 0;
   std::function<void()> tick = [&] {
     if (++count < 100) {
@@ -107,13 +169,112 @@ TEST(SimulationTest, RecursiveSchedulingChain) {
   EXPECT_EQ(sim.Now(), 99);
 }
 
-TEST(SimulationTest, EmptyReflectsPendingWork) {
-  Simulation sim;
+TEST_P(SimulationTest, EmptyReflectsPendingWork) {
   EXPECT_TRUE(sim.Empty());
   EventId id = sim.Schedule(10, [] {});
   EXPECT_FALSE(sim.Empty());
   sim.Cancel(id);
   EXPECT_TRUE(sim.Empty());
+}
+
+// A stale handle must never cancel an unrelated event that recycled the same
+// arena slot (generation tags) or a recycled heap id.
+TEST_P(SimulationTest, StaleHandleCannotCancelRecycledSlot) {
+  EventId old_id = sim.Schedule(10, [] {});
+  sim.Cancel(old_id);
+  // Recycle aggressively: the calendar engine reuses the freed slot for the
+  // very next schedule.
+  bool fired = false;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.Schedule(20 + i, [&] { fired = true; }));
+  }
+  sim.Cancel(old_id);  // stale: must be a no-op
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.events_processed(), 8u);
+}
+
+// Callbacks larger than the inline small-buffer budget must still work (heap
+// fallback path in the arena).
+TEST_P(SimulationTest, LargeCallbacksSupported) {
+  struct Big {
+    uint64_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  };
+  Big big;
+  uint64_t sum = 0;
+  sim.Schedule(10, [&sum, big] {
+    for (uint64_t v : big.payload) {
+      sum += v;
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(sum, 36u);
+}
+
+// Timers far beyond the calendar window (the 15-minute keep-dedup regime)
+// must fire correctly after queue-empty stretches: the wheel jumps instead of
+// stepping through millions of empty buckets.
+TEST_P(SimulationTest, LongRangeTimersFire) {
+  std::vector<SimTime> fired;
+  sim.Schedule(1, [&] { fired.push_back(sim.Now()); });
+  sim.Schedule(15 * kMinute, [&] { fired.push_back(sim.Now()); });
+  sim.Schedule(2 * kHour, [&] { fired.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{1, 15 * kMinute, 2 * kHour}));
+  EXPECT_EQ(sim.Now(), 2 * kHour);
+}
+
+// Reserved seqs pin the tie-break order no matter when events physically
+// enter the queue: scheduling a same-timestamp batch lazily (each event
+// scheduling its successor, as the streamed trace feed does) must fire in
+// reserved order, interleaved correctly with later plain Schedule calls.
+TEST_P(SimulationTest, ReservedSeqsPinEqualTimeOrder) {
+  std::vector<int> order;
+  const uint64_t base = sim.ReserveSeqBlock(3);
+  // Plain schedules issued *after* the reservation get later seqs, so at an
+  // equal timestamp they fire after every reserved event.
+  sim.Schedule(10, [&] { order.push_back(99); });
+  std::function<void(int)> chain = [&](int i) {
+    sim.ScheduleWithSeq(10, base + static_cast<uint64_t>(i), [&order, &chain, i] {
+      if (i + 1 < 3) {
+        chain(i + 1);
+      }
+      order.push_back(i);
+    });
+  };
+  chain(0);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 99}));
+}
+
+// Tiny wheel geometry forces constant window slides and overflow migrations;
+// the contract must hold regardless of geometry.
+TEST(SimulationGeometryTest, TinyWheelPreservesOrder) {
+  SimulationOptions opts;
+  opts.bucket_width_log2 = 2;  // 4 us buckets
+  opts.num_buckets_log2 = 2;   // 4-bucket wheel => 16 us window
+  Simulation sim(opts);
+  std::vector<SimTime> fired;
+  for (SimTime t : {900, 5, 300, 17, 16, 64, 3, 1000, 31}) {
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{3, 5, 16, 17, 31, 64, 300, 900, 1000}));
+  EXPECT_GT(sim.stats().overflow_migrations, 0u);
+}
+
+TEST(SimulationStatsTest, CountersTrackActivity) {
+  Simulation sim;
+  EventId a = sim.Schedule(10, [] {});
+  sim.Schedule(20, [] {});
+  sim.Cancel(a);
+  sim.Run();
+  const SimStats s = sim.stats();
+  EXPECT_EQ(s.scheduled, 2u);
+  EXPECT_EQ(s.fired, 1u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.max_live, 2u);
 }
 
 }  // namespace

@@ -119,6 +119,43 @@ TEST(WorkloadTest, BurstyHasQuietPeriods) {
   EXPECT_GT(max_gap, kMinute);
 }
 
+// The k-way merge must produce exactly the globally-sorted sequence the old
+// append-then-sort implementation emitted. TraceEvent is only (time,
+// function), so sorting the merged output by that key is the full oracle:
+// if the merge were wrong in any way, re-sorting would change the sequence.
+TEST(WorkloadTest, MergeMatchesGlobalSortOracle) {
+  TraceOptions opts;
+  opts.duration = 20 * kMinute;
+  opts.rate_scale = 5.0;
+  auto trace = GenerateTrace(DefaultAzurePatterns(), opts);
+  ASSERT_FALSE(trace.empty());
+  auto sorted = trace;
+  std::sort(sorted.begin(), sorted.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.time != b.time ? a.time < b.time : a.function < b.function;
+  });
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(trace[i].time, sorted[i].time) << "index " << i;
+    ASSERT_EQ(trace[i].function, sorted[i].function) << "index " << i;
+  }
+}
+
+// max_events keeps the *earliest* arrivals: the capped trace must be exactly
+// the prefix of the uncapped one.
+TEST(WorkloadTest, MaxEventsCapTruncatesEarliest) {
+  TraceOptions opts;
+  opts.duration = 10 * kMinute;
+  auto full = GenerateTrace(DefaultAzurePatterns(), opts);
+  ASSERT_GT(full.size(), 200u);
+
+  opts.max_events = 200;
+  auto capped = GenerateTrace(DefaultAzurePatterns(), opts);
+  ASSERT_EQ(capped.size(), 200u);
+  for (size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_EQ(capped[i].time, full[i].time);
+    EXPECT_EQ(capped[i].function, full[i].function);
+  }
+}
+
 TEST(WorkloadTest, PatternsForFunctionsSubset) {
   auto subset = PatternsForFunctions({"LinAlg", "FeatureGen", "ModelTrain"});
   ASSERT_EQ(subset.size(), 3u);
