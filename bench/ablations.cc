@@ -33,8 +33,8 @@ struct AgentRig {
         agent(cluster, registry, fabric, agent_opts) {}
 
   Sandbox& Warm(const std::string& name, NodeId node) {
-    Sandbox& sb = cluster.Spawn(ProfileByName(name), node, 0);
-    cluster.MarkWarm(sb, 0);
+    Sandbox& sb = cluster.Spawn(ProfileByName(name), node, SimTime{});
+    cluster.MarkWarm(sb, SimTime{});
     return sb;
   }
 
@@ -66,13 +66,14 @@ int main() {
       fopts.mode = mode;
       PageFingerprinter fp(fopts);
       FingerprintRegistry registry;
-      registry.InsertBaseSandbox(0, 1, fp.FingerprintImage(base_img.bytes(), kPageSize));
+      registry.InsertBaseSandbox(NodeId{0}, SandboxId{1},
+                                 fp.FingerprintImage(base_img.bytes(), kPageSize));
       size_t aligned_hits = 0, shifted_hits = 0, pages = 0;
       for (size_t p = 0; p + 1 < base_img.NumPages(); ++p) {
         ++pages;
-        aligned_hits += registry.FindBasePage(fp.FingerprintPage(base_img.Page(p)), 0).has_value();
+        aligned_hits += registry.FindBasePage(fp.FingerprintPage(base_img.Page(p)), NodeId{0}).has_value();
         std::span<const uint8_t> sh(shifted.data() + p * kPageSize, kPageSize);
-        shifted_hits += registry.FindBasePage(fp.FingerprintPage(sh), 0).has_value();
+        shifted_hits += registry.FindBasePage(fp.FingerprintPage(sh), NodeId{0}).has_value();
       }
       std::printf("%-18s %16.1f%% %16.1f%%\n",
                   mode == SamplingMode::kValueSampled ? "value-sampled" : "random-offsets",
@@ -107,13 +108,13 @@ int main() {
     opts.delta.level = level;
     AgentRig rig(opts);
     for (const auto& p : FunctionBenchProfiles()) {
-      rig.agent.DesignateBase(rig.Warm(p.name, 0));
+      rig.agent.DesignateBase(rig.Warm(p.name, NodeId{0}));
     }
     size_t patch_bytes = 0, pages = 0;
     double saved = 0;
     auto start = std::chrono::steady_clock::now();
     for (const auto& p : FunctionBenchProfiles()) {
-      DedupOpResult d = rig.agent.DedupOp(rig.Warm(p.name, 1), 1);
+      DedupOpResult d = rig.agent.DedupOp(rig.Warm(p.name, NodeId{1}), SimTime{1});
       patch_bytes += d.patch_bytes;
       pages += d.pages_deduped;
       saved += static_cast<double>(d.saved_bytes) / 32768.0;
@@ -131,15 +132,15 @@ int main() {
   bench::Section("D. Restore-time optimisation: namespace/ptree work pre-done at dedup");
   {
     AgentRig rig;
-    rig.agent.DesignateBase(rig.Warm("LinAlg", 0));
-    Sandbox& sb = rig.Warm("LinAlg", 1);
-    rig.agent.DedupOp(sb, 1);
-    RestoreOpResult prepared = rig.agent.RestoreOp(sb, 2);
-    rig.cluster.MarkRunning(sb, 3);
-    rig.cluster.MarkWarm(sb, 4);
-    rig.agent.DedupOp(sb, 5);
+    rig.agent.DesignateBase(rig.Warm("LinAlg", NodeId{0}));
+    Sandbox& sb = rig.Warm("LinAlg", NodeId{1});
+    rig.agent.DedupOp(sb, SimTime{1});
+    RestoreOpResult prepared = rig.agent.RestoreOp(sb, SimTime{2});
+    rig.cluster.MarkRunning(sb, SimTime{3});
+    rig.cluster.MarkWarm(sb, SimTime{4});
+    rig.agent.DedupOp(sb, SimTime{5});
     sb.namespaces_prepared = false;  // ablate the optimisation
-    RestoreOpResult unprepared = rig.agent.RestoreOp(sb, 6);
+    RestoreOpResult unprepared = rig.agent.RestoreOp(sb, SimTime{6});
     std::printf("dedup start with optimisation   : %6.0f ms\n", ToMillis(prepared.total_time));
     std::printf("dedup start without optimisation: %6.0f ms\n", ToMillis(unprepared.total_time));
     std::printf("(paper Section 4.2: 650 ms -> ~140 ms)\n");

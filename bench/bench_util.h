@@ -78,7 +78,8 @@ inline std::vector<TraceEvent> RepresentativeWorkload(SimDuration duration,
   auto patterns = PatternsForFunctions({"LinAlg", "FeatureGen", "ModelTrain"});
   for (ArrivalPattern& p : patterns) {
     if (p.kind == ArrivalKind::kBursty) {
-      p.mean_off = static_cast<SimDuration>(2.5 * static_cast<double>(p.mean_off));
+      p.mean_off = SimDuration{
+          static_cast<int64_t>(2.5 * static_cast<double>(p.mean_off.value()))};
     }
   }
   return GenerateTrace(patterns, topts);

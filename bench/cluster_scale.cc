@@ -46,7 +46,7 @@ struct SweepConfig {
   PolicyObjective objective = PolicyObjective::kLatency;
   const char* objective_name = "P1_latency";
   double rate_scale = 0;
-  SimDuration duration = 0;
+  SimDuration duration;
 };
 
 struct SweepResult {

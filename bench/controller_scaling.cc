@@ -35,7 +35,7 @@ int main() {
   for (int shards : {1, 2, 4, 8, 16}) {
     DistributedRegistry reg(RegOpts(shards, 3));
     std::printf("%-8d %22lld\n", shards,
-                static_cast<long long>(reg.PageLookupLatency(5)));
+                static_cast<long long>(reg.PageLookupLatency(5).value()));
   }
 
   bench::Section("Centralized vs distributed backend on a live run");
@@ -67,14 +67,14 @@ int main() {
     RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
     DedupAgent agent(cluster, reg, fabric, {});
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 0, 0);
-      cluster.MarkWarm(sb, 0);
+      Sandbox& sb = cluster.Spawn(p, NodeId{0}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
       agent.DesignateBase(sb);
     }
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 1, 0);
-      cluster.MarkWarm(sb, 0);
-      agent.DedupOp(sb, 1);
+      Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
+      agent.DedupOp(sb, SimTime{1});
     }
     const auto& stats = reg.distributed_stats();
     uint64_t min_l = ~0ull, max_l = 0;
@@ -99,19 +99,19 @@ int main() {
     RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
     DedupAgent agent(cluster, reg, fabric, {});
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 0, 0);
-      cluster.MarkWarm(sb, 0);
+      Sandbox& sb = cluster.Spawn(p, NodeId{0}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
       agent.DesignateBase(sb);
     }
     auto dedup_all = [&](const char* label) {
       size_t deduped = 0, total = 0;
       for (const auto& p : FunctionBenchProfiles()) {
-        Sandbox& sb = cluster.Spawn(p, 1, 0);
-        cluster.MarkWarm(sb, 0);
-        DedupOpResult d = agent.DedupOp(sb, 1);
+        Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{0});
+        cluster.MarkWarm(sb, SimTime{0});
+        DedupOpResult d = agent.DedupOp(sb, SimTime{1});
         deduped += d.pages_deduped;
         total += d.pages_total;
-        RestoreOpResult r = agent.RestoreOp(sb, 2, /*verify=*/true);
+        RestoreOpResult r = agent.RestoreOp(sb, SimTime{2}, /*verify=*/true);
         (void)r;
         cluster.Purge(sb.id);
       }

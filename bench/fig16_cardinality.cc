@@ -44,7 +44,8 @@ int main() {
     SampleRecorder slowdown;
     for (const auto& r : m.requests) {
       const auto& p = FunctionBenchProfiles()[static_cast<size_t>(r.function)];
-      slowdown.Record(static_cast<double>(r.e2e) / static_cast<double>(p.exec_time));
+      slowdown.Record(static_cast<double>(r.e2e.value()) /
+                      static_cast<double>(p.exec_time.value()));
     }
     double mean_restore = 0;
     {

@@ -30,15 +30,15 @@ std::vector<double> MeasureSavingsFractions() {
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{});
+    cluster.MarkWarm(base, SimTime{});
     agent.DesignateBase(base);
   }
   std::vector<double> fractions;
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& sb = cluster.Spawn(p, 1, 0);
-    cluster.MarkWarm(sb, 0);
-    DedupOpResult d = agent.DedupOp(sb, 1);
+    Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{});
+    cluster.MarkWarm(sb, SimTime{});
+    DedupOpResult d = agent.DedupOp(sb, SimTime{1});
     fractions.push_back(static_cast<double>(d.saved_bytes) /
                         static_cast<double>(copts.bytes_per_mb) / p.memory_mb);
   }
@@ -74,9 +74,9 @@ int main() {
     }
     double after = s.used_mb - eliminated + base_cost;
     double saved_pct = s.used_mb > 0 ? 100.0 * (s.used_mb - after) / s.used_mb : 0.0;
-    std::printf("%8.0f %14.1f %20.1f %9.1f\n", ToSeconds(s.time), 100.0 * s.used_mb / pool,
+    std::printf("%8.0f %14.1f %20.1f %9.1f\n", ToSeconds(s.time - SimTime{}), 100.0 * s.used_mb / pool,
                 100.0 * after / pool, saved_pct);
-    if (ToSeconds(s.time) > 120) {
+    if (ToSeconds(s.time - SimTime{}) > 120) {
       sum += saved_pct;
       peak = std::max(peak, saved_pct);
       ++rows;

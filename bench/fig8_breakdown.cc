@@ -25,22 +25,23 @@ int main() {
   DedupAgent agent(cluster, registry, fabric, {});
 
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{});
+    cluster.MarkWarm(base, SimTime{});
     agent.DesignateBase(base);
   }
 
   std::printf("%-12s | %9s %10s %10s | %10s %9s | %7s\n", "function", "read(ms)", "compute(ms)",
               "restore(ms)", "dedup(ms)", "cold(ms)", "speedup");
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& sb = cluster.Spawn(p, 1, 0);  // remote node: real RDMA reads
-    cluster.MarkWarm(sb, 0);
-    agent.DedupOp(sb, 1);
-    RestoreOpResult r = agent.RestoreOp(sb, 2, /*verify=*/true);
+    Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{});  // remote node: real RDMA reads
+    cluster.MarkWarm(sb, SimTime{});
+    agent.DedupOp(sb, SimTime{1});
+    RestoreOpResult r = agent.RestoreOp(sb, SimTime{2}, /*verify=*/true);
     std::printf("%-12s | %9.1f %10.1f %10.1f | %10.1f %9.0f | %6.1fx\n", p.name.c_str(),
                 ToMillis(r.read_base_time), ToMillis(r.compute_time),
                 ToMillis(r.sandbox_restore_time), ToMillis(r.total_time), ToMillis(p.cold_start),
-                static_cast<double>(p.cold_start) / static_cast<double>(r.total_time));
+                static_cast<double>(p.cold_start.value()) /
+                    static_cast<double>(r.total_time.value()));
   }
   std::printf("\n(every restore above was verified byte-exact against the original image)\n");
   std::printf("Restore-op optimisation (Section 4.2): pre-done namespace/process-tree work\n");

@@ -106,12 +106,13 @@ void BM_RegistryLookup(benchmark::State& state) {
   PageFingerprinter fp({});
   LibraryPool pool(1, 16384);
   MemoryImage image = BuildSandboxImage(ProfileByName("LinAlg"), pool, {.instance_seed = 1});
-  registry.InsertBaseSandbox(0, 1, fp.FingerprintImage(image.bytes(), kPageSize));
+  registry.InsertBaseSandbox(NodeId{0}, SandboxId{1},
+                             fp.FingerprintImage(image.bytes(), kPageSize));
   MemoryImage probe_img = BuildSandboxImage(ProfileByName("LinAlg"), pool, {.instance_seed = 2});
   auto probes = fp.FingerprintImage(probe_img.bytes(), kPageSize);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(registry.FindBasePage(probes[i % probes.size()], 0));
+    benchmark::DoNotOptimize(registry.FindBasePage(probes[i % probes.size()], NodeId{0}));
     ++i;
   }
 }
@@ -126,13 +127,13 @@ void BM_DedupOpVanilla(benchmark::State& state) {
   FingerprintRegistry registry;
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
-  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), 0, 0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), NodeId{0}, SimTime{0});
+  cluster.MarkWarm(base, SimTime{0});
   agent.DesignateBase(base);
   for (auto _ : state) {
-    Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), 0, 0);
-    cluster.MarkWarm(sb, 0);
-    benchmark::DoNotOptimize(agent.DedupOp(sb, 0));
+    Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), NodeId{0}, SimTime{0});
+    cluster.MarkWarm(sb, SimTime{0});
+    benchmark::DoNotOptimize(agent.DedupOp(sb, SimTime{}));
     cluster.Purge(sb.id);
   }
 }

@@ -30,8 +30,8 @@ struct RunSummary {
   uint64_t dedup_ops = 0;
   uint64_t restores = 0;
   uint64_t pages_deduped = 0;
-  SimDuration total_lookup_time = 0;
-  SimDuration total_restore_time = 0;
+  SimDuration total_lookup_time;
+  SimDuration total_restore_time;
 };
 
 RunSummary RunOnce(bool partitioned) {
@@ -63,19 +63,19 @@ RunSummary RunOnce(bool partitioned) {
 
   RunSummary summary;
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{0});
+    cluster.MarkWarm(base, SimTime{0});
     agent.DesignateBase(base);
   }
   for (int round = 0; round < 3; ++round) {
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 1 + round % 3, 0);
-      cluster.MarkWarm(sb, 0);
-      DedupOpResult d = agent.DedupOp(sb, 1);
+      Sandbox& sb = cluster.Spawn(p, NodeId{1 + round % 3}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
+      DedupOpResult d = agent.DedupOp(sb, SimTime{1});
       ++summary.dedup_ops;
       summary.pages_deduped += d.pages_deduped;
       summary.total_lookup_time += d.lookup_time;
-      RestoreOpResult r = agent.RestoreOp(sb, 2, /*verify=*/true);
+      RestoreOpResult r = agent.RestoreOp(sb, SimTime{2}, /*verify=*/true);
       ++summary.restores;
       summary.total_restore_time += r.total_time;
       cluster.Purge(sb.id);
@@ -97,7 +97,7 @@ void WriteRunJson(bench::JsonWriter& w, const char* name, const RunSummary& run)
         .Field("bytes", ms.bytes)
         .Field("dropped", ms.dropped)
         .Field("mean_latency_us", ms.MeanLatency())
-        .Field("max_latency_us", ms.max_latency);
+        .Field("max_latency_us", ms.max_latency.value());
     w.BeginArray("latency_histogram");
     for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
       w.Value(ms.latency.Count(b));
@@ -143,7 +143,7 @@ void PrintSummary(const char* name, const RunSummary& run) {
                 static_cast<unsigned long long>(ms.requests),
                 static_cast<unsigned long long>(ms.bytes),
                 static_cast<unsigned long long>(ms.dropped), ms.MeanLatency(),
-                static_cast<long long>(ms.max_latency));
+                static_cast<long long>(ms.max_latency.value()));
   }
   std::printf("registry: unavailable_lookups=%llu dropped_writes=%llu failovers=%llu\n",
               static_cast<unsigned long long>(run.registry.unavailable_lookups),

@@ -77,15 +77,15 @@ MicroResults RunMicro() {
   obs::SetTraceEnabled(false);
   r.span_disabled_ns = MeasureNsPerOp([&](size_t iters) {
     for (size_t i = 0; i < iters; ++i) {
-      obs::ScopedSpan span("obs_overhead/span", "bench", static_cast<SimTime>(i));
-      span.SetSimDuration(1);
+      obs::ScopedSpan span("obs_overhead/span", "bench", SimTime{static_cast<int64_t>(i)});
+      span.SetSimDuration(SimDuration{1});
     }
   });
   obs::SetTraceEnabled(true);
   r.span_enabled_ns = MeasureNsPerOp([&](size_t iters) {
     for (size_t i = 0; i < iters; ++i) {
-      obs::ScopedSpan span("obs_overhead/span", "bench", static_cast<SimTime>(i));
-      span.SetSimDuration(1);
+      obs::ScopedSpan span("obs_overhead/span", "bench", SimTime{static_cast<int64_t>(i)});
+      span.SetSimDuration(SimDuration{1});
     }
   });
   obs::SetTraceEnabled(false);
@@ -109,15 +109,15 @@ double RunMacroOnce(int victims_per_function) {
   DedupAgent agent(cluster, registry, fabric, aopts);
 
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{0});
+    cluster.MarkWarm(base, SimTime{0});
     agent.DesignateBase(base);
   }
   std::vector<SandboxId> victims;
   for (int i = 0; i < victims_per_function; ++i) {
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 1, 0);
-      cluster.MarkWarm(sb, 0);
+      Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
       victims.push_back(sb.id);
     }
   }
@@ -125,10 +125,10 @@ double RunMacroOnce(int victims_per_function) {
   size_t pages = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (SandboxId id : victims) {
-    pages += agent.DedupOp(*cluster.Find(id), 1).pages_total;
+    pages += agent.DedupOp(*cluster.Find(id), SimTime{1}).pages_total;
   }
   for (SandboxId id : victims) {
-    agent.RestoreOp(*cluster.Find(id), 2, /*verify=*/false);
+    agent.RestoreOp(*cluster.Find(id), SimTime{2}, /*verify=*/false);
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(t1 - t0).count();

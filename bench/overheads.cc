@@ -25,8 +25,8 @@ int main() {
   DedupAgent agent(cluster, registry, fabric, {});
 
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{});
+    cluster.MarkWarm(base, SimTime{});
     agent.DesignateBase(base);
   }
 
@@ -34,9 +34,9 @@ int main() {
   std::printf("%-12s %10s | %12s %12s %12s | %10s\n", "function", "pages", "checkpoint",
               "lookup(ms)", "patch(ms)", "total(ms)");
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& sb = cluster.Spawn(p, 1, 0);
-    cluster.MarkWarm(sb, 0);
-    DedupOpResult d = agent.DedupOp(sb, 1);
+    Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{});
+    cluster.MarkWarm(sb, SimTime{});
+    DedupOpResult d = agent.DedupOp(sb, SimTime{1});
     const double repr_pages = p.memory_mb * 256;  // 4 KiB pages at full scale
     std::printf("%-12s %10.0f | %12.0f %12.0f %12.0f | %10.0f\n", p.name.c_str(), repr_pages,
                 ToMillis(d.checkpoint_time), ToMillis(d.lookup_time), ToMillis(d.patch_time),
@@ -44,7 +44,7 @@ int main() {
   }
   std::printf("(paper: 2000 ms for Vanilla (4k pages) to 3300 ms for ModelTrain (22k pages);\n"
               " lookup alone 130 -> 1850 ms at ~%ld us/page single-threaded)\n",
-              static_cast<long>(RegistryOptions().lookup_per_page));
+              static_cast<long>(RegistryOptions().lookup_per_page.value()));
 
   bench::Section("Controller: fingerprint registry footprint (base restriction, Section 4.1.3)");
   RegistryStats stats = registry.stats();
@@ -62,10 +62,10 @@ int main() {
   size_t sandboxes = 0;
   for (int copy = 0; copy < 4; ++copy) {
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 0, 0);
-      cluster.MarkWarm(sb, 0);
+      Sandbox& sb = cluster.Spawn(p, NodeId{0}, SimTime{});
+      cluster.MarkWarm(sb, SimTime{});
       MemoryImage image = cluster.BuildImage(sb);
-      unrestricted.InsertBaseSandbox(0, sb.id, fp.FingerprintImage(image.bytes(), kPageSize));
+      unrestricted.InsertBaseSandbox(NodeId{0}, sb.id, fp.FingerprintImage(image.bytes(), kPageSize));
       ++sandboxes;
     }
   }

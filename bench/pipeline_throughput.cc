@@ -64,15 +64,15 @@ RunResult RunConfig(size_t threads, int victims_per_function) {
   DedupAgent agent(cluster, registry, fabric, aopts);
 
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{0});
+    cluster.MarkWarm(base, SimTime{0});
     agent.DesignateBase(base);
   }
   std::vector<SandboxId> victims;
   for (int i = 0; i < victims_per_function; ++i) {
     for (const auto& p : FunctionBenchProfiles()) {
-      Sandbox& sb = cluster.Spawn(p, 1, 0);
-      cluster.MarkWarm(sb, 0);
+      Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
       victims.push_back(sb.id);
     }
   }
@@ -81,13 +81,13 @@ RunResult RunConfig(size_t threads, int victims_per_function) {
   r.threads = agent.NumThreads();
   const auto t0 = std::chrono::steady_clock::now();
   for (SandboxId id : victims) {
-    DedupOpResult d = agent.DedupOp(*cluster.Find(id), 1);
+    DedupOpResult d = agent.DedupOp(*cluster.Find(id), SimTime{1});
     r.pages += d.pages_total;
     r.pages_deduped += d.pages_deduped;
   }
   const auto t1 = std::chrono::steady_clock::now();
   for (SandboxId id : victims) {
-    agent.RestoreOp(*cluster.Find(id), 2, /*verify=*/false);
+    agent.RestoreOp(*cluster.Find(id), SimTime{2}, /*verify=*/false);
   }
   const auto t2 = std::chrono::steady_clock::now();
 

@@ -30,8 +30,8 @@ int main() {
   DedupAgent agent(cluster, registry, fabric, {});
 
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& base = cluster.Spawn(p, 0, 0);
-    cluster.MarkWarm(base, 0);
+    Sandbox& base = cluster.Spawn(p, NodeId{0}, SimTime{});
+    cluster.MarkWarm(base, SimTime{});
     agent.DesignateBase(base);
   }
 
@@ -40,9 +40,9 @@ int main() {
   double total_saved = 0;
   size_t same = 0, cross = 0;
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& sb = cluster.Spawn(p, 1, 0);
-    cluster.MarkWarm(sb, 0);
-    DedupOpResult d = agent.DedupOp(sb, 1);
+    Sandbox& sb = cluster.Spawn(p, NodeId{1}, SimTime{});
+    cluster.MarkWarm(sb, SimTime{});
+    DedupOpResult d = agent.DedupOp(sb, SimTime{1});
     double saved_mb = static_cast<double>(d.saved_bytes) / static_cast<double>(copts.bytes_per_mb);
     total_saved += saved_mb;
     same += d.same_function_pages;

@@ -65,18 +65,18 @@ int main() {
   for (size_t p = 0; p < base_img.NumPages(); ++p) {
     fps.push_back(fingerprinter.FingerprintPage(base_img.Page(p)));
   }
-  registry.InsertBaseSandbox(/*node=*/0, /*sandbox=*/1, fps);
-  auto candidate = registry.FindBasePage(dup_fp, /*local_node=*/1);
+  registry.InsertBaseSandbox(/*node=*/NodeId{0}, /*sandbox=*/SandboxId{1}, fps);
+  auto candidate = registry.FindBasePage(dup_fp, /*local_node=*/NodeId{1});
   if (!candidate.has_value()) {
     std::printf("\nno base-page candidate found (unexpected for a library page)\n");
     return 1;
   }
   std::printf("\nbase page chosen: sandbox=%llu page=%u overlap=%d/%zu sampled chunks\n",
-              static_cast<unsigned long long>(candidate->location.sandbox),
-              candidate->location.page_index, candidate->overlap, dup_fp.Cardinality());
+              static_cast<unsigned long long>(candidate->location.sandbox.value()),
+              candidate->location.page_index.value(), candidate->overlap, dup_fp.Cardinality());
 
   // --- Patch computation + reconstruction -------------------------------
-  std::span<const uint8_t> base_page = base_img.Page(candidate->location.page_index);
+  std::span<const uint8_t> base_page = base_img.Page(candidate->location.page_index.value());
   std::span<const uint8_t> dup_page = dup_img.Page(page_index);
   std::vector<uint8_t> patch = DeltaEncode(base_page, dup_page, {.level = 1});
   DeltaStats stats = InspectDelta(patch);
@@ -99,12 +99,12 @@ int main() {
       continue;
     }
     auto fp = fingerprinter.FingerprintPage(cp.PageData(p));
-    auto cand = registry.FindBasePage(fp, 1);
+    auto cand = registry.FindBasePage(fp, NodeId{1});
     if (!cand.has_value()) {
       ++kept;
       continue;
     }
-    auto pg_patch = DeltaEncode(base_img.Page(cand->location.page_index), cp.PageData(p));
+    auto pg_patch = DeltaEncode(base_img.Page(cand->location.page_index.value()), cp.PageData(p));
     if (pg_patch.size() > 0.85 * 4096) {
       ++kept;
       continue;

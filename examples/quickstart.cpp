@@ -32,8 +32,8 @@ int main() {
 
   // 1. A warm sandbox on node 0 becomes the base: its pages are fingerprinted
   //    with value-sampled 64 B chunks and published to the registry.
-  Sandbox& base = cluster.Spawn(fn, /*node=*/0, /*now=*/0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(fn, /*node=*/NodeId{0}, /*now=*/SimTime{});
+  cluster.MarkWarm(base, SimTime{});
   agent.DesignateBase(base);
   RegistryStats stats = registry.stats();
   std::printf("base designated: %zu chunk keys across %zu registry entries\n", stats.num_keys,
@@ -41,9 +41,9 @@ int main() {
 
   // 2. A second warm sandbox on node 1 goes idle; the dedup op replaces its
   //    redundant pages with patches against the base (read over RDMA).
-  Sandbox& idle = cluster.Spawn(fn, /*node=*/1, 0);
-  cluster.MarkWarm(idle, 0);
-  DedupOpResult dedup = agent.DedupOp(idle, /*now=*/1);
+  Sandbox& idle = cluster.Spawn(fn, /*node=*/NodeId{1}, SimTime{});
+  cluster.MarkWarm(idle, SimTime{});
+  DedupOpResult dedup = agent.DedupOp(idle, /*now=*/SimTime{1});
   std::printf("dedup op: %zu/%zu pages patched (+%zu zero), %.1f MB saved, %.0f ms (background)\n",
               dedup.pages_deduped, dedup.pages_total, dedup.pages_zero,
               static_cast<double>(dedup.saved_bytes) / static_cast<double>(copts.bytes_per_mb),
@@ -53,7 +53,7 @@ int main() {
 
   // 3. A request arrives: the dedup sandbox is restored — base pages fetched,
   //    patches applied, CRIU-style restore — and verified byte-exact.
-  RestoreOpResult restore = agent.RestoreOp(idle, /*now=*/2, /*verify=*/true);
+  RestoreOpResult restore = agent.RestoreOp(idle, /*now=*/SimTime{2}, /*verify=*/true);
   std::printf("restore op: %zu base pages read (%zu remote), %.0f ms total "
               "(read %.0f + compute %.0f + restore %.0f), verified=%s\n",
               restore.base_pages_read, restore.remote_reads, ToMillis(restore.total_time),
@@ -61,6 +61,6 @@ int main() {
               ToMillis(restore.sandbox_restore_time), restore.verified ? "yes" : "no");
   std::printf("dedup start vs cold start: %.0f ms vs %.0f ms (%.1fx faster)\n",
               ToMillis(restore.total_time), ToMillis(fn.cold_start),
-              static_cast<double>(fn.cold_start) / static_cast<double>(restore.total_time));
+              static_cast<double>(fn.cold_start.value()) / static_cast<double>(restore.total_time.value()));
   return 0;
 }

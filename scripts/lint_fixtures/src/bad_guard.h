@@ -1,0 +1,8 @@
+// Fixture: a guard that does not match MEDES_<PATH>_H_ must fire
+// [include-guard].
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace medes {}
+
+#endif  // WRONG_GUARD_NAME_H

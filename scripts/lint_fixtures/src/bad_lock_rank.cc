@@ -1,0 +1,10 @@
+// Fixture: a LockRank literal that src/common/mutex.h does not declare must
+// fire [lock-rank].
+namespace medes {
+
+void Construct() {
+  auto rank = LockRank::kNotARealRank;
+  (void)rank;
+}
+
+}  // namespace medes

@@ -1,0 +1,12 @@
+// Fixture: nondeterministic randomness must fire [raw-random].
+#include <cstdlib>
+#include <random>
+
+namespace medes {
+
+int Roll() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace medes

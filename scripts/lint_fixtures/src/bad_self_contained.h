@@ -1,0 +1,12 @@
+// Fixture: naming std::vector without including <vector> must fire
+// [self-contained].
+#ifndef MEDES_BAD_SELF_CONTAINED_H_
+#define MEDES_BAD_SELF_CONTAINED_H_
+
+namespace medes {
+
+std::vector<int> MakeInts();
+
+}  // namespace medes
+
+#endif  // MEDES_BAD_SELF_CONTAINED_H_

@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in modelled code must fire [wall-clock].
+#include <chrono>
+
+namespace medes {
+
+long NowNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace medes

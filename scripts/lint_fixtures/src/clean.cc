@@ -1,0 +1,23 @@
+// Fixture: clean idioms plus every escape hatch — medes-lint must stay
+// silent on this file.
+#include <mutex>  // medes-lint: allow(raw-mutex) fixture exercises the escape hatch
+
+namespace medes {
+
+// medes-lint: allow(raw-mutex) preceding-line escape also suppresses
+std::mutex legacy_interop_mu;
+
+long WallSpan() {
+  // medes-lint: allow(wall-clock) explicit wall-span measurement
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int Seed() {
+  return rand();  // medes-lint: allow(raw-random) seeding a reproducibility log
+}
+
+// Mentions inside strings and comments must never fire: "std::mutex",
+// steady_clock, rand(), std::random_device.
+const char* kDoc = "uses std::mutex and std::random_device in prose only";
+
+}  // namespace medes

@@ -1,0 +1,17 @@
+// Fixture: iterating an unordered container in an exporter must fire
+// [unordered-iteration] — serialized output would not be byte-stable.
+#include <string>
+#include <unordered_map>
+
+namespace medes::obs {
+
+std::string ExportAll() {
+  std::unordered_map<std::string, long> counters;
+  std::string out;
+  for (const auto& kv : counters) {
+    out += kv.first;
+  }
+  return out;
+}
+
+}  // namespace medes::obs

@@ -29,9 +29,9 @@ namespace medes {
 // Modelled costs of the checkpoint/restore substrate (CRIU-equivalent).
 struct CheckpointCosts {
   // Capturing the memory dump of one (represented) page.
-  SimDuration capture_per_page = 12;  // us
+  SimDuration capture_per_page{12};  // us
   // Restoring the memory dump into a running sandbox, per (represented) page.
-  SimDuration restore_per_page = 15;  // us
+  SimDuration restore_per_page{15};  // us
   // Namespace creation + process-tree reconstruction. Paid at dedup time by
   // Medes (prepared ahead), or during the restore when not prepared.
   SimDuration namespace_and_ptree = 510 * kMillisecond;

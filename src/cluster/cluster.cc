@@ -26,7 +26,7 @@ Cluster::Cluster(ClusterOptions options)
   }
   nodes_.resize(static_cast<size_t>(options_.num_nodes));
   for (int i = 0; i < options_.num_nodes; ++i) {
-    nodes_[static_cast<size_t>(i)].id = i;
+    nodes_[static_cast<size_t>(i)].id = NodeId{i};
     nodes_[static_cast<size_t>(i)].options.memory_limit_mb = options_.node_memory_mb;
   }
 }
@@ -41,7 +41,7 @@ Sandbox& Cluster::Spawn(const FunctionProfile& profile, NodeId node, SimTime now
   sb.last_used = now;
   sb.generation = 1;
   auto [it, inserted] = sandboxes_.emplace(sb.id, std::move(sb));
-  nodes_.at(static_cast<size_t>(node)).sandboxes.push_back(it->first);
+  nodes_.at(static_cast<size_t>(node.value())).sandboxes.push_back(it->first);
   by_function_[profile.id].push_back(&it->second);  // map nodes: stable address
   CountAdjust(profile.id, SandboxState::kRunning, +1);
   AddUsage(node, profile.memory_mb);
@@ -55,7 +55,7 @@ void Cluster::Purge(SandboxId id) {
   }
   Sandbox& sb = it->second;
   AddUsage(sb.node, -SandboxFootprintMb(sb));
-  auto& list = nodes_.at(static_cast<size_t>(sb.node)).sandboxes;
+  auto& list = nodes_.at(static_cast<size_t>(sb.node.value())).sandboxes;
   list.erase(std::remove(list.begin(), list.end(), id), list.end());
   auto& fn_list = by_function_[sb.function];
   fn_list.erase(std::remove(fn_list.begin(), fn_list.end(), &sb), fn_list.end());
@@ -176,13 +176,13 @@ std::vector<uint8_t> Cluster::ReadBasePage(const PageLocation& location) const {
     return {};
   }
   const MemoryCheckpoint& cp = it->second.checkpoint;
-  if (location.page_index >= cp.NumPages()) {
+  if (location.page_index.value() >= cp.NumPages()) {
     return {};
   }
-  if (cp.SlotState(location.page_index) == PageSlotState::kZero) {
+  if (cp.SlotState(location.page_index.value()) == PageSlotState::kZero) {
     return std::vector<uint8_t>(kPageSize, 0);
   }
-  std::span<const uint8_t> data = cp.PageData(location.page_index);
+  std::span<const uint8_t> data = cp.PageData(location.page_index.value());
   return std::vector<uint8_t>(data.begin(), data.end());
 }
 
@@ -242,12 +242,12 @@ double Cluster::RecomputeNodeUsedMb(NodeId id) const {
 MemoryImage Cluster::BuildImage(const Sandbox& sb) const {
   SandboxImageOptions opts;
   opts.aslr = options_.aslr;
-  opts.instance_seed = HashCombine(sb.id, sb.generation);
+  opts.instance_seed = HashCombine(sb.id.value(), sb.generation);
   return BuildSandboxImage(ProfileOf(sb), pool_, opts);
 }
 
 NodeId Cluster::LeastUsedNode() const {
-  NodeId best = 0;
+  NodeId best{0};
   double best_used = nodes_[0].used_mb;
   for (const Node& n : nodes_) {
     if (n.used_mb < best_used) {
@@ -259,9 +259,9 @@ NodeId Cluster::LeastUsedNode() const {
 }
 
 void Cluster::AddUsage(NodeId node, double mb) {
-  nodes_.at(static_cast<size_t>(node)).used_mb += mb;
-  if (nodes_.at(static_cast<size_t>(node)).used_mb < 1e-9) {
-    nodes_.at(static_cast<size_t>(node)).used_mb = 0;  // clamp float drift
+  nodes_.at(static_cast<size_t>(node.value())).used_mb += mb;
+  if (nodes_.at(static_cast<size_t>(node.value())).used_mb < 1e-9) {
+    nodes_.at(static_cast<size_t>(node.value())).used_mb = 0;  // clamp float drift
   }
 }
 

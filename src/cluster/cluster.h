@@ -45,24 +45,24 @@ const char* ToString(SandboxState state);
 // agent's local metadata ("dedup page table"), kept on the sandbox's node so
 // restores never talk to the controller (paper Section 4.2).
 struct PatchRecord {
-  uint32_t page = 0;
+  PageIndex page;
   std::vector<PageLocation> bases;
 };
 
 struct Sandbox {
-  SandboxId id = 0;
+  SandboxId id;
   FunctionId function = -1;
-  NodeId node = -1;
+  NodeId node = kInvalidNode;
   SandboxState state = SandboxState::kRunning;
 
   // Increments on every execution; seeds the instance image content (each
   // run leaves different request data in the heap).
   uint64_t generation = 0;
 
-  SimTime created = 0;
-  SimTime last_used = 0;
-  SimTime idle_since = 0;
-  SimTime dedup_since = 0;
+  SimTime created;
+  SimTime last_used;
+  SimTime idle_since;
+  SimTime dedup_since;
 
   // Present when state == kDedup (patches + unique leftover pages).
   std::optional<MemoryCheckpoint> checkpoint;
@@ -76,7 +76,7 @@ struct Sandbox {
   uint64_t pending_timer = 0;
   // Deadline the platform's coalesced idle-expiry bucket expects this sandbox
   // to be handled at; 0 = not enrolled (see ServerlessPlatform).
-  SimTime idle_deadline = 0;
+  SimTime idle_deadline;
 
   // Statistic: how this sandbox last started.
   uint64_t runs = 0;
@@ -86,9 +86,9 @@ struct Sandbox {
 // and restore ops cluster-wide. Pinned (refcounted via the registry) until
 // no dedup sandbox holds patches against it.
 struct BaseSnapshot {
-  SandboxId sandbox = 0;
+  SandboxId sandbox;
   FunctionId function = -1;
-  NodeId node = -1;
+  NodeId node = kInvalidNode;
   MemoryCheckpoint checkpoint;  // always holds real payload bytes
   double memory_mb = 0;
 };
@@ -98,7 +98,7 @@ struct NodeOptions {
 };
 
 struct Node {
-  NodeId id = -1;
+  NodeId id = kInvalidNode;
   NodeOptions options;
   double used_mb = 0;  // maintained incrementally by the cluster
   std::vector<SandboxId> sandboxes;  // ids resident on this node
@@ -126,8 +126,8 @@ class Cluster {
 
   const ClusterOptions& options() const { return options_; }
   int NumNodes() const { return static_cast<int>(nodes_.size()); }
-  Node& node(NodeId id) { return nodes_.at(static_cast<size_t>(id)); }
-  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  Node& node(NodeId id) { return nodes_.at(static_cast<size_t>(id.value())); }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id.value())); }
 
   const LibraryPool& library_pool() const { return pool_; }
 
@@ -244,7 +244,7 @@ class Cluster {
   ClusterOptions options_;
   LibraryPool pool_;
   std::vector<Node> nodes_;
-  SandboxId next_id_ = 1;
+  SandboxId next_id_{1};
   std::map<SandboxId, Sandbox> sandboxes_;  // ordered => deterministic iteration
   std::map<SandboxId, BaseSnapshot> bases_;
   // Per-function index (ascending ids) so scheduling scans stay O(per-fn).

@@ -1,30 +1,142 @@
 // Simulated-time types.
 //
-// The cluster simulation advances a virtual clock in microseconds. Using a
-// strong typedef (rather than raw int64) keeps durations and absolute times
-// from being mixed up across module boundaries.
+// The cluster simulation advances a virtual clock in microseconds. SimTime
+// (an absolute instant) and SimDuration (an elapsed amount) are real types —
+// not integer aliases — so only the dimensionally meaningful algebra
+// compiles:
+//
+//   SimTime  ± SimDuration -> SimTime        SimDuration ± SimDuration -> SimDuration
+//   SimTime  - SimTime     -> SimDuration    SimDuration * / integer   -> SimDuration
+//   SimTime  + SimTime     -> compile error  SimDuration + Bytes       -> compile error
+//
+// Construction from a raw microsecond count is explicit; read one back with
+// value(). Both types are single-int64 standard-layout wrappers, so structs
+// holding them (queued events, trace spans) keep their historical size and
+// the modelled arithmetic is bit-identical to the old typedef era.
 #ifndef MEDES_COMMON_TIME_H_
 #define MEDES_COMMON_TIME_H_
 
+#include <compare>
 #include <cstdint>
+#include <limits>
+#include <ostream>
 
 namespace medes {
 
-// Absolute simulated time in microseconds since simulation start.
-using SimTime = int64_t;
 // Duration in microseconds.
-using SimDuration = int64_t;
+class SimDuration {
+ public:
+  using rep = int64_t;
 
-constexpr SimDuration kMicrosecond = 1;
-constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
-constexpr SimDuration kSecond = 1000 * kMillisecond;
-constexpr SimDuration kMinute = 60 * kSecond;
-constexpr SimDuration kHour = 60 * kMinute;
+  constexpr SimDuration() = default;
+  explicit constexpr SimDuration(int64_t us) : us_(us) {}
 
-constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
-constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
-constexpr SimDuration FromMillis(double ms) { return static_cast<SimDuration>(ms * kMillisecond); }
-constexpr SimDuration FromSeconds(double s) { return static_cast<SimDuration>(s * kSecond); }
+  // Microsecond count.
+  [[nodiscard]] constexpr int64_t value() const { return us_; }
+
+  friend constexpr bool operator==(SimDuration, SimDuration) = default;
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  constexpr SimDuration& operator+=(SimDuration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration other) {
+    us_ -= other.us_;
+    return *this;
+  }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ + b.us_);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ - b.us_);
+  }
+  friend constexpr SimDuration operator-(SimDuration d) { return SimDuration(-d.us_); }
+  friend constexpr SimDuration operator*(SimDuration d, int64_t k) {
+    return SimDuration(d.us_ * k);
+  }
+  friend constexpr SimDuration operator*(int64_t k, SimDuration d) {
+    return SimDuration(k * d.us_);
+  }
+  friend constexpr SimDuration operator/(SimDuration d, int64_t k) {
+    return SimDuration(d.us_ / k);
+  }
+  // Ratio / remainder of two durations (integer semantics, like the old int64).
+  friend constexpr int64_t operator/(SimDuration a, SimDuration b) { return a.us_ / b.us_; }
+  friend constexpr SimDuration operator%(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ % b.us_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimDuration d) { return os << d.us_; }
+
+ private:
+  int64_t us_ = 0;
+};
+
+// Absolute simulated time in microseconds since simulation start.
+class SimTime {
+ public:
+  using rep = int64_t;
+
+  constexpr SimTime() = default;
+  explicit constexpr SimTime(int64_t us) : us_(us) {}
+
+  // Microseconds since simulation start.
+  [[nodiscard]] constexpr int64_t value() const { return us_; }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimDuration d) {
+    us_ += d.value();
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimDuration d) {
+    us_ -= d.value();
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime(t.us_ + d.value());
+  }
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) {
+    return SimTime(d.value() + t.us_);
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime(t.us_ - d.value());
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration(a.us_ - b.us_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.us_; }
+
+ private:
+  int64_t us_ = 0;
+};
+
+// "Run forever" horizon: RunUntil(kSimTimeMax) never stops on time.
+inline constexpr SimTime kSimTimeMax{std::numeric_limits<int64_t>::max()};
+
+inline constexpr SimDuration kMicrosecond{1};
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d.value()) / static_cast<double>(kMillisecond.value());
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d.value()) / static_cast<double>(kSecond.value());
+}
+constexpr SimDuration FromMillis(double ms) {
+  return SimDuration(static_cast<int64_t>(ms * static_cast<double>(kMillisecond.value())));
+}
+constexpr SimDuration FromSeconds(double s) {
+  return SimDuration(static_cast<int64_t>(s * static_cast<double>(kSecond.value())));
+}
 
 }  // namespace medes
 

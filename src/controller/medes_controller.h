@@ -66,7 +66,7 @@ const char* ToString(IdleDecision decision);
 
 // Modelled wire size of one controller decision message (a verdict plus
 // sandbox identity — tiny; the latency term dominates).
-inline constexpr size_t kControlDecisionBytes = 64;
+inline constexpr Bytes kControlDecisionBytes{64};
 
 class MedesController {
  public:
@@ -75,7 +75,8 @@ class MedesController {
   // The default (no transport) keeps the controller purely local — existing
   // standalone users and tests are unaffected.
   MedesController(Cluster& cluster, MedesControllerOptions options,
-                  std::shared_ptr<Transport> transport = nullptr, NodeId controller_node = -1);
+                  std::shared_ptr<Transport> transport = nullptr,
+                  NodeId controller_node = kInvalidNode);
 
   const MedesControllerOptions& options() const { return options_; }
 
@@ -122,7 +123,7 @@ class MedesController {
   Cluster& cluster_;
   MedesControllerOptions options_;
   std::shared_ptr<Transport> transport_;
-  NodeId controller_node_ = -1;
+  NodeId controller_node_ = kInvalidNode;
   std::vector<FunctionTracking> tracking_;
   double scale_to_mb_;  // 1 / bytes_per_mb
 };

@@ -109,9 +109,9 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
   result.pages_total = cp.NumPages();
   result.pages_zero = cp.NumZero();
-  result.checkpoint_time = static_cast<SimDuration>(
-      static_cast<double>(options_.criu.capture_per_page) *
-      static_cast<double>(cp.NumPages()) * scale);
+  result.checkpoint_time = SimDuration{static_cast<int64_t>(
+      static_cast<double>(options_.criu.capture_per_page.value()) *
+      static_cast<double>(cp.NumPages()) * scale)};
 
   std::vector<size_t> resident;
   resident.reserve(cp.NumPages());
@@ -134,7 +134,7 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   std::vector<std::vector<BasePageCandidate>> candidates(n);
   const size_t batch = std::max<size_t>(options_.lookup_batch_pages, 1);
   const size_t num_batches = (n + batch - 1) / batch;
-  std::vector<SimDuration> batch_costs(num_batches, 0);
+  std::vector<SimDuration> batch_costs(num_batches);
   pool_->ParallelFor(0, num_batches, [&](size_t b) {
     const size_t lo = b * batch;
     const size_t hi = std::min(n, lo + batch);
@@ -143,7 +143,7 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
         options_.max_base_pages_per_page, &batch_costs[b]);
     std::move(out.begin(), out.end(), candidates.begin() + static_cast<ptrdiff_t>(lo));
   });
-  SimDuration lookup_cost = 0;
+  SimDuration lookup_cost;
   for (SimDuration c : batch_costs) {
     lookup_cost += c;
   }
@@ -153,7 +153,7 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   // on page order, never on worker interleaving. A read dropped by the
   // transport's fault policy degrades that page to unique (the candidate is
   // discarded) instead of failing the op.
-  SimDuration rdma_cost = 0;
+  SimDuration rdma_cost;
   std::vector<std::vector<uint8_t>> base_bytes(n);
   for (size_t i = 0; i < n; ++i) {
     if (candidates[i].empty()) {
@@ -217,7 +217,7 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
       ++result.cross_function_pages;
     }
     PatchRecord record;
-    record.page = static_cast<uint32_t>(page);
+    record.page = PageIndex{static_cast<uint32_t>(page)};
     for (const BasePageCandidate& candidate : candidates[i]) {
       registry_.Ref(candidate.location.sandbox);
       record.bases.push_back(candidate.location);
@@ -229,11 +229,11 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   result.saved_bytes += result.pages_zero * kPageSize;
 
   result.lookup_time =
-      static_cast<SimDuration>(static_cast<double>(lookup_cost) * scale);
+      SimDuration{static_cast<int64_t>(static_cast<double>(lookup_cost.value()) * scale)};
   result.patch_time =
-      static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale) +
-      static_cast<SimDuration>(static_cast<double>(result.patch_bytes) * scale /
-                               options_.patch_bytes_per_us);
+      SimDuration{static_cast<int64_t>(static_cast<double>(rdma_cost.value()) * scale)} +
+      SimDuration{static_cast<int64_t>(static_cast<double>(result.patch_bytes) * scale /
+                                       options_.patch_bytes_per_us)};
   result.total_time = result.checkpoint_time + result.lookup_time + result.patch_time;
 
   // Prepare namespaces / process tree now so dedup starts skip it.
@@ -258,35 +258,35 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     ins.pages_unique->Add(result.pages_unique);
     ins.patch_bytes->Add(result.patch_bytes);
     ins.saved_bytes->Add(result.saved_bytes);
-    ins.dedup_op_us->Record(result.total_time);
-    ins.dedup_checkpoint_us->Record(result.checkpoint_time);
-    ins.dedup_lookup_us->Record(result.lookup_time);
-    ins.dedup_patch_us->Record(result.patch_time);
+    ins.dedup_op_us->Record(result.total_time.value());
+    ins.dedup_checkpoint_us->Record(result.checkpoint_time.value());
+    ins.dedup_lookup_us->Record(result.lookup_time.value());
+    ins.dedup_patch_us->Record(result.patch_time.value());
   }
   if (obs::TraceEnabled()) {
     // One span per pipeline stage, laid out sequentially from `now` in the
     // op's modelled timeline. Base reads and delta encoding split patch_time
     // into its wire and compute terms.
     const SimDuration base_read_time =
-        static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale);
+        SimDuration{static_cast<int64_t>(static_cast<double>(rdma_cost.value()) * scale)};
     const SimDuration delta_time = result.patch_time - base_read_time;
-    obs::ScopedSpan op("dedup_op", "dedup", now, sb.node);
+    obs::ScopedSpan op("dedup_op", "dedup", now, sb.node.value());
     op.SetSimDuration(result.total_time);
     op.AddArg("pages", static_cast<int64_t>(result.pages_total));
     op.AddArg("deduped", static_cast<int64_t>(result.pages_deduped));
     op.AddArg("patch_bytes", static_cast<int64_t>(result.patch_bytes));
     SimTime cursor = now;
     auto stage = [&](const char* name, SimDuration dur) {
-      obs::ScopedSpan span(name, "dedup", cursor, sb.node);
+      obs::ScopedSpan span(name, "dedup", cursor, sb.node.value());
       span.SetSimDuration(dur);
       cursor += dur;
     };
     stage("dedup/checkpoint", result.checkpoint_time);
-    stage("dedup/fingerprint", 0);
+    stage("dedup/fingerprint", SimDuration{});
     stage("dedup/registry_lookup", result.lookup_time);
     stage("dedup/base_read", base_read_time);
     stage("dedup/delta_encode", delta_time);
-    obs::RecordInstant("dedup/merge", "dedup", cursor, sb.node);
+    obs::RecordInstant("dedup/merge", "dedup", cursor, sb.node.value());
   }
   return result;
 }
@@ -303,7 +303,7 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
 
   // 1. Base-page reads, serial in patch-record order (deterministic cache
   // behaviour — see DedupOp), plus refcount release.
-  SimDuration rdma_cost = 0;
+  SimDuration rdma_cost;
   size_t patch_bytes_applied = 0;
   std::vector<std::vector<uint8_t>> base_bytes(n);
   for (size_t i = 0; i < n; ++i) {
@@ -319,7 +319,7 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
       base_bytes[i].insert(base_bytes[i].end(), one.begin(), one.end());
       registry_.Unref(base.sandbox);
     }
-    patch_bytes_applied += cp.PatchSize(record.page);
+    patch_bytes_applied += cp.PatchSize(record.page.value());
   }
 
   // 2. Reconstruct original pages from patches (parallel). DeltaDecodeInto
@@ -329,7 +329,7 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
   std::vector<std::vector<uint8_t>> originals(n);
   pool_->ParallelFor(0, n, [&](size_t i) {
     if (payloads) {
-      DeltaDecodeInto(base_bytes[i], cp.PatchData(sb.patches[i].page), originals[i]);
+      DeltaDecodeInto(base_bytes[i], cp.PatchData(sb.patches[i].page.value()), originals[i]);
     } else {
       originals[i] = std::vector<uint8_t>(kPageSize, 0);
     }
@@ -337,16 +337,17 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
 
   // 3. Merge: put the reconstructed bytes back, in record order.
   for (size_t i = 0; i < n; ++i) {
-    cp.RestorePage(sb.patches[i].page, std::move(originals[i]));
+    cp.RestorePage(sb.patches[i].page.value(), std::move(originals[i]));
   }
 
-  result.read_base_time = static_cast<SimDuration>(static_cast<double>(rdma_cost) * scale);
-  result.compute_time = static_cast<SimDuration>(
+  result.read_base_time =
+      SimDuration{static_cast<int64_t>(static_cast<double>(rdma_cost.value()) * scale)};
+  result.compute_time = SimDuration{static_cast<int64_t>(
       static_cast<double>(result.base_bytes_read + patch_bytes_applied) * scale /
-      options_.patch_bytes_per_us);
-  SimDuration criu = static_cast<SimDuration>(
-      static_cast<double>(options_.criu.restore_per_page) * static_cast<double>(cp.NumPages()) *
-      scale);
+      options_.patch_bytes_per_us)};
+  SimDuration criu = SimDuration{static_cast<int64_t>(
+      static_cast<double>(options_.criu.restore_per_page.value()) *
+      static_cast<double>(cp.NumPages()) * scale)};
   if (!sb.namespaces_prepared) {
     criu += options_.criu.namespace_and_ptree;
   }
@@ -375,23 +376,23 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
     const AgentInstruments& ins = Instruments();
     ins.restore_ops->Add(1);
     ins.base_pages_read->Add(result.base_pages_read);
-    ins.restore_op_us->Record(result.total_time);
-    ins.restore_base_read_us->Record(result.read_base_time);
-    ins.restore_compute_us->Record(result.compute_time);
-    ins.restore_criu_us->Record(result.sandbox_restore_time);
+    ins.restore_op_us->Record(result.total_time.value());
+    ins.restore_base_read_us->Record(result.read_base_time.value());
+    ins.restore_compute_us->Record(result.compute_time.value());
+    ins.restore_criu_us->Record(result.sandbox_restore_time.value());
   }
   if (obs::TraceEnabled()) {
     // The three restore components of the paper's Fig. 8, sequential in the
     // modelled timeline: base page reading, original page computing, and
     // sandbox restoration (CRIU rebuild).
-    obs::ScopedSpan op("restore_op", "restore", now, sb.node);
+    obs::ScopedSpan op("restore_op", "restore", now, sb.node.value());
     op.SetSimDuration(result.total_time);
     op.AddArg("patched_pages", static_cast<int64_t>(n));
     op.AddArg("base_pages_read", static_cast<int64_t>(result.base_pages_read));
     op.AddArg("remote_reads", static_cast<int64_t>(result.remote_reads));
     SimTime cursor = now;
     auto stage = [&](const char* name, SimDuration dur) {
-      obs::ScopedSpan span(name, "restore", cursor, sb.node);
+      obs::ScopedSpan span(name, "restore", cursor, sb.node.value());
       span.SetSimDuration(dur);
       cursor += dur;
     };

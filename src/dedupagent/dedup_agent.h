@@ -83,12 +83,12 @@ struct DedupOpResult {
   size_t same_function_pages = 0;   // deduped against a base of the same function
   size_t cross_function_pages = 0;  // ... of a different function (Section 7.3.1)
   // Modelled durations at represented scale.
-  SimDuration checkpoint_time = 0;
+  SimDuration checkpoint_time;
   // Registry lookups (the registry's modelled cost: transport messages plus
   // controller-side per-page work, summed across the op's batches).
-  SimDuration lookup_time = 0;
-  SimDuration patch_time = 0;    // base page reads + patch computation
-  SimDuration total_time = 0;
+  SimDuration lookup_time;
+  SimDuration patch_time;    // base page reads + patch computation
+  SimDuration total_time;
 };
 
 // Cumulative per-agent counters, aggregated across every op the agent has
@@ -110,10 +110,10 @@ struct RestoreOpResult {
   size_t base_bytes_read = 0;    // real bytes at image scale
   size_t remote_reads = 0;
   // Modelled durations at represented scale — the three Fig. 8 components.
-  SimDuration read_base_time = 0;      // "base page reading"
-  SimDuration compute_time = 0;        // "original page computing"
-  SimDuration sandbox_restore_time = 0;  // "sandbox restoration" (CRIU)
-  SimDuration total_time = 0;
+  SimDuration read_base_time;      // "base page reading"
+  SimDuration compute_time;        // "original page computing"
+  SimDuration sandbox_restore_time;  // "sandbox restoration" (CRIU)
+  SimDuration total_time;
   bool verified = false;  // byte-exact reconstruction check ran and passed
 };
 

@@ -67,7 +67,7 @@ struct DeltaScratch {
 };
 
 // Encodes `target` as a delta against `base`.
-std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const uint8_t> target,
+[[nodiscard]] std::vector<uint8_t> DeltaEncode(std::span<const uint8_t> base, std::span<const uint8_t> target,
                                  const DeltaOptions& options = {});
 
 // As DeltaEncode, but replaces the contents of `out` (capacity is reused)
@@ -78,7 +78,7 @@ void DeltaEncodeInto(std::span<const uint8_t> base, std::span<const uint8_t> tar
 
 // Reconstructs the target from `base` and `delta`. Throws DeltaError if the
 // delta is corrupt or references out-of-range base bytes.
-std::vector<uint8_t> DeltaDecode(std::span<const uint8_t> base, std::span<const uint8_t> delta);
+[[nodiscard]] std::vector<uint8_t> DeltaDecode(std::span<const uint8_t> base, std::span<const uint8_t> delta);
 
 // As DeltaDecode, but replaces the contents of `out` (capacity is reused).
 // The op stream is fully validated before `out` is touched.
@@ -86,10 +86,10 @@ void DeltaDecodeInto(std::span<const uint8_t> base, std::span<const uint8_t> del
                      std::vector<uint8_t>& out);
 
 // Parses a delta's instruction stream without materialising the target.
-DeltaStats InspectDelta(std::span<const uint8_t> delta);
+[[nodiscard]] DeltaStats InspectDelta(std::span<const uint8_t> delta);
 
 // Target length recorded in the delta header (cheap peek).
-size_t DeltaTargetLength(std::span<const uint8_t> delta);
+[[nodiscard]] size_t DeltaTargetLength(std::span<const uint8_t> delta);
 
 namespace delta_internal {
 // LEB128 unsigned varints — exposed for unit testing.

@@ -28,10 +28,10 @@ struct FunctionProfile {
   FunctionId id = -1;
   std::string name;
   std::vector<std::string> libraries;
-  SimDuration exec_time = 0;        // average execution time (Table 2)
+  SimDuration exec_time;            // average execution time (Table 2)
   double memory_mb = 0;             // total sandbox memory footprint (Table 2)
-  SimDuration cold_start = 0;       // cold start latency
-  SimDuration warm_start = 0;       // warm start latency (paper: 1-20 ms)
+  SimDuration cold_start;           // cold start latency
+  SimDuration warm_start;           // warm start latency (paper: 1-20 ms)
   // Fraction of the function's heap that is per-instance unique (never
   // dedupable). Calibrated against the paper's Table 3 savings.
   double heap_unique_fraction = 0.5;

@@ -62,19 +62,19 @@ const char* ToString(MessageType type) {
   return "?";
 }
 
-SimDuration LinkCost(size_t bytes, const LinkModel& link) {
+SimDuration LinkCost(Bytes bytes, const LinkModel& link) {
   if (link.bandwidth_gbps <= 0) {
     return link.latency;
   }
   // bytes / (gbps Gbit/s) in microseconds: bytes * 8 / (gbps * 1000) us.
-  const auto transfer = static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
-                                                 (link.bandwidth_gbps * 1000.0));
+  const SimDuration transfer{static_cast<int64_t>(static_cast<double>(bytes.value()) * 8.0 /
+                                                  (link.bandwidth_gbps * 1000.0))};
   return link.latency + transfer;
 }
 
 // ---- StaticFaultPolicy ---------------------------------------------------
 
-Fault StaticFaultPolicy::OnMessage(MessageType type, NodeId src, NodeId dst, size_t bytes) {
+Fault StaticFaultPolicy::OnMessage(MessageType type, NodeId src, NodeId dst, Bytes bytes) {
   (void)bytes;
   ReaderLock lock(mu_);
   Fault fault;
@@ -145,7 +145,7 @@ uint64_t TransportStats::TotalDropped() const {
 }
 
 SimDuration TransportStats::TotalLatency() const {
-  SimDuration total = 0;
+  SimDuration total{};
   for (const MessageStats& ms : by_type) {
     total += ms.total_latency;
   }
@@ -171,7 +171,7 @@ bool Transport::NodeUp(NodeId node) const {
   return policy == nullptr || !policy->NodePartitioned(node);
 }
 
-Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, size_t bytes,
+Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, Bytes bytes,
                                       uint64_t requests) {
   Fault fault;
   if (std::shared_ptr<FaultPolicy> policy = CurrentPolicy()) {
@@ -189,7 +189,7 @@ Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, 
     MessageStats& ms = stats_.by_type[static_cast<size_t>(type)];
     ++ms.messages;
     ms.requests += requests;
-    ms.bytes += bytes;
+    ms.bytes += bytes.value();
     if (result.delivered) {
       ms.total_latency += result.cost;
       ms.max_latency = std::max(ms.max_latency, result.cost);
@@ -202,9 +202,9 @@ Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, 
     const auto idx = static_cast<size_t>(type);
     const TransportInstruments& ins = Instruments();
     ins.messages[idx]->Add(1);
-    ins.bytes[idx]->Add(bytes);
+    ins.bytes[idx]->Add(bytes.value());
     if (result.delivered) {
-      ins.latency[idx]->Record(result.cost);
+      ins.latency[idx]->Record(result.cost.value());
     } else {
       ins.dropped[idx]->Add(1);
     }

@@ -41,12 +41,9 @@
 #include "common/histogram.h"
 #include "common/mutex.h"
 #include "common/time.h"
+#include "common/types.h"
 
 namespace medes {
-
-// Also declared (identically) in registry/registry_backend.h; net/ sits
-// below registry/ in the dependency order so it cannot include it.
-using NodeId = int;
 
 // ---- Message taxonomy ----------------------------------------------------
 
@@ -64,7 +61,7 @@ const char* ToString(MessageType type);
 // ---- Links and topology --------------------------------------------------
 
 struct LinkModel {
-  SimDuration latency = 3;      // us, per-message setup cost
+  SimDuration latency{3};        // us, per-message setup cost
   double bandwidth_gbps = 10.0;  // line rate; <= 0 means infinite bandwidth
 
   bool operator==(const LinkModel&) const = default;
@@ -75,7 +72,7 @@ struct LinkModel {
 // with the transfer term truncated to whole microseconds (SimDuration
 // granularity). Sub-microsecond transfers therefore cost `latency` alone,
 // and a non-positive bandwidth disables the transfer term entirely.
-SimDuration LinkCost(size_t bytes, const LinkModel& link);
+[[nodiscard]] SimDuration LinkCost(Bytes bytes, const LinkModel& link);
 
 // Cluster shape: `num_nodes` nodes, a default remote link between distinct
 // nodes, a node-local fast path (src == dst), and optional per-directed-pair
@@ -83,14 +80,14 @@ SimDuration LinkCost(size_t bytes, const LinkModel& link);
 struct Topology {
   int num_nodes = 1;
   LinkModel remote;                         // default inter-node link
-  LinkModel local{.latency = 0, .bandwidth_gbps = 80.0};  // same-node fast path
+  LinkModel local{.latency = SimDuration{0}, .bandwidth_gbps = 80.0};  // same-node fast path
 
   // Directed (src, dst) link overrides, keyed by PairKey().
   std::unordered_map<uint64_t, LinkModel> overrides;
 
   static uint64_t PairKey(NodeId src, NodeId dst) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
-           static_cast<uint64_t>(static_cast<uint32_t>(dst));
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src.value())) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(dst.value()));
   }
   void SetLink(NodeId src, NodeId dst, LinkModel link) { overrides[PairKey(src, dst)] = link; }
   void SetBidirectionalLink(NodeId a, NodeId b, LinkModel link) {
@@ -111,15 +108,15 @@ struct Topology {
 // The platform-level network configuration: the two default link classes a
 // Topology is built from (per-pair overrides are programmatic).
 struct NetworkModel {
-  LinkModel remote{.latency = 3, .bandwidth_gbps = 10.0};
-  LinkModel local{.latency = 0, .bandwidth_gbps = 80.0};
+  LinkModel remote{.latency = SimDuration{3}, .bandwidth_gbps = 10.0};
+  LinkModel local{.latency = SimDuration{0}, .bandwidth_gbps = 80.0};
 };
 
 // ---- Fault injection -----------------------------------------------------
 
 struct Fault {
-  bool drop = false;            // message is lost; SendResult.delivered = false
-  SimDuration added_delay = 0;  // extra latency charged on top of the link cost
+  bool drop = false;          // message is lost; SendResult.delivered = false
+  SimDuration added_delay{};  // extra latency charged on top of the link cost
 };
 
 // Installable fault seam. Implementations MUST be pure functions of the
@@ -131,7 +128,7 @@ class FaultPolicy {
 
   // The fault (if any) applied to one message. Called outside any transport
   // lock; implementations synchronise their own state.
-  virtual Fault OnMessage(MessageType type, NodeId src, NodeId dst, size_t bytes) = 0;
+  virtual Fault OnMessage(MessageType type, NodeId src, NodeId dst, Bytes bytes) = 0;
 
   // True when `node` is partitioned from the cluster entirely. Transport
   // drops every message to or from a partitioned node without consulting
@@ -144,7 +141,7 @@ class FaultPolicy {
 // of one type. Deterministic by construction.
 class StaticFaultPolicy : public FaultPolicy {
  public:
-  Fault OnMessage(MessageType type, NodeId src, NodeId dst, size_t bytes) override
+  Fault OnMessage(MessageType type, NodeId src, NodeId dst, Bytes bytes) override
       EXCLUDES(mu_);
   bool NodePartitioned(NodeId node) const override EXCLUDES(mu_);
 
@@ -171,9 +168,7 @@ class LatencyHistogram {
  public:
   static constexpr size_t kNumBuckets = kPow2HistogramBuckets;
 
-  void Record(SimDuration value) {
-    ++buckets_[BucketIndex(value)];
-  }
+  void Record(SimDuration value) { ++buckets_[BucketIndex(value)]; }
   uint64_t Count(size_t bucket) const { return buckets_.at(bucket); }
   uint64_t TotalCount() const {
     uint64_t total = 0;
@@ -184,11 +179,9 @@ class LatencyHistogram {
   }
   // Inclusive upper bound of a bucket (us); bucket 0 holds <= 0.
   static SimDuration BucketUpperBound(size_t bucket) {
-    return static_cast<SimDuration>(Pow2BucketUpperBound(bucket));
+    return SimDuration{Pow2BucketUpperBound(bucket)};
   }
-  static size_t BucketIndex(SimDuration value) {
-    return Pow2BucketIndex(static_cast<int64_t>(value));
-  }
+  static size_t BucketIndex(SimDuration value) { return Pow2BucketIndex(value.value()); }
 
   bool operator==(const LatencyHistogram&) const = default;
 
@@ -201,14 +194,15 @@ struct MessageStats {
   uint64_t requests = 0;       // logical requests batched into those messages
   uint64_t bytes = 0;          // payload bytes attempted
   uint64_t dropped = 0;        // sends lost to the fault policy
-  SimDuration total_latency = 0;  // summed cost of *delivered* messages
-  SimDuration max_latency = 0;    // worst delivered message
-  LatencyHistogram latency;       // delivered-message cost distribution
+  SimDuration total_latency{};  // summed cost of *delivered* messages
+  SimDuration max_latency{};    // worst delivered message
+  LatencyHistogram latency;     // delivered-message cost distribution
 
   double MeanLatency() const {
     const uint64_t delivered = messages - dropped;
     return delivered == 0 ? 0.0
-                          : static_cast<double>(total_latency) / static_cast<double>(delivered);
+                          : static_cast<double>(total_latency.value()) /
+                                static_cast<double>(delivered);
   }
   bool operator==(const MessageStats&) const = default;
 };
@@ -237,7 +231,7 @@ class Transport {
 
   // Pure timing model: the cost of a (src -> dst) message of `bytes`,
   // ignoring faults and recording nothing.
-  SimDuration MessageCost(NodeId src, NodeId dst, size_t bytes) const {
+  [[nodiscard]] SimDuration MessageCost(NodeId src, NodeId dst, Bytes bytes) const {
     return LinkCost(bytes, topology_.LinkFor(src, dst));
   }
 
@@ -246,15 +240,18 @@ class Transport {
     // Modelled cost of the attempt (link cost + any injected delay). The
     // sender pays this whether or not the message was delivered; callers
     // that model fire-and-forget drops may ignore it when !delivered.
-    SimDuration cost = 0;
+    SimDuration cost{};
   };
 
   // Sends one message carrying `requests` logical requests. Consults the
   // fault policy (node partitions first, then OnMessage), accumulates
   // per-type stats, and returns the outcome. Thread-safe; see the
   // determinism contract in the file comment.
-  SendResult Send(MessageType type, NodeId src, NodeId dst, size_t bytes, uint64_t requests = 1)
-      EXCLUDES(policy_mu_, stats_mu_);
+  // The result carries the modelled cost the *caller* must charge (and the
+  // delivered flag it must branch on); dropping it silently desyncs the
+  // timing model, hence [[nodiscard]].
+  [[nodiscard]] SendResult Send(MessageType type, NodeId src, NodeId dst, Bytes bytes,
+                                uint64_t requests = 1) EXCLUDES(policy_mu_, stats_mu_);
 
   // Installs (or clears, with nullptr) the fault seam. The policy is shared:
   // tests keep their handle to flip partitions mid-run.

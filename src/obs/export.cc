@@ -88,10 +88,10 @@ std::string ChromeTraceJson(const std::vector<Span>& spans) {
     const bool instant = span.dur == kInstantDuration;
     out += instant ? 'i' : 'X';
     out += "\",\"ts\":";
-    AppendInt(out, span.ts);
+    AppendInt(out, span.ts.value());
     if (!instant) {
       out += ",\"dur\":";
-      AppendInt(out, span.dur);
+      AppendInt(out, span.dur.value());
     }
     out += ",\"pid\":0,\"tid\":";
     AppendInt(out, span.lane);
@@ -231,7 +231,7 @@ std::string SeriesJson(const std::vector<SnapshotSeries::Point>& points) {
     }
     first_point = false;
     out += "\n{\"t\":";
-    AppendInt(out, point.t);
+    AppendInt(out, point.t.value());
     out += ",\"values\":{";
     bool first_value = true;
     for (const auto& [key, value] : point.values) {

@@ -185,7 +185,7 @@ class MetricsRegistry {
 class SnapshotSeries {
  public:
   struct Point {
-    SimTime t = 0;
+    SimTime t;
     // (name or name{label}, value) pairs, sorted by the rendered key.
     std::vector<std::pair<std::string, int64_t>> values;
   };

@@ -45,7 +45,7 @@ inline constexpr size_t kMaxSpanArgs = 4;
 
 // Sentinel duration marking an instant event ("i" phase in Chrome trace)
 // rather than a complete span ("X" phase).
-inline constexpr SimDuration kInstantDuration = -1;
+inline constexpr SimDuration kInstantDuration{-1};
 
 struct SpanArg {
   const char* key = "";
@@ -55,8 +55,8 @@ struct SpanArg {
 struct Span {
   const char* name = "";
   const char* category = "";
-  SimTime ts = 0;                    // sim-time start (us)
-  SimDuration dur = 0;               // sim-time duration (us); kInstantDuration = instant
+  SimTime ts;                        // sim-time start (us)
+  SimDuration dur;                   // sim-time duration (us); kInstantDuration = instant
   int32_t lane = 0;                  // Chrome-trace tid row (node id / pipeline lane)
   uint32_t num_args = 0;
   std::array<SpanArg, kMaxSpanArgs> args = {};

@@ -91,8 +91,8 @@ std::vector<double> ImprovementFactors(const RunMetrics& medes, const RunMetrics
     if (m.arrival != b.arrival || m.function != b.function) {
       throw std::invalid_argument("ImprovementFactors: request streams do not line up");
     }
-    if (m.e2e > 0) {
-      factors.push_back(static_cast<double>(b.e2e) / static_cast<double>(m.e2e));
+    if (m.e2e > SimDuration{}) {
+      factors.push_back(static_cast<double>(b.e2e.value()) / static_cast<double>(m.e2e.value()));
     }
   }
   return factors;

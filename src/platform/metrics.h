@@ -31,10 +31,10 @@ std::optional<StartType> StartTypeFromString(std::string_view name);
 
 struct RequestRecord {
   FunctionId function = -1;
-  SimTime arrival = 0;
+  SimTime arrival;
   StartType start = StartType::kCold;
-  SimDuration startup = 0;  // latency before execution begins
-  SimDuration e2e = 0;      // startup + execution
+  SimDuration startup;  // latency before execution begins
+  SimDuration e2e;      // startup + execution
 };
 
 struct FunctionMetrics {
@@ -58,7 +58,7 @@ struct FunctionMetrics {
 };
 
 struct MemorySample {
-  SimTime time = 0;
+  SimTime time;
   double used_mb = 0;
   uint64_t sandboxes = 0;
   uint64_t warm = 0;

@@ -103,7 +103,7 @@ class ServerlessPlatform::Impl {
   // The controller occupies the node right after the workers; registry shard
   // replicas (distributed mode) come after the controller.
   static NodeId ControllerNode(const PlatformOptions& options) {
-    return options.cluster.num_nodes;
+    return NodeId{options.cluster.num_nodes};
   }
 
   static std::shared_ptr<Transport> MakeTransport(const PlatformOptions& options) {
@@ -125,7 +125,7 @@ class ServerlessPlatform::Impl {
       dopts.num_shards = options.registry_shards;
       dopts.replication_factor = options.registry_replication;
       dopts.per_shard = options.registry;
-      dopts.first_registry_node = ControllerNode(options) + 1;
+      dopts.first_registry_node = NodeId{ControllerNode(options).value() + 1};
       return std::make_unique<DistributedRegistry>(dopts, std::move(transport));
     }
     auto registry = std::make_unique<FingerprintRegistry>(options.registry);
@@ -147,8 +147,8 @@ class ServerlessPlatform::Impl {
       metrics_.requests.reserve(trace.size());
       metrics_.memory_timeline.reserve(
           trace.empty() ? 1
-                        : static_cast<size_t>((trace.back().time + 10 * kMinute) /
-                                              options_.memory_sample_interval) +
+                        : static_cast<size_t>((trace.back().time.value() + (10 * kMinute).value()) /
+                                              options_.memory_sample_interval.value()) +
                               2);
     }
     if (options_.stream_trace_arrivals) {
@@ -166,8 +166,8 @@ class ServerlessPlatform::Impl {
       }
     }
     // Memory sampling covers the trace plus a drain tail.
-    SimTime end = trace.empty() ? 0 : trace.back().time;
-    for (SimTime t = 0; t <= end + 10 * kMinute; t += options_.memory_sample_interval) {
+    const SimTime end = trace.empty() ? SimTime{} : trace.back().time;
+    for (SimTime t; t <= end + 10 * kMinute; t += options_.memory_sample_interval) {
       sim_.Schedule(t, [this] { SampleMemory(); });
     }
     sim_.Run();
@@ -221,7 +221,7 @@ class ServerlessPlatform::Impl {
     }
     // Coalesced idle-expiry enrollment cancels lazily: the bucket entry stays
     // queued and is skipped when its deadline no longer matches.
-    sb.idle_deadline = 0;
+    sb.idle_deadline = SimTime{};
   }
 
   Sandbox* PickWarm(FunctionId f) {
@@ -254,7 +254,7 @@ class ServerlessPlatform::Impl {
   // `spare_warm` additionally forbids touching warm sandboxes (used when
   // making room for a base snapshot — displacing warm sandboxes for a base
   // costs more cold starts than the base saves).
-  bool EnsureFits(NodeId node, double required_mb, SandboxId exclude = 0,
+  bool EnsureFits(NodeId node, double required_mb, SandboxId exclude = kNoSandbox,
                   bool spare_warm = false) {
     const double limit = cluster_.node(node).options.memory_limit_mb;
     while (cluster_.node(node).used_mb + required_mb > limit) {
@@ -300,14 +300,14 @@ class ServerlessPlatform::Impl {
       }
       // Unreferenced base snapshots go last: evicting one forces an expensive
       // re-designation the next time the policy wants to dedup.
-      SandboxId base_victim = 0;
+      SandboxId base_victim = kNoSandbox;
       for (const auto& [id, snap] : cluster_.base_snapshots()) {
         if (snap.node == node && registry_->RefCount(id) == 0) {
           base_victim = id;
           break;
         }
       }
-      if (base_victim != 0) {
+      if (base_victim != kNoSandbox) {
         registry_->RemoveBaseSandbox(base_victim);
         cluster_.RemoveBaseSnapshot(base_victim);
         fabric_.InvalidateSandbox(base_victim);  // reclaim its cached pages
@@ -342,7 +342,7 @@ class ServerlessPlatform::Impl {
     if (obs::MetricsEnabled()) {
       Instruments().evictions->Add(1);
     }
-    obs::RecordInstant("evict", "platform", sim_.Now(), node);
+    obs::RecordInstant("evict", "platform", sim_.Now(), node.value());
   }
 
   // Dedup-op metrics shared by the policy path and the pressure path.
@@ -413,7 +413,7 @@ class ServerlessPlatform::Impl {
         if (obs::MetricsEnabled()) {
           Instruments().overcommits->Add(1);
         }
-        obs::RecordInstant("overcommit", "platform", now, node);
+        obs::RecordInstant("overcommit", "platform", now, node.value());
       }
       sb = &cluster_.Spawn(profile, node, now);
       {
@@ -423,7 +423,7 @@ class ServerlessPlatform::Impl {
       if (obs::MetricsEnabled()) {
         Instruments().spawns->Add(1);
       }
-      obs::RecordInstant("spawn", "platform", now, node);
+      obs::RecordInstant("spawn", "platform", now, node.value());
       type = StartType::kCold;
       startup = options_.emulate_catalyzer ? options_.catalyzer_restore : profile.cold_start;
     }
@@ -461,15 +461,15 @@ class ServerlessPlatform::Impl {
           ins.cold_starts->Add(1);
           break;
       }
-      ins.e2e_us->Record(e2e);
-      ins.startup_us->Record(startup);
+      ins.e2e_us->Record(e2e.value());
+      ins.startup_us->Record(startup.value());
     }
     if (obs::TraceEnabled()) {
-      obs::ScopedSpan span("request", "platform", now, sb->node);
+      obs::ScopedSpan span("request", "platform", now, sb->node.value());
       span.SetSimDuration(e2e);
       span.AddArg("function", static_cast<int64_t>(ev.function));
       span.AddArg("start_type", static_cast<int64_t>(type));
-      span.AddArg("startup_us", startup);
+      span.AddArg("startup_us", startup.value());
     }
 
     const SandboxId id = sb->id;
@@ -555,7 +555,7 @@ class ServerlessPlatform::Impl {
       if (sb == nullptr || sb->state != SandboxState::kWarm || sb->idle_deadline != deadline) {
         continue;
       }
-      sb->idle_deadline = 0;
+      sb->idle_deadline = SimTime{};
       IdleExpiry(*sb);
     }
   }
@@ -591,7 +591,7 @@ class ServerlessPlatform::Impl {
           if (obs::MetricsEnabled()) {
             Instruments().base_designations->Add(1);
           }
-          obs::RecordInstant("base_designation", "platform", now, sb->node);
+          obs::RecordInstant("base_designation", "platform", now, sb->node.value());
         } else if (keep_alive_expired) {
           // No room for a base; the sandbox follows the normal warm
           // lifecycle so it cannot linger forever.

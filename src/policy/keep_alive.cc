@@ -8,7 +8,7 @@ namespace medes {
 AdaptiveKeepAlive::AdaptiveKeepAlive(AdaptiveKeepAliveOptions options) : options_(options) {}
 
 void AdaptiveKeepAlive::RecordArrival(SimTime now) {
-  if (last_arrival_ >= 0 && now > last_arrival_) {
+  if (last_arrival_.value() >= 0 && now > last_arrival_) {
     iats_.push_back(now - last_arrival_);
     if (iats_.size() > options_.max_samples) {
       iats_.pop_front();
@@ -28,9 +28,8 @@ SimDuration AdaptiveKeepAlive::KeepAlive() const {
   if (rank > 0) {
     --rank;
   }
-  auto window = static_cast<SimDuration>(static_cast<double>(sorted[std::min(
-                                             rank, sorted.size() - 1)]) *
-                                         options_.margin);
+  const SimDuration window{static_cast<int64_t>(
+      static_cast<double>(sorted[std::min(rank, sorted.size() - 1)].value()) * options_.margin)};
   return std::clamp(window, options_.min_window, options_.max_window);
 }
 
@@ -39,7 +38,7 @@ RateTracker::RateTracker(SimDuration bucket_width, size_t num_buckets)
 
 void RateTracker::RecordArrival(SimTime now) {
   Advance(now);
-  const int64_t bucket = now / bucket_width_;
+  const int64_t bucket = now.value() / bucket_width_.value();
   if (!buckets_.empty() && buckets_.back().first == bucket) {
     ++buckets_.back().second;
   } else {
@@ -48,7 +47,7 @@ void RateTracker::RecordArrival(SimTime now) {
 }
 
 void RateTracker::Advance(SimTime now) const {
-  const int64_t horizon = now / bucket_width_ - static_cast<int64_t>(num_buckets_);
+  const int64_t horizon = now.value() / bucket_width_.value() - static_cast<int64_t>(num_buckets_);
   while (!buckets_.empty() && buckets_.front().first < horizon) {
     buckets_.pop_front();
   }

@@ -55,7 +55,7 @@ class AdaptiveKeepAlive {
 
  private:
   AdaptiveKeepAliveOptions options_;
-  SimTime last_arrival_ = -1;
+  SimTime last_arrival_{-1};
   std::deque<SimDuration> iats_;
 };
 

@@ -57,7 +57,7 @@ RdmaFabric::RdmaFabric(RdmaOptions options, PageProvider provider,
   }
 }
 
-SimDuration RdmaFabric::ReadCost(size_t bytes, bool remote) const {
+SimDuration RdmaFabric::ReadCost(Bytes bytes, bool remote) const {
   const Topology& topology = transport_->topology();
   return LinkCost(bytes, remote ? topology.remote : topology.local);
 }
@@ -113,7 +113,7 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
   // message. A drop (fault policy) aborts the read before any stats or
   // cache mutation, so degraded runs stay a pure function of page order.
   const auto sent =
-      transport_->Send(MessageType::kBaseRead, location.node, reader_node, bytes.size());
+      transport_->Send(MessageType::kBaseRead, location.node, reader_node, Bytes{bytes.size()});
   if (!sent.delivered) {
     throw RdmaUnavailable("RdmaFabric: base-page read dropped by fault policy");
   }

@@ -41,14 +41,14 @@ struct RdmaOptions {
   // the fabric then builds a private Transport whose remote/local links come
   // from these four fields. With a shared Transport, its Topology is
   // authoritative and these are ignored.
-  SimDuration per_read_latency = 3;            // us, one-sided read setup
+  SimDuration per_read_latency{3};            // us, one-sided read setup
   double bandwidth_gbps = 10.0;                // NIC line rate
-  SimDuration local_per_read_latency = 0;      // node-local copies
+  SimDuration local_per_read_latency;      // node-local copies
   double local_bandwidth_gbps = 80.0;          // DRAM-ish copy rate
   // Base-page read cache capacity in pages; 0 disables the cache.
   size_t page_cache_capacity = 0;
   // Modelled cost of serving a read from the cache (DRAM copy + bookkeeping).
-  SimDuration cache_hit_latency = 1;           // us
+  SimDuration cache_hit_latency{1};           // us
 };
 
 struct RdmaStats {
@@ -100,12 +100,12 @@ class RdmaFabric {
   // from the cache when possible (a hit charges `cache_hit_latency` locally
   // and sends no message — the bytes never cross the wire). Throws
   // RdmaUnavailable when the fault policy drops the read.
-  std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
+  [[nodiscard]] std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
                                 SimDuration* cost) EXCLUDES(cache_mu_);
 
   // Pure timing model (used when the caller already has byte counts):
   // LinkCost over the transport topology's default remote or local link.
-  SimDuration ReadCost(size_t bytes, bool remote) const;
+  [[nodiscard]] SimDuration ReadCost(Bytes bytes, bool remote) const;
 
   // The transport base reads are charged through.
   const std::shared_ptr<Transport>& transport() const { return transport_; }

@@ -69,7 +69,7 @@ int DistributedRegistry::ShardOf(uint64_t key) const {
 }
 
 int DistributedRegistry::SandboxShard(SandboxId sandbox) const {
-  return static_cast<int>(MixBits(sandbox) % static_cast<uint64_t>(options_.num_shards));
+  return static_cast<int>(MixBits(sandbox.value()) % static_cast<uint64_t>(options_.num_shards));
 }
 
 bool DistributedRegistry::ReplicaServing(const Shard& shard, int shard_index, int r) const {
@@ -127,7 +127,8 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
     }
     const auto sent =
         transport_->Send(MessageType::kRegistryInsert, node, ReplicaNode(s, entry),
-                         keys_per_shard[static_cast<size_t>(s)] * kRegistryWireBytesPerKey,
+                         static_cast<uint64_t>(keys_per_shard[static_cast<size_t>(s)]) *
+                             kRegistryWireBytesPerKey,
                          fingerprints.size());
     if (!sent.delivered) {
       if (obs::MetricsEnabled()) {
@@ -220,7 +221,7 @@ std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBa
       fingerprints.size());
   // The modelled cost of the batch: shards are queried in parallel, so the
   // critical path is the slowest shard's message plus its per-key work.
-  SimDuration slowest_shard = 0;
+  SimDuration slowest_shard;
   ReaderLock topology(topology_mu_);
   for (size_t s = 0; s < num_shards; ++s) {
     if (per_shard[s].empty()) {
@@ -239,11 +240,12 @@ std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBa
     }
     const auto sent = transport_->Send(MessageType::kRegistryLookup, local_node,
                                        ReplicaNode(static_cast<int>(s), tail),
-                                       keys_per_shard[s] * kRegistryWireBytesPerKey,
+                                       static_cast<uint64_t>(keys_per_shard[s]) *
+                                           kRegistryWireBytesPerKey,
                                        page_lookups);
     slowest_shard = std::max(
         slowest_shard,
-        sent.cost + static_cast<SimDuration>(keys_per_shard[s]) * options_.per_key_lookup);
+        sent.cost + static_cast<int64_t>(keys_per_shard[s]) * options_.per_key_lookup);
     if (!sent.delivered) {
       // Lost on the wire (link fault): same client-visible outcome as an
       // all-down shard — the batch degrades to fewer candidates.
@@ -336,17 +338,17 @@ RegistryStats DistributedRegistry::stats() const {
 
 SimDuration DistributedRegistry::PageLookupLatency(size_t keys, NodeId from) const {
   if (keys == 0) {
-    return 0;
+    return SimDuration{};
   }
   // Shards are queried in parallel; with K keys over S shards the critical
   // path is the most loaded shard: one message carrying ceil(K/S) keys plus
   // that many per-key lookups.
   const auto shards = static_cast<size_t>(options_.num_shards);
   const size_t per_shard = (keys + shards - 1) / shards;
-  const SimDuration wire = transport_->MessageCost(
-      from, ReplicaNode(0, options_.replication_factor - 1),
-      per_shard * kRegistryWireBytesPerKey);
-  return wire + static_cast<SimDuration>(per_shard) * options_.per_key_lookup;
+  const SimDuration wire =
+      transport_->MessageCost(from, ReplicaNode(0, options_.replication_factor - 1),
+                              static_cast<uint64_t>(per_shard) * kRegistryWireBytesPerKey);
+  return wire + static_cast<int64_t>(per_shard) * options_.per_key_lookup;
 }
 
 DistributedRegistryStats DistributedRegistry::distributed_stats() const {
@@ -380,7 +382,9 @@ void DistributedRegistry::RecoverReplica(int shard, int replica) {
   // replica still partitioned) leaves the replica untouched.
   const auto sent = transport_->Send(MessageType::kReplicaSync, ReplicaNode(shard, peer),
                                      ReplicaNode(shard, replica),
-                                     source.stats().num_entries * kRegistryWireBytesPerKey, 1);
+                                     static_cast<uint64_t>(source.stats().num_entries) *
+                                         kRegistryWireBytesPerKey,
+                                     1);
   if (!sent.delivered) {
     return;
   }

@@ -32,6 +32,7 @@
 #define MEDES_REGISTRY_DISTRIBUTED_REGISTRY_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/annotations.h"
@@ -47,11 +48,11 @@ struct DistributedRegistryOptions {
   int num_shards = 4;
   int replication_factor = 3;
   // Per-key lookup work at the serving shard (controller CPU, not wire).
-  SimDuration per_key_lookup = 15;  // us
+  SimDuration per_key_lookup{15};  // us
   // Transport node id of shard 0's chain head; replica (s, r) occupies node
   // first_registry_node + s * replication_factor + r. Defaults far above any
   // worker node id; the platform assigns a contiguous range.
-  NodeId first_registry_node = 1000;
+  NodeId first_registry_node{1000};
   RegistryOptions per_shard;
 };
 
@@ -68,7 +69,7 @@ class DistributedRegistry : public RegistryBackend {
   // `transport` is the shared cluster transport; when omitted the registry
   // builds a private one with default links, so the wire model (and its
   // stats) exist even standalone.
-  explicit DistributedRegistry(DistributedRegistryOptions options = {},
+  explicit DistributedRegistry(DistributedRegistryOptions options = DistributedRegistryOptions{},
                                std::shared_ptr<Transport> transport = nullptr);
 
   void InsertBaseSandbox(NodeId node, SandboxId sandbox,
@@ -76,16 +77,17 @@ class DistributedRegistry : public RegistryBackend {
   void RemoveBaseSandbox(SandboxId sandbox) override;
   bool IsBaseSandbox(SandboxId sandbox) const override;
 
-  std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
-                                               NodeId local_node, SandboxId exclude_sandbox,
-                                               size_t max_results) override;
+  [[nodiscard]] std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
+                                                             NodeId local_node,
+                                                             SandboxId exclude_sandbox,
+                                                             size_t max_results) override;
 
   // Batched lookup: one kRegistryLookup message per touched shard carrying
   // the batch's keys for that shard. The modelled cost is the slowest shard
   // (message + per-key work) — shards are queried in parallel (Section 7.7:
   // lookups "can be parallelized given they are independent").
   using RegistryBackend::FindBasePagesBatch;
-  std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+  [[nodiscard]] std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
       SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) override;
 
@@ -102,14 +104,15 @@ class DistributedRegistry : public RegistryBackend {
   // `from`, assuming the per-shard lookups proceed in parallel: the critical
   // path is the most loaded shard — ceil(keys / num_shards) key lookups plus
   // one transport round trip carrying those keys.
-  SimDuration PageLookupLatency(size_t keys, NodeId from = 0) const;
+  [[nodiscard]] SimDuration PageLookupLatency(size_t keys, NodeId from = NodeId{0}) const;
 
   // The shared (or private) transport this registry charges.
   const std::shared_ptr<Transport>& transport() const { return transport_; }
 
   // Transport node id of replica (shard, replica).
   NodeId ReplicaNode(int shard, int replica) const {
-    return options_.first_registry_node + shard * options_.replication_factor + replica;
+    return NodeId{options_.first_registry_node.value() + shard * options_.replication_factor +
+                  replica};
   }
 
   // ---- Fault injection --------------------------------------------------

@@ -133,7 +133,8 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       keys += fp.chunks.size();
     }
     const auto sent = transport_->Send(MessageType::kRegistryInsert, node, registry_node_,
-                                       keys * kRegistryWireBytesPerKey, fingerprints.size());
+                                       static_cast<uint64_t>(keys) * kRegistryWireBytesPerKey,
+                           fingerprints.size());
     if (!sent.delivered) {
       return;  // insert lost: the sandbox is simply never registered
     }
@@ -156,7 +157,7 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       WriterLock lock(shard.mu);
       auto& locations = shard.table[chunk.key];
       if (locations.size() < options_.max_locations_per_key) {
-        locations.push_back({node, sandbox, static_cast<uint32_t>(page)});
+        locations.push_back({node, sandbox, PageIndex{static_cast<uint32_t>(page)}});
         shard.keys_by_sandbox[sandbox].push_back(chunk.key);
       }
     }
@@ -248,13 +249,13 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
     for (const PageFingerprint& fp : fingerprints) {
       keys += fp.chunks.size();
     }
-    SimDuration cost =
-        static_cast<SimDuration>(fingerprints.size()) * options_.lookup_per_page;
+    SimDuration cost = static_cast<int64_t>(fingerprints.size()) * options_.lookup_per_page;
     bool delivered = true;
     if (transport_ != nullptr && !fingerprints.empty()) {
       const auto sent =
           transport_->Send(MessageType::kRegistryLookup, local_node, registry_node_,
-                           keys * kRegistryWireBytesPerKey, fingerprints.size());
+                           static_cast<uint64_t>(keys) * kRegistryWireBytesPerKey,
+                           fingerprints.size());
       cost += sent.cost;
       delivered = sent.delivered;
     }
@@ -262,7 +263,7 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
       *lookup_cost += cost;
     }
     if (obs::MetricsEnabled()) {
-      Instruments().batch_cost_us->Record(cost);
+      Instruments().batch_cost_us->Record(cost.value());
     }
     if (!delivered) {
       return std::vector<std::vector<BasePageCandidate>>(fingerprints.size());

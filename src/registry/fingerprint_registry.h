@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -43,7 +44,7 @@ struct RegistryOptions {
   // Controller-side lookup cost per page (paper Section 7.7 reports ~80 us
   // per page in their single-threaded implementation). Charged by the
   // cost-aware FindBasePagesBatch on top of any transport message cost.
-  SimDuration lookup_per_page = 80;
+  SimDuration lookup_per_page{80};
 };
 
 class FingerprintRegistry : public RegistryBackend {
@@ -121,7 +122,7 @@ class FingerprintRegistry : public RegistryBackend {
   // Optional shared transport (see BindTransport). Not copied: a replica
   // clone is table state, not a network endpoint.
   std::shared_ptr<Transport> transport_;
-  NodeId registry_node_ = -1;
+  NodeId registry_node_ = kInvalidNode;
 
   // Sandbox-level state: membership + refcounts (the sandbox-level reverse
   // index). Ordered after the shard locks in the global hierarchy.

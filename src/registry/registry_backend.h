@@ -17,29 +17,27 @@
 
 #include "chunking/fingerprint.h"
 #include "common/time.h"
+#include "common/types.h"
 
 namespace medes {
 
-using SandboxId = uint64_t;
-using NodeId = int;
-
 // Modelled wire size of one sampled-chunk key in a registry message
 // (truncated key + page-location answer, round trip).
-inline constexpr size_t kRegistryWireBytesPerKey = 24;
+inline constexpr Bytes kRegistryWireBytesPerKey{24};
 
 struct PageLocation {
-  NodeId node = -1;
-  SandboxId sandbox = 0;
-  uint32_t page_index = 0;
+  NodeId node = kInvalidNode;
+  SandboxId sandbox;
+  PageIndex page_index;
 
   bool operator==(const PageLocation&) const = default;
 };
 
 struct PageLocationHash {
   size_t operator()(const PageLocation& loc) const {
-    uint64_t h = static_cast<uint64_t>(loc.node) * 0x9e3779b97f4a7c15ull;
-    h ^= loc.sandbox + 0x517cc1b727220a95ull + (h << 6);
-    h ^= static_cast<uint64_t>(loc.page_index) * 0xff51afd7ed558ccdull + (h >> 3);
+    uint64_t h = static_cast<uint64_t>(loc.node.value()) * 0x9e3779b97f4a7c15ull;
+    h ^= loc.sandbox.value() + 0x517cc1b727220a95ull + (h << 6);
+    h ^= static_cast<uint64_t>(loc.page_index.value()) * 0xff51afd7ed558ccdull + (h >> 3);
     return static_cast<size_t>(h);
   }
 };
@@ -64,7 +62,7 @@ struct RegistryStats {
 // Ranks a (location -> overlap) tally: max overlap first, local-node pages
 // preferred on ties, then lowest (sandbox, page) for determinism. Shared by
 // the centralized registry and the distributed shard-merge path.
-inline std::vector<BasePageCandidate> RankCandidates(
+[[nodiscard]] inline std::vector<BasePageCandidate> RankCandidates(
     const std::unordered_map<PageLocation, int, PageLocationHash>& tally, NodeId local_node,
     size_t max_results) {
   std::vector<BasePageCandidate> ranked;
@@ -104,12 +102,12 @@ class RegistryBackend {
   // Removes every entry belonging to `sandbox`.
   virtual void RemoveBaseSandbox(SandboxId sandbox) = 0;
 
-  virtual bool IsBaseSandbox(SandboxId sandbox) const = 0;
+  [[nodiscard]] virtual bool IsBaseSandbox(SandboxId sandbox) const = 0;
 
   // Ranked base-page candidates for the queried fingerprint (max
   // sampled-chunk overlap first, local-node tie-break), at most
   // `max_results`. `exclude_sandbox` skips the querying sandbox's own pages.
-  virtual std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
+  [[nodiscard]] virtual std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
                                                        NodeId local_node,
                                                        SandboxId exclude_sandbox,
                                                        size_t max_results) = 0;
@@ -123,7 +121,7 @@ class RegistryBackend {
   // registry's real topology-dependent cost rather than a flat constant.
   // The added cost is a pure function of the batch's contents (never of
   // thread interleaving), preserving the pipeline determinism contract.
-  virtual std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+  [[nodiscard]] virtual std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
       SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
     (void)lookup_cost;  // backends without a wire model charge nothing
@@ -136,16 +134,16 @@ class RegistryBackend {
   }
 
   // Convenience overload for callers that do not consume the cost.
-  std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+  [[nodiscard]] std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
       SandboxId exclude_sandbox, size_t max_results) {
     return FindBasePagesBatch(fingerprints, local_node, exclude_sandbox, max_results, nullptr);
   }
 
   // Convenience: the single best candidate.
-  std::optional<BasePageCandidate> FindBasePage(const PageFingerprint& fingerprint,
-                                                NodeId local_node,
-                                                SandboxId exclude_sandbox = 0) {
+  [[nodiscard]] std::optional<BasePageCandidate> FindBasePage(const PageFingerprint& fingerprint,
+                                                              NodeId local_node,
+                                                              SandboxId exclude_sandbox = {}) {
     auto candidates = FindBasePages(fingerprint, local_node, exclude_sandbox, 1);
     if (candidates.empty()) {
       return std::nullopt;
@@ -156,9 +154,9 @@ class RegistryBackend {
   // Base-sandbox refcounts (a base's memory is pinned while > 0).
   virtual void Ref(SandboxId base_sandbox) = 0;
   virtual void Unref(SandboxId base_sandbox) = 0;
-  virtual int RefCount(SandboxId base_sandbox) const = 0;
+  [[nodiscard]] virtual int RefCount(SandboxId base_sandbox) const = 0;
 
-  virtual RegistryStats stats() const = 0;
+  [[nodiscard]] virtual RegistryStats stats() const = 0;
 };
 
 }  // namespace medes

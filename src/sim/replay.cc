@@ -17,7 +17,7 @@ void SimOpLog::OnCancel(EventId id) {
   if (it == live_.end()) {
     return;  // engines only report effective cancels; defensive
   }
-  ops_.push_back(Op{0, 0, static_cast<uint32_t>(it->second), Op::Kind::kCancel, 0});
+  ops_.push_back(Op{SimTime{}, 0, static_cast<uint32_t>(it->second), Op::Kind::kCancel, 0});
   live_.erase(it);
 }
 

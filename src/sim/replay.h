@@ -80,7 +80,7 @@ class SimOpLog {
 struct ReplayResult {
   uint64_t events_processed = 0;
   uint64_t fire_hash = 0;  // order-sensitive hash over fired ordinals
-  SimTime end_time = 0;
+  SimTime end_time;
 };
 
 ReplayResult ReplaySimOps(const SimOpLog& log, SimulationOptions options);

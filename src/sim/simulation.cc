@@ -35,11 +35,11 @@ Simulation::Simulation(SimulationOptions options) : options_(options) {
         options_.num_buckets_log2 < 1 || options_.num_buckets_log2 > 20) {
       throw std::invalid_argument("Simulation: bad calendar geometry");
     }
-    bucket_width_ = SimDuration{1} << options_.bucket_width_log2;
+    bucket_width_ = SimDuration{int64_t{1} << options_.bucket_width_log2};
     const uint32_t num_buckets = 1u << options_.num_buckets_log2;
     bucket_mask_ = num_buckets - 1;
     buckets_.resize(num_buckets);
-    window_end_ = static_cast<SimTime>(num_buckets) << options_.bucket_width_log2;
+    window_end_ = SimTime{static_cast<int64_t>(num_buckets) << options_.bucket_width_log2};
   }
 }
 
@@ -158,12 +158,12 @@ bool Simulation::PeekNext(CalEntry& out) {
       }
       // Jump straight to the bucket holding the earliest far-future entry
       // instead of walking (possibly millions of) empty buckets.
-      cursor_bucket_ = overflow_.top().time >> options_.bucket_width_log2;
+      cursor_bucket_ = overflow_.top().time.value() >> options_.bucket_width_log2;
     } else {
       ++cursor_bucket_;
     }
-    window_end_ = (cursor_bucket_ + static_cast<int64_t>(bucket_mask_) + 1)
-                  << options_.bucket_width_log2;
+    window_end_ = SimTime{(cursor_bucket_ + static_cast<int64_t>(bucket_mask_) + 1)
+                        << options_.bucket_width_log2};
     cursor_dirty_ = true;
     if (!overflow_.empty() && overflow_.top().time < window_end_) {
       obs::ScopedSpan span("sim_refill", "sim", now_);
@@ -175,7 +175,7 @@ bool Simulation::PeekNext(CalEntry& out) {
           --stale_pending_;
           continue;  // cancelled while waiting in the overflow tier
         }
-        buckets_[static_cast<uint32_t>(moved.time >> options_.bucket_width_log2) & bucket_mask_]
+        buckets_[static_cast<uint32_t>(moved.time.value() >> options_.bucket_width_log2) & bucket_mask_]
             .push_back(moved);
         ++in_wheel_;
         ++migrated;
@@ -221,7 +221,7 @@ void Simulation::FireCalendar(const CalEntry& e) {
   }
 }
 
-void Simulation::Run() { RunUntil(std::numeric_limits<SimTime>::max()); }
+void Simulation::Run() { RunUntil(kSimTimeMax); }
 
 void Simulation::RunUntil(SimTime until) {
   if (options_.engine == SimEngine::kHeap) {
@@ -238,7 +238,7 @@ void Simulation::RunUntilCalendar(SimTime until) {
   CalEntry e;
   while (PeekNextFast(e) || PeekNext(e)) {
     if (e.time > until) {
-      if (until != std::numeric_limits<SimTime>::max()) {
+      if (until != kSimTimeMax) {
         now_ = until;
       }
       span.SetSimDuration(now_ - start_time);
@@ -250,7 +250,7 @@ void Simulation::RunUntilCalendar(SimTime until) {
     now_ = e.time;
     FireCalendar(e);
   }
-  if (until != std::numeric_limits<SimTime>::max() && now_ < until) {
+  if (until != kSimTimeMax && now_ < until) {
     now_ = until;
   }
   span.SetSimDuration(now_ - start_time);
@@ -268,7 +268,7 @@ void Simulation::RunUntilHeap(SimTime until) {
       continue;
     }
     if (ev.time > until) {
-      if (until != std::numeric_limits<SimTime>::max()) {
+      if (until != kSimTimeMax) {
         now_ = until;
       }
       FlushObs(events_processed_ - fired_before);
@@ -288,7 +288,7 @@ void Simulation::RunUntilHeap(SimTime until) {
       op_log_->OnFireEnd();
     }
   }
-  if (until != std::numeric_limits<SimTime>::max() && now_ < until) {
+  if (until != kSimTimeMax && now_ < until) {
     now_ = until;
   }
   FlushObs(events_processed_ - fired_before);

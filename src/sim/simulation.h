@@ -281,7 +281,7 @@ class Simulation {
       InsertOverflow(e);
       return;
     }
-    int64_t abs_bucket = e.time >> options_.bucket_width_log2;
+    int64_t abs_bucket = e.time.value() >> options_.bucket_width_log2;
     // The cursor can sit ahead of Now() (it advanced while peeking an event
     // beyond a RunUntil horizon). Events scheduled behind it are still in the
     // future, so fold them into the cursor bucket: the lazy (time, seq) sort
@@ -338,17 +338,17 @@ class Simulation {
   void FlushObs(uint64_t fired_delta);
 
   SimulationOptions options_;
-  SimTime now_ = 0;
+  SimTime now_;
   uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
   uint64_t live_count_ = 0;
   SimOpLog* op_log_ = nullptr;
 
   // --- calendar engine state ---
-  SimDuration bucket_width_ = 0;
+  SimDuration bucket_width_;
   uint32_t bucket_mask_ = 0;
   int64_t cursor_bucket_ = 0;  // absolute bucket number (time / width)
-  SimTime window_end_ = 0;     // exclusive upper bound of the wheel window
+  SimTime window_end_;     // exclusive upper bound of the wheel window
   size_t fire_idx_ = 0;        // next unfired entry in the cursor bucket
   bool cursor_dirty_ = false;  // cursor bucket gained entries since last sort
   uint64_t in_wheel_ = 0;      // physical entries resident in buckets

@@ -80,7 +80,7 @@ void GeneratePoisson(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng
     if (t >= horizon) {
       break;
     }
-    run.push_back({FromSeconds(t), p.function});
+    run.push_back({SimTime{} + FromSeconds(t), p.function});
   }
   runs.push_back(std::move(run));
 }
@@ -97,7 +97,7 @@ void GeneratePeriodic(const ArrivalPattern& p, const TraceOptions& opts, Rng& rn
     std::vector<TraceEvent> run;
     double t = rng.NextDouble() * period;  // random phase
     while (t < horizon) {
-      run.push_back({FromSeconds(t), p.function});
+      run.push_back({SimTime{} + FromSeconds(t), p.function});
       double jitter = 1.0 + p.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
       t += period * jitter;
     }
@@ -124,7 +124,7 @@ void GenerateBursty(const ArrivalPattern& p, const TraceOptions& opts, Rng& rng,
         if (a >= phase_end) {
           break;
         }
-        run.push_back({FromSeconds(a), p.function});
+        run.push_back({SimTime{} + FromSeconds(a), p.function});
       }
     }
     t = phase_end;

@@ -24,7 +24,7 @@
 namespace medes {
 
 struct TraceEvent {
-  SimTime time = 0;
+  SimTime time;
   FunctionId function = -1;
 };
 

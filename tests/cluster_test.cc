@@ -23,43 +23,43 @@ class ClusterTest : public ::testing::Test {
 };
 
 TEST_F(ClusterTest, SpawnAccountsMemory) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
   EXPECT_EQ(sb.state, SandboxState::kRunning);
-  EXPECT_DOUBLE_EQ(cluster_.node(0).used_mb, vanilla_.memory_mb);
-  EXPECT_DOUBLE_EQ(cluster_.RecomputeNodeUsedMb(0), vanilla_.memory_mb);
-  EXPECT_EQ(cluster_.node(0).sandboxes.size(), 1u);
+  EXPECT_DOUBLE_EQ(cluster_.node(NodeId{0}).used_mb, vanilla_.memory_mb);
+  EXPECT_DOUBLE_EQ(cluster_.RecomputeNodeUsedMb(NodeId{0}), vanilla_.memory_mb);
+  EXPECT_EQ(cluster_.node(NodeId{0}).sandboxes.size(), 1u);
 }
 
 TEST_F(ClusterTest, PurgeReleasesMemory) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 1, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{1}, SimTime{0});
   SandboxId id = sb.id;
   cluster_.Purge(id);
-  EXPECT_DOUBLE_EQ(cluster_.node(1).used_mb, 0.0);
+  EXPECT_DOUBLE_EQ(cluster_.node(NodeId{1}).used_mb, 0.0);
   EXPECT_EQ(cluster_.Find(id), nullptr);
-  EXPECT_TRUE(cluster_.node(1).sandboxes.empty());
+  EXPECT_TRUE(cluster_.node(NodeId{1}).sandboxes.empty());
   EXPECT_THROW(cluster_.Purge(id), std::out_of_range);
 }
 
 TEST_F(ClusterTest, LifecycleTransitions) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.MarkWarm(sb, 100);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{100});
   EXPECT_EQ(sb.state, SandboxState::kWarm);
-  EXPECT_EQ(sb.idle_since, 100);
-  cluster_.MarkRunning(sb, 200);
+  EXPECT_EQ(sb.idle_since, SimTime{100});
+  cluster_.MarkRunning(sb, SimTime{200});
   EXPECT_EQ(sb.state, SandboxState::kRunning);
   EXPECT_EQ(sb.generation, 2u);
   EXPECT_EQ(sb.runs, 1u);
 }
 
 TEST_F(ClusterTest, MarkDedupRequiresCheckpoint) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.MarkWarm(sb, 0);
-  EXPECT_THROW(cluster_.MarkDedup(sb, 0), std::logic_error);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{0});
+  EXPECT_THROW(cluster_.MarkDedup(sb, SimTime{0}), std::logic_error);
 }
 
 TEST_F(ClusterTest, DedupAccountingUsesCheckpointSizes) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.MarkWarm(sb, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{0});
   MemoryImage image = cluster_.BuildImage(sb);
   sb.checkpoint = MemoryCheckpoint::Capture(image);
   // Patch away the first resident page to shrink the footprint.
@@ -68,57 +68,57 @@ TEST_F(ClusterTest, DedupAccountingUsesCheckpointSizes) {
     ++page;
   }
   sb.checkpoint->ReplaceWithPatch(page, std::vector<uint8_t>(200, 1));
-  cluster_.MarkDedup(sb, 10);
+  cluster_.MarkDedup(sb, SimTime{10});
   EXPECT_EQ(sb.state, SandboxState::kDedup);
   double dedup_mb = cluster_.DedupFootprintMb(sb);
   EXPECT_LT(dedup_mb, vanilla_.memory_mb);
-  EXPECT_NEAR(cluster_.node(0).used_mb, dedup_mb, 1e-9);
-  EXPECT_NEAR(cluster_.RecomputeNodeUsedMb(0), cluster_.node(0).used_mb, 1e-9);
+  EXPECT_NEAR(cluster_.node(NodeId{0}).used_mb, dedup_mb, 1e-9);
+  EXPECT_NEAR(cluster_.RecomputeNodeUsedMb(NodeId{0}), cluster_.node(NodeId{0}).used_mb, 1e-9);
   // Restore flips accounting back.
-  cluster_.MarkRestored(sb, 20);
+  cluster_.MarkRestored(sb, SimTime{20});
   EXPECT_EQ(sb.state, SandboxState::kWarm);
-  EXPECT_NEAR(cluster_.node(0).used_mb, vanilla_.memory_mb, 1e-9);
+  EXPECT_NEAR(cluster_.node(NodeId{0}).used_mb, vanilla_.memory_mb, 1e-9);
   EXPECT_FALSE(sb.checkpoint.has_value());
 }
 
 TEST_F(ClusterTest, MarkRunningOnDedupRejected) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.MarkWarm(sb, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{0});
   MemoryImage image = cluster_.BuildImage(sb);
   sb.checkpoint = MemoryCheckpoint::Capture(image);
-  cluster_.MarkDedup(sb, 0);
-  EXPECT_THROW(cluster_.MarkRunning(sb, 1), std::logic_error);
+  cluster_.MarkDedup(sb, SimTime{0});
+  EXPECT_THROW(cluster_.MarkRunning(sb, SimTime{1}), std::logic_error);
 }
 
 TEST_F(ClusterTest, BaseSnapshotAccounting) {
-  Sandbox& sb = cluster_.Spawn(rnn_, 2, 0);
-  cluster_.MarkWarm(sb, 0);
+  Sandbox& sb = cluster_.Spawn(rnn_, NodeId{2}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{0});
   MemoryImage image = cluster_.BuildImage(sb);
   cluster_.AddBaseSnapshot(sb, MemoryCheckpoint::Capture(image));
-  EXPECT_NEAR(cluster_.node(2).used_mb, 2 * rnn_.memory_mb, 1e-9);
+  EXPECT_NEAR(cluster_.node(NodeId{2}).used_mb, 2 * rnn_.memory_mb, 1e-9);
   EXPECT_EQ(cluster_.NumBaseSnapshots(rnn_.id), 1);
   EXPECT_THROW(cluster_.AddBaseSnapshot(sb, MemoryCheckpoint::Capture(image)), std::logic_error);
   cluster_.RemoveBaseSnapshot(sb.id);
-  EXPECT_NEAR(cluster_.node(2).used_mb, rnn_.memory_mb, 1e-9);
+  EXPECT_NEAR(cluster_.node(NodeId{2}).used_mb, rnn_.memory_mb, 1e-9);
   EXPECT_EQ(cluster_.NumBaseSnapshots(rnn_.id), 0);
 }
 
 TEST_F(ClusterTest, ReadBasePageReturnsBytes) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.MarkWarm(sb, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{0});
   MemoryImage image = cluster_.BuildImage(sb);
   cluster_.AddBaseSnapshot(sb, MemoryCheckpoint::Capture(image));
-  auto page = cluster_.ReadBasePage({.node = 0, .sandbox = sb.id, .page_index = 0});
+  auto page = cluster_.ReadBasePage({.node = NodeId{0}, .sandbox = sb.id, .page_index = PageIndex{0}});
   ASSERT_EQ(page.size(), kPageSize);
   EXPECT_TRUE(std::equal(page.begin(), page.end(), image.Page(0).begin()));
   // Unknown sandbox or out-of-range page -> empty.
-  EXPECT_TRUE(cluster_.ReadBasePage({.node = 0, .sandbox = 9999, .page_index = 0}).empty());
-  EXPECT_TRUE(cluster_.ReadBasePage({.node = 0, .sandbox = sb.id, .page_index = 1u << 30}).empty());
+  EXPECT_TRUE(cluster_.ReadBasePage({.node = NodeId{0}, .sandbox = SandboxId{9999}, .page_index = PageIndex{0}}).empty());
+  EXPECT_TRUE(cluster_.ReadBasePage({.node = NodeId{0}, .sandbox = sb.id, .page_index = PageIndex{1u << 30}}).empty());
 }
 
 TEST_F(ClusterTest, ReadBasePageZeroSlot) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.MarkWarm(sb, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.MarkWarm(sb, SimTime{0});
   MemoryImage image = cluster_.BuildImage(sb);
   MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
   ASSERT_GT(cp.NumZero(), 0u);
@@ -130,17 +130,17 @@ TEST_F(ClusterTest, ReadBasePageZeroSlot) {
     }
   }
   cluster_.AddBaseSnapshot(sb, std::move(cp));
-  auto page = cluster_.ReadBasePage({.node = 0, .sandbox = sb.id, .page_index = zero_page});
+  auto page = cluster_.ReadBasePage({.node = NodeId{0}, .sandbox = sb.id, .page_index = PageIndex{zero_page}});
   ASSERT_EQ(page.size(), kPageSize);
   EXPECT_TRUE(std::all_of(page.begin(), page.end(), [](uint8_t b) { return b == 0; }));
 }
 
 TEST_F(ClusterTest, SandboxesInFiltersByFunctionAndState) {
-  Sandbox& a = cluster_.Spawn(vanilla_, 0, 0);
-  Sandbox& b = cluster_.Spawn(vanilla_, 1, 0);
-  cluster_.Spawn(rnn_, 2, 0);
-  cluster_.MarkWarm(a, 0);
-  cluster_.MarkWarm(b, 0);
+  Sandbox& a = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  Sandbox& b = cluster_.Spawn(vanilla_, NodeId{1}, SimTime{0});
+  cluster_.Spawn(rnn_, NodeId{2}, SimTime{0});
+  cluster_.MarkWarm(a, SimTime{0});
+  cluster_.MarkWarm(b, SimTime{0});
   EXPECT_EQ(cluster_.SandboxesIn(vanilla_.id, SandboxState::kWarm).size(), 2u);
   EXPECT_EQ(cluster_.SandboxesIn(rnn_.id, SandboxState::kRunning).size(), 1u);
   EXPECT_TRUE(cluster_.SandboxesIn(rnn_.id, SandboxState::kDedup).empty());
@@ -160,15 +160,15 @@ TEST_F(ClusterTest, CountInMatchesSandboxesInOracle) {
     }
   };
   check_all();
-  Sandbox& a = cluster_.Spawn(vanilla_, 0, 0);
-  Sandbox& b = cluster_.Spawn(vanilla_, 1, 0);
-  Sandbox& c = cluster_.Spawn(rnn_, 2, 0);
+  Sandbox& a = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  Sandbox& b = cluster_.Spawn(vanilla_, NodeId{1}, SimTime{0});
+  Sandbox& c = cluster_.Spawn(rnn_, NodeId{2}, SimTime{0});
   check_all();
-  cluster_.MarkWarm(a, 0);
-  cluster_.MarkWarm(b, 0);
-  cluster_.MarkWarm(c, 0);
+  cluster_.MarkWarm(a, SimTime{0});
+  cluster_.MarkWarm(b, SimTime{0});
+  cluster_.MarkWarm(c, SimTime{0});
   check_all();
-  cluster_.MarkRunning(b, 10);
+  cluster_.MarkRunning(b, SimTime{10});
   check_all();
   const SandboxId a_id = a.id;
   cluster_.Purge(a_id);
@@ -179,26 +179,26 @@ TEST_F(ClusterTest, CountInMatchesSandboxesInOracle) {
 }
 
 TEST_F(ClusterTest, LeastUsedNode) {
-  cluster_.Spawn(rnn_, 0, 0);
-  cluster_.Spawn(vanilla_, 1, 0);
-  EXPECT_EQ(cluster_.LeastUsedNode(), 2);
-  cluster_.Spawn(rnn_, 2, 0);
-  EXPECT_EQ(cluster_.LeastUsedNode(), 1);
+  cluster_.Spawn(rnn_, NodeId{0}, SimTime{0});
+  cluster_.Spawn(vanilla_, NodeId{1}, SimTime{0});
+  EXPECT_EQ(cluster_.LeastUsedNode(), NodeId{2});
+  cluster_.Spawn(rnn_, NodeId{2}, SimTime{0});
+  EXPECT_EQ(cluster_.LeastUsedNode(), NodeId{1});
 }
 
 TEST_F(ClusterTest, BuildImageChangesWithGeneration) {
-  Sandbox& sb = cluster_.Spawn(vanilla_, 0, 0);
+  Sandbox& sb = cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
   MemoryImage g1 = cluster_.BuildImage(sb);
-  cluster_.MarkWarm(sb, 0);
-  cluster_.MarkRunning(sb, 1);  // generation bump
+  cluster_.MarkWarm(sb, SimTime{0});
+  cluster_.MarkRunning(sb, SimTime{1});  // generation bump
   MemoryImage g2 = cluster_.BuildImage(sb);
   ASSERT_EQ(g1.SizeBytes(), g2.SizeBytes());
   EXPECT_NE(std::memcmp(g1.bytes().data(), g2.bytes().data(), g1.SizeBytes()), 0);
 }
 
 TEST_F(ClusterTest, TotalsAggregate) {
-  cluster_.Spawn(vanilla_, 0, 0);
-  cluster_.Spawn(rnn_, 1, 0);
+  cluster_.Spawn(vanilla_, NodeId{0}, SimTime{0});
+  cluster_.Spawn(rnn_, NodeId{1}, SimTime{0});
   EXPECT_NEAR(cluster_.TotalUsedMb(), vanilla_.memory_mb + rnn_.memory_mb, 1e-9);
   EXPECT_DOUBLE_EQ(cluster_.TotalLimitMb(), 3 * 512.0);
 }

@@ -24,8 +24,8 @@ class ControllerTest : public ::testing::Test {
     return MedesController(cluster_, opts);
   }
 
-  Sandbox& WarmSandbox(const std::string& name, SimTime now = 0) {
-    Sandbox& sb = cluster_.Spawn(ProfileByName(name), 0, now);
+  Sandbox& WarmSandbox(const std::string& name, SimTime now = SimTime{}) {
+    Sandbox& sb = cluster_.Spawn(ProfileByName(name), NodeId{0}, now);
     cluster_.MarkWarm(sb, now);
     return sb;
   }
@@ -48,7 +48,7 @@ TEST_F(ControllerTest, TightLatencyTargetKeepsLoneSandboxWarm) {
   // D=1) has S = sD >> alpha * sW -> the solver keeps it warm.
   MedesController controller = MakeController();
   Sandbox& sb = WarmSandbox("Vanilla");
-  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kKeepWarm);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, SimTime{} + kMinute), IdleDecision::kKeepWarm);
 }
 
 TEST_F(ControllerTest, FirstDedupDecisionDesignatesBase) {
@@ -57,7 +57,7 @@ TEST_F(ControllerTest, FirstDedupDecisionDesignatesBase) {
   // No arrivals recorded -> lambda_max = 0 -> dedup is safe; but there is no
   // base for Vanilla yet (or anywhere), so the first decision must be base
   // designation.
-  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDesignateBase);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, SimTime{} + kMinute), IdleDecision::kDesignateBase);
 }
 
 TEST_F(ControllerTest, AfterBaseExistsDecisionIsDedup) {
@@ -65,14 +65,14 @@ TEST_F(ControllerTest, AfterBaseExistsDecisionIsDedup) {
   Sandbox& base = WarmSandbox("Vanilla");
   agent_.DesignateBase(base);
   Sandbox& sb = WarmSandbox("Vanilla");
-  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDedup);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, SimTime{} + kMinute), IdleDecision::kDedup);
 }
 
 TEST_F(ControllerTest, BaseSandboxItselfKeptWarm) {
   MedesController controller = MakeController(LooseLatency());
   Sandbox& base = WarmSandbox("Vanilla");
   agent_.DesignateBase(base);
-  EXPECT_EQ(controller.OnIdleExpiry(base, kMinute), IdleDecision::kKeepWarm);
+  EXPECT_EQ(controller.OnIdleExpiry(base, SimTime{} + kMinute), IdleDecision::kKeepWarm);
 }
 
 TEST_F(ControllerTest, MemoryPressureForcesDedup) {
@@ -84,10 +84,10 @@ TEST_F(ControllerTest, MemoryPressureForcesDedup) {
   Sandbox& sb = WarmSandbox("Vanilla");
   // Fill node 0 beyond the pressure threshold (85% of 4096 MB).
   for (int i = 0; i < 40; ++i) {
-    cluster_.Spawn(ProfileByName("RNNModel"), 0, 0);
+    cluster_.Spawn(ProfileByName("RNNModel"), NodeId{0}, SimTime{});
   }
-  ASSERT_GT(cluster_.node(0).used_mb, 0.85 * 4096);
-  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDedup);
+  ASSERT_GT(cluster_.node(NodeId{0}).used_mb, 0.85 * 4096);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, SimTime{} + kMinute), IdleDecision::kDedup);
 }
 
 TEST_F(ControllerTest, HighArrivalRateKeepsSandboxesWarm) {
@@ -99,9 +99,9 @@ TEST_F(ControllerTest, HighArrivalRateKeepsSandboxesWarm) {
   Sandbox& sb = WarmSandbox("Vanilla");
   // Hammer the rate tracker: far more than one warm sandbox can serve.
   for (int i = 0; i < 600; ++i) {
-    controller.RecordArrival(sb.function, i * 100 * kMillisecond);
+    controller.RecordArrival(sb.function, SimTime{} + i * 100 * kMillisecond);
   }
-  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kKeepWarm);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, SimTime{} + kMinute), IdleDecision::kKeepWarm);
 }
 
 TEST_F(ControllerTest, BasePromotionAtThreshold) {
@@ -113,16 +113,16 @@ TEST_F(ControllerTest, BasePromotionAtThreshold) {
   // Create 3 dedup sandboxes -> D/B = 3 > 2 -> next decision promotes.
   for (int i = 0; i < 3; ++i) {
     Sandbox& sb = WarmSandbox("Vanilla");
-    agent_.DedupOp(sb, 0);
+    agent_.DedupOp(sb, SimTime{});
   }
   Sandbox& next = WarmSandbox("Vanilla");
-  EXPECT_EQ(controller.OnIdleExpiry(next, kMinute), IdleDecision::kDesignateBase);
+  EXPECT_EQ(controller.OnIdleExpiry(next, SimTime{} + kMinute), IdleDecision::kDesignateBase);
 }
 
 TEST_F(ControllerTest, EstimateInputsUsesDefaultsThenMeasurements) {
   MedesController controller = MakeController();
   const FunctionProfile& profile = ProfileByName("LinAlg");
-  MedesPolicyInputs before = controller.EstimateInputs(profile.id, 0);
+  MedesPolicyInputs before = controller.EstimateInputs(profile.id, SimTime{});
   EXPECT_DOUBLE_EQ(before.warm_mb, profile.memory_mb);
   EXPECT_DOUBLE_EQ(before.dedup_mb, 0.5 * profile.memory_mb);
 
@@ -132,7 +132,7 @@ TEST_F(ControllerTest, EstimateInputsUsesDefaultsThenMeasurements) {
   dedup.pages_deduped = 50;
   dedup.saved_bytes = 60 * kPageSize;
   controller.RecordDedupResult(profile.id, dedup);
-  MedesPolicyInputs after = controller.EstimateInputs(profile.id, 0);
+  MedesPolicyInputs after = controller.EstimateInputs(profile.id, SimTime{});
   double total_mb = 100.0 * kPageSize / 8192.0;
   double saved_mb = 60.0 * kPageSize / 8192.0;
   EXPECT_NEAR(after.dedup_mb, total_mb - saved_mb, 1e-9);
@@ -140,7 +140,7 @@ TEST_F(ControllerTest, EstimateInputsUsesDefaultsThenMeasurements) {
   RestoreOpResult restore;
   restore.total_time = 250 * kMillisecond;
   controller.RecordRestoreResult(profile.id, restore);
-  MedesPolicyInputs measured = controller.EstimateInputs(profile.id, 0);
+  MedesPolicyInputs measured = controller.EstimateInputs(profile.id, SimTime{});
   EXPECT_NEAR(measured.dedup_start_s, 0.25, 1e-9);
 }
 
@@ -148,9 +148,9 @@ TEST_F(ControllerTest, RateTrackingFeedsLambda) {
   MedesController controller = MakeController();
   const FunctionProfile& profile = ProfileByName("Vanilla");
   for (int i = 0; i < 30; ++i) {
-    controller.RecordArrival(profile.id, i * kSecond);
+    controller.RecordArrival(profile.id, SimTime{} + i * kSecond);
   }
-  MedesPolicyInputs in = controller.EstimateInputs(profile.id, 30 * kSecond);
+  MedesPolicyInputs in = controller.EstimateInputs(profile.id, SimTime{} + 30 * kSecond);
   EXPECT_GT(in.lambda_max, 0.5);
 }
 
@@ -161,13 +161,13 @@ TEST_F(ControllerTest, MemoryCapShareProportionalToRates) {
   MedesController controller = MakeController(opts);
   // Vanilla gets 3x the arrivals of LinAlg.
   for (int i = 0; i < 30; ++i) {
-    controller.RecordArrival(0, i * kSecond);
+    controller.RecordArrival(0, SimTime{} + i * kSecond);
     if (i % 3 == 0) {
-      controller.RecordArrival(1, i * kSecond);
+      controller.RecordArrival(1, SimTime{} + i * kSecond);
     }
   }
-  double v = controller.MemoryCapShareMb(0, 30 * kSecond);
-  double l = controller.MemoryCapShareMb(1, 30 * kSecond);
+  double v = controller.MemoryCapShareMb(0, SimTime{} + 30 * kSecond);
+  double l = controller.MemoryCapShareMb(1, SimTime{} + 30 * kSecond);
   EXPECT_NEAR(v / l, 3.0, 0.2);
   EXPECT_LT(v + l, 1000.0 + 1e-9);
 }
@@ -176,7 +176,7 @@ TEST_F(ControllerTest, MemoryCapShareEqualWhenNoTraffic) {
   MedesControllerOptions opts;
   opts.cluster_memory_cap_mb = 1000;
   MedesController controller = MakeController(opts);
-  EXPECT_NEAR(controller.MemoryCapShareMb(0, 0), 100.0, 1e-9);
+  EXPECT_NEAR(controller.MemoryCapShareMb(0, SimTime{}), 100.0, 1e-9);
 }
 
 TEST_F(ControllerTest, PerFunctionOverridesChangeCriticality) {
@@ -196,8 +196,8 @@ TEST_F(ControllerTest, PerFunctionOverridesChangeCriticality) {
   // one is deduplicated.
   Sandbox& v = WarmSandbox("Vanilla");
   Sandbox& l = WarmSandbox("LinAlg");
-  EXPECT_EQ(controller.OnIdleExpiry(v, kMinute), IdleDecision::kKeepWarm);
-  EXPECT_EQ(controller.OnIdleExpiry(l, kMinute), IdleDecision::kDedup);
+  EXPECT_EQ(controller.OnIdleExpiry(v, SimTime{} + kMinute), IdleDecision::kKeepWarm);
+  EXPECT_EQ(controller.OnIdleExpiry(l, SimTime{} + kMinute), IdleDecision::kDedup);
 }
 
 TEST_F(ControllerTest, CombinedObjectiveRespectsBothBounds) {
@@ -210,7 +210,7 @@ TEST_F(ControllerTest, CombinedObjectiveRespectsBothBounds) {
   agent_.DesignateBase(base);
   Sandbox& sb = WarmSandbox("Vanilla");
   WarmSandbox("Vanilla");
-  EXPECT_EQ(controller.OnIdleExpiry(sb, kMinute), IdleDecision::kDedup);
+  EXPECT_EQ(controller.OnIdleExpiry(sb, SimTime{} + kMinute), IdleDecision::kDedup);
 }
 
 TEST_F(ControllerTest, MemoryObjectiveDedupsUnderTightCap) {
@@ -222,7 +222,7 @@ TEST_F(ControllerTest, MemoryObjectiveDedupsUnderTightCap) {
   agent_.DesignateBase(base);
   Sandbox& a = WarmSandbox("Vanilla");
   WarmSandbox("Vanilla");
-  EXPECT_EQ(controller.OnIdleExpiry(a, kMinute), IdleDecision::kDedup);
+  EXPECT_EQ(controller.OnIdleExpiry(a, SimTime{} + kMinute), IdleDecision::kDedup);
 }
 
 }  // namespace

@@ -23,7 +23,7 @@ class DedupAgentTest : public ::testing::Test {
         agent_(cluster_, registry_, fabric_, {}) {}
 
   // Spawns a warm sandbox of `name` on `node`.
-  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
+  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = SimTime{}) {
     Sandbox& sb = cluster_.Spawn(ProfileByName(name), node, now);
     cluster_.MarkWarm(sb, now);
     return sb;
@@ -36,7 +36,7 @@ class DedupAgentTest : public ::testing::Test {
 };
 
 TEST_F(DedupAgentTest, DesignateBasePopulatesRegistry) {
-  Sandbox& base = WarmSandbox("Vanilla", 0);
+  Sandbox& base = WarmSandbox("Vanilla", NodeId{0});
   BaseSnapshot& snap = agent_.DesignateBase(base);
   EXPECT_EQ(snap.sandbox, base.id);
   EXPECT_TRUE(registry_.IsBaseSandbox(base.id));
@@ -46,10 +46,10 @@ TEST_F(DedupAgentTest, DesignateBasePopulatesRegistry) {
 }
 
 TEST_F(DedupAgentTest, DedupAgainstSameFunctionBaseSavesMostMemory) {
-  Sandbox& base = WarmSandbox("Vanilla", 0);
+  Sandbox& base = WarmSandbox("Vanilla", NodeId{0});
   agent_.DesignateBase(base);
-  Sandbox& victim = WarmSandbox("Vanilla", 0);
-  DedupOpResult result = agent_.DedupOp(victim, 10);
+  Sandbox& victim = WarmSandbox("Vanilla", NodeId{0});
+  DedupOpResult result = agent_.DedupOp(victim, SimTime{10});
   EXPECT_EQ(victim.state, SandboxState::kDedup);
   EXPECT_GT(result.pages_deduped, result.pages_total / 10)
       << "clean pages of same-function sandboxes dedup";
@@ -62,8 +62,8 @@ TEST_F(DedupAgentTest, DedupAgainstSameFunctionBaseSavesMostMemory) {
 }
 
 TEST_F(DedupAgentTest, DedupWithEmptyRegistryKeepsPagesUnique) {
-  Sandbox& sb = WarmSandbox("Vanilla", 0);
-  DedupOpResult result = agent_.DedupOp(sb, 0);
+  Sandbox& sb = WarmSandbox("Vanilla", NodeId{0});
+  DedupOpResult result = agent_.DedupOp(sb, SimTime{0});
   EXPECT_EQ(result.pages_deduped, 0u);
   EXPECT_EQ(result.pages_unique + result.pages_zero, result.pages_total);
   // Zero pages still save memory.
@@ -71,11 +71,11 @@ TEST_F(DedupAgentTest, DedupWithEmptyRegistryKeepsPagesUnique) {
 }
 
 TEST_F(DedupAgentTest, RestoreRoundTripsByteExact) {
-  Sandbox& base = WarmSandbox("Vanilla", 0);
+  Sandbox& base = WarmSandbox("Vanilla", NodeId{0});
   agent_.DesignateBase(base);
-  Sandbox& victim = WarmSandbox("Vanilla", 1);  // remote node
-  agent_.DedupOp(victim, 10);
-  RestoreOpResult result = agent_.RestoreOp(victim, 20, /*verify=*/true);
+  Sandbox& victim = WarmSandbox("Vanilla", NodeId{1});  // remote node
+  agent_.DedupOp(victim, SimTime{10});
+  RestoreOpResult result = agent_.RestoreOp(victim, SimTime{20}, /*verify=*/true);
   EXPECT_TRUE(result.verified);
   EXPECT_EQ(victim.state, SandboxState::kWarm);
   EXPECT_GT(result.base_pages_read, 0u);
@@ -86,14 +86,14 @@ TEST_F(DedupAgentTest, RestoreRoundTripsByteExact) {
 }
 
 TEST_F(DedupAgentTest, RestoreTimingComponentsPositiveAndOrdered) {
-  Sandbox& base = WarmSandbox("LinAlg", 0);
+  Sandbox& base = WarmSandbox("LinAlg", NodeId{0});
   agent_.DesignateBase(base);
-  Sandbox& victim = WarmSandbox("LinAlg", 1);
-  agent_.DedupOp(victim, 0);
-  RestoreOpResult r = agent_.RestoreOp(victim, 1);
-  EXPECT_GT(r.read_base_time, 0);
-  EXPECT_GT(r.compute_time, 0);
-  EXPECT_GT(r.sandbox_restore_time, 0);
+  Sandbox& victim = WarmSandbox("LinAlg", NodeId{1});
+  agent_.DedupOp(victim, SimTime{0});
+  RestoreOpResult r = agent_.RestoreOp(victim, SimTime{1});
+  EXPECT_GT(r.read_base_time, SimDuration{});
+  EXPECT_GT(r.compute_time, SimDuration{});
+  EXPECT_GT(r.sandbox_restore_time, SimDuration{});
   EXPECT_EQ(r.total_time, r.read_base_time + r.compute_time + r.sandbox_restore_time);
   // Namespace work was pre-done at dedup time: the restore must be far
   // cheaper than cold start (paper Fig. 8).
@@ -101,59 +101,59 @@ TEST_F(DedupAgentTest, RestoreTimingComponentsPositiveAndOrdered) {
 }
 
 TEST_F(DedupAgentTest, NamespacePreparationSkipsPtreeCost) {
-  Sandbox& base = WarmSandbox("Vanilla", 0);
+  Sandbox& base = WarmSandbox("Vanilla", NodeId{0});
   agent_.DesignateBase(base);
-  Sandbox& victim = WarmSandbox("Vanilla", 0);
-  agent_.DedupOp(victim, 0);
+  Sandbox& victim = WarmSandbox("Vanilla", NodeId{0});
+  agent_.DedupOp(victim, SimTime{0});
   ASSERT_TRUE(victim.namespaces_prepared);
-  RestoreOpResult prepared = agent_.RestoreOp(victim, 1);
+  RestoreOpResult prepared = agent_.RestoreOp(victim, SimTime{1});
   // Re-dedup with preparation artificially cleared.
-  cluster_.MarkRunning(victim, 2);
-  cluster_.MarkWarm(victim, 3);
-  agent_.DedupOp(victim, 4);
+  cluster_.MarkRunning(victim, SimTime{2});
+  cluster_.MarkWarm(victim, SimTime{3});
+  agent_.DedupOp(victim, SimTime{4});
   victim.namespaces_prepared = false;
-  RestoreOpResult unprepared = agent_.RestoreOp(victim, 5);
+  RestoreOpResult unprepared = agent_.RestoreOp(victim, SimTime{5});
   EXPECT_GT(unprepared.sandbox_restore_time,
             prepared.sandbox_restore_time + 400 * kMillisecond);
 }
 
 TEST_F(DedupAgentTest, CrossFunctionDedupWorks) {
   // LinAlg base; ImagePro victim shares python_runtime + numpy.
-  Sandbox& base = WarmSandbox("LinAlg", 0);
+  Sandbox& base = WarmSandbox("LinAlg", NodeId{0});
   agent_.DesignateBase(base);
-  Sandbox& victim = WarmSandbox("ImagePro", 0);
-  DedupOpResult result = agent_.DedupOp(victim, 0);
+  Sandbox& victim = WarmSandbox("ImagePro", NodeId{0});
+  DedupOpResult result = agent_.DedupOp(victim, SimTime{0});
   EXPECT_GT(result.pages_deduped, 0u);
   EXPECT_GT(result.cross_function_pages, 0u);
   EXPECT_EQ(result.same_function_pages, 0u);
-  RestoreOpResult restore = agent_.RestoreOp(victim, 1, /*verify=*/true);
+  RestoreOpResult restore = agent_.RestoreOp(victim, SimTime{1}, /*verify=*/true);
   EXPECT_TRUE(restore.verified);
 }
 
 TEST_F(DedupAgentTest, DedupOpRejectsNonWarm) {
-  Sandbox& sb = cluster_.Spawn(ProfileByName("Vanilla"), 0, 0);  // running
-  EXPECT_THROW(agent_.DedupOp(sb, 0), std::logic_error);
+  Sandbox& sb = cluster_.Spawn(ProfileByName("Vanilla"), NodeId{0}, SimTime{0});  // running
+  EXPECT_THROW(agent_.DedupOp(sb, SimTime{0}), std::logic_error);
 }
 
 TEST_F(DedupAgentTest, RestoreOpRejectsNonDedup) {
-  Sandbox& sb = WarmSandbox("Vanilla", 0);
-  EXPECT_THROW(agent_.RestoreOp(sb, 0), std::logic_error);
+  Sandbox& sb = WarmSandbox("Vanilla", NodeId{0});
+  EXPECT_THROW(agent_.RestoreOp(sb, SimTime{0}), std::logic_error);
 }
 
 TEST_F(DedupAgentTest, DesignateBaseRejectsNonWarm) {
-  Sandbox& sb = cluster_.Spawn(ProfileByName("Vanilla"), 0, 0);
+  Sandbox& sb = cluster_.Spawn(ProfileByName("Vanilla"), NodeId{0}, SimTime{0});
   EXPECT_THROW(agent_.DesignateBase(sb), std::logic_error);
 }
 
 TEST_F(DedupAgentTest, DedupTimeScalesWithImageSize) {
-  Sandbox& base_small = WarmSandbox("Vanilla", 0);
+  Sandbox& base_small = WarmSandbox("Vanilla", NodeId{0});
   agent_.DesignateBase(base_small);
-  Sandbox& base_large = WarmSandbox("ModelTrain", 0);
+  Sandbox& base_large = WarmSandbox("ModelTrain", NodeId{0});
   agent_.DesignateBase(base_large);
-  Sandbox& small = WarmSandbox("Vanilla", 0);
-  Sandbox& large = WarmSandbox("ModelTrain", 0);
-  DedupOpResult rs = agent_.DedupOp(small, 0);
-  DedupOpResult rl = agent_.DedupOp(large, 0);
+  Sandbox& small = WarmSandbox("Vanilla", NodeId{0});
+  Sandbox& large = WarmSandbox("ModelTrain", NodeId{0});
+  DedupOpResult rs = agent_.DedupOp(small, SimTime{0});
+  DedupOpResult rl = agent_.DedupOp(large, SimTime{0});
   EXPECT_GT(rl.total_time, rs.total_time);
   // Paper Section 7.7: total dedup time of seconds at full scale.
   EXPECT_GT(rl.total_time, 500 * kMillisecond);
@@ -164,16 +164,16 @@ TEST_F(DedupAgentTest, SizeOnlyModeStillAccounts) {
   DedupAgentOptions opts;
   opts.keep_payloads = false;
   DedupAgent agent(cluster_, registry_, fabric_, opts);
-  Sandbox& base = WarmSandbox("Vanilla", 0);
+  Sandbox& base = WarmSandbox("Vanilla", NodeId{0});
   agent.DesignateBase(base);
-  Sandbox& victim = WarmSandbox("Vanilla", 0);
-  DedupOpResult result = agent.DedupOp(victim, 0);
+  Sandbox& victim = WarmSandbox("Vanilla", NodeId{0});
+  DedupOpResult result = agent.DedupOp(victim, SimTime{0});
   EXPECT_GT(result.pages_deduped, 0u);
   EXPECT_TRUE(victim.checkpoint->payloads_dropped());
   double dedup_mb = cluster_.DedupFootprintMb(victim);
   EXPECT_LT(dedup_mb, cluster_.WarmFootprintMb(victim));
   // Restore works in size-only mode (no verification possible).
-  RestoreOpResult restore = agent.RestoreOp(victim, 1);
+  RestoreOpResult restore = agent.RestoreOp(victim, SimTime{1});
   EXPECT_FALSE(restore.verified);
   EXPECT_EQ(victim.state, SandboxState::kWarm);
 }

@@ -35,7 +35,7 @@ struct Env {
                [this](const PageLocation& loc) { return cluster.ReadBasePage(loc); }),
         agent(cluster, registry, fabric, AgentOpts(num_threads)) {}
 
-  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
+  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = SimTime{}) {
     Sandbox& sb = cluster.Spawn(ProfileByName(name), node, now);
     cluster.MarkWarm(sb, now);
     return sb;
@@ -98,25 +98,28 @@ TEST(DedupPipelineTest, ParallelDedupOpMatchesSerialPageForPage) {
   // Identical clusters (same seed, same operation sequence) in both envs:
   // a base per function plus victims on both nodes, cross- and same-function.
   for (Env* env : {&serial, &parallel}) {
-    Sandbox& vanilla_base = env->WarmSandbox("Vanilla", 0);
+    Sandbox& vanilla_base = env->WarmSandbox("Vanilla", NodeId{0});
     env->agent.DesignateBase(vanilla_base);
-    Sandbox& linalg_base = env->WarmSandbox("LinAlg", 0);
+    Sandbox& linalg_base = env->WarmSandbox("LinAlg", NodeId{0});
     env->agent.DesignateBase(linalg_base);
   }
 
   const struct {
     const char* function;
     NodeId node;
-  } victims[] = {{"Vanilla", 0}, {"Vanilla", 1}, {"LinAlg", 1}, {"FeatureGen", 0}};
+  } victims[] = {{"Vanilla", NodeId{0}},
+                 {"Vanilla", NodeId{1}},
+                 {"LinAlg", NodeId{1}},
+                 {"FeatureGen", NodeId{0}}};
 
   std::vector<SandboxId> serial_ids;
   std::vector<SandboxId> parallel_ids;
   for (const auto& v : victims) {
-    Sandbox& sa = serial.WarmSandbox(v.function, v.node, 10);
-    Sandbox& sb = parallel.WarmSandbox(v.function, v.node, 10);
+    Sandbox& sa = serial.WarmSandbox(v.function, v.node, SimTime{10});
+    Sandbox& sb = parallel.WarmSandbox(v.function, v.node, SimTime{10});
     ASSERT_EQ(sa.id, sb.id) << "environments diverged";
-    DedupOpResult ra = serial.agent.DedupOp(sa, 20);
-    DedupOpResult rb = parallel.agent.DedupOp(sb, 20);
+    DedupOpResult ra = serial.agent.DedupOp(sa, SimTime{20});
+    DedupOpResult rb = parallel.agent.DedupOp(sb, SimTime{20});
     ExpectSameDedupResult(ra, rb, v.function);
     ExpectSamePatches(sa, sb);
     EXPECT_GT(ra.pages_total, 0u);
@@ -133,8 +136,8 @@ TEST(DedupPipelineTest, ParallelDedupOpMatchesSerialPageForPage) {
     Sandbox* sb = parallel.cluster.Find(parallel_ids[i]);
     ASSERT_NE(sa, nullptr);
     ASSERT_NE(sb, nullptr);
-    RestoreOpResult ra = serial.agent.RestoreOp(*sa, 30, /*verify=*/true);
-    RestoreOpResult rb = parallel.agent.RestoreOp(*sb, 30, /*verify=*/true);
+    RestoreOpResult ra = serial.agent.RestoreOp(*sa, SimTime{30}, /*verify=*/true);
+    RestoreOpResult rb = parallel.agent.RestoreOp(*sb, SimTime{30}, /*verify=*/true);
     EXPECT_TRUE(ra.verified);
     EXPECT_TRUE(rb.verified);
     EXPECT_EQ(ra.base_pages_read, rb.base_pages_read) << "victim " << i;
@@ -149,14 +152,14 @@ TEST(DedupPipelineTest, ParallelDedupOpMatchesSerialPageForPage) {
 
 TEST(DedupPipelineTest, CacheServesRepeatBaseReads) {
   Env env(4);
-  Sandbox& base = env.WarmSandbox("Vanilla", 0);
+  Sandbox& base = env.WarmSandbox("Vanilla", NodeId{0});
   env.agent.DesignateBase(base);
-  Sandbox& first = env.WarmSandbox("Vanilla", 1, 5);
-  Sandbox& second = env.WarmSandbox("Vanilla", 1, 5);
-  env.agent.DedupOp(first, 10);
+  Sandbox& first = env.WarmSandbox("Vanilla", NodeId{1}, SimTime{5});
+  Sandbox& second = env.WarmSandbox("Vanilla", NodeId{1}, SimTime{5});
+  env.agent.DedupOp(first, SimTime{10});
   const uint64_t misses_after_first = env.fabric.stats().cache_misses;
   const uint64_t remote_after_first = env.fabric.stats().remote_reads;
-  env.agent.DedupOp(second, 10);
+  env.agent.DedupOp(second, SimTime{10});
   // The second sandbox dedups against the same hot base pages: its reads are
   // (almost all) cache hits, not new fabric traffic.
   EXPECT_GT(env.fabric.stats().cache_hits, 0u);
@@ -168,12 +171,12 @@ TEST(DedupPipelineTest, ThreadCountDoesNotChangePlatformObservables) {
   // A dedup + restore round trip must leave the same cluster state whatever
   // MEDES_THREADS resolves to (the agent reads it when num_threads = 0).
   Env wide(6);
-  Sandbox& base = wide.WarmSandbox("FeatureGen", 0);
+  Sandbox& base = wide.WarmSandbox("FeatureGen", NodeId{0});
   wide.agent.DesignateBase(base);
-  Sandbox& victim = wide.WarmSandbox("FeatureGen", 1, 1);
-  DedupOpResult dedup = wide.agent.DedupOp(victim, 2);
+  Sandbox& victim = wide.WarmSandbox("FeatureGen", NodeId{1}, SimTime{1});
+  DedupOpResult dedup = wide.agent.DedupOp(victim, SimTime{2});
   EXPECT_GT(dedup.pages_deduped, 0u);
-  RestoreOpResult restore = wide.agent.RestoreOp(victim, 3, /*verify=*/true);
+  RestoreOpResult restore = wide.agent.RestoreOp(victim, SimTime{3}, /*verify=*/true);
   EXPECT_TRUE(restore.verified);
   EXPECT_EQ(victim.state, SandboxState::kWarm);
   EXPECT_TRUE(victim.patches.empty());
@@ -188,15 +191,15 @@ TEST(DedupPipelineTest, CentralizedLookupTimeIsTheRegistryModel) {
   // agent's removed `controller_lookup_per_page` constant used to model, so
   // standalone results are unchanged by the refactor.
   Env env(1);
-  Sandbox& base = env.WarmSandbox("Vanilla", 0);
+  Sandbox& base = env.WarmSandbox("Vanilla", NodeId{0});
   env.agent.DesignateBase(base);
-  Sandbox& victim = env.WarmSandbox("Vanilla", 1, 1);
-  DedupOpResult r = env.agent.DedupOp(victim, 2);
+  Sandbox& victim = env.WarmSandbox("Vanilla", NodeId{1}, SimTime{1});
+  DedupOpResult r = env.agent.DedupOp(victim, SimTime{2});
   const size_t resident = r.pages_total - r.pages_zero;
   ASSERT_GT(resident, 0u);
-  const SimDuration expected = static_cast<SimDuration>(
-      static_cast<double>(RegistryOptions().lookup_per_page * static_cast<SimDuration>(resident)) *
-      env.agent.ScaleFactor());
+  const SimDuration expected{static_cast<int64_t>(
+      static_cast<double>((RegistryOptions().lookup_per_page * static_cast<int64_t>(resident)).value()) *
+      env.agent.ScaleFactor())};
   EXPECT_EQ(r.lookup_time, expected);
 }
 
@@ -212,7 +215,7 @@ struct DistEnv {
                [this](const PageLocation& loc) { return cluster.ReadBasePage(loc); }, transport),
         agent(cluster, registry, fabric, AgentOpts(num_threads)) {}
 
-  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = 0) {
+  Sandbox& WarmSandbox(const std::string& name, NodeId node, SimTime now = SimTime{}) {
     Sandbox& sb = cluster.Spawn(ProfileByName(name), node, now);
     cluster.MarkWarm(sb, now);
     return sb;
@@ -232,29 +235,30 @@ TEST(DedupPipelineTest, DistributedLookupTimeMatchesShardWireModel) {
   // (bytes / kRegistryWireBytesPerKey). The agent must report exactly that —
   // not a flat per-page constant.
   Topology topo;
-  topo.remote = {.latency = 7, .bandwidth_gbps = 0.0};
-  topo.local = {.latency = 7, .bandwidth_gbps = 0.0};  // node-independent cost
+  topo.remote = {.latency = SimDuration{7}, .bandwidth_gbps = 0.0};
+  topo.local = {.latency = SimDuration{7}, .bandwidth_gbps = 0.0};  // node-independent cost
   DistributedRegistryOptions dopts;
   dopts.num_shards = 1;
   dopts.replication_factor = 1;
   DistEnv env(1, topo, dopts);
 
-  Sandbox& base = env.WarmSandbox("Vanilla", 0);
+  Sandbox& base = env.WarmSandbox("Vanilla", NodeId{0});
   env.agent.DesignateBase(base);
   env.transport->ResetStats();  // isolate the dedup op's lookup messages
 
-  Sandbox& victim = env.WarmSandbox("Vanilla", 1, 1);
-  DedupOpResult r = env.agent.DedupOp(victim, 2);
+  Sandbox& victim = env.WarmSandbox("Vanilla", NodeId{1}, SimTime{1});
+  DedupOpResult r = env.agent.DedupOp(victim, SimTime{2});
 
   const TransportStats net_stats = env.transport->stats();
   const MessageStats& lookups = net_stats.For(MessageType::kRegistryLookup);
   ASSERT_GT(lookups.messages, 0u);
   const SimDuration raw =
-      7 * static_cast<SimDuration>(lookups.messages) +
+      SimDuration{7} * static_cast<int64_t>(lookups.messages) +
       DistributedRegistryOptions().per_key_lookup *
-          static_cast<SimDuration>(lookups.bytes / kRegistryWireBytesPerKey);
+          static_cast<int64_t>(lookups.bytes / kRegistryWireBytesPerKey.value());
   EXPECT_EQ(r.lookup_time,
-            static_cast<SimDuration>(static_cast<double>(raw) * env.agent.ScaleFactor()));
+            SimDuration{static_cast<int64_t>(static_cast<double>(raw.value()) *
+                                             env.agent.ScaleFactor())});
 }
 
 // ---- Transport determinism across thread counts --------------------------
@@ -270,23 +274,26 @@ TEST(DedupPipelineTest, TransportStatsIdenticalAcrossThreadCounts) {
   std::vector<DistEnv*> envs = {&one, &four, &hw};
 
   for (DistEnv* env : envs) {
-    Sandbox& vanilla_base = env->WarmSandbox("Vanilla", 0);
+    Sandbox& vanilla_base = env->WarmSandbox("Vanilla", NodeId{0});
     env->agent.DesignateBase(vanilla_base);
-    Sandbox& linalg_base = env->WarmSandbox("LinAlg", 0);
+    Sandbox& linalg_base = env->WarmSandbox("LinAlg", NodeId{0});
     env->agent.DesignateBase(linalg_base);
   }
 
   const struct {
     const char* function;
     NodeId node;
-  } victims[] = {{"Vanilla", 0}, {"Vanilla", 1}, {"LinAlg", 1}, {"FeatureGen", 0}};
+  } victims[] = {{"Vanilla", NodeId{0}},
+                 {"Vanilla", NodeId{1}},
+                 {"LinAlg", NodeId{1}},
+                 {"FeatureGen", NodeId{0}}};
 
   for (const auto& v : victims) {
     std::vector<DedupOpResult> results;
     std::vector<SandboxId> ids;
     for (DistEnv* env : envs) {
-      Sandbox& sb = env->WarmSandbox(v.function, v.node, 10);
-      results.push_back(env->agent.DedupOp(sb, 20));
+      Sandbox& sb = env->WarmSandbox(v.function, v.node, SimTime{10});
+      results.push_back(env->agent.DedupOp(sb, SimTime{20}));
       ids.push_back(sb.id);
     }
     ExpectSameDedupResult(results[0], results[1], v.function);
@@ -294,7 +301,7 @@ TEST(DedupPipelineTest, TransportStatsIdenticalAcrossThreadCounts) {
     for (size_t e = 0; e < envs.size(); ++e) {
       Sandbox* sb = envs[e]->cluster.Find(ids[e]);
       ASSERT_NE(sb, nullptr);
-      RestoreOpResult restore = envs[e]->agent.RestoreOp(*sb, 30, /*verify=*/true);
+      RestoreOpResult restore = envs[e]->agent.RestoreOp(*sb, SimTime{30}, /*verify=*/true);
       EXPECT_TRUE(restore.verified);
     }
   }

@@ -32,15 +32,15 @@ TEST(IntegrationTest, FullDedupRestorePipeline) {
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
 
-  Sandbox& base = cluster.Spawn(ProfileByName("LinAlg"), 0, 0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(ProfileByName("LinAlg"), NodeId{0}, SimTime{0});
+  cluster.MarkWarm(base, SimTime{0});
   agent.DesignateBase(base);
 
   std::vector<SandboxId> victims;
   for (int i = 0; i < 3; ++i) {
-    Sandbox& sb = cluster.Spawn(ProfileByName("LinAlg"), (i % 3) + 1, 10);
-    cluster.MarkWarm(sb, 10);
-    DedupOpResult result = agent.DedupOp(sb, 20);
+    Sandbox& sb = cluster.Spawn(ProfileByName("LinAlg"), NodeId{(i % 3) + 1}, SimTime{10});
+    cluster.MarkWarm(sb, SimTime{10});
+    DedupOpResult result = agent.DedupOp(sb, SimTime{20});
     EXPECT_GT(result.pages_deduped, 0u);
     victims.push_back(sb.id);
   }
@@ -49,14 +49,16 @@ TEST(IntegrationTest, FullDedupRestorePipeline) {
   for (SandboxId id : victims) {
     Sandbox* sb = cluster.Find(id);
     ASSERT_NE(sb, nullptr);
-    RestoreOpResult r = agent.RestoreOp(*sb, 30, /*verify=*/true);
+    RestoreOpResult r = agent.RestoreOp(*sb, SimTime{30}, /*verify=*/true);
     EXPECT_TRUE(r.verified);
   }
   EXPECT_EQ(registry.RefCount(base.id), 0);
 
   // Accounting invariant after the churn.
   for (int n = 0; n < cluster.NumNodes(); ++n) {
-    EXPECT_NEAR(cluster.node(n).used_mb, cluster.RecomputeNodeUsedMb(n), 1e-6) << "node " << n;
+    const NodeId node{n};
+    EXPECT_NEAR(cluster.node(node).used_mb, cluster.RecomputeNodeUsedMb(node), 1e-6)
+        << "node " << n;
   }
 }
 
@@ -66,19 +68,19 @@ TEST(IntegrationTest, RepeatedDedupRestoreCyclesStayConsistent) {
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
 
-  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), 0, 0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), NodeId{0}, SimTime{0});
+  cluster.MarkWarm(base, SimTime{0});
   agent.DesignateBase(base);
 
-  Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), 1, 0);
-  cluster.MarkWarm(sb, 0);
+  Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), NodeId{1}, SimTime{0});
+  cluster.MarkWarm(sb, SimTime{0});
   for (int cycle = 0; cycle < 5; ++cycle) {
-    agent.DedupOp(sb, cycle * 100);
-    RestoreOpResult r = agent.RestoreOp(sb, cycle * 100 + 50, /*verify=*/true);
+    agent.DedupOp(sb, SimTime{cycle * 100});
+    RestoreOpResult r = agent.RestoreOp(sb, SimTime{cycle * 100 + 50}, /*verify=*/true);
     ASSERT_TRUE(r.verified) << "cycle " << cycle;
     // Simulate an execution between cycles: content changes generation.
-    cluster.MarkRunning(sb, cycle * 100 + 60);
-    cluster.MarkWarm(sb, cycle * 100 + 70);
+    cluster.MarkRunning(sb, SimTime{cycle * 100 + 60});
+    cluster.MarkWarm(sb, SimTime{cycle * 100 + 70});
   }
   EXPECT_EQ(registry.RefCount(base.id), 0);
 }
@@ -89,20 +91,20 @@ TEST(IntegrationTest, DedupSandboxesShrinkClusterMemory) {
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
 
-  Sandbox& base = cluster.Spawn(ProfileByName("RNNModel"), 0, 0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(ProfileByName("RNNModel"), NodeId{0}, SimTime{0});
+  cluster.MarkWarm(base, SimTime{0});
   agent.DesignateBase(base);
   const double with_warm_fleet = [&] {
     std::vector<SandboxId> ids;
     for (int i = 0; i < 4; ++i) {
-      Sandbox& sb = cluster.Spawn(ProfileByName("RNNModel"), 1 + (i % 3), 0);
-      cluster.MarkWarm(sb, 0);
+      Sandbox& sb = cluster.Spawn(ProfileByName("RNNModel"), NodeId{1 + (i % 3)}, SimTime{0});
+      cluster.MarkWarm(sb, SimTime{0});
       ids.push_back(sb.id);
     }
     double used = cluster.TotalUsedMb();
     // Dedup the whole fleet.
     for (SandboxId id : ids) {
-      agent.DedupOp(*cluster.Find(id), 1);
+      agent.DedupOp(*cluster.Find(id), SimTime{1});
     }
     double after = cluster.TotalUsedMb();
     EXPECT_LT(after, used);
@@ -150,15 +152,15 @@ TEST(IntegrationTest, CrossFunctionDeduplicationDominates) {
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
 
-  Sandbox& base = cluster.Spawn(ProfileByName("LinAlg"), 0, 0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(ProfileByName("LinAlg"), NodeId{0}, SimTime{0});
+  cluster.MarkWarm(base, SimTime{0});
   agent.DesignateBase(base);
 
   size_t cross = 0, same = 0;
   for (const char* name : {"ImagePro", "VideoPro", "Vanilla"}) {
-    Sandbox& sb = cluster.Spawn(ProfileByName(name), 1, 0);
-    cluster.MarkWarm(sb, 0);
-    DedupOpResult r = agent.DedupOp(sb, 1);
+    Sandbox& sb = cluster.Spawn(ProfileByName(name), NodeId{1}, SimTime{0});
+    cluster.MarkWarm(sb, SimTime{0});
+    DedupOpResult r = agent.DedupOp(sb, SimTime{1});
     cross += r.cross_function_pages;
     same += r.same_function_pages;
   }
@@ -173,15 +175,15 @@ TEST(IntegrationTest, RegistryStaysSmallWithBaseRestriction) {
   RdmaFabric fabric({}, [&](const PageLocation& loc) { return cluster.ReadBasePage(loc); });
   DedupAgent agent(cluster, registry, fabric, {});
 
-  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), 0, 0);
-  cluster.MarkWarm(base, 0);
+  Sandbox& base = cluster.Spawn(ProfileByName("Vanilla"), NodeId{0}, SimTime{0});
+  cluster.MarkWarm(base, SimTime{0});
   agent.DesignateBase(base);
   const size_t keys_after_base = registry.stats().num_keys;
 
   for (int i = 0; i < 5; ++i) {
-    Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), 1, 0);
-    cluster.MarkWarm(sb, 0);
-    agent.DedupOp(sb, 1);
+    Sandbox& sb = cluster.Spawn(ProfileByName("Vanilla"), NodeId{1}, SimTime{0});
+    cluster.MarkWarm(sb, SimTime{0});
+    agent.DedupOp(sb, SimTime{1});
   }
   // Dedup ops only *read* the registry.
   EXPECT_EQ(registry.stats().num_keys, keys_after_base);

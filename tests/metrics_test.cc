@@ -54,10 +54,10 @@ TEST(MetricsTest, ImprovementFactorsMatchedStreams) {
   for (int i = 0; i < 5; ++i) {
     RequestRecord r;
     r.function = 0;
-    r.arrival = i;
-    r.e2e = 100;
+    r.arrival = SimTime{i};
+    r.e2e = SimDuration{100};
     a.requests.push_back(r);
-    r.e2e = 250;
+    r.e2e = SimDuration{250};
     b.requests.push_back(r);
   }
   auto factors = ImprovementFactors(a, b);
@@ -85,8 +85,8 @@ TEST(MetricsTest, ImprovementFactorsRejectLengthMismatch) {
   RunMetrics a = MakeMetrics(), b = MakeMetrics();
   RequestRecord r;
   r.function = 0;
-  r.arrival = 1;
-  r.e2e = 10;
+  r.arrival = SimTime{1};
+  r.e2e = SimDuration{10};
   a.requests.push_back(r);
   a.requests.push_back(r);
   b.requests.push_back(r);  // one run has more requests than the other
@@ -98,10 +98,10 @@ TEST(MetricsTest, ImprovementFactorsSkipZeroLatencyRequests) {
   RunMetrics a = MakeMetrics(), b = MakeMetrics();
   RequestRecord r;
   r.function = 0;
-  r.arrival = 1;
-  r.e2e = 0;  // degenerate record: excluded rather than dividing by zero
+  r.arrival = SimTime{1};
+  r.e2e = SimDuration{0};  // degenerate record: excluded rather than dividing by zero
   a.requests.push_back(r);
-  r.e2e = 50;
+  r.e2e = SimDuration{50};
   b.requests.push_back(r);
   EXPECT_TRUE(ImprovementFactors(a, b).empty());
 }
@@ -121,10 +121,10 @@ TEST(MetricsTest, ImprovementFactorsRejectMisalignment) {
   RunMetrics a = MakeMetrics(), b = MakeMetrics();
   RequestRecord r;
   r.function = 0;
-  r.arrival = 1;
-  r.e2e = 10;
+  r.arrival = SimTime{1};
+  r.e2e = SimDuration{10};
   a.requests.push_back(r);
-  r.arrival = 2;  // different arrival time => different trace
+  r.arrival = SimTime{2};  // different arrival time => different trace
   b.requests.push_back(r);
   EXPECT_THROW(ImprovementFactors(a, b), std::invalid_argument);
   b.requests.push_back(r);

@@ -114,16 +114,16 @@ TEST_F(ObsTest, ResetValuesKeepsRegistrations) {
 
 TEST_F(ObsTest, ScopedSpanRecordsOnDestruction) {
   {
-    ScopedSpan span("unit/span", "test", 100, 7);
-    span.SetSimDuration(25);
+    ScopedSpan span("unit/span", "test", SimTime{100}, 7);
+    span.SetSimDuration(SimDuration{25});
     span.AddArg("pages", 42);
   }
   auto spans = Tracer::Default().Drain();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_STREQ(spans[0].name, "unit/span");
   EXPECT_STREQ(spans[0].category, "test");
-  EXPECT_EQ(spans[0].ts, 100);
-  EXPECT_EQ(spans[0].dur, 25);
+  EXPECT_EQ(spans[0].ts, SimTime{100});
+  EXPECT_EQ(spans[0].dur, SimDuration{25});
   EXPECT_EQ(spans[0].lane, 7);
   ASSERT_EQ(spans[0].num_args, 1u);
   EXPECT_STREQ(spans[0].args[0].key, "pages");
@@ -134,8 +134,8 @@ TEST_F(ObsTest, ScopedSpanRecordsOnDestruction) {
 TEST_F(ObsTest, SpanNotRecordedWhenTracingDisabled) {
   SetTraceEnabled(false);
   {
-    ScopedSpan span("unit/disabled", "test", 0);
-    span.SetSimDuration(1);
+    ScopedSpan span("unit/disabled", "test", SimTime{});
+    span.SetSimDuration(SimDuration{1});
   }
   SetTraceEnabled(true);
   EXPECT_TRUE(Tracer::Default().Drain().empty());
@@ -148,8 +148,8 @@ TEST_F(ObsTest, DrainSortsByTimestampAcrossThreads) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([t] {
       for (int i = 0; i < kSpansPerThread; ++i) {
-        ScopedSpan span("unit/mt", "test", i * kThreads + t, t);
-        span.SetSimDuration(1);
+        ScopedSpan span("unit/mt", "test", SimTime{i * kThreads + t}, t);
+        span.SetSimDuration(SimDuration{1});
       }
     });
   }
@@ -167,7 +167,7 @@ TEST_F(ObsTest, DrainSortsByTimestampAcrossThreads) {
 TEST_F(ObsTest, WallClockProfilingStampsSpans) {
   SetWallClockProfiling(true);
   {
-    ScopedSpan span("unit/wall", "test", 0);
+    ScopedSpan span("unit/wall", "test", SimTime{});
   }
   SetWallClockProfiling(false);
   auto spans = Tracer::Default().Drain();
@@ -177,11 +177,11 @@ TEST_F(ObsTest, WallClockProfilingStampsSpans) {
 
 TEST_F(ObsTest, ChromeTraceJsonShape) {
   {
-    ScopedSpan span("unit/json", "test", 10, 2);
-    span.SetSimDuration(5);
+    ScopedSpan span("unit/json", "test", SimTime{10}, 2);
+    span.SetSimDuration(SimDuration{5});
     span.AddArg("n", 3);
   }
-  RecordInstant("unit/mark", "test", 11, 2);
+  RecordInstant("unit/mark", "test", SimTime{11}, 2);
   const std::string json = ChromeTraceJson(Tracer::Default().Drain());
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"unit/json\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":10,"
@@ -224,13 +224,13 @@ TEST_F(ObsTest, MetricsJsonShape) {
 TEST_F(ObsTest, SnapshotSeriesSamplesCountersAndGauges) {
   MetricsRegistry& registry = MetricsRegistry::Default();
   registry.GetCounter("obs_test_series_total", "help").Add(1);
-  SnapshotSeries::Default().Sample(1000);
+  SnapshotSeries::Default().Sample(SimTime{1000});
   registry.GetCounter("obs_test_series_total", "help").Add(2);
-  SnapshotSeries::Default().Sample(2000);
+  SnapshotSeries::Default().Sample(SimTime{2000});
   const auto points = SnapshotSeries::Default().Points();
   ASSERT_EQ(points.size(), 2u);
-  EXPECT_EQ(points[0].t, 1000);
-  EXPECT_EQ(points[1].t, 2000);
+  EXPECT_EQ(points[0].t, SimTime{1000});
+  EXPECT_EQ(points[1].t, SimTime{2000});
   auto value_of = [](const SnapshotSeries::Point& p, const std::string& key) -> int64_t {
     for (const auto& [k, v] : p.values) {
       if (k == key) {

@@ -47,7 +47,7 @@ TEST(PlatformTest, RequestsAccountedConsistently) {
   EXPECT_EQ(by_type, m.TotalRequests());
   // Every request has a positive end-to-end latency >= its startup latency.
   for (const auto& r : m.requests) {
-    EXPECT_GT(r.e2e, 0);
+    EXPECT_GT(r.e2e, SimDuration{});
     EXPECT_GE(r.e2e, r.startup);
   }
 }

@@ -162,7 +162,7 @@ TEST(AdaptiveKeepAliveTest, DefaultUntilEnoughSamples) {
   AdaptiveKeepAlive ka;
   EXPECT_EQ(ka.KeepAlive(), 10 * kMinute);
   for (int i = 0; i < 4; ++i) {
-    ka.RecordArrival(i * kSecond);
+    ka.RecordArrival(SimTime{} + i * kSecond);
   }
   EXPECT_EQ(ka.KeepAlive(), 10 * kMinute) << "still below min_samples";
 }
@@ -170,7 +170,7 @@ TEST(AdaptiveKeepAliveTest, DefaultUntilEnoughSamples) {
 TEST(AdaptiveKeepAliveTest, TracksSteadyInterArrivals) {
   AdaptiveKeepAlive ka;
   for (int i = 0; i < 20; ++i) {
-    ka.RecordArrival(i * 10 * kSecond);
+    ka.RecordArrival(SimTime{} + i * 10 * kSecond);
   }
   // p90 of IATs is 10 s; window = 11 s, clamped to >= 30 s.
   EXPECT_EQ(ka.KeepAlive(), 30 * kSecond);
@@ -179,7 +179,7 @@ TEST(AdaptiveKeepAliveTest, TracksSteadyInterArrivals) {
 TEST(AdaptiveKeepAliveTest, ClampsToMaxWindow) {
   AdaptiveKeepAlive ka;
   for (int i = 0; i < 20; ++i) {
-    ka.RecordArrival(i * kHour);
+    ka.RecordArrival(SimTime{} + i * kHour);
   }
   EXPECT_EQ(ka.KeepAlive(), 10 * kMinute);
 }
@@ -189,7 +189,7 @@ TEST(AdaptiveKeepAliveTest, HistoryIsBounded) {
   opts.max_samples = 10;
   AdaptiveKeepAlive ka(opts);
   for (int i = 0; i < 100; ++i) {
-    ka.RecordArrival(i * kSecond);
+    ka.RecordArrival(SimTime{} + i * kSecond);
   }
   EXPECT_EQ(ka.NumSamples(), 10u);
 }
@@ -198,27 +198,27 @@ TEST(RateTrackerTest, MaxAndMeanRates) {
   RateTracker tracker(10 * kSecond, 6);  // 1-minute window
   // 5 arrivals in the first 10 s bucket.
   for (int i = 0; i < 5; ++i) {
-    tracker.RecordArrival(i * kSecond);
+    tracker.RecordArrival(SimTime{} + i * kSecond);
   }
   // 1 arrival in the next bucket.
-  tracker.RecordArrival(15 * kSecond);
-  EXPECT_DOUBLE_EQ(tracker.MaxRate(20 * kSecond), 0.5);
-  EXPECT_DOUBLE_EQ(tracker.MeanRate(20 * kSecond), 6.0 / 60.0);
+  tracker.RecordArrival(SimTime{} + 15 * kSecond);
+  EXPECT_DOUBLE_EQ(tracker.MaxRate(SimTime{} + 20 * kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.MeanRate(SimTime{} + 20 * kSecond), 6.0 / 60.0);
 }
 
 TEST(RateTrackerTest, OldBucketsExpire) {
   RateTracker tracker(10 * kSecond, 3);
   for (int i = 0; i < 9; ++i) {
-    tracker.RecordArrival(kSecond);
+    tracker.RecordArrival(SimTime{} + kSecond);
   }
-  EXPECT_GT(tracker.MaxRate(2 * kSecond), 0.0);
-  EXPECT_DOUBLE_EQ(tracker.MaxRate(10 * kMinute), 0.0);
+  EXPECT_GT(tracker.MaxRate(SimTime{} + 2 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MaxRate(SimTime{} + 10 * kMinute), 0.0);
 }
 
 TEST(RateTrackerTest, EmptyTrackerIsZero) {
   RateTracker tracker;
-  EXPECT_DOUBLE_EQ(tracker.MaxRate(0), 0.0);
-  EXPECT_DOUBLE_EQ(tracker.MeanRate(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MaxRate(SimTime{}), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MeanRate(SimTime{}), 0.0);
 }
 
 TEST(FixedKeepAliveTest, ReturnsConfiguredPeriod) {

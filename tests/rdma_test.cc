@@ -10,29 +10,29 @@ namespace {
 std::vector<uint8_t> FakePage(uint8_t fill) { return std::vector<uint8_t>(4096, fill); }
 
 TEST(RdmaTest, ReadCostScalesWithSize) {
-  RdmaFabric fabric({.per_read_latency = 3, .bandwidth_gbps = 10.0});
+  RdmaFabric fabric({.per_read_latency = SimDuration{3}, .bandwidth_gbps = 10.0});
   // 4 KiB at 10 Gbps = 4096*8/10000 us ~= 3.27 us transfer + 3 us latency.
-  SimDuration cost = fabric.ReadCost(4096, /*remote=*/true);
-  EXPECT_GE(cost, 6);
-  EXPECT_LE(cost, 7);
-  EXPECT_GT(fabric.ReadCost(1 << 20, true), fabric.ReadCost(4096, true));
+  SimDuration cost = fabric.ReadCost(Bytes{4096}, /*remote=*/true);
+  EXPECT_GE(cost, SimDuration{6});
+  EXPECT_LE(cost, SimDuration{7});
+  EXPECT_GT(fabric.ReadCost(Bytes{1 << 20}, true), fabric.ReadCost(Bytes{4096}, true));
 }
 
 TEST(RdmaTest, LocalReadsCheaper) {
   RdmaFabric fabric;
-  EXPECT_LT(fabric.ReadCost(4096, /*remote=*/false), fabric.ReadCost(4096, /*remote=*/true));
+  EXPECT_LT(fabric.ReadCost(Bytes{4096}, /*remote=*/false), fabric.ReadCost(Bytes{4096}, /*remote=*/true));
 }
 
 TEST(RdmaTest, ProviderRoutesBytesAndCountsStats) {
   RdmaFabric fabric({}, [](const PageLocation& loc) {
-    return FakePage(static_cast<uint8_t>(loc.page_index));
+    return FakePage(static_cast<uint8_t>(loc.page_index.value()));
   });
-  SimDuration cost = 0;
+  SimDuration cost;
   auto bytes =
-      fabric.ReadPage({.node = 2, .sandbox = 1, .page_index = 7}, /*reader_node=*/0, &cost);
+      fabric.ReadPage({.node = NodeId{2}, .sandbox = SandboxId{1}, .page_index = PageIndex{7}}, /*reader_node=*/NodeId{0}, &cost);
   ASSERT_EQ(bytes.size(), 4096u);
   EXPECT_EQ(bytes[0], 7);
-  EXPECT_GT(cost, 0);
+  EXPECT_GT(cost, SimDuration{0});
   EXPECT_EQ(fabric.stats().remote_reads, 1u);
   EXPECT_EQ(fabric.stats().remote_bytes, 4096u);
   EXPECT_EQ(fabric.stats().local_reads, 0u);
@@ -40,61 +40,61 @@ TEST(RdmaTest, ProviderRoutesBytesAndCountsStats) {
 
 TEST(RdmaTest, LocalReadCountedSeparately) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(1); });
-  SimDuration cost = 0;
-  fabric.ReadPage({.node = 5, .sandbox = 1, .page_index = 0}, /*reader_node=*/5, &cost);
+  SimDuration cost;
+  fabric.ReadPage({.node = NodeId{5}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, /*reader_node=*/NodeId{5}, &cost);
   EXPECT_EQ(fabric.stats().local_reads, 1u);
   EXPECT_EQ(fabric.stats().remote_reads, 0u);
 }
 
 TEST(RdmaTest, CostAccumulates) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
-  SimDuration cost = 0;
-  fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 0}, 0, &cost);
+  SimDuration cost;
+  fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, &cost);
   SimDuration after_one = cost;
-  fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 1}, 0, &cost);
-  EXPECT_NEAR(static_cast<double>(cost), 2.0 * static_cast<double>(after_one), 1.0);
+  fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{1}}, NodeId{0}, &cost);
+  EXPECT_NEAR(static_cast<double>(cost.value()), 2.0 * static_cast<double>(after_one.value()), 1.0);
 }
 
 TEST(RdmaTest, MissingProviderThrows) {
   RdmaFabric fabric;
-  SimDuration cost = 0;
-  EXPECT_THROW(fabric.ReadPage({.node = 0, .sandbox = 1, .page_index = 0}, 0, &cost), RdmaError);
+  SimDuration cost;
+  EXPECT_THROW(fabric.ReadPage({.node = NodeId{0}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, &cost), RdmaError);
 }
 
 TEST(RdmaTest, UnavailablePageThrows) {
   RdmaFabric fabric({}, [](const PageLocation&) { return std::vector<uint8_t>{}; });
-  SimDuration cost = 0;
-  EXPECT_THROW(fabric.ReadPage({.node = 0, .sandbox = 1, .page_index = 0}, 0, &cost), RdmaError);
+  SimDuration cost;
+  EXPECT_THROW(fabric.ReadPage({.node = NodeId{0}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, &cost), RdmaError);
 }
 
 TEST(RdmaTest, NullCostPointerAccepted) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
-  EXPECT_NO_THROW(fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 0}, 0, nullptr));
+  EXPECT_NO_THROW(fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, nullptr));
 }
 
 TEST(RdmaTest, ResetStats) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
-  fabric.ReadPage({.node = 1, .sandbox = 1, .page_index = 0}, 0, nullptr);
+  fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, nullptr);
   fabric.ResetStats();
   EXPECT_EQ(fabric.stats().remote_reads, 0u);
 }
 
 // ---- Base-page cache -------------------------------------------------------
 
-PageLocation Loc(SandboxId sandbox, uint32_t page) {
-  return {.node = 1, .sandbox = sandbox, .page_index = page};
+PageLocation Loc(uint64_t sandbox, uint32_t page) {
+  return {.node = NodeId{1}, .sandbox = SandboxId{sandbox}, .page_index = PageIndex{page}};
 }
 
 TEST(RdmaCacheTest, RepeatReadsHitCache) {
   int provider_calls = 0;
   RdmaFabric fabric({.page_cache_capacity = 8}, [&](const PageLocation& loc) {
     ++provider_calls;
-    return FakePage(static_cast<uint8_t>(loc.page_index));
+    return FakePage(static_cast<uint8_t>(loc.page_index.value()));
   });
-  SimDuration first_cost = 0;
-  auto a = fabric.ReadPage(Loc(1, 0), /*reader_node=*/0, &first_cost);
-  SimDuration second_cost = 0;
-  auto b = fabric.ReadPage(Loc(1, 0), /*reader_node=*/0, &second_cost);
+  SimDuration first_cost;
+  auto a = fabric.ReadPage(Loc(1, 0), /*reader_node=*/NodeId{0}, &first_cost);
+  SimDuration second_cost;
+  auto b = fabric.ReadPage(Loc(1, 0), /*reader_node=*/NodeId{0}, &second_cost);
   EXPECT_EQ(a, b) << "cache returns the same bytes";
   EXPECT_EQ(provider_calls, 1) << "second read never reached the provider";
   EXPECT_LT(second_cost, first_cost) << "a hit is a DRAM copy, not a fabric read";
@@ -106,14 +106,14 @@ TEST(RdmaCacheTest, RepeatReadsHitCache) {
 
 TEST(RdmaCacheTest, LruEvictsLeastRecentlyUsed) {
   RdmaFabric fabric({.page_cache_capacity = 2}, [](const PageLocation& loc) {
-    return FakePage(static_cast<uint8_t>(loc.page_index));
+    return FakePage(static_cast<uint8_t>(loc.page_index.value()));
   });
-  fabric.ReadPage(Loc(1, 0), 0, nullptr);  // miss: cache [0]
-  fabric.ReadPage(Loc(1, 1), 0, nullptr);  // miss: cache [1, 0]
-  fabric.ReadPage(Loc(1, 0), 0, nullptr);  // hit: 0 promoted -> [0, 1]
-  fabric.ReadPage(Loc(1, 2), 0, nullptr);  // miss: evicts 1 (LRU) -> [2, 0]
+  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);  // miss: cache [0]
+  fabric.ReadPage(Loc(1, 1), NodeId{0}, nullptr);  // miss: cache [1, 0]
+  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);  // hit: 0 promoted -> [0, 1]
+  fabric.ReadPage(Loc(1, 2), NodeId{0}, nullptr);  // miss: evicts 1 (LRU) -> [2, 0]
   EXPECT_EQ(fabric.stats().cache_evictions, 1u);
-  fabric.ReadPage(Loc(1, 1), 0, nullptr);  // miss: 1 was evicted, evicts 0
+  fabric.ReadPage(Loc(1, 1), NodeId{0}, nullptr);  // miss: 1 was evicted, evicts 0
   EXPECT_EQ(fabric.stats().cache_misses, 4u);
   EXPECT_EQ(fabric.stats().cache_hits, 1u);
   EXPECT_EQ(fabric.stats().cache_evictions, 2u);
@@ -125,8 +125,8 @@ TEST(RdmaCacheTest, ZeroCapacityDisablesCache) {
     ++provider_calls;
     return FakePage(0);
   });
-  fabric.ReadPage(Loc(1, 0), 0, nullptr);
-  fabric.ReadPage(Loc(1, 0), 0, nullptr);
+  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);
+  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);
   EXPECT_EQ(provider_calls, 2);
   EXPECT_EQ(fabric.stats().cache_hits, 0u);
   EXPECT_EQ(fabric.stats().cache_misses, 0u);
@@ -135,13 +135,13 @@ TEST(RdmaCacheTest, ZeroCapacityDisablesCache) {
 TEST(RdmaCacheTest, InvalidateSandboxDropsItsPages) {
   RdmaFabric fabric({.page_cache_capacity = 8},
                     [](const PageLocation&) { return FakePage(0); });
-  fabric.ReadPage(Loc(7, 0), 0, nullptr);
-  fabric.ReadPage(Loc(7, 1), 0, nullptr);
-  fabric.ReadPage(Loc(9, 0), 0, nullptr);
+  fabric.ReadPage(Loc(7, 0), NodeId{0}, nullptr);
+  fabric.ReadPage(Loc(7, 1), NodeId{0}, nullptr);
+  fabric.ReadPage(Loc(9, 0), NodeId{0}, nullptr);
   EXPECT_EQ(fabric.CachedPages(), 3u);
-  fabric.InvalidateSandbox(7);
+  fabric.InvalidateSandbox(SandboxId{7});
   EXPECT_EQ(fabric.CachedPages(), 1u);
-  fabric.ReadPage(Loc(9, 0), 0, nullptr);  // the survivor still hits
+  fabric.ReadPage(Loc(9, 0), NodeId{0}, nullptr);  // the survivor still hits
   EXPECT_EQ(fabric.stats().cache_hits, 1u);
 }
 

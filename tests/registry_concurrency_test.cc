@@ -29,7 +29,7 @@ PageFingerprint Fp(std::initializer_list<uint64_t> keys) {
 std::vector<PageFingerprint> SandboxFingerprints(SandboxId s) {
   std::vector<PageFingerprint> fps;
   for (uint64_t p = 0; p < 8; ++p) {
-    fps.push_back(Fp({s * 16 + p, 1000 + p}));
+    fps.push_back(Fp({s.value() * 16 + p, 1000 + p}));
   }
   return fps;
 }
@@ -45,15 +45,15 @@ TEST(RegistryConcurrencyTest, ConcurrentInsertLookupRemove) {
   // Writers: insert a run of sandboxes, then remove every odd one.
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&registry, w] {
-      const SandboxId base = 1 + static_cast<SandboxId>(w) * 1000;
-      for (SandboxId s = base; s < base + kSandboxesPerWriter; ++s) {
-        registry.InsertBaseSandbox(w, s, SandboxFingerprints(s));
-        registry.Ref(s);
-        registry.Unref(s);
+      const uint64_t base = 1 + static_cast<uint64_t>(w) * 1000;
+      for (uint64_t s = base; s < base + kSandboxesPerWriter; ++s) {
+        registry.InsertBaseSandbox(NodeId{w}, SandboxId{s}, SandboxFingerprints(SandboxId{s}));
+        registry.Ref(SandboxId{s});
+        registry.Unref(SandboxId{s});
       }
-      for (SandboxId s = base; s < base + kSandboxesPerWriter; ++s) {
+      for (uint64_t s = base; s < base + kSandboxesPerWriter; ++s) {
         if (s % 2 == 1) {
-          registry.RemoveBaseSandbox(s);
+          registry.RemoveBaseSandbox(SandboxId{s});
         }
       }
     });
@@ -70,11 +70,11 @@ TEST(RegistryConcurrencyTest, ConcurrentInsertLookupRemove) {
       // set `stop`) before a reader is first scheduled; every reader still
       // contributes at least one iteration so results_seen stays meaningful.
       do {
-        auto single = registry.FindBasePages(batch[0], 0, 0, 4);
-        auto many = registry.FindBasePagesBatch(batch, 0, 0, 4);
+        auto single = registry.FindBasePages(batch[0], NodeId{0}, kNoSandbox, 4);
+        auto many = registry.FindBasePagesBatch(batch, NodeId{0}, kNoSandbox, 4);
         results_seen.fetch_add(single.size() + many.size(), std::memory_order_relaxed);
         (void)registry.stats();
-        (void)registry.IsBaseSandbox(1);
+        (void)registry.IsBaseSandbox(SandboxId{1});
       } while (!stop.load(std::memory_order_relaxed));
     });
   }
@@ -92,13 +92,13 @@ TEST(RegistryConcurrencyTest, ConcurrentInsertLookupRemove) {
   EXPECT_EQ(stats.num_base_sandboxes,
             static_cast<size_t>(kWriters) * (kSandboxesPerWriter / 2));
   for (int w = 0; w < kWriters; ++w) {
-    const SandboxId base = 1 + static_cast<SandboxId>(w) * 1000;
-    for (SandboxId s = base; s < base + kSandboxesPerWriter; ++s) {
-      EXPECT_EQ(registry.IsBaseSandbox(s), s % 2 == 0) << "sandbox " << s;
-      auto hits = registry.FindBasePages(Fp({s * 16 + 0}), 0, 0, 4);
+    const uint64_t base = 1 + static_cast<uint64_t>(w) * 1000;
+    for (uint64_t s = base; s < base + kSandboxesPerWriter; ++s) {
+      EXPECT_EQ(registry.IsBaseSandbox(SandboxId{s}), s % 2 == 0) << "sandbox " << s;
+      auto hits = registry.FindBasePages(Fp({s * 16 + 0}), NodeId{0}, kNoSandbox, 4);
       if (s % 2 == 0) {
         ASSERT_EQ(hits.size(), 1u) << "sandbox " << s;
-        EXPECT_EQ(hits[0].location.sandbox, s);
+        EXPECT_EQ(hits[0].location.sandbox, SandboxId{s});
       } else {
         EXPECT_TRUE(hits.empty()) << "removed sandbox " << s << " left entries behind";
       }
@@ -108,18 +108,19 @@ TEST(RegistryConcurrencyTest, ConcurrentInsertLookupRemove) {
 
 TEST(RegistryConcurrencyTest, BatchLookupMatchesSingleLookups) {
   FingerprintRegistry registry({.num_shards = 4});
-  for (SandboxId s = 1; s <= 20; ++s) {
-    registry.InsertBaseSandbox(static_cast<NodeId>(s % 3), s, SandboxFingerprints(s));
+  for (uint64_t s = 1; s <= 20; ++s) {
+    registry.InsertBaseSandbox(NodeId{static_cast<int32_t>(s % 3)}, SandboxId{s},
+                               SandboxFingerprints(SandboxId{s}));
   }
   std::vector<PageFingerprint> queries;
   for (uint64_t p = 0; p < 8; ++p) {
     queries.push_back(Fp({1000 + p, 5 * 16 + p, 777}));
   }
-  auto batched = registry.FindBasePagesBatch(queries, /*local_node=*/1,
-                                             /*exclude_sandbox=*/5, /*max_results=*/6);
+  auto batched = registry.FindBasePagesBatch(queries, /*local_node=*/NodeId{1},
+                                             /*exclude_sandbox=*/SandboxId{5}, /*max_results=*/6);
   ASSERT_EQ(batched.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto single = registry.FindBasePages(queries[i], 1, 5, 6);
+    auto single = registry.FindBasePages(queries[i], NodeId{1}, SandboxId{5}, 6);
     ASSERT_EQ(batched[i].size(), single.size()) << "query " << i;
     for (size_t j = 0; j < single.size(); ++j) {
       EXPECT_EQ(batched[i][j].location, single[j].location) << "query " << i << " rank " << j;
@@ -132,14 +133,14 @@ TEST(RegistryConcurrencyTest, RemoveIsScopedToOneSandbox) {
   // The reverse index must only strip the removed sandbox's locations, even
   // when many sandboxes share every key.
   FingerprintRegistry registry({.max_locations_per_key = 64, .num_shards = 2});
-  for (SandboxId s = 1; s <= 10; ++s) {
-    registry.InsertBaseSandbox(0, s, {Fp({42, 43}), Fp({42, 44})});
+  for (uint64_t s = 1; s <= 10; ++s) {
+    registry.InsertBaseSandbox(NodeId{0}, SandboxId{s}, {Fp({42, 43}), Fp({42, 44})});
   }
-  registry.RemoveBaseSandbox(4);
-  auto hits = registry.FindBasePages(Fp({42}), 0, 0, 64);
+  registry.RemoveBaseSandbox(SandboxId{4});
+  auto hits = registry.FindBasePages(Fp({42}), NodeId{0}, kNoSandbox, 64);
   EXPECT_EQ(hits.size(), 18u) << "9 sandboxes x 2 pages holding key 42";
   for (const auto& hit : hits) {
-    EXPECT_NE(hit.location.sandbox, 4u);
+    EXPECT_NE(hit.location.sandbox, SandboxId{4});
   }
   RegistryStats stats = registry.stats();
   EXPECT_EQ(stats.num_base_sandboxes, 9u);
@@ -149,15 +150,15 @@ TEST(RegistryConcurrencyTest, CopyPreservesStateWithFreshLocks) {
   // Chain-replication re-sync copy-assigns registries; the copy must be a
   // deep, independent clone.
   FingerprintRegistry original({.num_shards = 4});
-  original.InsertBaseSandbox(0, 7, SandboxFingerprints(7));
-  original.Ref(7);
+  original.InsertBaseSandbox(NodeId{0}, SandboxId{7}, SandboxFingerprints(SandboxId{7}));
+  original.Ref(SandboxId{7});
   FingerprintRegistry copy(original);
-  EXPECT_TRUE(copy.IsBaseSandbox(7));
-  EXPECT_EQ(copy.RefCount(7), 1);
+  EXPECT_TRUE(copy.IsBaseSandbox(SandboxId{7}));
+  EXPECT_EQ(copy.RefCount(SandboxId{7}), 1);
   EXPECT_EQ(copy.stats().num_entries, original.stats().num_entries);
-  copy.RemoveBaseSandbox(7);
-  EXPECT_FALSE(copy.IsBaseSandbox(7));
-  EXPECT_TRUE(original.IsBaseSandbox(7)) << "copies do not alias the source";
+  copy.RemoveBaseSandbox(SandboxId{7});
+  EXPECT_FALSE(copy.IsBaseSandbox(SandboxId{7}));
+  EXPECT_TRUE(original.IsBaseSandbox(SandboxId{7})) << "copies do not alias the source";
 }
 
 }  // namespace

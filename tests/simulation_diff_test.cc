@@ -23,7 +23,7 @@ namespace {
 struct WorkloadResult {
   std::vector<uint64_t> fire_sequence;  // event labels in fire order
   uint64_t events_processed = 0;
-  SimTime end_time = 0;
+  SimTime end_time;
 };
 
 // A deterministic randomized workload driven purely through the public API.
@@ -51,7 +51,7 @@ WorkloadResult RunWorkload(SimulationOptions opts, uint64_t seed, SimOpLog* log 
       const int children = static_cast<int>(local.Range(1, 3));
       for (int c = 0; c < children; ++c) {
         const uint64_t child = next_label++;
-        const SimDuration delay = local.Range(0, 40'000);
+        const SimDuration delay{local.Range(0, 40'000)};
         handles.push_back(
             sim.ScheduleAfter(delay, [&fire, child, depth] { fire(child, depth + 1); }));
       }
@@ -61,21 +61,21 @@ WorkloadResult RunWorkload(SimulationOptions opts, uint64_t seed, SimOpLog* log 
     }
   };
 
-  SimTime horizon = 0;
+  SimTime horizon;
   for (int chunk = 0; chunk < 5; ++chunk) {
     for (int i = 0; i < 120; ++i) {
       const uint64_t label = next_label++;
       // Mix of near (in-bucket), mid (in-window), and far (overflow) delays.
-      SimDuration delay = 0;
+      SimDuration delay;
       switch (rng.Below(3)) {
         case 0:
-          delay = rng.Range(0, 100);
+          delay = SimDuration{rng.Range(0, 100)};
           break;
         case 1:
-          delay = rng.Range(0, 20'000);
+          delay = SimDuration{rng.Range(0, 20'000)};
           break;
         default:
-          delay = rng.Range(0, 2'000'000);
+          delay = SimDuration{rng.Range(0, 2'000'000)};
           break;
       }
       handles.push_back(
@@ -84,7 +84,7 @@ WorkloadResult RunWorkload(SimulationOptions opts, uint64_t seed, SimOpLog* log 
     for (int i = 0; i < 30 && !handles.empty(); ++i) {
       sim.Cancel(handles[rng.Below(handles.size())]);
     }
-    horizon += 300'000;
+    horizon += SimDuration{300'000};
     sim.RunUntil(horizon);
   }
   sim.Run();

@@ -21,9 +21,9 @@ INSTANTIATE_TEST_SUITE_P(Engines, SimulationTest,
 
 TEST_P(SimulationTest, EventsFireInTimeOrder) {
   std::vector<int> order;
-  sim.Schedule(30, [&] { order.push_back(3); });
-  sim.Schedule(10, [&] { order.push_back(1); });
-  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Schedule(SimTime{30}, [&] { order.push_back(3); });
+  sim.Schedule(SimTime{10}, [&] { order.push_back(1); });
+  sim.Schedule(SimTime{20}, [&] { order.push_back(2); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.events_processed(), 3u);
@@ -31,33 +31,33 @@ TEST_P(SimulationTest, EventsFireInTimeOrder) {
 
 TEST_P(SimulationTest, EqualTimesFifoByScheduleOrder) {
   std::vector<int> order;
-  sim.Schedule(5, [&] { order.push_back(1); });
-  sim.Schedule(5, [&] { order.push_back(2); });
-  sim.Schedule(5, [&] { order.push_back(3); });
+  sim.Schedule(SimTime{5}, [&] { order.push_back(1); });
+  sim.Schedule(SimTime{5}, [&] { order.push_back(2); });
+  sim.Schedule(SimTime{5}, [&] { order.push_back(3); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST_P(SimulationTest, NowAdvancesWithEvents) {
-  SimTime seen = -1;
-  sim.Schedule(42, [&] { seen = sim.Now(); });
+  SimTime seen{-1};
+  sim.Schedule(SimTime{42}, [&] { seen = sim.Now(); });
   sim.Run();
-  EXPECT_EQ(seen, 42);
-  EXPECT_EQ(sim.Now(), 42);
+  EXPECT_EQ(seen, SimTime{42});
+  EXPECT_EQ(sim.Now(), SimTime{42});
 }
 
 TEST_P(SimulationTest, ScheduleAfterUsesCurrentTime) {
-  SimTime seen = -1;
-  sim.Schedule(10, [&] {
-    sim.ScheduleAfter(5, [&] { seen = sim.Now(); });
+  SimTime seen{-1};
+  sim.Schedule(SimTime{10}, [&] {
+    sim.ScheduleAfter(SimDuration{5}, [&] { seen = sim.Now(); });
   });
   sim.Run();
-  EXPECT_EQ(seen, 15);
+  EXPECT_EQ(seen, SimTime{15});
 }
 
 TEST_P(SimulationTest, CancelPreventsExecution) {
   bool fired = false;
-  EventId id = sim.Schedule(10, [&] { fired = true; });
+  EventId id = sim.Schedule(SimTime{10}, [&] { fired = true; });
   sim.Cancel(id);
   sim.Run();
   EXPECT_FALSE(fired);
@@ -65,7 +65,7 @@ TEST_P(SimulationTest, CancelPreventsExecution) {
 }
 
 TEST_P(SimulationTest, CancelIsIdempotent) {
-  EventId id = sim.Schedule(10, [] {});
+  EventId id = sim.Schedule(SimTime{10}, [] {});
   sim.Cancel(id);
   sim.Cancel(id);
   sim.Run();
@@ -73,8 +73,8 @@ TEST_P(SimulationTest, CancelIsIdempotent) {
 
 TEST_P(SimulationTest, CancelFromWithinEvent) {
   bool fired = false;
-  EventId later = sim.Schedule(20, [&] { fired = true; });
-  sim.Schedule(10, [&] { sim.Cancel(later); });
+  EventId later = sim.Schedule(SimTime{20}, [&] { fired = true; });
+  sim.Schedule(SimTime{10}, [&] { sim.Cancel(later); });
   sim.Run();
   EXPECT_FALSE(fired);
 }
@@ -86,12 +86,12 @@ TEST_P(SimulationTest, CancelFromWithinEvent) {
 TEST_P(SimulationTest, CancelSameTimePendingEvent) {
   std::vector<int> order;
   EventId victim = 0;
-  sim.Schedule(10, [&] {
+  sim.Schedule(SimTime{10}, [&] {
     order.push_back(1);
     sim.Cancel(victim);
   });
-  sim.Schedule(10, [&] { order.push_back(2); });
-  victim = sim.Schedule(10, [&] { order.push_back(3); });
+  sim.Schedule(SimTime{10}, [&] { order.push_back(2); });
+  victim = sim.Schedule(SimTime{10}, [&] { order.push_back(3); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
   EXPECT_EQ(sim.events_processed(), 2u);
@@ -99,11 +99,11 @@ TEST_P(SimulationTest, CancelSameTimePendingEvent) {
 
 TEST_P(SimulationTest, RunUntilStopsEarly) {
   std::vector<int> order;
-  sim.Schedule(10, [&] { order.push_back(1); });
-  sim.Schedule(100, [&] { order.push_back(2); });
-  sim.RunUntil(50);
+  sim.Schedule(SimTime{10}, [&] { order.push_back(1); });
+  sim.Schedule(SimTime{100}, [&] { order.push_back(2); });
+  sim.RunUntil(SimTime{50});
   EXPECT_EQ(order, (std::vector<int>{1}));
-  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(sim.Now(), SimTime{50});
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
@@ -112,11 +112,11 @@ TEST_P(SimulationTest, RunUntilStopsEarly) {
 // fires; one microsecond later stays queued.
 TEST_P(SimulationTest, RunUntilBoundaryIsInclusive) {
   std::vector<int> order;
-  sim.Schedule(50, [&] { order.push_back(1); });
-  sim.Schedule(51, [&] { order.push_back(2); });
-  sim.RunUntil(50);
+  sim.Schedule(SimTime{50}, [&] { order.push_back(1); });
+  sim.Schedule(SimTime{51}, [&] { order.push_back(2); });
+  sim.RunUntil(SimTime{50});
   EXPECT_EQ(order, (std::vector<int>{1}));
-  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(sim.Now(), SimTime{50});
   EXPECT_FALSE(sim.Empty());
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
@@ -127,11 +127,11 @@ TEST_P(SimulationTest, RunUntilBoundaryIsInclusive) {
 // engine folds such entries into the cursor bucket).
 TEST_P(SimulationTest, ScheduleAfterEarlyStop) {
   std::vector<int> order;
-  sim.Schedule(10, [&] { order.push_back(1); });
-  sim.RunUntil(1000);
-  EXPECT_EQ(sim.Now(), 1000);
-  sim.Schedule(1001, [&] { order.push_back(2); });
-  sim.Schedule(5000, [&] { order.push_back(3); });
+  sim.Schedule(SimTime{10}, [&] { order.push_back(1); });
+  sim.RunUntil(SimTime{1000});
+  EXPECT_EQ(sim.Now(), SimTime{1000});
+  sim.Schedule(SimTime{1001}, [&] { order.push_back(2); });
+  sim.Schedule(SimTime{5000}, [&] { order.push_back(3); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -139,11 +139,11 @@ TEST_P(SimulationTest, ScheduleAfterEarlyStop) {
 // Edge pin: events_processed counts fired events only — cancellations are
 // invisible to it no matter when they happen.
 TEST_P(SimulationTest, EventsProcessedExcludesCancelled) {
-  EventId a = sim.Schedule(10, [] {});
-  sim.Schedule(20, [] {});
-  EventId c = sim.Schedule(30, [] {});
+  EventId a = sim.Schedule(SimTime{10}, [] {});
+  sim.Schedule(SimTime{20}, [] {});
+  EventId c = sim.Schedule(SimTime{30}, [] {});
   sim.Cancel(a);
-  sim.Schedule(15, [&] { sim.Cancel(c); });
+  sim.Schedule(SimTime{15}, [&] { sim.Cancel(c); });
   sim.Run();
   EXPECT_EQ(sim.events_processed(), 2u);
   EXPECT_EQ(sim.stats().cancelled, 2u);
@@ -151,27 +151,27 @@ TEST_P(SimulationTest, EventsProcessedExcludesCancelled) {
 }
 
 TEST_P(SimulationTest, PastSchedulingRejected) {
-  sim.Schedule(10, [] {});
+  sim.Schedule(SimTime{10}, [] {});
   sim.Run();
-  EXPECT_THROW(sim.Schedule(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.Schedule(SimTime{5}, [] {}), std::invalid_argument);
 }
 
 TEST_P(SimulationTest, RecursiveSchedulingChain) {
   int count = 0;
   std::function<void()> tick = [&] {
     if (++count < 100) {
-      sim.ScheduleAfter(1, tick);
+      sim.ScheduleAfter(SimDuration{1}, tick);
     }
   };
-  sim.Schedule(0, tick);
+  sim.Schedule(SimTime{0}, tick);
   sim.Run();
   EXPECT_EQ(count, 100);
-  EXPECT_EQ(sim.Now(), 99);
+  EXPECT_EQ(sim.Now(), SimTime{99});
 }
 
 TEST_P(SimulationTest, EmptyReflectsPendingWork) {
   EXPECT_TRUE(sim.Empty());
-  EventId id = sim.Schedule(10, [] {});
+  EventId id = sim.Schedule(SimTime{10}, [] {});
   EXPECT_FALSE(sim.Empty());
   sim.Cancel(id);
   EXPECT_TRUE(sim.Empty());
@@ -180,14 +180,14 @@ TEST_P(SimulationTest, EmptyReflectsPendingWork) {
 // A stale handle must never cancel an unrelated event that recycled the same
 // arena slot (generation tags) or a recycled heap id.
 TEST_P(SimulationTest, StaleHandleCannotCancelRecycledSlot) {
-  EventId old_id = sim.Schedule(10, [] {});
+  EventId old_id = sim.Schedule(SimTime{10}, [] {});
   sim.Cancel(old_id);
   // Recycle aggressively: the calendar engine reuses the freed slot for the
   // very next schedule.
   bool fired = false;
   std::vector<EventId> ids;
   for (int i = 0; i < 8; ++i) {
-    ids.push_back(sim.Schedule(20 + i, [&] { fired = true; }));
+    ids.push_back(sim.Schedule(SimTime{20 + i}, [&] { fired = true; }));
   }
   sim.Cancel(old_id);  // stale: must be a no-op
   sim.Run();
@@ -203,7 +203,7 @@ TEST_P(SimulationTest, LargeCallbacksSupported) {
   };
   Big big;
   uint64_t sum = 0;
-  sim.Schedule(10, [&sum, big] {
+  sim.Schedule(SimTime{10}, [&sum, big] {
     for (uint64_t v : big.payload) {
       sum += v;
     }
@@ -217,12 +217,13 @@ TEST_P(SimulationTest, LargeCallbacksSupported) {
 // stepping through millions of empty buckets.
 TEST_P(SimulationTest, LongRangeTimersFire) {
   std::vector<SimTime> fired;
-  sim.Schedule(1, [&] { fired.push_back(sim.Now()); });
-  sim.Schedule(15 * kMinute, [&] { fired.push_back(sim.Now()); });
-  sim.Schedule(2 * kHour, [&] { fired.push_back(sim.Now()); });
+  sim.Schedule(SimTime{1}, [&] { fired.push_back(sim.Now()); });
+  sim.Schedule(SimTime{} + 15 * kMinute, [&] { fired.push_back(sim.Now()); });
+  sim.Schedule(SimTime{} + 2 * kHour, [&] { fired.push_back(sim.Now()); });
   sim.Run();
-  EXPECT_EQ(fired, (std::vector<SimTime>{1, 15 * kMinute, 2 * kHour}));
-  EXPECT_EQ(sim.Now(), 2 * kHour);
+  EXPECT_EQ(fired, (std::vector<SimTime>{SimTime{1}, SimTime{} + 15 * kMinute,
+                                       SimTime{} + 2 * kHour}));
+  EXPECT_EQ(sim.Now(), SimTime{} + 2 * kHour);
 }
 
 // Reserved seqs pin the tie-break order no matter when events physically
@@ -234,9 +235,9 @@ TEST_P(SimulationTest, ReservedSeqsPinEqualTimeOrder) {
   const uint64_t base = sim.ReserveSeqBlock(3);
   // Plain schedules issued *after* the reservation get later seqs, so at an
   // equal timestamp they fire after every reserved event.
-  sim.Schedule(10, [&] { order.push_back(99); });
+  sim.Schedule(SimTime{10}, [&] { order.push_back(99); });
   std::function<void(int)> chain = [&](int i) {
-    sim.ScheduleWithSeq(10, base + static_cast<uint64_t>(i), [&order, &chain, i] {
+    sim.ScheduleWithSeq(SimTime{10}, base + static_cast<uint64_t>(i), [&order, &chain, i] {
       if (i + 1 < 3) {
         chain(i + 1);
       }
@@ -256,18 +257,22 @@ TEST(SimulationGeometryTest, TinyWheelPreservesOrder) {
   opts.num_buckets_log2 = 2;   // 4-bucket wheel => 16 us window
   Simulation sim(opts);
   std::vector<SimTime> fired;
-  for (SimTime t : {900, 5, 300, 17, 16, 64, 3, 1000, 31}) {
+  for (int64_t t_us : {900, 5, 300, 17, 16, 64, 3, 1000, 31}) {
+    const SimTime t{t_us};
     sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
   }
   sim.Run();
-  EXPECT_EQ(fired, (std::vector<SimTime>{3, 5, 16, 17, 31, 64, 300, 900, 1000}));
+  EXPECT_EQ(fired,
+            (std::vector<SimTime>{SimTime{3}, SimTime{5}, SimTime{16}, SimTime{17},
+                                  SimTime{31}, SimTime{64}, SimTime{300}, SimTime{900},
+                                  SimTime{1000}}));
   EXPECT_GT(sim.stats().overflow_migrations, 0u);
 }
 
 TEST(SimulationStatsTest, CountersTrackActivity) {
   Simulation sim;
-  EventId a = sim.Schedule(10, [] {});
-  sim.Schedule(20, [] {});
+  EventId a = sim.Schedule(SimTime{10}, [] {});
+  sim.Schedule(SimTime{20}, [] {});
   sim.Cancel(a);
   sim.Run();
   const SimStats s = sim.stats();

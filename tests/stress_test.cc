@@ -32,7 +32,7 @@ class StressRig {
     if (dice < 30 || cluster_.AllSandboxes().empty()) {
       const auto& profile =
           FunctionBenchProfiles()[rng_.Below(FunctionBenchProfiles().size())];
-      Sandbox& sb = cluster_.Spawn(profile, static_cast<NodeId>(rng_.Below(3)), now);
+      Sandbox& sb = cluster_.Spawn(profile, NodeId{static_cast<int>(rng_.Below(3))}, now);
       cluster_.MarkWarm(sb, now);
       return 1;
     }
@@ -63,7 +63,7 @@ class StressRig {
     if (dice < 90) {  // run + complete (bumps generation)
       if (sb->state == SandboxState::kWarm) {
         cluster_.MarkRunning(*sb, now);
-        cluster_.MarkWarm(*sb, now + 1);
+        cluster_.MarkWarm(*sb, now + SimDuration{1});
         return 5;
       }
       return 0;
@@ -89,7 +89,8 @@ class StressRig {
 
   void CheckAccounting() {
     for (int n = 0; n < cluster_.NumNodes(); ++n) {
-      ASSERT_NEAR(cluster_.node(n).used_mb, cluster_.RecomputeNodeUsedMb(n), 1e-6)
+      const NodeId node{n};
+      ASSERT_NEAR(cluster_.node(node).used_mb, cluster_.RecomputeNodeUsedMb(node), 1e-6)
           << "node " << n;
     }
   }
@@ -103,9 +104,9 @@ class StressRig {
 
 TEST(StressTest, RandomOpsPreserveAccounting) {
   StressRig rig(0xbeef);
-  for (SimTime now = 0; now < 400; now += 2) {
+  for (SimTime now; now < SimTime{400}; now += SimDuration{2}) {
     rig.Step(now);
-    if (now % 50 == 0) {
+    if (now.value() % 50 == 0) {
       rig.CheckAccounting();
     }
   }
@@ -117,7 +118,7 @@ TEST(StressTest, AllRestoresByteExactUnderChurn) {
   // Heavy dedup/restore cycling: the Step() mix already verifies every
   // restore byte-exact; this run just drives many of them.
   int restores = 0;
-  for (SimTime now = 0; now < 800; now += 2) {
+  for (SimTime now; now < SimTime{800}; now += SimDuration{2}) {
     restores += (rig.Step(now) == 4) ? 1 : 0;
   }
   EXPECT_GE(restores, 10) << "the mix should have exercised real restores";
@@ -127,7 +128,7 @@ TEST(StressTest, DeterministicUnderFixedSeed) {
   auto run = [](uint64_t seed) {
     StressRig rig(seed);
     std::vector<int> tags;
-    for (SimTime now = 0; now < 300; now += 2) {
+    for (SimTime now; now < SimTime{300}; now += SimDuration{2}) {
       tags.push_back(rig.Step(now));
     }
     return std::make_pair(tags, rig.cluster_.TotalUsedMb());
@@ -145,21 +146,21 @@ TEST(StressTest, RefcountsReturnToZeroAfterFullDrain) {
   std::vector<SandboxId> bases;
   // A base per function, then dedup/restore churn, then drain everything.
   for (const auto& p : FunctionBenchProfiles()) {
-    Sandbox& sb = rig.cluster_.Spawn(p, 0, 0);
-    rig.cluster_.MarkWarm(sb, 0);
+    Sandbox& sb = rig.cluster_.Spawn(p, NodeId{0}, SimTime{});
+    rig.cluster_.MarkWarm(sb, SimTime{});
     rig.agent_.DesignateBase(sb);
     bases.push_back(sb.id);
   }
   std::vector<SandboxId> victims;
   for (int i = 0; i < 20; ++i) {
     const auto& p = FunctionBenchProfiles()[static_cast<size_t>(i) % 10];
-    Sandbox& sb = rig.cluster_.Spawn(p, 1, 0);
-    rig.cluster_.MarkWarm(sb, 0);
-    rig.agent_.DedupOp(sb, 1);
+    Sandbox& sb = rig.cluster_.Spawn(p, NodeId{1}, SimTime{});
+    rig.cluster_.MarkWarm(sb, SimTime{});
+    rig.agent_.DedupOp(sb, SimTime{1});
     victims.push_back(sb.id);
   }
   for (SandboxId id : victims) {
-    rig.agent_.RestoreOp(*rig.cluster_.Find(id), 2, /*verify=*/true);
+    rig.agent_.RestoreOp(*rig.cluster_.Find(id), SimTime{2}, /*verify=*/true);
   }
   for (SandboxId base : bases) {
     EXPECT_EQ(rig.registry_.RefCount(base), 0) << "base " << base;

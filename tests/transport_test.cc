@@ -18,35 +18,35 @@ namespace {
 // ---- LinkCost boundaries -------------------------------------------------
 
 TEST(LinkCostTest, ZeroBytesCostsLatencyAlone) {
-  EXPECT_EQ(LinkCost(0, {.latency = 3, .bandwidth_gbps = 10.0}), 3);
-  EXPECT_EQ(LinkCost(0, {.latency = 0, .bandwidth_gbps = 10.0}), 0);
+  EXPECT_EQ(LinkCost(Bytes{0}, {.latency = SimDuration{3}, .bandwidth_gbps = 10.0}), SimDuration{3});
+  EXPECT_EQ(LinkCost(Bytes{0}, {.latency = SimDuration{0}, .bandwidth_gbps = 10.0}), SimDuration{0});
 }
 
 TEST(LinkCostTest, SubMicrosecondTransferTruncatesToZero) {
   // 1 byte at 10 Gbps is 0.0008 us; truncation leaves the latency term only.
-  EXPECT_EQ(LinkCost(1, {.latency = 3, .bandwidth_gbps = 10.0}), 3);
+  EXPECT_EQ(LinkCost(Bytes{1}, {.latency = SimDuration{3}, .bandwidth_gbps = 10.0}), SimDuration{3});
   // 1249 bytes at 10 Gbps is 0.9992 us — still truncates to 0.
-  EXPECT_EQ(LinkCost(1249, {.latency = 3, .bandwidth_gbps = 10.0}), 3);
+  EXPECT_EQ(LinkCost(Bytes{1249}, {.latency = SimDuration{3}, .bandwidth_gbps = 10.0}), SimDuration{3});
   // 1250 bytes is exactly 1 us.
-  EXPECT_EQ(LinkCost(1250, {.latency = 3, .bandwidth_gbps = 10.0}), 4);
+  EXPECT_EQ(LinkCost(Bytes{1250}, {.latency = SimDuration{3}, .bandwidth_gbps = 10.0}), SimDuration{4});
 }
 
 TEST(LinkCostTest, PinsTheRdmaPageReadCost) {
   // The cost the whole repo's RDMA model is calibrated against: a 4 KiB page
   // over the default 3 us / 10 Gbps link is 3 + trunc(3.2768) = 6 us.
-  EXPECT_EQ(LinkCost(4096, {.latency = 3, .bandwidth_gbps = 10.0}), 6);
+  EXPECT_EQ(LinkCost(Bytes{4096}, {.latency = SimDuration{3}, .bandwidth_gbps = 10.0}), SimDuration{6});
 }
 
 TEST(LinkCostTest, HugeTransfersDoNotOverflow) {
   // 1 TiB at 10 Gbps: 2^40 * 8 / 10^4 us = 879,609,302.2 -> truncated.
   const size_t one_tib = size_t{1} << 40;
-  EXPECT_EQ(LinkCost(one_tib, {.latency = 3, .bandwidth_gbps = 10.0}),
-            3 + SimDuration{879609302});
+  EXPECT_EQ(LinkCost(Bytes{one_tib}, {.latency = SimDuration{3}, .bandwidth_gbps = 10.0}),
+            SimDuration{3} + SimDuration{879609302});
 }
 
 TEST(LinkCostTest, NonPositiveBandwidthMeansInfinite) {
-  EXPECT_EQ(LinkCost(size_t{1} << 40, {.latency = 7, .bandwidth_gbps = 0.0}), 7);
-  EXPECT_EQ(LinkCost(4096, {.latency = 7, .bandwidth_gbps = -1.0}), 7);
+  EXPECT_EQ(LinkCost(Bytes{size_t{1} << 40}, {.latency = SimDuration{7}, .bandwidth_gbps = 0.0}), SimDuration{7});
+  EXPECT_EQ(LinkCost(Bytes{4096}, {.latency = SimDuration{7}, .bandwidth_gbps = -1.0}), SimDuration{7});
 }
 
 // ---- Topology ------------------------------------------------------------
@@ -54,47 +54,47 @@ TEST(LinkCostTest, NonPositiveBandwidthMeansInfinite) {
 TEST(TopologyTest, ResolvesLocalRemoteAndOverrides) {
   Topology topo;
   topo.num_nodes = 4;
-  topo.remote = {.latency = 3, .bandwidth_gbps = 10.0};
-  topo.local = {.latency = 0, .bandwidth_gbps = 80.0};
-  EXPECT_EQ(topo.LinkFor(0, 0), topo.local);
-  EXPECT_EQ(topo.LinkFor(0, 1), topo.remote);
+  topo.remote = {.latency = SimDuration{3}, .bandwidth_gbps = 10.0};
+  topo.local = {.latency = SimDuration{0}, .bandwidth_gbps = 80.0};
+  EXPECT_EQ(topo.LinkFor(NodeId{0}, NodeId{0}), topo.local);
+  EXPECT_EQ(topo.LinkFor(NodeId{0}, NodeId{1}), topo.remote);
 
-  const LinkModel slow{.latency = 50, .bandwidth_gbps = 1.0};
-  topo.SetLink(0, 1, slow);
-  EXPECT_EQ(topo.LinkFor(0, 1), slow);
-  EXPECT_EQ(topo.LinkFor(1, 0), topo.remote) << "SetLink is directed";
+  const LinkModel slow{.latency = SimDuration{50}, .bandwidth_gbps = 1.0};
+  topo.SetLink(NodeId{0}, NodeId{1}, slow);
+  EXPECT_EQ(topo.LinkFor(NodeId{0}, NodeId{1}), slow);
+  EXPECT_EQ(topo.LinkFor(NodeId{1}, NodeId{0}), topo.remote) << "SetLink is directed";
 
-  topo.SetBidirectionalLink(2, 3, slow);
-  EXPECT_EQ(topo.LinkFor(2, 3), slow);
-  EXPECT_EQ(topo.LinkFor(3, 2), slow);
+  topo.SetBidirectionalLink(NodeId{2}, NodeId{3}, slow);
+  EXPECT_EQ(topo.LinkFor(NodeId{2}, NodeId{3}), slow);
+  EXPECT_EQ(topo.LinkFor(NodeId{3}, NodeId{2}), slow);
   // An override can even change the node-local fast path.
-  topo.SetLink(1, 1, slow);
-  EXPECT_EQ(topo.LinkFor(1, 1), slow);
+  topo.SetLink(NodeId{1}, NodeId{1}, slow);
+  EXPECT_EQ(topo.LinkFor(NodeId{1}, NodeId{1}), slow);
 }
 
 // ---- LatencyHistogram ----------------------------------------------------
 
 TEST(LatencyHistogramTest, PowerOfTwoBuckets) {
-  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
-  EXPECT_EQ(LatencyHistogram::BucketIndex(-5), 0u);
-  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1u);
-  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 2u);
-  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2u);
-  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{0}), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{-5}), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{1}), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{2}), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{3}), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{4}), 3u);
   // Values past the last bucket's range clamp into it.
-  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{1} << 40),
+  EXPECT_EQ(LatencyHistogram::BucketIndex(SimDuration{int64_t{1} << 40}),
             LatencyHistogram::kNumBuckets - 1);
 
-  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), 0);
-  EXPECT_EQ(LatencyHistogram::BucketUpperBound(1), 1);
-  EXPECT_EQ(LatencyHistogram::BucketUpperBound(2), 3);
-  EXPECT_EQ(LatencyHistogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), SimDuration{0});
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(1), SimDuration{1});
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(2), SimDuration{3});
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(3), SimDuration{7});
 
   LatencyHistogram h;
-  h.Record(0);
-  h.Record(1);
-  h.Record(3);
-  h.Record(3);
+  h.Record(SimDuration{0});
+  h.Record(SimDuration{1});
+  h.Record(SimDuration{3});
+  h.Record(SimDuration{3});
   EXPECT_EQ(h.Count(0), 1u);
   EXPECT_EQ(h.Count(1), 1u);
   EXPECT_EQ(h.Count(2), 2u);
@@ -106,31 +106,31 @@ TEST(LatencyHistogramTest, PowerOfTwoBuckets) {
 Topology SmallTopology() {
   Topology topo;
   topo.num_nodes = 4;
-  topo.remote = {.latency = 3, .bandwidth_gbps = 10.0};
-  topo.local = {.latency = 0, .bandwidth_gbps = 0.0};  // free same-node path
+  topo.remote = {.latency = SimDuration{3}, .bandwidth_gbps = 10.0};
+  topo.local = {.latency = SimDuration{0}, .bandwidth_gbps = 0.0};  // free same-node path
   return topo;
 }
 
 TEST(TransportTest, ChargesTheLinkCostModel) {
   Transport net(SmallTopology());
-  EXPECT_EQ(net.MessageCost(0, 1, 4096), 6);
-  EXPECT_EQ(net.MessageCost(0, 0, 4096), 0) << "node-local fast path";
+  EXPECT_EQ(net.MessageCost(NodeId{0}, NodeId{1}, Bytes{4096}), SimDuration{6});
+  EXPECT_EQ(net.MessageCost(NodeId{0}, NodeId{0}, Bytes{4096}), SimDuration{0}) << "node-local fast path";
 
-  auto sent = net.Send(MessageType::kBaseRead, 0, 1, 4096);
+  auto sent = net.Send(MessageType::kBaseRead, NodeId{0}, NodeId{1}, Bytes{4096});
   EXPECT_TRUE(sent.delivered);
-  EXPECT_EQ(sent.cost, 6);
+  EXPECT_EQ(sent.cost, SimDuration{6});
 }
 
 TEST(TransportTest, BatchedRequestAccounting) {
   Transport net(SmallTopology());
   // One lookup message carrying 64 logical page lookups.
-  net.Send(MessageType::kRegistryLookup, 0, 1, 64 * kRegistryWireBytesPerKey, 64);
-  net.Send(MessageType::kRegistryLookup, 0, 1, 8 * kRegistryWireBytesPerKey, 8);
+  net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{1}, Bytes{64} * kRegistryWireBytesPerKey.value(), 64);
+  net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{1}, Bytes{8} * kRegistryWireBytesPerKey.value(), 8);
   const TransportStats stats = net.stats();
   const MessageStats& ms = stats.For(MessageType::kRegistryLookup);
   EXPECT_EQ(ms.messages, 2u);
   EXPECT_EQ(ms.requests, 72u);
-  EXPECT_EQ(ms.bytes, 72u * kRegistryWireBytesPerKey);
+  EXPECT_EQ(ms.bytes, 72u * kRegistryWireBytesPerKey.value());
   EXPECT_EQ(ms.dropped, 0u);
   EXPECT_EQ(ms.latency.TotalCount(), 2u);
   // Other message types are untouched.
@@ -139,9 +139,9 @@ TEST(TransportTest, BatchedRequestAccounting) {
 
 TEST(TransportTest, StatsSeparatePerMessageType) {
   Transport net(SmallTopology());
-  net.Send(MessageType::kRegistryLookup, 0, 1, 100);
-  net.Send(MessageType::kBaseRead, 1, 2, 4096);
-  net.Send(MessageType::kControlDecision, 3, 0, 64);
+  net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{1}, Bytes{100});
+  net.Send(MessageType::kBaseRead, NodeId{1}, NodeId{2}, Bytes{4096});
+  net.Send(MessageType::kControlDecision, NodeId{3}, NodeId{0}, Bytes{64});
   TransportStats stats = net.stats();
   EXPECT_EQ(stats.TotalMessages(), 3u);
   EXPECT_EQ(stats.TotalBytes(), 100u + 4096u + 64u);
@@ -160,15 +160,15 @@ TEST(TransportTest, StatsAreOrderIndependent) {
   // the order (and thread) they are issued from — the determinism contract.
   std::vector<std::pair<NodeId, size_t>> sends;
   for (int i = 0; i < 64; ++i) {
-    sends.push_back({i % 3, static_cast<size_t>(i) * 512});
+    sends.push_back({NodeId{i % 3}, static_cast<size_t>(i) * 512});
   }
   Transport forward(SmallTopology());
   for (const auto& [dst, bytes] : sends) {
-    forward.Send(MessageType::kBaseRead, 3, dst, bytes);
+    (void)forward.Send(MessageType::kBaseRead, NodeId{3}, dst, Bytes{bytes});
   }
   Transport reversed(SmallTopology());
   for (auto it = sends.rbegin(); it != sends.rend(); ++it) {
-    reversed.Send(MessageType::kBaseRead, 3, it->first, it->second);
+    (void)reversed.Send(MessageType::kBaseRead, NodeId{3}, it->first, Bytes{it->second});
   }
   Transport threaded(SmallTopology());
   {
@@ -176,7 +176,7 @@ TEST(TransportTest, StatsAreOrderIndependent) {
     for (int w = 0; w < 4; ++w) {
       workers.emplace_back([&threaded, &sends, w] {
         for (size_t i = static_cast<size_t>(w); i < sends.size(); i += 4) {
-          threaded.Send(MessageType::kBaseRead, 3, sends[i].first, sends[i].second);
+          (void)threaded.Send(MessageType::kBaseRead, NodeId{3}, sends[i].first, Bytes{sends[i].second});
         }
       });
     }
@@ -194,26 +194,26 @@ TEST(TransportFaultTest, NodePartitionDropsBothDirections) {
   Transport net(SmallTopology());
   auto policy = std::make_shared<StaticFaultPolicy>();
   net.InstallFaultPolicy(policy);
-  EXPECT_TRUE(net.NodeUp(2));
+  EXPECT_TRUE(net.NodeUp(NodeId{2}));
 
-  policy->PartitionNode(2);
-  EXPECT_FALSE(net.NodeUp(2));
-  EXPECT_TRUE(net.NodeUp(1));
-  EXPECT_FALSE(net.Send(MessageType::kBaseRead, 0, 2, 4096).delivered);
-  EXPECT_FALSE(net.Send(MessageType::kBaseRead, 2, 0, 4096).delivered);
-  EXPECT_TRUE(net.Send(MessageType::kBaseRead, 0, 1, 4096).delivered);
+  policy->PartitionNode(NodeId{2});
+  EXPECT_FALSE(net.NodeUp(NodeId{2}));
+  EXPECT_TRUE(net.NodeUp(NodeId{1}));
+  EXPECT_FALSE(net.Send(MessageType::kBaseRead, NodeId{0}, NodeId{2}, Bytes{4096}).delivered);
+  EXPECT_FALSE(net.Send(MessageType::kBaseRead, NodeId{2}, NodeId{0}, Bytes{4096}).delivered);
+  EXPECT_TRUE(net.Send(MessageType::kBaseRead, NodeId{0}, NodeId{1}, Bytes{4096}).delivered);
 
-  policy->HealNode(2);
-  EXPECT_TRUE(net.NodeUp(2));
-  EXPECT_TRUE(net.Send(MessageType::kBaseRead, 0, 2, 4096).delivered);
+  policy->HealNode(NodeId{2});
+  EXPECT_TRUE(net.NodeUp(NodeId{2}));
+  EXPECT_TRUE(net.Send(MessageType::kBaseRead, NodeId{0}, NodeId{2}, Bytes{4096}).delivered);
 
   const TransportStats stats = net.stats();
   const MessageStats& ms = stats.For(MessageType::kBaseRead);
   EXPECT_EQ(ms.messages, 4u);
   EXPECT_EQ(ms.dropped, 2u);
   // Latency totals and the histogram cover delivered messages only.
-  EXPECT_EQ(ms.total_latency, 2 * 6);
-  EXPECT_EQ(ms.max_latency, 6);
+  EXPECT_EQ(ms.total_latency, SimDuration{2 * 6});
+  EXPECT_EQ(ms.max_latency, SimDuration{6});
   EXPECT_EQ(ms.latency.TotalCount(), 2u);
   EXPECT_DOUBLE_EQ(ms.MeanLatency(), 6.0);
 }
@@ -223,39 +223,39 @@ TEST(TransportFaultTest, LinkPartitionIsBidirectionalAndHealable) {
   auto policy = std::make_shared<StaticFaultPolicy>();
   net.InstallFaultPolicy(policy);
 
-  policy->PartitionLink(0, 1);
-  EXPECT_FALSE(net.Send(MessageType::kRegistryLookup, 0, 1, 24).delivered);
-  EXPECT_FALSE(net.Send(MessageType::kRegistryLookup, 1, 0, 24).delivered);
+  policy->PartitionLink(NodeId{0}, NodeId{1});
+  EXPECT_FALSE(net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{1}, Bytes{24}).delivered);
+  EXPECT_FALSE(net.Send(MessageType::kRegistryLookup, NodeId{1}, NodeId{0}, Bytes{24}).delivered);
   // Nodes stay up — only the one link is cut.
-  EXPECT_TRUE(net.NodeUp(0));
-  EXPECT_TRUE(net.Send(MessageType::kRegistryLookup, 0, 2, 24).delivered);
+  EXPECT_TRUE(net.NodeUp(NodeId{0}));
+  EXPECT_TRUE(net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{2}, Bytes{24}).delivered);
 
-  policy->HealLink(0, 1);
-  EXPECT_TRUE(net.Send(MessageType::kRegistryLookup, 0, 1, 24).delivered);
+  policy->HealLink(NodeId{0}, NodeId{1});
+  EXPECT_TRUE(net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{1}, Bytes{24}).delivered);
 }
 
 TEST(TransportFaultTest, TypeDelayAddsToCostOfThatTypeOnly) {
   Transport net(SmallTopology());
   auto policy = std::make_shared<StaticFaultPolicy>();
   net.InstallFaultPolicy(policy);
-  policy->SetTypeDelay(MessageType::kRegistryLookup, 100);
+  policy->SetTypeDelay(MessageType::kRegistryLookup, SimDuration{100});
 
-  auto lookup = net.Send(MessageType::kRegistryLookup, 0, 1, 0);
+  auto lookup = net.Send(MessageType::kRegistryLookup, NodeId{0}, NodeId{1}, Bytes{0});
   EXPECT_TRUE(lookup.delivered);
-  EXPECT_EQ(lookup.cost, 3 + 100);
-  auto read = net.Send(MessageType::kBaseRead, 0, 1, 4096);
-  EXPECT_EQ(read.cost, 6);
+  EXPECT_EQ(lookup.cost, SimDuration{3 + 100});
+  auto read = net.Send(MessageType::kBaseRead, NodeId{0}, NodeId{1}, Bytes{4096});
+  EXPECT_EQ(read.cost, SimDuration{6});
 }
 
 TEST(TransportFaultTest, ClearingThePolicyRestoresHealth) {
   Transport net(SmallTopology());
   auto policy = std::make_shared<StaticFaultPolicy>();
   net.InstallFaultPolicy(policy);
-  policy->PartitionNode(1);
-  EXPECT_FALSE(net.NodeUp(1));
+  policy->PartitionNode(NodeId{1});
+  EXPECT_FALSE(net.NodeUp(NodeId{1}));
   net.InstallFaultPolicy(nullptr);
-  EXPECT_TRUE(net.NodeUp(1));
-  EXPECT_TRUE(net.Send(MessageType::kBaseRead, 0, 1, 4096).delivered);
+  EXPECT_TRUE(net.NodeUp(NodeId{1}));
+  EXPECT_TRUE(net.Send(MessageType::kBaseRead, NodeId{0}, NodeId{1}, Bytes{4096}).delivered);
 }
 
 }  // namespace

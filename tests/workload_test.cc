@@ -17,8 +17,8 @@ TEST(WorkloadTest, TraceIsSortedAndBounded) {
                                return a.time < b.time;
                              }));
   for (const TraceEvent& e : trace) {
-    EXPECT_GE(e.time, 0);
-    EXPECT_LT(e.time, opts.duration);
+    EXPECT_GE(e.time, SimTime{});
+    EXPECT_LT(e.time, SimTime{} + opts.duration);
     EXPECT_GE(e.function, 0);
     EXPECT_LT(e.function, 10);
   }
@@ -112,7 +112,7 @@ TEST(WorkloadTest, BurstyHasQuietPeriods) {
   auto trace = GenerateTrace({p}, opts);
   ASSERT_GT(trace.size(), 5u);
   // There must exist gaps far longer than the ON-phase inter-arrival time.
-  SimDuration max_gap = 0;
+  SimDuration max_gap;
   for (size_t i = 1; i < trace.size(); ++i) {
     max_gap = std::max(max_gap, trace[i].time - trace[i - 1].time);
   }
