@@ -8,13 +8,21 @@ Checks, without external dependencies:
     capacity-campaign fields with sane values, the engine comparison proved
     bit-identical fire order (fire_hash_match), and the pre-refactor baseline
     produced identical workload-visible metrics (metrics_match);
+  - for restore_latency reports (bench/fig8_breakdown): every sweep entry
+    carries the eager-vs-lazy critical-path percentiles with sane values and
+    a working-set hit rate in [0,1]; --min-lazy-p99-speedup gates the
+    eager/lazy P99 ratio at the largest node count;
   - optional floor gates on scheduler throughput (--min-replay-events-per-sec,
     from the op-stream replay, which is machine-dependent but far above any
     plausible regression) and on the scheduler-isolated before/after ratio
-    (--min-speedup, against scheduler_speedup_vs_pre_refactor).
+    (--min-speedup, against scheduler_speedup_vs_pre_refactor);
+  - --compare-ignoring-metadata OTHER checks two reports for payload equality
+    after dropping the metadata block (which carries wall clock and thread
+    count) — the determinism contract across MEDES_THREADS settings.
 
 Usage: check_bench_json.py FILE [--bench NAME] [--min-replay-events-per-sec N]
-                                [--min-speedup X]
+                                [--min-speedup X] [--min-lazy-p99-speedup X]
+                                [--compare-ignoring-metadata OTHER]
 Exits non-zero with a message on the first violation.
 """
 
@@ -105,6 +113,89 @@ def check_cluster_scale(doc: dict, args: argparse.Namespace) -> str:
             f"scheduler {baseline['scheduler_speedup_vs_pre_refactor']:.2f}x")
 
 
+RESTORE_SWEEP_FIELDS = {
+    "nodes": (int,),
+    "rate_scale": (int, float),
+    "trace_duration_s": (int, float),
+    "requests": (int,),
+    "eager_restores": (int,),
+    "lazy_restores": (int,),
+    "eager_p50_ms": (int, float),
+    "eager_p99_ms": (int, float),
+    "lazy_p50_ms": (int, float),
+    "lazy_p99_ms": (int, float),
+    "lazy_p99_speedup": (int, float),
+    "ws_hit_rate": (int, float),
+    "ws_fault_pages": (int,),
+    "background_completions": (int,),
+    "background_pages": (int,),
+}
+
+RESTORE_FUNCTION_FIELDS = {
+    "function": (str,),
+    "eager_total_ms": (int, float),
+    "lazy_critical_ms": (int, float),
+    "lazy_fault_ms": (int, float),
+    "lazy_background_pages": (int,),
+    "cold_start_ms": (int, float),
+}
+
+
+def check_restore_latency(doc: dict, args: argparse.Namespace) -> str:
+    per_function = doc.get("per_function")
+    if not isinstance(per_function, list) or not per_function:
+        fail("per_function: expected a non-empty array")
+    for i, entry in enumerate(per_function):
+        block = f"per_function[{i}]"
+        require(entry, block, RESTORE_FUNCTION_FIELDS)
+        if entry["lazy_critical_ms"] <= 0 or entry["eager_total_ms"] <= 0:
+            fail(f"{block}: non-positive restore time")
+        if entry["lazy_critical_ms"] >= entry["eager_total_ms"]:
+            fail(f"{block}: trained lazy critical path not below eager total")
+
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail("sweep: expected a non-empty array")
+    for i, entry in enumerate(sweep):
+        block = f"sweep[{i}]"
+        require(entry, block, RESTORE_SWEEP_FIELDS)
+        if entry["requests"] <= 0:
+            fail(f"{block}: empty run")
+        if entry["eager_restores"] <= 0 or entry["lazy_restores"] <= 0:
+            fail(f"{block}: no restores measured (eager={entry['eager_restores']}, "
+                 f"lazy={entry['lazy_restores']})")
+        if not 0 <= entry["ws_hit_rate"] <= 1:
+            fail(f"{block}: ws_hit_rate out of [0,1]")
+        if entry["eager_p99_ms"] <= 0 or entry["lazy_p99_ms"] <= 0:
+            fail(f"{block}: non-positive P99")
+
+    top = max(sweep, key=lambda e: e["nodes"])
+    speedup = top["eager_p99_ms"] / top["lazy_p99_ms"]
+    if speedup < args.min_lazy_p99_speedup:
+        fail(f"lazy P99 speedup {speedup:.2f}x at {top['nodes']} nodes "
+             f"below floor {args.min_lazy_p99_speedup:.2f}x")
+    return (f"{len(sweep)} sweep points, lazy P99 {speedup:.2f}x vs eager at "
+            f"{top['nodes']} nodes, hit rate {top['ws_hit_rate']:.0%}")
+
+
+def compare_ignoring_metadata(path_a: str, path_b: str) -> None:
+    docs = []
+    for path in (path_a, path_b):
+        with open(path, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{path}: not valid JSON: {e}")
+        if not isinstance(doc, dict):
+            fail(f"{path}: top level is not an object")
+        doc.pop("metadata", None)
+        docs.append(doc)
+    if docs[0] != docs[1]:
+        fail(f"payload mismatch between {path_a} and {path_b} "
+             "(reports must be identical ignoring metadata)")
+    print(f"{path_a} == {path_b} (ignoring metadata)")
+
+
 def check(path: str, args: argparse.Namespace) -> int:
     with open(path, encoding="utf-8") as f:
         try:
@@ -123,6 +214,8 @@ def check(path: str, args: argparse.Namespace) -> int:
     detail = "generic bench report"
     if metadata["bench"] == "cluster_scale":
         detail = check_cluster_scale(doc, args)
+    elif metadata["bench"] == "restore_latency":
+        detail = check_restore_latency(doc, args)
     print(f"{path}: OK ({detail})")
     return 0
 
@@ -133,7 +226,13 @@ def main() -> int:
     parser.add_argument("--bench", default="", help="required metadata.bench name")
     parser.add_argument("--min-replay-events-per-sec", type=float, default=0.0)
     parser.add_argument("--min-speedup", type=float, default=0.0)
+    parser.add_argument("--min-lazy-p99-speedup", type=float, default=0.0)
+    parser.add_argument("--compare-ignoring-metadata", default="",
+                        metavar="OTHER", help="second report to diff against")
     args = parser.parse_args()
+    if args.compare_ignoring_metadata:
+        compare_ignoring_metadata(args.file, args.compare_ignoring_metadata)
+        return 0
     return check(args.file, args)
 
 

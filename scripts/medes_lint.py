@@ -301,6 +301,14 @@ STD_SYMBOL_HEADERS = {
     "std::atomic": "<atomic>",
     "std::thread": "<thread>",
     "std::ostream": "<ostream>",
+    "std::pair": "<utility>",
+    "std::tuple": "<tuple>",
+    "std::nullopt": "<optional>",
+    "std::weak_ptr": "<memory>",
+    "std::byte": "<cstddef>",
+    "std::runtime_error": "<stdexcept>",
+    "std::logic_error": "<stdexcept>",
+    "std::out_of_range": "<stdexcept>",
 }
 INCLUDE_RE = re.compile(r'^\s*#include\s+([<"][^>"]+[>"])')
 WORD_BOUNDARY = r"(?![\w])"

@@ -118,15 +118,17 @@ void Cluster::MarkDedup(Sandbox& sb, SimTime now) {
   AddUsage(sb.node, sb.dedup_footprint_mb - before);
 }
 
-void Cluster::MarkRestored(Sandbox& sb, SimTime now) {
+void Cluster::MarkRestored(Sandbox& sb, SimTime now, bool release_checkpoint) {
   if (sb.state != SandboxState::kDedup) {
     throw std::logic_error("MarkRestored: sandbox not in dedup state");
   }
   const double before = sb.dedup_footprint_mb;
   SetState(sb, SandboxState::kWarm);
   sb.idle_since = now;
-  sb.checkpoint.reset();
-  sb.patches.clear();
+  if (release_checkpoint) {
+    sb.checkpoint.reset();
+    sb.patches.clear();
+  }
   sb.dedup_footprint_mb = 0;
   AddUsage(sb.node, WarmFootprintMb(sb) - before);
 }

@@ -192,8 +192,11 @@ class Cluster {
   // kWarm -> kDedup: the caller (dedup agent) already installed the
   // checkpoint + patches; this adjusts accounting.
   void MarkDedup(Sandbox& sb, SimTime now);
-  // kDedup -> kWarm (after a restore op).
-  void MarkRestored(Sandbox& sb, SimTime now);
+  // kDedup -> kWarm (after a restore op). Memory accounting switches to the
+  // full warm footprint either way; `release_checkpoint` additionally drops
+  // the checkpoint and patch records. Lazy restores pass false — their
+  // background phase still needs both and releases them on completion.
+  void MarkRestored(Sandbox& sb, SimTime now, bool release_checkpoint = true);
 
   // ---- Base snapshots --------------------------------------------------
 

@@ -137,7 +137,7 @@ IdleDecision MedesController::DecideIdleExpiry(const Sandbox& sb, SimTime now) {
   // an undelivered decision just leaves the sandbox warm until the next
   // idle-period expiry re-raises it.
   if (transport_ != nullptr) {
-    transport_->Send(MessageType::kControlDecision, controller_node_, sb.node,
+    (void)transport_->Send(MessageType::kControlDecision, controller_node_, sb.node,
                      kControlDecisionBytes);
   }
   const FunctionId f = sb.function;

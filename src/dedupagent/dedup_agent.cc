@@ -4,11 +4,13 @@
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "workload/access_model.h"
 
 namespace medes {
 
@@ -31,6 +33,12 @@ struct AgentInstruments {
   obs::Histogram* restore_base_read_us;
   obs::Histogram* restore_compute_us;
   obs::Histogram* restore_criu_us;
+  obs::Counter* ws_hit_pages;
+  obs::Counter* ws_fault_pages;
+  obs::Counter* background_pages;
+  obs::Histogram* restore_critical_us;
+  obs::Histogram* restore_fault_us;
+  obs::Histogram* restore_background_us;
 };
 
 const AgentInstruments& Instruments() {
@@ -68,12 +76,36 @@ const AgentInstruments& Instruments() {
             "medes_restore_compute_us", "Restore stage: original page computing (us)"),
         .restore_criu_us = &registry.GetHistogram(
             "medes_restore_criu_us", "Restore stage: sandbox restoration via CRIU (us)"),
+        .ws_hit_pages = &registry.GetCounter("medes_restore_ws_hit_pages_total",
+                                             "Touched pages the predicted working set covered"),
+        .ws_fault_pages = &registry.GetCounter(
+            "medes_restore_ws_fault_pages_total",
+            "Touched pages outside the predicted working set (demand faults)"),
+        .background_pages = &registry.GetCounter(
+            "medes_restore_background_pages_total",
+            "Patched pages deferred to the background restore phase"),
+        .restore_critical_us = &registry.GetHistogram(
+            "medes_restore_critical_us", "Critical-path restore latency before resume (us)"),
+        .restore_fault_us = &registry.GetHistogram(
+            "medes_restore_fault_us", "Post-resume demand-fault penalty (us)"),
+        .restore_background_us = &registry.GetHistogram(
+            "medes_restore_background_us", "Background restore phase duration (us)"),
     };
   }();
   return instruments;
 }
 
 }  // namespace
+
+const char* ToString(RestoreMode mode) {
+  switch (mode) {
+    case RestoreMode::kLazy:
+      return "lazy";
+    case RestoreMode::kEager:
+      return "eager";
+  }
+  return "?";
+}
 
 DedupAgent::DedupAgent(Cluster& cluster, RegistryBackend& registry, RdmaFabric& fabric,
                        DedupAgentOptions options)
@@ -82,7 +114,10 @@ DedupAgent::DedupAgent(Cluster& cluster, RegistryBackend& registry, RdmaFabric& 
       fabric_(fabric),
       options_(options),
       fingerprinter_(options.fingerprint),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      working_sets_(options.working_sets != nullptr
+                        ? options.working_sets
+                        : std::make_shared<WorkingSetTable>(options.working_set)) {}
 
 double DedupAgent::ScaleFactor() const {
   return static_cast<double>(1 << 20) / static_cast<double>(cluster_.options().bytes_per_mb);
@@ -100,6 +135,20 @@ std::vector<PageFingerprint> DedupAgent::FingerprintPages(const MemoryCheckpoint
 DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   if (sb.state != SandboxState::kWarm) {
     throw std::logic_error("DedupOp: sandbox must be warm");
+  }
+  // Re-dedup while a lazy restore's background phase is still outstanding:
+  // the fresh checkpoint captured below supersedes the old one, so abandon
+  // the pending fetch and release the leftover base refs instead of pulling
+  // pages nobody will read.
+  if (HasPendingBackgroundRestore(sb.id)) {
+    for (const PatchRecord& record : sb.patches) {
+      for (const PageLocation& base : record.bases) {
+        registry_.Unref(base.sandbox);
+      }
+    }
+    sb.patches.clear();
+    sb.checkpoint.reset();
+    AbandonBackgroundRestore(sb.id);
   }
   DedupOpResult result;
   const double scale = ScaleFactor();
@@ -295,7 +344,13 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
   if (sb.state != SandboxState::kDedup || !sb.checkpoint.has_value()) {
     throw std::logic_error("RestoreOp: sandbox not in dedup state");
   }
+  return options_.restore_mode == RestoreMode::kEager ? RestoreEager(sb, now, verify)
+                                                      : RestoreLazy(sb, now, verify);
+}
+
+RestoreOpResult DedupAgent::RestoreEager(Sandbox& sb, SimTime now, bool verify) {
   RestoreOpResult result;
+  result.mode = RestoreMode::kEager;
   const double scale = ScaleFactor();
   MemoryCheckpoint& cp = *sb.checkpoint;
   const bool payloads = !cp.payloads_dropped();
@@ -353,6 +408,7 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
   }
   result.sandbox_restore_time = criu;
   result.total_time = result.read_base_time + result.compute_time + result.sandbox_restore_time;
+  result.critical_path_time = result.total_time;
 
   if (verify && payloads) {
     std::vector<uint8_t> reconstructed = cp.ToBytes();
@@ -401,6 +457,344 @@ RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
     stage("restore/criu_rebuild", result.sandbox_restore_time);
   }
   return result;
+}
+
+std::vector<std::vector<uint8_t>> DedupAgent::FetchBasesBatched(
+    Sandbox& sb, const std::vector<size_t>& records, SimDuration* cost, size_t* pages_read,
+    size_t* bytes_read, size_t* remote_reads) {
+  std::vector<PageLocation> locations;
+  size_t total_bases = 0;
+  for (size_t idx : records) {
+    total_bases += sb.patches[idx].bases.size();
+  }
+  locations.reserve(total_bases);
+  for (size_t idx : records) {
+    for (const PageLocation& base : sb.patches[idx].bases) {
+      locations.push_back(base);
+    }
+  }
+  std::vector<std::vector<uint8_t>> pages = fabric_.ReadPageBatch(locations, sb.node, cost);
+  std::vector<std::vector<uint8_t>> base_bytes(records.size());
+  size_t k = 0;
+  for (size_t j = 0; j < records.size(); ++j) {
+    const PatchRecord& record = sb.patches[records[j]];
+    base_bytes[j].reserve(record.bases.size() * kPageSize);
+    for (const PageLocation& base : record.bases) {
+      std::vector<uint8_t>& one = pages[k++];
+      ++*pages_read;
+      *bytes_read += one.size();
+      if (base.node != sb.node) {
+        ++*remote_reads;
+      }
+      base_bytes[j].insert(base_bytes[j].end(), one.begin(), one.end());
+      registry_.Unref(base.sandbox);
+    }
+  }
+  return base_bytes;
+}
+
+size_t DedupAgent::DecodeAndRestore(Sandbox& sb, const std::vector<size_t>& records,
+                                    std::vector<std::vector<uint8_t>>& base_bytes) {
+  MemoryCheckpoint& cp = *sb.checkpoint;
+  const bool payloads = !cp.payloads_dropped();
+  size_t patch_bytes_applied = 0;
+  for (size_t idx : records) {
+    patch_bytes_applied += cp.PatchSize(sb.patches[idx].page.value());
+  }
+  std::vector<std::vector<uint8_t>> originals(records.size());
+  pool_->ParallelFor(0, records.size(), [&](size_t j) {
+    if (payloads) {
+      DeltaDecodeInto(base_bytes[j], cp.PatchData(sb.patches[records[j]].page.value()),
+                      originals[j]);
+    } else {
+      originals[j] = std::vector<uint8_t>(kPageSize, 0);
+    }
+  });
+  for (size_t j = 0; j < records.size(); ++j) {
+    cp.RestorePage(sb.patches[records[j]].page.value(), std::move(originals[j]));
+  }
+  return patch_bytes_applied;
+}
+
+RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
+  RestoreOpResult result;
+  result.mode = RestoreMode::kLazy;
+  const double scale = ScaleFactor();
+  MemoryCheckpoint& cp = *sb.checkpoint;
+  const bool payloads = !cp.payloads_dropped();
+  const size_t num_pages = cp.NumPages();
+  const FunctionProfile& profile = cluster_.ProfileOf(sb);
+  auto scaled = [](double v) { return SimDuration{static_cast<int64_t>(v)}; };
+
+  // 1. Predict the working set from *prior* invocations, then model the
+  // upcoming invocation's touched pages and fold them into the EMA. An
+  // unprofiled function prefetches the full image — the self-warming first
+  // restore behaves exactly like an eager one (minus read batching).
+  std::optional<std::vector<PageIndex>> predicted =
+      working_sets_->Predict(sb.function, num_pages);
+  std::vector<uint8_t> in_ws(num_pages, 1);
+  if (predicted.has_value()) {
+    std::fill(in_ws.begin(), in_ws.end(), 0);
+    for (PageIndex p : *predicted) {
+      in_ws[p.value()] = 1;
+    }
+    result.ws_predicted_pages = predicted->size();
+  } else {
+    result.ws_predicted_pages = num_pages;
+  }
+  const std::vector<PageIndex> touched =
+      PostResumeAccessTrace(profile, num_pages, sb.generation + 1);
+  result.ws_touched_pages = touched.size();
+  std::vector<uint8_t> touched_map(num_pages, 0);
+  for (PageIndex p : touched) {
+    touched_map[p.value()] = 1;
+    if (in_ws[p.value()] != 0) {
+      ++result.ws_hit_pages;
+    } else {
+      ++result.ws_fault_pages;
+    }
+  }
+  working_sets_->Record(sb.function, touched, num_pages);
+
+  // 2. Partition the patch records: critical path (predicted working set),
+  // demand faults (touched but not predicted), background (everything else).
+  std::vector<size_t> critical_records;
+  std::vector<size_t> fault_records;
+  std::vector<size_t> background_records;
+  for (size_t i = 0; i < sb.patches.size(); ++i) {
+    const uint32_t page = sb.patches[i].page.value();
+    if (in_ws[page] != 0) {
+      critical_records.push_back(i);
+    } else if (touched_map[page] != 0) {
+      fault_records.push_back(i);
+    } else {
+      background_records.push_back(i);
+    }
+  }
+
+  // 3. Critical path: one batched fetch of the working set's bases (one
+  // coalesced message per owner node), parallel decode, and a CRIU rebuild
+  // that maps only the predicted pages.
+  SimDuration ws_fetch_cost;
+  std::vector<std::vector<uint8_t>> critical_bases =
+      FetchBasesBatched(sb, critical_records, &ws_fetch_cost, &result.base_pages_read,
+                        &result.base_bytes_read, &result.remote_reads);
+  const size_t critical_base_bytes = result.base_bytes_read;
+  const size_t critical_patch_bytes = DecodeAndRestore(sb, critical_records, critical_bases);
+
+  // 4. Demand faults: touched pages the prediction missed. Still-patched
+  // ones pay an unbatched on-demand fetch + decode; every mispredicted
+  // touch pays the minor-fault trap cost. This is the penalty that keeps a
+  // bad working set from being free.
+  SimDuration fault_fetch_cost;
+  size_t fault_base_bytes = 0;
+  std::vector<std::vector<uint8_t>> fault_bases(fault_records.size());
+  for (size_t j = 0; j < fault_records.size(); ++j) {
+    const PatchRecord& record = sb.patches[fault_records[j]];
+    fault_bases[j].reserve(record.bases.size() * kPageSize);
+    for (const PageLocation& base : record.bases) {
+      std::vector<uint8_t> one = fabric_.ReadPage(base, sb.node, &fault_fetch_cost);
+      ++result.base_pages_read;
+      result.base_bytes_read += one.size();
+      fault_base_bytes += one.size();
+      if (base.node != sb.node) {
+        ++result.remote_reads;
+      }
+      fault_bases[j].insert(fault_bases[j].end(), one.begin(), one.end());
+      registry_.Unref(base.sandbox);
+    }
+  }
+  const size_t fault_patch_bytes = DecodeAndRestore(sb, fault_records, fault_bases);
+
+  // 5. Modelled timing. The Fig. 8 components cover the critical phase; the
+  // fault penalty lands after resume and is reported separately (the
+  // platform still charges it to the request's startup).
+  result.read_base_time = scaled(static_cast<double>(ws_fetch_cost.value()) * scale);
+  result.compute_time =
+      scaled(static_cast<double>(critical_base_bytes + critical_patch_bytes) * scale /
+             options_.patch_bytes_per_us);
+  SimDuration criu = scaled(static_cast<double>(options_.criu.restore_per_page.value()) *
+                            static_cast<double>(result.ws_predicted_pages) * scale);
+  if (!sb.namespaces_prepared) {
+    criu += options_.criu.namespace_and_ptree;
+  }
+  result.sandbox_restore_time = criu;
+  result.critical_path_time =
+      result.read_base_time + result.compute_time + result.sandbox_restore_time;
+  result.fault_time =
+      scaled((static_cast<double>(options_.minor_fault_cost.value()) *
+                  static_cast<double>(result.ws_fault_pages) +
+              static_cast<double>(options_.major_fault_cost.value()) *
+                  static_cast<double>(fault_records.size()) +
+              static_cast<double>(fault_fetch_cost.value())) *
+                 scale +
+             static_cast<double>(fault_base_bytes + fault_patch_bytes) * scale /
+                 options_.patch_bytes_per_us);
+  result.total_time = result.critical_path_time + result.fault_time;
+
+  // 6. Background bookkeeping. With nothing deferred the restore completed
+  // in one phase: verify now and release the checkpoint. Otherwise keep the
+  // background records (and their base refs) on the sandbox and remember
+  // the expected image digest — the source image regenerates differently
+  // once the sandbox runs again, so verification must pin it here.
+  result.background_pages = background_records.size();
+  result.background_pending = !background_records.empty();
+  if (!result.background_pending) {
+    if (verify && payloads) {
+      std::vector<uint8_t> reconstructed = cp.ToBytes();
+      MemoryImage original = cluster_.BuildImage(sb);
+      if (reconstructed.size() != original.SizeBytes() ||
+          std::memcmp(reconstructed.data(), original.bytes().data(), reconstructed.size()) != 0) {
+        throw std::logic_error("RestoreLazy: reconstruction does not match the original image");
+      }
+      result.verified = true;
+    }
+    sb.patches.clear();
+    cluster_.MarkRestored(sb, now, /*release_checkpoint=*/true);
+  } else {
+    std::vector<PatchRecord> remaining;
+    remaining.reserve(background_records.size());
+    for (size_t idx : background_records) {
+      remaining.push_back(std::move(sb.patches[idx]));
+    }
+    sb.patches = std::move(remaining);
+    PendingRestore pending;
+    pending.verify = verify && payloads;
+    if (pending.verify) {
+      MemoryImage original = cluster_.BuildImage(sb);
+      pending.expected = Sha1::Hash(original.bytes());
+    }
+    {
+      MutexLock lock(pending_mu_);
+      pending_[sb.id] = pending;
+    }
+    cluster_.MarkRestored(sb, now, /*release_checkpoint=*/false);
+  }
+
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.restore_ops;
+    ++stats_.lazy_restores;
+    stats_.pages_restored += critical_records.size() + fault_records.size();
+    stats_.base_bytes_read += result.base_bytes_read;
+    stats_.ws_fault_pages += result.ws_fault_pages;
+  }
+  if (obs::MetricsEnabled()) {
+    const AgentInstruments& ins = Instruments();
+    ins.restore_ops->Add(1);
+    ins.base_pages_read->Add(result.base_pages_read);
+    ins.ws_hit_pages->Add(result.ws_hit_pages);
+    ins.ws_fault_pages->Add(result.ws_fault_pages);
+    ins.background_pages->Add(result.background_pages);
+    ins.restore_op_us->Record(result.total_time.value());
+    ins.restore_base_read_us->Record(result.read_base_time.value());
+    ins.restore_compute_us->Record(result.compute_time.value());
+    ins.restore_criu_us->Record(result.sandbox_restore_time.value());
+    ins.restore_critical_us->Record(result.critical_path_time.value());
+    ins.restore_fault_us->Record(result.fault_time.value());
+  }
+  if (obs::TraceEnabled()) {
+    // Critical phase laid out sequentially; the fault penalty is an arg on
+    // the op span (it has no fixed position in the modelled timeline).
+    obs::ScopedSpan op("restore_op", "restore", now, sb.node.value());
+    op.SetSimDuration(result.total_time);
+    op.AddArg("patched_pages", static_cast<int64_t>(sb.patches.size() + critical_records.size() +
+                                                    fault_records.size()));
+    op.AddArg("ws_predicted", static_cast<int64_t>(result.ws_predicted_pages));
+    op.AddArg("ws_hits", static_cast<int64_t>(result.ws_hit_pages));
+    op.AddArg("ws_faults", static_cast<int64_t>(result.ws_fault_pages));
+    op.AddArg("background_pages", static_cast<int64_t>(result.background_pages));
+    op.AddArg("fault_us", result.fault_time.value());
+    SimTime cursor = now;
+    auto stage = [&](const char* name, SimDuration dur) {
+      obs::ScopedSpan span(name, "restore", cursor, sb.node.value());
+      span.SetSimDuration(dur);
+      cursor += dur;
+    };
+    stage("restore/ws_fetch", result.read_base_time);
+    stage("restore/patch_apply", result.compute_time);
+    stage("restore/criu_rebuild", result.sandbox_restore_time);
+  }
+  return result;
+}
+
+BackgroundRestoreResult DedupAgent::CompleteBackgroundRestore(Sandbox& sb, SimTime now) {
+  PendingRestore pending;
+  {
+    MutexLock lock(pending_mu_);
+    auto it = pending_.find(sb.id);
+    if (it == pending_.end()) {
+      return {};
+    }
+    pending = it->second;
+    pending_.erase(it);
+  }
+  if (!sb.checkpoint.has_value()) {
+    return {};  // superseded (re-deduped) between scheduling and firing
+  }
+  BackgroundRestoreResult result;
+  const double scale = ScaleFactor();
+  MemoryCheckpoint& cp = *sb.checkpoint;
+
+  std::vector<size_t> records(sb.patches.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i] = i;
+  }
+  SimDuration fetch_cost;
+  std::vector<std::vector<uint8_t>> bases =
+      FetchBasesBatched(sb, records, &fetch_cost, &result.base_pages_read,
+                        &result.base_bytes_read, &result.remote_reads);
+  const size_t patch_bytes = DecodeAndRestore(sb, records, bases);
+  result.pages = records.size();
+  result.total_time =
+      SimDuration{static_cast<int64_t>(static_cast<double>(fetch_cost.value()) * scale)} +
+      SimDuration{static_cast<int64_t>(
+          static_cast<double>(result.base_bytes_read + patch_bytes) * scale /
+          options_.patch_bytes_per_us)} +
+      SimDuration{static_cast<int64_t>(static_cast<double>(options_.criu.restore_per_page.value()) *
+                                       static_cast<double>(result.pages) * scale)};
+
+  if (pending.verify && !cp.payloads_dropped()) {
+    std::vector<uint8_t> reconstructed = cp.ToBytes();
+    if (Sha1::Hash(reconstructed) != pending.expected) {
+      throw std::logic_error(
+          "CompleteBackgroundRestore: reconstruction does not match the image digest");
+    }
+    result.verified = true;
+  }
+  sb.patches.clear();
+  sb.checkpoint.reset();
+
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.background_completions;
+    stats_.background_pages += result.pages;
+    stats_.pages_restored += result.pages;
+    stats_.base_bytes_read += result.base_bytes_read;
+  }
+  if (obs::MetricsEnabled()) {
+    const AgentInstruments& ins = Instruments();
+    ins.base_pages_read->Add(result.base_pages_read);
+    ins.restore_background_us->Record(result.total_time.value());
+  }
+  if (obs::TraceEnabled()) {
+    obs::ScopedSpan span("restore/bg_fault", "restore", now, sb.node.value());
+    span.SetSimDuration(result.total_time);
+    span.AddArg("pages", static_cast<int64_t>(result.pages));
+    span.AddArg("base_pages_read", static_cast<int64_t>(result.base_pages_read));
+    span.AddArg("verified", static_cast<int64_t>(result.verified ? 1 : 0));
+  }
+  return result;
+}
+
+bool DedupAgent::HasPendingBackgroundRestore(SandboxId id) const {
+  MutexLock lock(pending_mu_);
+  return pending_.contains(id);
+}
+
+void DedupAgent::AbandonBackgroundRestore(SandboxId id) {
+  MutexLock lock(pending_mu_);
+  pending_.erase(id);
 }
 
 BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {

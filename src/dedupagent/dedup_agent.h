@@ -9,9 +9,17 @@
 // namespace/process-tree restoration work is done *now* so dedup starts skip
 // it (Section 4.2).
 //
-// Restore op (Fig. 6): read every referenced base page (one-sided RDMA, no
+// Restore op (Fig. 6): fetch referenced base pages (one-sided RDMA, no
 // controller involvement), reconstruct original pages from patches, rebuild
-// the memory dump, and restore the sandbox from it.
+// the memory dump, and restore the sandbox from it. The default mode is
+// *lazy* (REAP-style, see DESIGN.md "Lazy restore"): only the function's
+// predicted post-resume working set is fetched and mapped on the critical
+// path (batched per owner node through RdmaFabric::ReadPageBatch); touched
+// pages outside the prediction pay a modelled demand-fault penalty, and the
+// remaining patched pages are faulted in by a background phase the platform
+// schedules on the event engine. RestoreMode::kEager keeps the original
+// restore-everything-first behaviour as the regression reference; final
+// memory images are bit-identical between the two modes.
 //
 // Timing is modelled against *represented* sizes: the synthetic images are
 // built at `bytes_per_mb` scale, so modelled durations multiply measured
@@ -31,6 +39,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "checkpoint/checkpoint.h"
@@ -38,12 +47,22 @@
 #include "cluster/cluster.h"
 #include "common/annotations.h"
 #include "common/mutex.h"
+#include "common/sha1.h"
 #include "common/thread_pool.h"
 #include "delta/delta.h"
+#include "memstate/working_set.h"
 #include "rdma/rdma.h"
 #include "registry/fingerprint_registry.h"
 
 namespace medes {
+
+// How RestoreOp schedules the memory-state work (see file comment).
+enum class RestoreMode {
+  kLazy,   // working-set prefetch on the critical path, background the rest
+  kEager,  // restore everything before resume (the regression reference)
+};
+
+const char* ToString(RestoreMode mode);
 
 struct DedupAgentOptions {
   FingerprintOptions fingerprint;
@@ -71,6 +90,19 @@ struct DedupAgentOptions {
   size_t num_threads = 0;
   // Pages per registry lookup batch (one FindBasePagesBatch call per task).
   size_t lookup_batch_pages = 64;
+  // Restore scheduling mode (lazy = working-set prefetch, the default).
+  RestoreMode restore_mode = RestoreMode::kLazy;
+  // Working-set prediction knobs (EMA alpha + prefetch threshold).
+  WorkingSetOptions working_set;
+  // Modelled cost of a minor fault on a touched page the lazy critical path
+  // chose not to map (per represented page; scaled like every other cost).
+  SimDuration minor_fault_cost{2};
+  // Extra userfaultfd/kernel overhead when the faulted page is still patched
+  // and must be fetched + decoded on demand, on top of the fetch itself.
+  SimDuration major_fault_cost{8};
+  // Shared working-set table so profiles warm across platforms/runs of a
+  // campaign; null = the agent creates a private table from `working_set`.
+  std::shared_ptr<WorkingSetTable> working_sets;
 };
 
 struct DedupOpResult {
@@ -103,18 +135,54 @@ struct DedupAgentStats {
   uint64_t patch_bytes = 0;
   uint64_t saved_bytes = 0;
   uint64_t base_bytes_read = 0;
+  // Lazy-restore accounting.
+  uint64_t lazy_restores = 0;
+  uint64_t ws_fault_pages = 0;          // mispredicted post-resume touches
+  uint64_t background_completions = 0;  // background phases run to completion
+  uint64_t background_pages = 0;        // patched pages faulted in off-path
 };
 
 struct RestoreOpResult {
+  RestoreMode mode = RestoreMode::kEager;
   size_t base_pages_read = 0;
   size_t base_bytes_read = 0;    // real bytes at image scale
   size_t remote_reads = 0;
   // Modelled durations at represented scale — the three Fig. 8 components.
+  // Lazy mode scopes them to the critical-path phase (working-set pages).
   SimDuration read_base_time;      // "base page reading"
   SimDuration compute_time;        // "original page computing"
   SimDuration sandbox_restore_time;  // "sandbox restoration" (CRIU)
-  SimDuration total_time;
+  // Latency gating resume: the three components above. Eager mode:
+  // critical_path_time == total_time and fault_time is zero.
+  SimDuration critical_path_time;
+  // Modelled post-resume demand-fault penalty (mispredicted working set:
+  // minor faults, plus fetch + decode for pages that were still patched).
+  SimDuration fault_time;
+  SimDuration total_time;  // critical_path_time + fault_time
+  // Working-set accounting (lazy mode). Hits/faults partition the touched
+  // set; an unprofiled function prefetches the full image (predicted == all).
+  size_t ws_predicted_pages = 0;
+  size_t ws_touched_pages = 0;
+  size_t ws_hit_pages = 0;
+  size_t ws_fault_pages = 0;
+  // Patched pages deferred to the background phase. When non-zero the caller
+  // must eventually run CompleteBackgroundRestore (the platform schedules it
+  // on the event engine) or abandon the restore on purge.
+  size_t background_pages = 0;
+  bool background_pending = false;
   bool verified = false;  // byte-exact reconstruction check ran and passed
+};
+
+// Outcome of the background phase of a lazy restore.
+struct BackgroundRestoreResult {
+  size_t pages = 0;  // patched pages faulted in
+  size_t base_pages_read = 0;
+  size_t base_bytes_read = 0;
+  size_t remote_reads = 0;
+  SimDuration total_time;  // modelled duration, entirely off the critical path
+  // Deferred byte-exact check (digest captured at RestoreOp time) ran and
+  // passed. False when verification was off or nothing was pending.
+  bool verified = false;
 };
 
 class DedupAgent {
@@ -133,8 +201,27 @@ class DedupAgent {
 
   // Restores a dedup sandbox to warm. When `verify` is set (and payloads
   // were kept) the reconstructed image is compared byte-for-byte against the
-  // sandbox's regenerated source image.
+  // sandbox's regenerated source image — immediately when the restore
+  // completes in one phase, or at background completion via a digest
+  // captured here (the source image depends on the sandbox's generation,
+  // which advances when it runs again).
   RestoreOpResult RestoreOp(Sandbox& sb, SimTime now, bool verify = false);
+
+  // Completes the background phase of a lazy restore: batched fetch + decode
+  // of every still-patched page, then releases the checkpoint. Returns a
+  // zero result when nothing is pending for `sb`.
+  BackgroundRestoreResult CompleteBackgroundRestore(Sandbox& sb, SimTime now);
+
+  bool HasPendingBackgroundRestore(SandboxId id) const EXCLUDES(pending_mu_);
+
+  // Forgets pending background state without fetching anything (sandbox
+  // purged, or re-deduped so a fresh checkpoint supersedes the old one).
+  // Does not touch refcounts: the caller owns the remaining patch refs.
+  void AbandonBackgroundRestore(SandboxId id) EXCLUDES(pending_mu_);
+
+  // The working-set profile table consulted by lazy restores (shared when
+  // DedupAgentOptions::working_sets was set, agent-private otherwise).
+  WorkingSetTable& working_sets() { return *working_sets_; }
 
   // Snapshot + fingerprint + registry insertion for a base sandbox
   // designation. Returns the registered snapshot.
@@ -150,10 +237,34 @@ class DedupAgent {
   DedupAgentStats stats() const EXCLUDES(stats_mu_);
 
  private:
+  // Deferred-verification state for a lazy restore with a pending background
+  // phase. The digest is of the full source image, captured before the
+  // platform marks the sandbox running (generation advances there).
+  struct PendingRestore {
+    Sha1Digest expected;
+    bool verify = false;
+  };
+
   // Fingerprints of all resident pages (parallel stage; `pages[i]` indexes
   // into `cp`, the result is positionally aligned with `pages`).
   std::vector<PageFingerprint> FingerprintPages(const MemoryCheckpoint& cp,
                                                 const std::vector<size_t>& pages);
+
+  RestoreOpResult RestoreEager(Sandbox& sb, SimTime now, bool verify);
+  RestoreOpResult RestoreLazy(Sandbox& sb, SimTime now, bool verify);
+
+  // Batched base fetch for the patch records selected by `records` (indexes
+  // into sb.patches). Returns per-record concatenated base bytes; updates
+  // the read counters and releases the records' base refs.
+  std::vector<std::vector<uint8_t>> FetchBasesBatched(Sandbox& sb,
+                                                      const std::vector<size_t>& records,
+                                                      SimDuration* cost, size_t* pages_read,
+                                                      size_t* bytes_read, size_t* remote_reads);
+
+  // Decode + merge `records` back into the checkpoint (parallel decode,
+  // serial merge in record order). Returns decoded patch bytes applied.
+  size_t DecodeAndRestore(Sandbox& sb, const std::vector<size_t>& records,
+                          std::vector<std::vector<uint8_t>>& base_bytes);
 
   Cluster& cluster_;
   RegistryBackend& registry_;
@@ -161,6 +272,11 @@ class DedupAgent {
   DedupAgentOptions options_;
   PageFingerprinter fingerprinter_;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<WorkingSetTable> working_sets_;  // never null
+
+  // Lazy restores with an outstanding background phase, keyed by sandbox.
+  mutable Mutex pending_mu_{"dedup agent pending restores", LockRank::kMetrics};
+  std::unordered_map<SandboxId, PendingRestore> pending_ GUARDED_BY(pending_mu_);
 
   // Cumulative counters; updated once per completed op, with no other lock
   // held (kMetrics is the leaf-most rank in the hierarchy).

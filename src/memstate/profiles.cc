@@ -23,27 +23,31 @@ const std::vector<FunctionProfile>& FunctionBenchProfiles() {
   // The last two numbers (heap_unique_fraction, lib_dirty_fraction) are the
   // execution-dirtiness calibration that lands per-function dedup savings on
   // the paper's Table 3.
+  // The final two numbers per row are the REAP-style post-resume access
+  // shape: stable working-set fraction, then per-invocation churn. Compute-
+  // heavy functions touch more of their heap; servers and small utilities
+  // touch a thin slice of mostly-interpreter pages.
   static const std::vector<FunctionProfile> kProfiles = {
       {0, "Vanilla", {"python_runtime", "mathtime"}, FromMillis(150), 17.0, FromMillis(500),
-       FromMillis(6), 0.75, 0.75},
+       FromMillis(6), 0.75, 0.75, 0.20, 0.10},
       {1, "LinAlg", {"python_runtime", "numpy"}, FromMillis(250), 32.0, FromMillis(700),
-       FromMillis(7), 0.64, 0.64},
+       FromMillis(7), 0.64, 0.64, 0.28, 0.12},
       {2, "ImagePro", {"python_runtime", "numpy", "pillow"}, FromMillis(1200), 26.4,
-       FromMillis(900), FromMillis(7), 0.50, 0.50},
+       FromMillis(900), FromMillis(7), 0.50, 0.50, 0.30, 0.12},
       {3, "VideoPro", {"python_runtime", "numpy", "opencv"}, FromMillis(2000), 48.0,
-       FromMillis(1400), FromMillis(8), 0.69, 0.69},
+       FromMillis(1400), FromMillis(8), 0.69, 0.69, 0.35, 0.10},
       {4, "MapReduce", {"python_runtime", "multiproc"}, FromMillis(500), 32.0, FromMillis(800),
-       FromMillis(7), 0.85, 0.85},
+       FromMillis(7), 0.85, 0.85, 0.25, 0.15},
       {5, "HTMLServe", {"python_runtime", "chameleon", "json"}, FromMillis(400), 22.3,
-       FromMillis(650), FromMillis(6), 0.42, 0.42},
+       FromMillis(650), FromMillis(6), 0.42, 0.42, 0.15, 0.08},
       {6, "AuthEnc", {"python_runtime", "pyaes", "json"}, FromMillis(400), 22.3, FromMillis(650),
-       FromMillis(6), 0.77, 0.77},
+       FromMillis(6), 0.77, 0.77, 0.18, 0.10},
       {7, "FeatureGen", {"python_runtime", "sklearn", "pandas"}, FromMillis(1000), 66.0,
-       FromMillis(1800), FromMillis(9), 0.44, 0.44},
+       FromMillis(1800), FromMillis(9), 0.44, 0.44, 0.30, 0.12},
       {8, "RNNModel", {"python_runtime", "torch"}, FromMillis(1000), 90.0, FromMillis(2500),
-       FromMillis(10), 0.16, 0.16},
+       FromMillis(10), 0.16, 0.16, 0.22, 0.08},
       {9, "ModelTrain", {"python_runtime", "sklearn"}, FromMillis(3000), 87.5, FromMillis(3000),
-       FromMillis(10), 0.61, 0.61},
+       FromMillis(10), 0.61, 0.61, 0.32, 0.12},
   };
   return kProfiles;
 }

@@ -41,6 +41,14 @@ struct FunctionProfile {
   // heap_unique_fraction against Table 3; freshly-loaded sandboxes (the
   // Section 2 measurement setting) override this to near zero.
   double lib_dirty_fraction = 0.5;
+  // Post-resume access behaviour (REAP-style lazy restore). The function
+  // touches a stable core of `working_set_fraction` of its pages on every
+  // invocation, plus a per-invocation churn of `working_set_churn` of the
+  // core's size drawn from the remaining pages (request-dependent data).
+  // REAP reports working sets well under half the snapshot for most
+  // functions; the per-function values vary around that shape.
+  double working_set_fraction = 0.25;
+  double working_set_churn = 0.10;
 };
 
 // The library catalogue (name -> represented MB).

@@ -1,0 +1,195 @@
+#include "memstate/working_set.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace medes {
+
+namespace {
+
+// Little-endian primitives: the encoding must be byte-stable across hosts,
+// so integers are written byte by byte rather than memcpy'd.
+void PutU32(std::string& out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+bool TakeU32(std::string_view& in, uint32_t& v) {
+  if (in.size() < 4) {
+    return false;
+  }
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in[static_cast<size_t>(i)])) << (8 * i);
+  }
+  in.remove_prefix(4);
+  return true;
+}
+
+bool TakeU64(std::string_view& in, uint64_t& v) {
+  if (in.size() < 8) {
+    return false;
+  }
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[static_cast<size_t>(i)])) << (8 * i);
+  }
+  in.remove_prefix(8);
+  return true;
+}
+
+constexpr uint32_t kProfileMagic = 0x4d575031;  // "MWP1"
+constexpr uint32_t kTableMagic = 0x4d575431;    // "MWT1"
+
+}  // namespace
+
+void WorkingSetProfile::Record(std::span<const PageIndex> touched, size_t num_pages,
+                               double ema_alpha) {
+  if (freq_.size() < num_pages) {
+    freq_.resize(num_pages, 0.0);
+  }
+  for (PageIndex page : touched) {
+    if (page.value() >= freq_.size()) {
+      freq_.resize(page.value() + 1, 0.0);
+    }
+  }
+  // f <- (1 - a) * f + a * indicator, with the first observation seeding the
+  // raw indicator so a single warm-up invocation yields a usable prediction.
+  // The indicator bitmap dedups the input (duplicates must not stack).
+  const bool first = observations_ == 0;
+  const double keep = first ? 0.0 : 1.0 - ema_alpha;
+  const double weight = first ? 1.0 : ema_alpha;
+  std::vector<uint8_t> indicator(freq_.size(), 0);
+  for (PageIndex page : touched) {
+    indicator[page.value()] = 1;
+  }
+  for (size_t p = 0; p < freq_.size(); ++p) {
+    freq_[p] = keep * freq_[p] + (indicator[p] != 0 ? weight : 0.0);
+  }
+  ++observations_;
+}
+
+std::vector<PageIndex> WorkingSetProfile::Predict(size_t num_pages,
+                                                  double predict_threshold) const {
+  std::vector<PageIndex> out;
+  const size_t n = std::min(freq_.size(), num_pages);
+  for (size_t p = 0; p < n; ++p) {
+    if (freq_[p] >= predict_threshold) {
+      out.push_back(PageIndex{static_cast<uint32_t>(p)});
+    }
+  }
+  return out;
+}
+
+double WorkingSetProfile::Frequency(PageIndex page) const {
+  const size_t p = page.value();
+  return p < freq_.size() ? freq_[p] : 0.0;
+}
+
+void WorkingSetProfile::AppendTo(std::string& out) const {
+  PutU32(out, kProfileMagic);
+  PutU64(out, observations_);
+  PutU32(out, static_cast<uint32_t>(freq_.size()));
+  for (double f : freq_) {
+    PutU64(out, std::bit_cast<uint64_t>(f));
+  }
+}
+
+bool WorkingSetProfile::ConsumeFrom(std::string_view& in, WorkingSetProfile& out) {
+  uint32_t magic = 0;
+  if (!TakeU32(in, magic) || magic != kProfileMagic) {
+    return false;
+  }
+  uint64_t observations = 0;
+  uint32_t pages = 0;
+  if (!TakeU64(in, observations) || !TakeU32(in, pages)) {
+    return false;
+  }
+  if (in.size() < static_cast<size_t>(pages) * 8) {
+    return false;
+  }
+  out.freq_.assign(pages, 0.0);
+  for (uint32_t p = 0; p < pages; ++p) {
+    uint64_t bits = 0;
+    TakeU64(in, bits);
+    out.freq_[p] = std::bit_cast<double>(bits);
+  }
+  out.observations_ = observations;
+  return true;
+}
+
+void WorkingSetTable::Record(FunctionId function, std::span<const PageIndex> touched,
+                             size_t num_pages) {
+  MutexLock lock(mu_);
+  profiles_[function].Record(touched, num_pages, options_.ema_alpha);
+}
+
+std::optional<std::vector<PageIndex>> WorkingSetTable::Predict(FunctionId function,
+                                                               size_t num_pages) const {
+  MutexLock lock(mu_);
+  auto it = profiles_.find(function);
+  if (it == profiles_.end() || it->second.observations() == 0) {
+    return std::nullopt;
+  }
+  return it->second.Predict(num_pages, options_.predict_threshold);
+}
+
+uint64_t WorkingSetTable::Observations(FunctionId function) const {
+  MutexLock lock(mu_);
+  auto it = profiles_.find(function);
+  return it == profiles_.end() ? 0 : it->second.observations();
+}
+
+size_t WorkingSetTable::NumFunctions() const {
+  MutexLock lock(mu_);
+  return profiles_.size();
+}
+
+std::string WorkingSetTable::Serialize() const {
+  MutexLock lock(mu_);
+  std::string out;
+  PutU32(out, kTableMagic);
+  PutU32(out, static_cast<uint32_t>(profiles_.size()));
+  for (const auto& [function, profile] : profiles_) {
+    PutU32(out, static_cast<uint32_t>(function));
+    profile.AppendTo(out);
+  }
+  return out;
+}
+
+bool WorkingSetTable::Deserialize(std::string_view data, WorkingSetTable& out) {
+  MutexLock lock(out.mu_);
+  out.profiles_.clear();
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!TakeU32(data, magic) || magic != kTableMagic || !TakeU32(data, count)) {
+    return false;
+  }
+  std::map<FunctionId, WorkingSetProfile> profiles;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t function = 0;
+    if (!TakeU32(data, function)) {
+      return false;
+    }
+    WorkingSetProfile profile;
+    if (!WorkingSetProfile::ConsumeFrom(data, profile)) {
+      return false;
+    }
+    profiles[static_cast<FunctionId>(function)] = std::move(profile);
+  }
+  if (!data.empty()) {
+    return false;  // trailing garbage
+  }
+  out.profiles_ = std::move(profiles);
+  return true;
+}
+
+}  // namespace medes

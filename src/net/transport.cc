@@ -58,6 +58,8 @@ const char* ToString(MessageType type) {
       return "control_decision";
     case MessageType::kReplicaSync:
       return "replica_sync";
+    case MessageType::kBaseReadBatch:
+      return "base_read_batch";
   }
   return "?";
 }

@@ -53,8 +53,9 @@ enum class MessageType : int {
   kBaseRead = 2,         // one-sided RDMA base-page read (data plane)
   kControlDecision = 3,  // controller -> node: idle-policy decision
   kReplicaSync = 4,      // registry replica -> replica: chain re-sync
+  kBaseReadBatch = 5,    // coalesced per-owner-node base-page reads (restore prefetch)
 };
-inline constexpr size_t kNumMessageTypes = 5;
+inline constexpr size_t kNumMessageTypes = 6;
 
 const char* ToString(MessageType type);
 

@@ -57,6 +57,32 @@ struct FunctionMetrics {
   uint64_t TotalRequests() const { return warm_starts + dedup_starts + cold_starts; }
 };
 
+// Working-set-aware lazy restore accounting (aggregated over the run).
+// `critical_path_ms` is the pre-resume latency of each dedup start — the
+// quantity Fig. 8 compares across restore modes; fault/background time is
+// what lazy mode moved off that path.
+struct LazyRestoreStats {
+  uint64_t lazy_restores = 0;
+  uint64_t eager_restores = 0;
+  uint64_t ws_predicted_pages = 0;
+  uint64_t ws_touched_pages = 0;
+  uint64_t ws_hit_pages = 0;
+  uint64_t ws_fault_pages = 0;
+  uint64_t background_completions = 0;
+  uint64_t background_pages = 0;
+  double fault_ms = 0;       // post-resume demand-fault penalty
+  double background_ms = 0;  // off-critical-path background fetch time
+  SampleRecorder critical_path_ms;
+
+  // Fraction of touched pages the prediction prefetched (1.0 when nothing
+  // was touched — there was nothing to miss).
+  double HitRate() const {
+    return ws_touched_pages == 0
+               ? 1.0
+               : static_cast<double>(ws_hit_pages) / static_cast<double>(ws_touched_pages);
+  }
+};
+
 struct MemorySample {
   SimTime time;
   double used_mb = 0;
@@ -84,6 +110,8 @@ struct RunMetrics {
 
   uint64_t same_function_pages = 0;
   uint64_t cross_function_pages = 0;
+
+  LazyRestoreStats lazy_restore;
 
   RegistryStats registry;
   RdmaStats rdma;

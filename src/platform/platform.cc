@@ -364,13 +364,14 @@ class ServerlessPlatform::Impl {
 
   void PurgeSandbox(Sandbox& sb) {
     CancelTimer(sb);
-    if (sb.state == SandboxState::kDedup) {
-      for (const PatchRecord& record : sb.patches) {
-        for (const PageLocation& base : record.bases) {
-          registry_->Unref(base.sandbox);
-        }
+    // Unconditional: a warm sandbox with a pending background restore still
+    // holds patch records (and base refs) for its not-yet-fetched pages.
+    for (const PatchRecord& record : sb.patches) {
+      for (const PageLocation& base : record.bases) {
+        registry_->Unref(base.sandbox);
       }
     }
+    agent_.AbandonBackgroundRestore(sb.id);
     cluster_.Purge(sb.id);
   }
 
@@ -399,6 +400,26 @@ class ServerlessPlatform::Impl {
         fm.restore_compute_ms.Record(ToMillis(restore.compute_time));
         fm.restore_criu_ms.Record(ToMillis(restore.sandbox_restore_time));
         ++metrics_.restores;
+        LazyRestoreStats& lz = metrics_.lazy_restore;
+        if (restore.mode == RestoreMode::kLazy) {
+          ++lz.lazy_restores;
+          lz.ws_predicted_pages += restore.ws_predicted_pages;
+          lz.ws_touched_pages += restore.ws_touched_pages;
+          lz.ws_hit_pages += restore.ws_hit_pages;
+          lz.ws_fault_pages += restore.ws_fault_pages;
+          lz.fault_ms += ToMillis(restore.fault_time);
+        } else {
+          ++lz.eager_restores;
+        }
+        lz.critical_path_ms.Record(ToMillis(restore.critical_path_time));
+      }
+      if (restore.background_pending) {
+        // The off-critical-path phase: fires once the request's startup
+        // window has elapsed (the prefetcher works behind the resumed
+        // function). A purge or re-dedup before then abandons it.
+        const SandboxId restore_id = sb->id;
+        sim_.ScheduleAfter(restore.total_time,
+                           [this, restore_id] { OnBackgroundRestore(restore_id); });
       }
       type = StartType::kDedup;
       startup = restore.total_time;
@@ -474,6 +495,25 @@ class ServerlessPlatform::Impl {
 
     const SandboxId id = sb->id;
     sim_.ScheduleAfter(e2e, [this, id] { OnComplete(id); });
+  }
+
+  // Completes a lazy restore's deferred page fetches. The pending entry may
+  // be gone by now (purge, or a re-dedup flushed it) — then this is a no-op.
+  void OnBackgroundRestore(SandboxId id) {
+    Sandbox* sb = cluster_.Find(id);
+    if (sb == nullptr) {
+      agent_.AbandonBackgroundRestore(id);
+      return;
+    }
+    const BackgroundRestoreResult result = agent_.CompleteBackgroundRestore(*sb, sim_.Now());
+    if (result.pages == 0 && result.base_pages_read == 0) {
+      return;
+    }
+    MutexLock lock(metrics_mu_);
+    LazyRestoreStats& lz = metrics_.lazy_restore;
+    ++lz.background_completions;
+    lz.background_pages += result.pages;
+    lz.background_ms += ToMillis(result.total_time);
   }
 
   void OnComplete(SandboxId id) {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"

@@ -1,5 +1,7 @@
 #include "rdma/rdma.h"
 
+#include <map>
+
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -15,6 +17,8 @@ struct RdmaInstruments {
   obs::Counter* remote_bytes;
   obs::Counter* local_reads;
   obs::Counter* local_bytes;
+  obs::Counter* batch_messages;
+  obs::Counter* batch_pages;
 };
 
 const RdmaInstruments& Instruments() {
@@ -35,6 +39,11 @@ const RdmaInstruments& Instruments() {
                                             "Base-page reads served by the local node"),
         .local_bytes = &registry.GetCounter("medes_rdma_local_bytes_total",
                                             "Bytes read from the local node"),
+        .batch_messages = &registry.GetCounter(
+            "medes_rdma_batch_messages_total",
+            "Coalesced base-read messages sent (one per owner node per batch)"),
+        .batch_pages = &registry.GetCounter("medes_rdma_batch_pages_total",
+                                            "Base pages fetched through batched reads"),
     };
   }();
   return instruments;
@@ -152,6 +161,146 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
     *cost += sent.cost;
   }
   return bytes;
+}
+
+std::vector<std::vector<uint8_t>> RdmaFabric::ReadPageBatch(
+    std::span<const PageLocation> locations, NodeId reader_node, SimDuration* cost) {
+  const size_t n = locations.size();
+  std::vector<std::vector<uint8_t>> results(n);
+  if (n == 0) {
+    return results;
+  }
+
+  // 1. Classification, one pass under one lock: every distinct location is
+  // exactly one cache hit (bytes copied out now) or one cache miss (queued
+  // for the fetch below); repeats of an earlier batch entry alias its copy.
+  // Counting here — and nowhere else — is what keeps mixed hit/uncached
+  // batches from double-counting hit stats.
+  std::vector<size_t> misses;
+  std::vector<ptrdiff_t> alias(n, -1);
+  uint64_t hits = 0;
+  {
+    std::unordered_map<PageLocation, size_t, PageLocationHash> first_seen;
+    first_seen.reserve(n);
+    MutexLock lock(cache_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = first_seen.try_emplace(locations[i], i);
+      if (!inserted) {
+        alias[i] = static_cast<ptrdiff_t>(it->second);
+        continue;
+      }
+      if (options_.page_cache_capacity > 0) {
+        if (const std::vector<uint8_t>* cached = CacheLookup(locations[i])) {
+          results[i] = *cached;
+          ++hits;
+          if (cost != nullptr) {
+            *cost += options_.cache_hit_latency;
+          }
+          continue;
+        }
+      }
+      misses.push_back(i);
+    }
+    stats_.cache_hits += hits;
+  }
+  if (hits > 0 && obs::MetricsEnabled()) {
+    Instruments().cache_hits->Add(static_cast<uint64_t>(hits));
+  }
+
+  // 2. Fetch the misses, one coalesced wire message per owner node (the
+  // iteration order is NodeId order — deterministic regardless of the
+  // batch's layout). A dropped group aborts the whole batch: a restore
+  // cannot proceed with partial bases.
+  if (!misses.empty() && !provider_) {
+    throw RdmaError("RdmaFabric: no page provider installed");
+  }
+  std::map<NodeId, std::vector<size_t>> by_node;
+  for (size_t i : misses) {
+    by_node[locations[i].node].push_back(i);
+  }
+  for (const auto& [node, idxs] : by_node) {
+    size_t group_bytes = 0;
+    for (size_t i : idxs) {
+      results[i] = provider_(locations[i]);
+      if (results[i].empty()) {
+        throw RdmaError("RdmaFabric: base page unavailable");
+      }
+      group_bytes += results[i].size();
+    }
+    const auto sent = transport_->Send(MessageType::kBaseReadBatch, node, reader_node,
+                                       Bytes{group_bytes}, idxs.size());
+    if (!sent.delivered) {
+      throw RdmaUnavailable("RdmaFabric: batched base-page read dropped by fault policy");
+    }
+    if (cost != nullptr) {
+      *cost += sent.cost;
+    }
+    const bool remote = node != reader_node;
+    uint64_t evictions = 0;
+    {
+      MutexLock lock(cache_mu_);
+      ++stats_.batch_messages;
+      stats_.batch_pages += idxs.size();
+      for (size_t i : idxs) {
+        if (remote) {
+          ++stats_.remote_reads;
+          stats_.remote_bytes += results[i].size();
+        } else {
+          ++stats_.local_reads;
+          stats_.local_bytes += results[i].size();
+        }
+        if (options_.page_cache_capacity > 0) {
+          ++stats_.cache_misses;
+          const uint64_t before = stats_.cache_evictions;
+          CacheInsert(locations[i], results[i]);
+          evictions += stats_.cache_evictions - before;
+        }
+      }
+    }
+    if (obs::MetricsEnabled()) {
+      const RdmaInstruments& ins = Instruments();
+      ins.batch_messages->Add(1);
+      ins.batch_pages->Add(static_cast<uint64_t>(idxs.size()));
+      if (remote) {
+        ins.remote_reads->Add(static_cast<uint64_t>(idxs.size()));
+        ins.remote_bytes->Add(static_cast<uint64_t>(group_bytes));
+      } else {
+        ins.local_reads->Add(static_cast<uint64_t>(idxs.size()));
+        ins.local_bytes->Add(static_cast<uint64_t>(group_bytes));
+      }
+      if (options_.page_cache_capacity > 0) {
+        ins.cache_misses->Add(static_cast<uint64_t>(idxs.size()));
+        ins.cache_evictions->Add(static_cast<uint64_t>(evictions));
+      }
+    }
+  }
+
+  // 3. Resolve duplicates against the batch's own copies. A repeat is a
+  // local DRAM copy of bytes already in hand: hit-priced, and counted as a
+  // cache hit only when a cache actually exists to have served it.
+  uint64_t alias_hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (alias[i] < 0) {
+      continue;
+    }
+    results[i] = results[static_cast<size_t>(alias[i])];
+    if (cost != nullptr) {
+      *cost += options_.cache_hit_latency;
+    }
+    if (options_.page_cache_capacity > 0) {
+      ++alias_hits;
+    }
+  }
+  if (alias_hits > 0) {
+    {
+      MutexLock lock(cache_mu_);
+      stats_.cache_hits += alias_hits;
+    }
+    if (obs::MetricsEnabled()) {
+      Instruments().cache_hits->Add(static_cast<uint64_t>(alias_hits));
+    }
+  }
+  return results;
 }
 
 void RdmaFabric::InvalidateSandbox(SandboxId sandbox) {

@@ -56,8 +56,15 @@ struct RdmaStats {
   uint64_t remote_bytes = 0;
   uint64_t local_reads = 0;
   uint64_t local_bytes = 0;
+  // Batched reads (ReadPageBatch): wire messages sent (one per owner node
+  // per batch) and pages fetched through them. Those pages are *also*
+  // counted in remote/local_reads above — batch_* measures coalescing, the
+  // read counters measure page traffic.
+  uint64_t batch_messages = 0;
+  uint64_t batch_pages = 0;
   // Base-page cache counters (hits never touch the fabric, so they are not
-  // double-counted in the read/byte totals above).
+  // double-counted in the read/byte totals above). Each distinct location a
+  // batched read classifies counts exactly one hit or one miss — never both.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -102,6 +109,21 @@ class RdmaFabric {
   // RdmaUnavailable when the fault policy drops the read.
   [[nodiscard]] std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
                                 SimDuration* cost) EXCLUDES(cache_mu_);
+
+  // Batched one-sided read of many base pages (lazy-restore prefetch).
+  // The whole batch is classified against the cache in one pass under one
+  // lock: each *distinct* location counts exactly one cache hit or one cache
+  // miss; duplicate occurrences within the batch alias the first copy (a
+  // local DRAM copy at `cache_hit_latency`, counted as a hit only when the
+  // cache exists). Misses are grouped by owner node and charged as ONE
+  // kBaseReadBatch message per node carrying the group's summed bytes —
+  // topology-aware coalescing: per-message link latency is paid once per
+  // node instead of once per page. Results are positionally aligned with
+  // `locations`. Throws RdmaUnavailable when a group's message is dropped
+  // (the restore cannot proceed without its bases).
+  [[nodiscard]] std::vector<std::vector<uint8_t>> ReadPageBatch(
+      std::span<const PageLocation> locations, NodeId reader_node, SimDuration* cost)
+      EXCLUDES(cache_mu_);
 
   // Pure timing model (used when the caller already has byte counts):
   // LinkCost over the transport topology's default remote or local link.

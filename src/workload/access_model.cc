@@ -1,0 +1,81 @@
+#include "workload/access_model.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace medes {
+
+namespace {
+
+constexpr uint64_t kCoreStream = 0x77735f636f726531;   // "ws_core1"
+constexpr uint64_t kChurnStream = 0x77735f6368757231;  // "ws_chur1"
+
+// Draws `count` distinct indexes from [0, num_pages) excluding `taken`
+// (bitmap), via rejection sampling — cheap because count << num_pages and
+// deterministic because draws depend only on the rng stream.
+std::vector<uint32_t> DrawDistinct(Rng& rng, size_t num_pages, size_t count,
+                                   std::vector<uint8_t>& taken) {
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const auto p = static_cast<uint32_t>(rng.Below(num_pages));
+    if (taken[p] != 0) {
+      continue;
+    }
+    taken[p] = 1;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PageIndex> StableWorkingSet(const FunctionProfile& profile, size_t num_pages) {
+  std::vector<PageIndex> pages;
+  if (num_pages == 0) {
+    return pages;
+  }
+  const auto core_size = std::min(
+      num_pages, static_cast<size_t>(profile.working_set_fraction * static_cast<double>(num_pages)));
+  Rng rng(HashCombine(kCoreStream, static_cast<uint64_t>(profile.id)));
+  std::vector<uint8_t> taken(num_pages, 0);
+  std::vector<uint32_t> core = DrawDistinct(rng, num_pages, core_size, taken);
+  std::sort(core.begin(), core.end());
+  pages.reserve(core.size());
+  for (uint32_t p : core) {
+    pages.push_back(PageIndex{p});
+  }
+  return pages;
+}
+
+std::vector<PageIndex> PostResumeAccessTrace(const FunctionProfile& profile, size_t num_pages,
+                                             uint64_t generation) {
+  std::vector<PageIndex> pages;
+  if (num_pages == 0) {
+    return pages;
+  }
+  const auto core_size = std::min(
+      num_pages, static_cast<size_t>(profile.working_set_fraction * static_cast<double>(num_pages)));
+  Rng core_rng(HashCombine(kCoreStream, static_cast<uint64_t>(profile.id)));
+  std::vector<uint8_t> taken(num_pages, 0);
+  std::vector<uint32_t> touched = DrawDistinct(core_rng, num_pages, core_size, taken);
+
+  const size_t churn_size =
+      std::min(num_pages - touched.size(),
+               static_cast<size_t>(profile.working_set_churn * static_cast<double>(core_size)));
+  Rng churn_rng(HashCombine(HashCombine(kChurnStream, static_cast<uint64_t>(profile.id)),
+                            generation));
+  std::vector<uint32_t> churn = DrawDistinct(churn_rng, num_pages, churn_size, taken);
+  touched.insert(touched.end(), churn.begin(), churn.end());
+
+  std::sort(touched.begin(), touched.end());
+  pages.reserve(touched.size());
+  for (uint32_t p : touched) {
+    pages.push_back(PageIndex{p});
+  }
+  return pages;
+}
+
+}  // namespace medes

@@ -1,0 +1,40 @@
+// Deterministic post-resume page-access model.
+//
+// The simulator has no real guest execution, so which pages a restored
+// sandbox touches is modelled the same way image content is: as a pure
+// function of the function profile and the sandbox's execution generation.
+// Each invocation touches
+//   - a stable core: `working_set_fraction` of the image's pages, chosen by
+//     a generator seeded by the function id alone — identical across every
+//     invocation of the function (interpreter, hot libraries, long-lived
+//     heap);
+//   - per-invocation churn: `working_set_churn` x core-size extra pages
+//     drawn from the remaining pages by a generator seeded by (function id,
+//     generation) — request-dependent data that working-set predictors can
+//     never fully learn.
+// The result is sorted and duplicate-free, so downstream consumers (EMA
+// profiles, fault accounting) are order-independent and bit-identical at any
+// thread count.
+#ifndef MEDES_WORKLOAD_ACCESS_MODEL_H_
+#define MEDES_WORKLOAD_ACCESS_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "memstate/profiles.h"
+
+namespace medes {
+
+// The pages one invocation of `profile` touches after resume, over an image
+// of `num_pages` pages. Deterministic in (profile.id, num_pages, generation).
+std::vector<PageIndex> PostResumeAccessTrace(const FunctionProfile& profile, size_t num_pages,
+                                             uint64_t generation);
+
+// The stable core alone (the churn-free part every invocation shares).
+std::vector<PageIndex> StableWorkingSet(const FunctionProfile& profile, size_t num_pages);
+
+}  // namespace medes
+
+#endif  // MEDES_WORKLOAD_ACCESS_MODEL_H_

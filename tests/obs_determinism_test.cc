@@ -131,15 +131,46 @@ TEST(ObsDeterminismTest, SpanCoverageIncludesAllPipelineStages) {
                             "dedup/merge"}) {
     EXPECT_NE(run.chrome_trace.find(stage), std::string::npos) << stage;
   }
-  // Restore stages: the paper's Fig. 8 breakdown.
-  for (const char* stage :
-       {"restore_op", "restore/base_read", "restore/patch_apply", "restore/criu_rebuild"}) {
+  // Restore stages: the paper's Fig. 8 breakdown, lazy-mode naming (the
+  // default restore mode batches the working-set fetch), plus the deferred
+  // background completion span.
+  for (const char* stage : {"restore_op", "restore/ws_fetch", "restore/patch_apply",
+                            "restore/criu_rebuild", "restore/bg_fault"}) {
     EXPECT_NE(run.chrome_trace.find(stage), std::string::npos) << stage;
   }
   // Platform lifecycle events.
   for (const char* name : {"request", "spawn"}) {
     EXPECT_NE(run.chrome_trace.find(name), std::string::npos) << name;
   }
+}
+
+TEST(ObsDeterminismTest, EagerModeEmitsBaseReadSpans) {
+  TraceOptions topts;
+  topts.duration = 8 * kMinute;
+  topts.rate_scale = 2.0;
+  const auto trace = GenerateTrace(DefaultAzurePatterns(), topts);
+  WarmUpInstruments();
+  obs::MetricsRegistry::Default().ResetValues();
+  obs::Tracer::Default().Clear();
+  obs::SnapshotSeries::Default().Clear();
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  obs::SetWallClockProfiling(false);
+  PlatformOptions opts = FastOptions(2);
+  opts.agent.restore_mode = RestoreMode::kEager;
+  ServerlessPlatform platform(opts);
+  platform.Run(trace);
+  const std::string chrome_trace = obs::ChromeTraceJson(obs::Tracer::Default().Drain());
+  obs::MetricsRegistry::Default().ResetValues();
+  obs::SnapshotSeries::Default().Clear();
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  for (const char* stage :
+       {"restore_op", "restore/base_read", "restore/patch_apply", "restore/criu_rebuild"}) {
+    EXPECT_NE(chrome_trace.find(stage), std::string::npos) << stage;
+  }
+  EXPECT_EQ(chrome_trace.find("restore/ws_fetch"), std::string::npos);
+  EXPECT_EQ(chrome_trace.find("restore/bg_fault"), std::string::npos);
 }
 
 #else

@@ -41,7 +41,7 @@ TEST(RdmaTest, ProviderRoutesBytesAndCountsStats) {
 TEST(RdmaTest, LocalReadCountedSeparately) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(1); });
   SimDuration cost;
-  fabric.ReadPage({.node = NodeId{5}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, /*reader_node=*/NodeId{5}, &cost);
+  (void)fabric.ReadPage({.node = NodeId{5}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, /*reader_node=*/NodeId{5}, &cost);
   EXPECT_EQ(fabric.stats().local_reads, 1u);
   EXPECT_EQ(fabric.stats().remote_reads, 0u);
 }
@@ -49,9 +49,9 @@ TEST(RdmaTest, LocalReadCountedSeparately) {
 TEST(RdmaTest, CostAccumulates) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
   SimDuration cost;
-  fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, &cost);
+  (void)fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, &cost);
   SimDuration after_one = cost;
-  fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{1}}, NodeId{0}, &cost);
+  (void)fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{1}}, NodeId{0}, &cost);
   EXPECT_NEAR(static_cast<double>(cost.value()), 2.0 * static_cast<double>(after_one.value()), 1.0);
 }
 
@@ -74,7 +74,7 @@ TEST(RdmaTest, NullCostPointerAccepted) {
 
 TEST(RdmaTest, ResetStats) {
   RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
-  fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, nullptr);
+  (void)fabric.ReadPage({.node = NodeId{1}, .sandbox = SandboxId{1}, .page_index = PageIndex{0}}, NodeId{0}, nullptr);
   fabric.ResetStats();
   EXPECT_EQ(fabric.stats().remote_reads, 0u);
 }
@@ -108,12 +108,12 @@ TEST(RdmaCacheTest, LruEvictsLeastRecentlyUsed) {
   RdmaFabric fabric({.page_cache_capacity = 2}, [](const PageLocation& loc) {
     return FakePage(static_cast<uint8_t>(loc.page_index.value()));
   });
-  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);  // miss: cache [0]
-  fabric.ReadPage(Loc(1, 1), NodeId{0}, nullptr);  // miss: cache [1, 0]
-  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);  // hit: 0 promoted -> [0, 1]
-  fabric.ReadPage(Loc(1, 2), NodeId{0}, nullptr);  // miss: evicts 1 (LRU) -> [2, 0]
+  (void)fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);  // miss: cache [0]
+  (void)fabric.ReadPage(Loc(1, 1), NodeId{0}, nullptr);  // miss: cache [1, 0]
+  (void)fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);  // hit: 0 promoted -> [0, 1]
+  (void)fabric.ReadPage(Loc(1, 2), NodeId{0}, nullptr);  // miss: evicts 1 (LRU) -> [2, 0]
   EXPECT_EQ(fabric.stats().cache_evictions, 1u);
-  fabric.ReadPage(Loc(1, 1), NodeId{0}, nullptr);  // miss: 1 was evicted, evicts 0
+  (void)fabric.ReadPage(Loc(1, 1), NodeId{0}, nullptr);  // miss: 1 was evicted, evicts 0
   EXPECT_EQ(fabric.stats().cache_misses, 4u);
   EXPECT_EQ(fabric.stats().cache_hits, 1u);
   EXPECT_EQ(fabric.stats().cache_evictions, 2u);
@@ -125,23 +125,131 @@ TEST(RdmaCacheTest, ZeroCapacityDisablesCache) {
     ++provider_calls;
     return FakePage(0);
   });
-  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);
-  fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);
+  (void)fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);
+  (void)fabric.ReadPage(Loc(1, 0), NodeId{0}, nullptr);
   EXPECT_EQ(provider_calls, 2);
   EXPECT_EQ(fabric.stats().cache_hits, 0u);
   EXPECT_EQ(fabric.stats().cache_misses, 0u);
 }
 
+// ---- Batched reads ---------------------------------------------------------
+
+PageLocation NodeLoc(int node, uint32_t page) {
+  return {.node = NodeId{node}, .sandbox = SandboxId{1}, .page_index = PageIndex{page}};
+}
+
+TEST(RdmaBatchTest, CoalescesIntoOneMessagePerOwnerNode) {
+  auto provider = [](const PageLocation& loc) {
+    return FakePage(static_cast<uint8_t>(loc.page_index.value()));
+  };
+  RdmaFabric fabric({}, provider);
+  const std::vector<PageLocation> locations = {NodeLoc(1, 0), NodeLoc(1, 1), NodeLoc(2, 2),
+                                               NodeLoc(1, 3), NodeLoc(2, 4)};
+  SimDuration batched_cost;
+  auto results = fabric.ReadPageBatch(locations, /*reader_node=*/NodeId{0}, &batched_cost);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].size(), 4096u) << i;
+    EXPECT_EQ(results[i][0], locations[i].page_index.value()) << "positionally aligned";
+  }
+  EXPECT_EQ(fabric.stats().batch_messages, 2u) << "two owner nodes, two wire messages";
+  EXPECT_EQ(fabric.stats().batch_pages, 5u);
+  EXPECT_EQ(fabric.stats().remote_reads, 5u);
+  EXPECT_EQ(fabric.stats().remote_bytes, 5u * 4096u);
+
+  // Coalescing amortizes the per-message latency: the same pages read one by
+  // one pay it five times instead of twice.
+  RdmaFabric serial({}, provider);
+  SimDuration serial_cost;
+  for (const PageLocation& loc : locations) {
+    (void)serial.ReadPage(loc, NodeId{0}, &serial_cost);
+  }
+  EXPECT_LT(batched_cost, serial_cost);
+}
+
+TEST(RdmaBatchTest, LocalGroupCountedAsLocalReads) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
+  const std::vector<PageLocation> locations = {NodeLoc(3, 0), NodeLoc(3, 1)};
+  SimDuration cost;
+  (void)fabric.ReadPageBatch(locations, /*reader_node=*/NodeId{3}, &cost);
+  EXPECT_EQ(fabric.stats().local_reads, 2u);
+  EXPECT_EQ(fabric.stats().remote_reads, 0u);
+  EXPECT_EQ(fabric.stats().batch_messages, 1u);
+}
+
+// Regression pin: a batch mixing cached and uncached locations must count
+// each distinct location exactly once — one hit (cached) or one miss
+// (fetched), with in-batch duplicates hit-priced as aliases — and never
+// re-count the hits when charging the miss groups.
+TEST(RdmaBatchTest, MixedCachedAndUncachedBatchCountsEachDistinctLocationOnce) {
+  int provider_calls = 0;
+  RdmaFabric fabric({.page_cache_capacity = 8}, [&](const PageLocation& loc) {
+    ++provider_calls;
+    return FakePage(static_cast<uint8_t>(loc.page_index.value()));
+  });
+  // Warm the cache with page 0: one miss, one provider call.
+  (void)fabric.ReadPage(NodeLoc(1, 0), NodeId{0}, nullptr);
+  ASSERT_EQ(fabric.stats().cache_misses, 1u);
+
+  // Batch = cached page, two uncached pages, and a duplicate of the cached
+  // one. Distinct: one hit (page 0) + two misses (pages 1, 2); the repeat of
+  // page 0 aliases the first copy at hit price.
+  const std::vector<PageLocation> batch = {NodeLoc(1, 0), NodeLoc(1, 1), NodeLoc(1, 0),
+                                           NodeLoc(1, 2)};
+  SimDuration cost;
+  auto results = fabric.ReadPageBatch(batch, NodeId{0}, &cost);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], results[2]) << "alias resolves to the same bytes";
+  EXPECT_EQ(provider_calls, 3) << "cached page never re-fetched";
+  EXPECT_EQ(fabric.stats().cache_hits, 2u) << "one cached hit + one alias, not double-counted";
+  EXPECT_EQ(fabric.stats().cache_misses, 3u) << "warm-up miss + the two uncached pages";
+  EXPECT_EQ(fabric.stats().batch_messages, 1u);
+  EXPECT_EQ(fabric.stats().batch_pages, 2u) << "only the misses cross the wire";
+  EXPECT_EQ(fabric.stats().remote_reads, 3u) << "warm-up read + two batched fetches";
+
+  // Re-issuing the same batch is now all hits: no new messages, no fetches.
+  (void)fabric.ReadPageBatch(batch, NodeId{0}, &cost);
+  EXPECT_EQ(provider_calls, 3);
+  EXPECT_EQ(fabric.stats().cache_hits, 6u) << "three distinct hits + one alias";
+  EXPECT_EQ(fabric.stats().cache_misses, 3u);
+  EXPECT_EQ(fabric.stats().batch_messages, 1u);
+}
+
+TEST(RdmaBatchTest, DuplicatesWithoutCacheAliasButCountNoHits) {
+  int provider_calls = 0;
+  RdmaFabric fabric({}, [&](const PageLocation&) {
+    ++provider_calls;
+    return FakePage(9);
+  });
+  const std::vector<PageLocation> batch = {NodeLoc(1, 5), NodeLoc(1, 5)};
+  SimDuration cost;
+  auto results = fabric.ReadPageBatch(batch, NodeId{0}, &cost);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(provider_calls, 1) << "duplicate served from the batch's own copy";
+  EXPECT_EQ(fabric.stats().batch_pages, 1u);
+  EXPECT_EQ(fabric.stats().cache_hits, 0u) << "no cache, no hits to claim";
+  EXPECT_EQ(fabric.stats().cache_misses, 0u);
+}
+
+TEST(RdmaBatchTest, EmptyBatchIsFree) {
+  RdmaFabric fabric({}, [](const PageLocation&) { return FakePage(0); });
+  SimDuration cost;
+  auto results = fabric.ReadPageBatch({}, NodeId{0}, &cost);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(cost, SimDuration{});
+  EXPECT_EQ(fabric.stats().batch_messages, 0u);
+}
+
 TEST(RdmaCacheTest, InvalidateSandboxDropsItsPages) {
   RdmaFabric fabric({.page_cache_capacity = 8},
                     [](const PageLocation&) { return FakePage(0); });
-  fabric.ReadPage(Loc(7, 0), NodeId{0}, nullptr);
-  fabric.ReadPage(Loc(7, 1), NodeId{0}, nullptr);
-  fabric.ReadPage(Loc(9, 0), NodeId{0}, nullptr);
+  (void)fabric.ReadPage(Loc(7, 0), NodeId{0}, nullptr);
+  (void)fabric.ReadPage(Loc(7, 1), NodeId{0}, nullptr);
+  (void)fabric.ReadPage(Loc(9, 0), NodeId{0}, nullptr);
   EXPECT_EQ(fabric.CachedPages(), 3u);
   fabric.InvalidateSandbox(SandboxId{7});
   EXPECT_EQ(fabric.CachedPages(), 1u);
-  fabric.ReadPage(Loc(9, 0), NodeId{0}, nullptr);  // the survivor still hits
+  (void)fabric.ReadPage(Loc(9, 0), NodeId{0}, nullptr);  // the survivor still hits
   EXPECT_EQ(fabric.stats().cache_hits, 1u);
 }
 

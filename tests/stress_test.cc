@@ -55,7 +55,13 @@ class StressRig {
     if (dice < 80) {  // restore (verified!)
       if (sb->state == SandboxState::kDedup) {
         RestoreOpResult r = agent_.RestoreOp(*sb, now, /*verify=*/true);
-        EXPECT_TRUE(r.verified);
+        // Drive any deferred background phase to completion immediately so
+        // the rig's refcount/accounting invariants hold after every step.
+        if (r.background_pending) {
+          EXPECT_TRUE(agent_.CompleteBackgroundRestore(*sb, now).verified);
+        } else {
+          EXPECT_TRUE(r.verified);
+        }
         return 4;
       }
       return 0;
@@ -160,7 +166,11 @@ TEST(StressTest, RefcountsReturnToZeroAfterFullDrain) {
     victims.push_back(sb.id);
   }
   for (SandboxId id : victims) {
-    rig.agent_.RestoreOp(*rig.cluster_.Find(id), SimTime{2}, /*verify=*/true);
+    Sandbox* sb = rig.cluster_.Find(id);
+    RestoreOpResult r = rig.agent_.RestoreOp(*sb, SimTime{2}, /*verify=*/true);
+    if (r.background_pending) {
+      rig.agent_.CompleteBackgroundRestore(*sb, SimTime{3});
+    }
   }
   for (SandboxId base : bases) {
     EXPECT_EQ(rig.registry_.RefCount(base), 0) << "base " << base;
