@@ -31,6 +31,11 @@ at any MEDES_THREADS setting) and the documented locking discipline:
   lock-rank            The LockRank enum in src/common/mutex.h, the hierarchy
                        table in DESIGN.md, and every LockRank:: literal in
                        src/ must agree (same names, same numbers).
+  direct-filesystem    fopen / std::ofstream / open(2) / std::filesystem
+                       outside src/store/ and bench/. Durable state must flow
+                       through the store::StateStore seam so determinism,
+                       crash recovery, and tier accounting stay centralized;
+                       scattered file I/O would bypass all three.
 
 Any finding can be suppressed with an inline escape hatch on the same or the
 preceding line, naming the rule:
@@ -187,6 +192,37 @@ def check_raw_random(rel: str, lines: list[str], findings: list[Finding]) -> Non
                         f"nondeterministic randomness ({m.group(1).strip()}); all "
                         "modelled randomness must flow through the seeded "
                         "SplitMix64 in common/rng.h")
+            )
+
+
+# ---------------------------------------------------------------------------
+# Rule: direct-filesystem
+
+# fopen/freopen, the std::fstream family, std::filesystem, and bare open(2).
+# The open(2) lookbehind keeps fopen(, ->open(, .open(, and ::open( from
+# matching; a bare `open(` call in C++ code is almost always the POSIX one.
+DIRECT_FILESYSTEM_RE = re.compile(
+    r"(\bf(?:re)?open\s*\(|std::[io]?fstream\b|std::filesystem\b|"
+    r"(?<![\w.:>])open\s*\()"
+)
+# src/store/ is the designated durability layer; bench programs write their
+# JSON artifacts directly by design.
+DIRECT_FILESYSTEM_ALLOWED_DIRS = ("src/store/", "bench/")
+
+
+def check_direct_filesystem(rel: str, lines: list[str],
+                            findings: list[Finding]) -> None:
+    if rel.startswith(DIRECT_FILESYSTEM_ALLOWED_DIRS):
+        return
+    for i, raw in enumerate(lines):
+        code = _strip_strings_and_comments(raw)
+        m = DIRECT_FILESYSTEM_RE.search(code)
+        if m and "direct-filesystem" not in _allowed_rules(lines, i):
+            findings.append(
+                Finding(rel, i + 1, "direct-filesystem",
+                        f"direct filesystem access ({m.group(1).strip()}) outside "
+                        "src/store/ and bench/; durable state must flow through "
+                        "the store::StateStore seam")
             )
 
 
@@ -355,6 +391,7 @@ ENUM_TO_DESIGN_NAME = {
     "kRegistrySandbox": "registry sandbox index",
     "kRdmaCache": "rdma cache",
     "kTransport": "transport",
+    "kStateStore": "state store",
     "kMetrics": "metrics",
     "kObsRegistry": "obs registry",
     "kObsBuffer": "obs span buffer",
@@ -449,6 +486,7 @@ PER_FILE_CHECKS = (
     check_raw_mutex,
     check_wall_clock,
     check_raw_random,
+    check_direct_filesystem,
     check_unordered_iteration,
     check_include_guard,
     check_self_contained,
@@ -494,6 +532,7 @@ FIXTURE_EXPECTATIONS = {
     "src/bad_raw_mutex.cc": "raw-mutex",
     "src/bad_wall_clock.cc": "wall-clock",
     "src/bad_raw_random.cc": "raw-random",
+    "src/bad_filesystem.cc": "direct-filesystem",
     "src/obs/export.cc": "unordered-iteration",
     "src/bad_guard.h": "include-guard",
     "src/bad_self_contained.h": "self-contained",

@@ -1,0 +1,31 @@
+#include "cluster/recovery_validator.h"
+
+#include <algorithm>
+
+namespace medes {
+
+RecoveryValidator MakeRecoveryValidator(const Cluster& cluster) {
+  return [&cluster](const store::RecoveredSandbox& recovered) {
+    const auto& bases = cluster.base_snapshots();
+    const auto it = bases.find(recovered.sandbox);
+    if (it == bases.end()) {
+      return false;  // base purged since the record was logged
+    }
+    if (it->second.node != recovered.node) {
+      return false;  // migrated: the logged locations would be wrong
+    }
+    // Every logged base page must byte-match what the live snapshot serves —
+    // a mismatch means the recovered entry describes bytes the cluster can
+    // no longer produce, and serving it could hand out a wrong base page.
+    for (const auto& [page, bytes] : recovered.pages) {
+      const std::vector<uint8_t> live =
+          cluster.ReadBasePage(PageLocation{recovered.node, recovered.sandbox, page});
+      if (live.size() != bytes.size() || !std::equal(bytes.begin(), bytes.end(), live.begin())) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+}  // namespace medes

@@ -1,0 +1,27 @@
+// Builds the live-sandbox validator used by registry crash recovery.
+//
+// A recovered registry entry is only as good as the base sandbox behind it:
+// after a restart, a logged sandbox may have been purged, migrated, or its
+// snapshot replaced. The validator closes the loop — RecoverInto (see
+// src/registry/registry_recovery.h) consults it before re-inserting each
+// recovered sandbox, so the registry never serves a base page the cluster
+// cannot actually produce.
+#ifndef MEDES_CLUSTER_RECOVERY_VALIDATOR_H_
+#define MEDES_CLUSTER_RECOVERY_VALIDATOR_H_
+
+#include "cluster/cluster.h"
+#include "registry/registry_recovery.h"
+
+namespace medes {
+
+// Returns a validator that accepts a recovered sandbox only when:
+//   - a base snapshot with its id still exists in `cluster`,
+//   - it lives on the recorded node,
+//   - every logged base page byte-matches the live snapshot's page
+//     (Cluster::ReadBasePage at the recorded location).
+// `cluster` must outlive the returned validator.
+RecoveryValidator MakeRecoveryValidator(const Cluster& cluster);
+
+}  // namespace medes
+
+#endif  // MEDES_CLUSTER_RECOVERY_VALIDATOR_H_

@@ -127,12 +127,14 @@ const char* ToString(LockRank rank) {
       return "rank 5: rdma cache";
     case LockRank::kTransport:
       return "rank 6: transport";
+    case LockRank::kStateStore:
+      return "rank 7: state store";
     case LockRank::kMetrics:
-      return "rank 7: metrics";
+      return "rank 8: metrics";
     case LockRank::kObsRegistry:
-      return "rank 8: obs registry";
+      return "rank 9: obs registry";
     case LockRank::kObsBuffer:
-      return "rank 9: obs span buffer";
+      return "rank 10: obs span buffer";
   }
   return "unknown";
 }

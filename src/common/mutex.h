@@ -45,9 +45,10 @@ enum class LockRank : int {
   kRegistrySandbox = 4,   // FingerprintRegistry sandbox refcounts / reverse index
   kRdmaCache = 5,         // RdmaFabric base-page LRU cache
   kTransport = 6,         // Transport fault-policy slot / StaticFaultPolicy state
-  kMetrics = 7,           // stats/metrics sinks (platform, agents, registries)
-  kObsRegistry = 8,       // obs instrument map / tracer thread-buffer registry
-  kObsBuffer = 9,         // obs per-thread span buffers (after kObsRegistry in drains)
+  kStateStore = 7,        // StateStore tier/residency + durable log state
+  kMetrics = 8,           // stats/metrics sinks (platform, agents, registries)
+  kObsRegistry = 9,       // obs instrument map / tracer thread-buffer registry
+  kObsBuffer = 10,        // obs per-thread span buffers (after kObsRegistry in drains)
 };
 
 const char* ToString(LockRank rank);

@@ -4,12 +4,14 @@
 #include <cstring>
 #include <span>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "store/state_store.h"
 #include "workload/access_model.h"
 
 namespace medes {
@@ -195,6 +197,22 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   SimDuration lookup_cost;
   for (SimDuration c : batch_costs) {
     lookup_cost += c;
+  }
+
+  // Tiered-store residency: touch each candidate base sandbox's registry
+  // entry once, at this serial join (first appearance in canonical page
+  // order — never inside the parallel lookup above, where worker
+  // interleaving would reorder CLOCK updates). An entry evicted to the cold
+  // tier charges its demand-page fetch into the op's lookup cost.
+  if (options_.state_store != nullptr) {
+    std::unordered_set<SandboxId> touched;
+    for (size_t i = 0; i < n; ++i) {
+      for (const BasePageCandidate& candidate : candidates[i]) {
+        if (touched.insert(candidate.location.sandbox).second) {
+          options_.state_store->TouchRegistryEntry(candidate.location.sandbox, &lookup_cost);
+        }
+      }
+    }
   }
 
   // 4. Base-page reads, serial in canonical page order: the fabric cache's
@@ -817,6 +835,17 @@ BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {
     fingerprints[resident[i]] = std::move(resident_fps[i]);
   }
   registry_.InsertBaseSandbox(sb.node, sb.id, fingerprints);
+  // Append the base's resident pages to the tiered store — but only when
+  // the insert actually registered (a transport drop leaves the sandbox
+  // unregistered, and an unregistered base must not be durable either).
+  if (options_.state_store != nullptr && registry_.IsBaseSandbox(sb.id)) {
+    obs::ScopedSpan span("store/base_append", "store", SimTime{});
+    for (size_t page : resident) {
+      options_.state_store->AppendBasePage(sb.node, sb.id, PageIndex{static_cast<uint32_t>(page)},
+                                           cp.PageData(page));
+    }
+    span.AddArg("pages", static_cast<int64_t>(resident.size()));
+  }
   {
     MutexLock lock(stats_mu_);
     ++stats_.bases_designated;

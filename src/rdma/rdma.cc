@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "store/state_store.h"
 
 namespace medes {
 
@@ -66,6 +67,10 @@ RdmaFabric::RdmaFabric(RdmaOptions options, PageProvider provider,
   }
 }
 
+void RdmaFabric::BindStateStore(std::shared_ptr<store::StateStore> store) {
+  store_ = std::move(store);
+}
+
 SimDuration RdmaFabric::ReadCost(Bytes bytes, bool remote) const {
   const Topology& topology = transport_->topology();
   return LinkCost(bytes, remote ? topology.remote : topology.local);
@@ -125,6 +130,12 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
       transport_->Send(MessageType::kBaseRead, location.node, reader_node, Bytes{bytes.size()});
   if (!sent.delivered) {
     throw RdmaUnavailable("RdmaFabric: base-page read dropped by fault policy");
+  }
+  // Page-cache miss reached the owner node: if its copy was evicted to the
+  // cold tier, the demand-page fetch joins the read's modelled cost. Outside
+  // cache_mu_, at a serial call site (determinism contract, store header).
+  if (store_ != nullptr) {
+    store_->TouchBasePage(location.sandbox, location.page_index, cost);
   }
   size_t evictions = 0;
   {
@@ -234,6 +245,13 @@ std::vector<std::vector<uint8_t>> RdmaFabric::ReadPageBatch(
     }
     if (cost != nullptr) {
       *cost += sent.cost;
+    }
+    // Cold-tier touches in NodeId-then-batch order — deterministic for a
+    // given batch layout regardless of thread count.
+    if (store_ != nullptr) {
+      for (size_t i : idxs) {
+        store_->TouchBasePage(locations[i].sandbox, locations[i].page_index, cost);
+      }
     }
     const bool remote = node != reader_node;
     uint64_t evictions = 0;

@@ -36,6 +36,10 @@
 
 namespace medes {
 
+namespace store {
+class StateStore;
+}  // namespace store
+
 struct RdmaOptions {
   // Wire model used when no shared Transport is passed to the constructor:
   // the fabric then builds a private Transport whose remote/local links come
@@ -132,6 +136,12 @@ class RdmaFabric {
   // The transport base reads are charged through.
   const std::shared_ptr<Transport>& transport() const { return transport_; }
 
+  // Binds the tiered state store: fabric reads that miss the page cache
+  // additionally touch the page's residency entry, so demand-paging an
+  // SSD-evicted base page charges the modelled cold-tier fetch into the
+  // read's cost. Configuration-time only; unbound fabrics charge nothing.
+  void BindStateStore(std::shared_ptr<store::StateStore> store);
+
   // Drops every cached page belonging to `sandbox` (called when a base
   // sandbox is purged). Pure capacity hygiene — ids are never reused.
   void InvalidateSandbox(SandboxId sandbox) EXCLUDES(cache_mu_);
@@ -156,6 +166,9 @@ class RdmaFabric {
   RdmaOptions options_;
   PageProvider provider_;
   std::shared_ptr<Transport> transport_;
+  // Optional tiering seam (see BindStateStore). Touched only at serial call
+  // sites, outside cache_mu_.
+  std::shared_ptr<store::StateStore> store_;
 
   // LRU cache: list front = most recently used. Guarded by cache_mu_ so
   // pipeline workers may share a fabric. Stats advance under the same lock

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "store/state_store.h"
 
 namespace medes {
 
@@ -161,6 +162,11 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       home.chain[static_cast<size_t>(r)].registry.InsertBaseSandbox(node, sandbox, {});
     }
   }
+  // One durable record per logical insert, independent of shard/replica
+  // fan-out (replica registries are never store-bound).
+  if (store_ != nullptr) {
+    store_->AppendInsertSandbox(node, sandbox, fingerprints);
+  }
 }
 
 void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
@@ -173,6 +179,13 @@ void DistributedRegistry::RemoveBaseSandbox(SandboxId sandbox) {
       }
     }
   }
+  if (store_ != nullptr) {
+    store_->AppendRemoveSandbox(sandbox);
+  }
+}
+
+void DistributedRegistry::BindStateStore(std::shared_ptr<store::StateStore> store) {
+  store_ = std::move(store);
 }
 
 bool DistributedRegistry::IsBaseSandbox(SandboxId sandbox) const {

@@ -75,7 +75,7 @@ class DistributedRegistry : public RegistryBackend {
   void InsertBaseSandbox(NodeId node, SandboxId sandbox,
                          const std::vector<PageFingerprint>& fingerprints) override;
   void RemoveBaseSandbox(SandboxId sandbox) override;
-  bool IsBaseSandbox(SandboxId sandbox) const override;
+  [[nodiscard]] bool IsBaseSandbox(SandboxId sandbox) const override;
 
   [[nodiscard]] std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
                                                              NodeId local_node,
@@ -93,10 +93,16 @@ class DistributedRegistry : public RegistryBackend {
 
   void Ref(SandboxId base_sandbox) override;
   void Unref(SandboxId base_sandbox) override;
-  int RefCount(SandboxId base_sandbox) const override;
+  [[nodiscard]] int RefCount(SandboxId base_sandbox) const override;
+
+  // Binds the durability seam at the *distributed* level: one append per
+  // logical insert/removal, regardless of sharding or replication fan-out
+  // (replica FingerprintRegistry instances stay unbound so a 3-way
+  // replicated write is still one durable record).
+  void BindStateStore(std::shared_ptr<store::StateStore> store) override;
 
   // Aggregated table stats across shard tails.
-  RegistryStats stats() const override;
+  [[nodiscard]] RegistryStats stats() const override;
   // Consistent snapshot (counters advance under their own lock).
   DistributedRegistryStats distributed_stats() const EXCLUDES(stats_mu_);
 
@@ -149,6 +155,8 @@ class DistributedRegistry : public RegistryBackend {
 
   DistributedRegistryOptions options_;
   std::shared_ptr<Transport> transport_;
+  // Optional durability seam (see BindStateStore).
+  std::shared_ptr<store::StateStore> store_;
 
   // Chain topology: the shard vector's structure and every replica's `alive`
   // flag. Reads (routing a request, walking a chain) hold the shared lock;

@@ -7,6 +7,7 @@
 #include "common/mutex.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "store/state_store.h"
 
 namespace medes {
 
@@ -125,6 +126,10 @@ void FingerprintRegistry::BindTransport(std::shared_ptr<Transport> transport,
   registry_node_ = registry_node;
 }
 
+void FingerprintRegistry::BindStateStore(std::shared_ptr<store::StateStore> store) {
+  store_ = std::move(store);
+}
+
 void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
                                             const std::vector<PageFingerprint>& fingerprints) {
   if (transport_ != nullptr) {
@@ -162,6 +167,11 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
       }
     }
   }
+  // Only inserts that actually landed (past the transport delivery check)
+  // become durable registry state. No shard locks are held here.
+  if (store_ != nullptr) {
+    store_->AppendInsertSandbox(node, sandbox, fingerprints);
+  }
 }
 
 void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
@@ -191,6 +201,9 @@ void FingerprintRegistry::RemoveBaseSandbox(SandboxId sandbox) {
       }
     }
     shard.keys_by_sandbox.erase(owned);
+  }
+  if (store_ != nullptr) {
+    store_->AppendRemoveSandbox(sandbox);
   }
 }
 

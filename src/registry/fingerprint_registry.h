@@ -63,11 +63,12 @@ class FingerprintRegistry : public RegistryBackend {
   // O(keys the sandbox owns), not O(table size).
   void RemoveBaseSandbox(SandboxId sandbox) override;
 
-  bool IsBaseSandbox(SandboxId sandbox) const override;
+  [[nodiscard]] bool IsBaseSandbox(SandboxId sandbox) const override;
 
-  std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
-                                               NodeId local_node, SandboxId exclude_sandbox,
-                                               size_t max_results) override;
+  [[nodiscard]] std::vector<BasePageCandidate> FindBasePages(const PageFingerprint& fingerprint,
+                                                             NodeId local_node,
+                                                             SandboxId exclude_sandbox,
+                                                             size_t max_results) override;
 
   // Batched lookup: one shard-grouped pass over all fingerprints, locking
   // each shard once per batch instead of once per key. Results are
@@ -75,7 +76,7 @@ class FingerprintRegistry : public RegistryBackend {
   // FindBasePages. The modelled cost is one kRegistryLookup message for the
   // batch (when a transport is bound) plus `lookup_per_page` per page.
   using RegistryBackend::FindBasePagesBatch;
-  std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
+  [[nodiscard]] std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
       SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) override;
 
@@ -90,11 +91,16 @@ class FingerprintRegistry : public RegistryBackend {
   void AccumulateTally(const PageFingerprint& fingerprint, SandboxId exclude_sandbox,
                        std::unordered_map<PageLocation, int, PageLocationHash>& tally);
 
+  // Binds the durability/tiering seam: inserts append a fingerprint record
+  // (after the transport delivery check — a lost insert is not durable
+  // state), removals append an invalidation. Configuration-time only.
+  void BindStateStore(std::shared_ptr<store::StateStore> store) override;
+
   void Ref(SandboxId base_sandbox) override;
   void Unref(SandboxId base_sandbox) override;
-  int RefCount(SandboxId base_sandbox) const override;
+  [[nodiscard]] int RefCount(SandboxId base_sandbox) const override;
 
-  RegistryStats stats() const override;
+  [[nodiscard]] RegistryStats stats() const override;
   size_t NumBaseSandboxes() const;
   size_t NumShards() const { return shards_.size(); }
 
@@ -123,6 +129,10 @@ class FingerprintRegistry : public RegistryBackend {
   // clone is table state, not a network endpoint.
   std::shared_ptr<Transport> transport_;
   NodeId registry_node_ = kInvalidNode;
+
+  // Optional durability seam (see BindStateStore). Not copied either: only
+  // the authoritative top-level registry logs records, never replica clones.
+  std::shared_ptr<store::StateStore> store_;
 
   // Sandbox-level state: membership + refcounts (the sandbox-level reverse
   // index). Ordered after the shard locks in the global hierarchy.

@@ -10,6 +10,7 @@
 #define MEDES_REGISTRY_REGISTRY_BACKEND_H_
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -20,6 +21,10 @@
 #include "common/types.h"
 
 namespace medes {
+
+namespace store {
+class StateStore;
+}  // namespace store
 
 // Modelled wire size of one sampled-chunk key in a registry message
 // (truncated key + page-location answer, round trip).
@@ -155,6 +160,12 @@ class RegistryBackend {
   virtual void Ref(SandboxId base_sandbox) = 0;
   virtual void Unref(SandboxId base_sandbox) = 0;
   [[nodiscard]] virtual int RefCount(SandboxId base_sandbox) const = 0;
+
+  // Binds the durability/tiering seam (src/store). Bound backends mirror
+  // every insert/removal into the store as an append record; unbound
+  // backends (the default) behave exactly as before the seam existed.
+  // Configuration-time only, like BindTransport.
+  virtual void BindStateStore(std::shared_ptr<store::StateStore> store) { (void)store; }
 
   [[nodiscard]] virtual RegistryStats stats() const = 0;
 };

@@ -1,0 +1,76 @@
+#include "registry/registry_recovery.h"
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace medes {
+
+namespace {
+
+struct RecoveryInstruments {
+  obs::Counter* recoveries;
+  obs::Counter* recovered;
+  obs::Counter* rejected;
+  obs::Counter* recovered_pages;
+  obs::Counter* torn_bytes;
+  obs::Counter* corrupt_records;
+};
+
+const RecoveryInstruments& Instruments() {
+  static const RecoveryInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    return RecoveryInstruments{
+        .recoveries = &registry.GetCounter("medes_store_recoveries_total",
+                                           "Registry recoveries driven from the state store"),
+        .recovered = &registry.GetCounter("medes_store_recovered_sandboxes_total",
+                                          "Base sandboxes restored and validated from the store"),
+        .rejected = &registry.GetCounter(
+            "medes_store_rejected_sandboxes_total",
+            "Recovered base sandboxes rejected by live-sandbox re-validation"),
+        .recovered_pages = &registry.GetCounter("medes_store_recovered_pages_total",
+                                                "Base pages carried by restored sandboxes"),
+        .torn_bytes = &registry.GetCounter("medes_store_recovery_torn_bytes_total",
+                                           "Log bytes truncated as torn tails during recovery"),
+        .corrupt_records = &registry.GetCounter(
+            "medes_store_recovery_corrupt_records_total",
+            "Log records rejected by magic/CRC/sequence checks during recovery"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
+
+RecoveryReport RecoverInto(store::StateStore& store, RegistryBackend& registry,
+                           const RecoveryValidator& validate) {
+  obs::ScopedSpan span("store/recover", "store", SimTime{});
+  RecoveryReport report;
+  report.store_state = store.Recover();
+
+  // Recovered state is already durable: suppress re-logging while replaying
+  // it into the registry (residency is still admitted).
+  store.SetReplaying(true);
+  for (const store::RecoveredSandbox& sb : report.store_state.sandboxes) {
+    if (validate != nullptr && !validate(sb)) {
+      ++report.rejected_sandboxes;
+      continue;
+    }
+    registry.InsertBaseSandbox(sb.node, sb.sandbox, sb.fingerprints);
+    ++report.recovered_sandboxes;
+    report.recovered_pages += sb.pages.size();
+  }
+  store.SetReplaying(false);
+
+  if (obs::MetricsEnabled()) {
+    Instruments().recoveries->Add(1);
+    Instruments().recovered->Add(report.recovered_sandboxes);
+    Instruments().rejected->Add(report.rejected_sandboxes);
+    Instruments().recovered_pages->Add(report.recovered_pages);
+    Instruments().torn_bytes->Add(report.store_state.torn_bytes);
+    Instruments().corrupt_records->Add(report.store_state.corrupt_records);
+  }
+  return report;
+}
+
+}  // namespace medes

@@ -1,0 +1,49 @@
+// Crash-recovery driver: replays a StateStore's recovered checkpoint+log
+// state back into a live registry backend.
+//
+// Recovery is two-phase by design. The store layer (store/log_store.cc) only
+// proves *integrity* — every surviving record is CRC-clean and in-sequence.
+// This driver adds *validity*: each recovered base sandbox is passed to a
+// caller-supplied validator (typically cluster::MakeRecoveryValidator, which
+// checks the sandbox still exists on its node and its logged base pages
+// byte-match the live snapshot) before being re-inserted. A registry never
+// serves entries that merely used to be true.
+//
+// Re-inserts run with the store in replaying mode, so recovered state is not
+// re-logged (it is already durable) while residency is still admitted — a
+// recovered store starts with the same hot set a fresh store would build.
+#ifndef MEDES_REGISTRY_REGISTRY_RECOVERY_H_
+#define MEDES_REGISTRY_REGISTRY_RECOVERY_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "registry/registry_backend.h"
+#include "store/state_store.h"
+
+namespace medes {
+
+struct RecoveryReport {
+  // Sandboxes re-inserted into the registry (validator accepted).
+  size_t recovered_sandboxes = 0;
+  // Sandboxes dropped because the validator rejected them (stale entries
+  // whose live sandbox is gone or whose pages no longer match).
+  size_t rejected_sandboxes = 0;
+  size_t recovered_pages = 0;  // base pages carried by accepted sandboxes
+  // The raw store-level recovery outcome (torn/stale/corrupt accounting).
+  store::RecoveredState store_state;
+};
+
+// Validator: true = the recovered sandbox is still backed by a live sandbox
+// and safe to serve. Called once per recovered sandbox, ascending id.
+using RecoveryValidator = std::function<bool(const store::RecoveredSandbox&)>;
+
+// Replays `store`'s recovered state into `registry`, re-validating each
+// sandbox through `validate` first. A null validator accepts everything
+// (integrity-only recovery, for tests).
+RecoveryReport RecoverInto(store::StateStore& store, RegistryBackend& registry,
+                           const RecoveryValidator& validate = nullptr);
+
+}  // namespace medes
+
+#endif  // MEDES_REGISTRY_REGISTRY_RECOVERY_H_

@@ -1,0 +1,314 @@
+#include "store/log_store.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <utility>
+
+namespace medes::store {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4d454443;  // "MEDC"
+// Checkpoint header: magic + last folded seq + record count.
+constexpr size_t kCheckpointHeaderBytes = 4 + 8 + 4;
+
+void PutU32(uint32_t v, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>& out) {
+  PutU32(static_cast<uint32_t>(v), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) | static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+// Reads an entire file; returns false when it does not exist / can't open.
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size > 0 ? static_cast<size_t>(size) : 0);
+  if (!out.empty() && std::fread(out.data(), 1, out.size(), f) != out.size()) {
+    out.clear();
+  }
+  std::fclose(f);
+  return true;
+}
+
+// Atomically (via rename) replaces `path` with `bytes`.
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fflush(f);
+  std::fclose(f);
+  return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+LogStore::LogStore(StoreOptions options) : StateStore(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(this->options().directory, ec);
+  MutexLock lock(store_mu_);
+  RecoverFromDisk();
+  log_ = std::fopen(LogPath().c_str(), "ab");
+}
+
+LogStore::~LogStore() {
+  MutexLock lock(store_mu_);
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+}
+
+void LogStore::Checkpoint() {
+  MutexLock lock(store_mu_);
+  WriteCheckpoint();
+}
+
+RecoveredState LogStore::Recover() {
+  MutexLock lock(store_mu_);
+  return recovered_;
+}
+
+DurabilityStats LogStore::durability_stats() const {
+  MutexLock lock(store_mu_);
+  return durability_;
+}
+
+void LogStore::RecoverFromDisk() {
+  ++durability_.recoveries;
+  uint64_t checkpoint_seq = 0;
+  bool checkpoint_usable = true;
+
+  // 1. Checkpoint: all-or-nothing. It is the base the log deltas apply to,
+  // so any parse failure discards it AND blocks log replay (fail closed).
+  std::vector<uint8_t> ckpt;
+  if (ReadFileBytes(CheckpointPath(), ckpt)) {
+    bool ok = ckpt.size() >= kCheckpointHeaderBytes && GetU32(ckpt.data()) == kCheckpointMagic;
+    uint32_t num_records = 0;
+    if (ok) {
+      checkpoint_seq = GetU64(ckpt.data() + 4);
+      num_records = GetU32(ckpt.data() + 12);
+    }
+    size_t pos = kCheckpointHeaderBytes;
+    for (uint32_t i = 0; ok && i < num_records; ++i) {
+      DecodeResult d = DecodeRecord({ckpt.data() + pos, ckpt.size() - pos});
+      if (d.status != DecodeStatus::kOk) {
+        ok = false;
+        break;
+      }
+      ApplyRecord(d.record);
+      ++recovered_.checkpoint_records;
+      pos += d.consumed;
+    }
+    if (ok && pos != ckpt.size()) {
+      ok = false;  // trailing garbage after the declared records
+    }
+    if (!ok) {
+      state_.clear();
+      recovered_ = RecoveredState{};
+      recovered_.clean = false;
+      checkpoint_usable = false;
+    }
+  }
+
+  // 2. Log replay from the first un-folded sequence number.
+  std::vector<uint8_t> log;
+  if (checkpoint_usable && ReadFileBytes(LogPath(), log)) {
+    uint64_t expected = checkpoint_seq + 1;
+    size_t pos = 0;
+    size_t good_prefix = 0;
+    bool stop = false;
+    while (!stop && pos < log.size()) {
+      DecodeResult d = DecodeRecord({log.data() + pos, log.size() - pos});
+      switch (d.status) {
+        case DecodeStatus::kOk:
+          if (d.record.seq < expected) {
+            // Already folded into the checkpoint (crash between checkpoint
+            // rename and log truncation) or a duplicate append: skip.
+            ++recovered_.stale_records;
+          } else if (d.record.seq > expected) {
+            // A sequence gap means records were lost: everything after the
+            // gap is untrustworthy. Stop at the last good prefix.
+            ++recovered_.corrupt_records;
+            recovered_.clean = false;
+            stop = true;
+            break;
+          } else {
+            ApplyRecord(d.record);
+            ++recovered_.log_records;
+            ++expected;
+          }
+          pos += d.consumed;
+          good_prefix = pos;
+          break;
+        case DecodeStatus::kTorn:
+          recovered_.torn_bytes += log.size() - pos;
+          recovered_.clean = false;
+          stop = true;
+          break;
+        case DecodeStatus::kCorrupt:
+          ++recovered_.corrupt_records;
+          recovered_.clean = false;
+          stop = true;
+          break;
+      }
+    }
+    if (good_prefix < log.size()) {
+      // Physically truncate the torn/corrupt tail so the next recovery (and
+      // new appends) see a clean log.
+      log.resize(good_prefix);
+      WriteFileBytes(LogPath(), log);
+    }
+    next_seq_ = expected;
+  } else {
+    // Unusable checkpoint: start over. Truncate the log and drop the bad
+    // checkpoint so stale bytes cannot resurface; state is empty and
+    // recovery reports clean=false.
+    if (!checkpoint_usable) {
+      WriteFileBytes(LogPath(), {});
+      std::remove(CheckpointPath().c_str());
+    }
+    next_seq_ = checkpoint_seq + 1;
+  }
+  durability_.torn_bytes += recovered_.torn_bytes;
+  durability_.recovered_records += recovered_.checkpoint_records + recovered_.log_records;
+
+  // Materialize the recovered view, ascending sandbox id / page index.
+  for (const auto& [id, sb] : state_) {
+    RecoveredSandbox out;
+    out.node = sb.node;
+    out.sandbox = id;
+    out.fingerprints = sb.fingerprints;
+    for (const auto& [page, bytes] : sb.pages) {
+      out.pages.emplace_back(page, bytes);
+    }
+    recovered_.sandboxes.push_back(std::move(out));
+  }
+}
+
+void LogStore::ApplyRecord(const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kInsertSandbox: {
+      LogicalSandbox& sb = state_[rec.sandbox];
+      sb.node = rec.node;
+      sb.fingerprints = rec.fingerprints;
+      break;
+    }
+    case RecordType::kRemoveSandbox:
+      state_.erase(rec.sandbox);
+      break;
+    case RecordType::kBasePageWrite: {
+      LogicalSandbox& sb = state_[rec.sandbox];
+      if (sb.node == kInvalidNode) {
+        sb.node = rec.node;
+      }
+      sb.pages[rec.page_index] = rec.page_bytes;
+      break;
+    }
+  }
+}
+
+void LogStore::AppendToLog(const std::vector<uint8_t>& bytes) {
+  if (log_ == nullptr) {
+    return;
+  }
+  std::fwrite(bytes.data(), 1, bytes.size(), log_);
+  // Flush through stdio so a crashed *process* loses nothing; an OS crash
+  // can still tear the tail, which recovery truncates.
+  std::fflush(log_);
+  durability_.log_bytes += bytes.size();
+  ++appends_since_checkpoint_;
+  MaybeCheckpoint();
+}
+
+void LogStore::MaybeCheckpoint() {
+  if (options().checkpoint_every_records > 0 &&
+      appends_since_checkpoint_ >= options().checkpoint_every_records) {
+    WriteCheckpoint();
+  }
+}
+
+void LogStore::WriteCheckpoint() {
+  // Count records first: one insert per sandbox plus its pages.
+  uint32_t num_records = 0;
+  for (const auto& [id, sb] : state_) {
+    num_records += 1 + static_cast<uint32_t>(sb.pages.size());
+  }
+  std::vector<uint8_t> out;
+  PutU32(kCheckpointMagic, out);
+  PutU64(next_seq_ - 1, out);
+  PutU32(num_records, out);
+  uint64_t seq = 0;  // checkpoint-internal numbering; replay ignores it
+  for (const auto& [id, sb] : state_) {
+    EncodeInsertSandbox(++seq, sb.node, id, sb.fingerprints, out);
+    for (const auto& [page, bytes] : sb.pages) {
+      EncodeBasePageWrite(++seq, sb.node, id, page, bytes, out);
+    }
+  }
+  if (!WriteFileBytes(CheckpointPath(), out)) {
+    return;  // keep the log; the old checkpoint (if any) is still intact
+  }
+  // Commit point passed: the checkpoint now covers every logged record, so
+  // the log restarts empty. A crash landing between the rename above and
+  // this truncation leaves stale records, which replay skips by seq.
+  if (log_ != nullptr) {
+    std::fclose(log_);
+  }
+  log_ = std::fopen(LogPath().c_str(), "wb");
+  appends_since_checkpoint_ = 0;
+  ++durability_.checkpoints;
+  durability_.checkpoint_bytes = out.size();
+}
+
+void LogStore::PersistInsertSandbox(NodeId node, SandboxId sandbox,
+                                    const std::vector<PageFingerprint>& fingerprints) {
+  LogicalSandbox& sb = state_[sandbox];
+  sb.node = node;
+  sb.fingerprints = fingerprints;
+  std::vector<uint8_t> bytes;
+  EncodeInsertSandbox(next_seq_++, node, sandbox, fingerprints, bytes);
+  AppendToLog(bytes);
+}
+
+void LogStore::PersistRemoveSandbox(SandboxId sandbox) {
+  state_.erase(sandbox);
+  std::vector<uint8_t> bytes;
+  EncodeRemoveSandbox(next_seq_++, sandbox, bytes);
+  AppendToLog(bytes);
+}
+
+void LogStore::PersistBasePage(NodeId node, SandboxId sandbox, PageIndex page_index,
+                               std::span<const uint8_t> page_bytes) {
+  LogicalSandbox& sb = state_[sandbox];
+  if (sb.node == kInvalidNode) {
+    sb.node = node;
+  }
+  sb.pages[page_index].assign(page_bytes.begin(), page_bytes.end());
+  std::vector<uint8_t> bytes;
+  EncodeBasePageWrite(next_seq_++, node, sandbox, page_index, page_bytes, bytes);
+  AppendToLog(bytes);
+}
+
+}  // namespace medes::store

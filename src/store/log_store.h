@@ -1,0 +1,91 @@
+// The persistent StateStore backend: an append-only record log plus a
+// periodically compacted checkpoint, both in one directory.
+//
+//   <dir>/medes.log        framed records (store/record.h), appended + flushed
+//   <dir>/medes.ckpt       compacted full state: header + framed records
+//   <dir>/medes.ckpt.tmp   checkpoint staging (renamed into place when done)
+//
+// Write path: every durable mutation becomes one log record with a strictly
+// increasing sequence number, written and flushed before the call returns.
+// Every `checkpoint_every_records` appends the full logical state is folded
+// into a fresh checkpoint (written to the .tmp, fsync'd via stdio flush,
+// renamed over the old checkpoint) and the log is truncated. The rename is
+// the commit point: a crash before it keeps the old checkpoint + full log, a
+// crash after it but before the log truncation leaves stale log records,
+// which replay detects by sequence number and skips.
+//
+// Recovery (in the constructor) rebuilds logical state:
+//   1. Checkpoint: parsed fully or discarded entirely — it is the base the
+//      log deltas apply to, so a half-good checkpoint cannot be used
+//      (fail closed: empty state, clean=false).
+//   2. Log replay from last checkpointed seq + 1: CRC-clean in-sequence
+//      records apply; records at or below the applied seq are stale
+//      duplicates and are skipped; a torn tail is physically truncated; a
+//      corrupt record or a sequence gap stops replay at the last good
+//      prefix (clean=false). Recovery never serves bytes that fail a CRC.
+//
+// The recovered state is exposed through Recover() for the registry
+// recovery driver (src/registry/registry_recovery.h), which re-validates
+// every sandbox against the live cluster before re-inserting it.
+#ifndef MEDES_STORE_LOG_STORE_H_
+#define MEDES_STORE_LOG_STORE_H_
+
+#include <cstdio>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/record.h"
+#include "store/state_store.h"
+
+namespace medes::store {
+
+class LogStore final : public StateStore {
+ public:
+  // Opens (creating the directory if needed) and recovers. The result of
+  // recovery is available via Recover() until destruction.
+  explicit LogStore(StoreOptions options);
+  ~LogStore() override;
+
+  const char* name() const override { return "persistent"; }
+
+  void Checkpoint() override;
+  [[nodiscard]] RecoveredState Recover() override;
+  [[nodiscard]] DurabilityStats durability_stats() const override;
+
+ protected:
+  void PersistInsertSandbox(NodeId node, SandboxId sandbox,
+                            const std::vector<PageFingerprint>& fingerprints) override;
+  void PersistRemoveSandbox(SandboxId sandbox) override;
+  void PersistBasePage(NodeId node, SandboxId sandbox, PageIndex page_index,
+                       std::span<const uint8_t> page_bytes) override;
+
+ private:
+  // Full logical state, kept current so checkpoints need no log re-read.
+  struct LogicalSandbox {
+    NodeId node = kInvalidNode;
+    std::vector<PageFingerprint> fingerprints;
+    std::map<PageIndex, std::vector<uint8_t>> pages;
+  };
+
+  std::string LogPath() const { return options().directory + "/medes.log"; }
+  std::string CheckpointPath() const { return options().directory + "/medes.ckpt"; }
+
+  void RecoverFromDisk() REQUIRES(store_mu_);
+  void ApplyRecord(const Record& rec) REQUIRES(store_mu_);
+  void AppendToLog(const std::vector<uint8_t>& bytes) REQUIRES(store_mu_);
+  void MaybeCheckpoint() REQUIRES(store_mu_);
+  void WriteCheckpoint() REQUIRES(store_mu_);
+
+  std::FILE* log_ GUARDED_BY(store_mu_) = nullptr;
+  std::map<SandboxId, LogicalSandbox> state_ GUARDED_BY(store_mu_);
+  uint64_t next_seq_ GUARDED_BY(store_mu_) = 1;
+  uint64_t appends_since_checkpoint_ GUARDED_BY(store_mu_) = 0;
+  RecoveredState recovered_ GUARDED_BY(store_mu_);
+  DurabilityStats durability_ GUARDED_BY(store_mu_);
+};
+
+}  // namespace medes::store
+
+#endif  // MEDES_STORE_LOG_STORE_H_

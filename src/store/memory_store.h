@@ -1,0 +1,24 @@
+// The in-memory StateStore backend: residency accounting with no
+// durability. The default backend and the deterministic-test path — all
+// authoritative state keeps living in FingerprintRegistry / Cluster RAM
+// structures exactly as before the seam existed.
+#ifndef MEDES_STORE_MEMORY_STORE_H_
+#define MEDES_STORE_MEMORY_STORE_H_
+
+#include "store/state_store.h"
+
+namespace medes::store {
+
+class MemoryStore final : public StateStore {
+ public:
+  explicit MemoryStore(StoreOptions options) : StateStore(std::move(options)) {}
+
+  const char* name() const override { return "memory"; }
+
+  // Nothing was ever persisted, so recovery is trivially empty and clean.
+  [[nodiscard]] RecoveredState Recover() override { return RecoveredState{}; }
+};
+
+}  // namespace medes::store
+
+#endif  // MEDES_STORE_MEMORY_STORE_H_

@@ -1,0 +1,226 @@
+#include "store/record.h"
+
+#include <array>
+#include <cstring>
+
+namespace medes::store {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU8(uint8_t v, std::vector<uint8_t>& out) { out.push_back(v); }
+
+void PutU32(uint32_t v, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>& out) {
+  PutU32(static_cast<uint32_t>(v), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+// Little-endian readers over a bounds-checked cursor. Any overrun flips
+// `ok` and sticks; callers check once at the end.
+struct Reader {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint8_t U8() {
+    if (pos + 1 > bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    return bytes[pos++];
+  }
+  uint32_t U32() {
+    if (pos + 4 > bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    uint32_t v = static_cast<uint32_t>(bytes[pos]) | static_cast<uint32_t>(bytes[pos + 1]) << 8 |
+                 static_cast<uint32_t>(bytes[pos + 2]) << 16 |
+                 static_cast<uint32_t>(bytes[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    const uint64_t hi = U32();
+    return lo | hi << 32;
+  }
+};
+
+// Fixed bytes before the payload: magic + seq + type + payload_len.
+constexpr size_t kHeaderBytes = 4 + 8 + 1 + 4;
+constexpr size_t kTrailerBytes = 4;  // crc32
+
+// Frames `payload` (already encoded for `type`) into `out`.
+void Frame(uint64_t seq, RecordType type, std::span<const uint8_t> payload,
+           std::vector<uint8_t>& out) {
+  // The CRC covers seq..payload: build that region once, then splice.
+  std::vector<uint8_t> covered;
+  covered.reserve(8 + 1 + 4 + payload.size());
+  PutU64(seq, covered);
+  PutU8(static_cast<uint8_t>(type), covered);
+  PutU32(static_cast<uint32_t>(payload.size()), covered);
+  covered.insert(covered.end(), payload.begin(), payload.end());
+
+  PutU32(kRecordMagic, out);
+  out.insert(out.end(), covered.begin(), covered.end());
+  PutU32(Crc32(covered), out);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = 0xffffffffu;
+  for (uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void EncodeInsertSandbox(uint64_t seq, NodeId node, SandboxId sandbox,
+                         const std::vector<PageFingerprint>& fingerprints,
+                         std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  PutU32(static_cast<uint32_t>(node.value()), payload);
+  PutU64(sandbox.value(), payload);
+  PutU32(static_cast<uint32_t>(fingerprints.size()), payload);
+  for (const PageFingerprint& fp : fingerprints) {
+    PutU32(static_cast<uint32_t>(fp.chunks.size()), payload);
+    for (const SampledChunk& chunk : fp.chunks) {
+      PutU64(chunk.key, payload);
+      PutU32(chunk.offset, payload);
+    }
+  }
+  Frame(seq, RecordType::kInsertSandbox, payload, out);
+}
+
+void EncodeRemoveSandbox(uint64_t seq, SandboxId sandbox, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  PutU64(sandbox.value(), payload);
+  Frame(seq, RecordType::kRemoveSandbox, payload, out);
+}
+
+void EncodeBasePageWrite(uint64_t seq, NodeId node, SandboxId sandbox, PageIndex page_index,
+                         std::span<const uint8_t> page_bytes, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(4 + 8 + 4 + 4 + page_bytes.size());
+  PutU32(static_cast<uint32_t>(node.value()), payload);
+  PutU64(sandbox.value(), payload);
+  PutU32(page_index.value(), payload);
+  PutU32(static_cast<uint32_t>(page_bytes.size()), payload);
+  payload.insert(payload.end(), page_bytes.begin(), page_bytes.end());
+  Frame(seq, RecordType::kBasePageWrite, payload, out);
+}
+
+DecodeResult DecodeRecord(std::span<const uint8_t> bytes) {
+  DecodeResult result;
+  if (bytes.size() < kHeaderBytes) {
+    result.status = DecodeStatus::kTorn;
+    return result;
+  }
+  Reader header{bytes};
+  const uint32_t magic = header.U32();
+  if (magic != kRecordMagic) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  const uint64_t seq = header.U64();
+  const uint8_t type_raw = header.U8();
+  const uint32_t payload_len = header.U32();
+  // Cap payloads well above anything the encoders emit so a corrupted length
+  // field cannot be mistaken for a gigantic torn record.
+  constexpr uint32_t kMaxPayload = 64u << 20;
+  if (payload_len > kMaxPayload) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  const size_t total = kHeaderBytes + payload_len + kTrailerBytes;
+  if (bytes.size() < total) {
+    result.status = DecodeStatus::kTorn;
+    return result;
+  }
+  const std::span<const uint8_t> covered = bytes.subspan(4, 8 + 1 + 4 + payload_len);
+  Reader trailer{bytes.subspan(kHeaderBytes + payload_len, kTrailerBytes)};
+  if (trailer.U32() != Crc32(covered)) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+
+  Record rec;
+  rec.seq = seq;
+  Reader p{bytes.subspan(kHeaderBytes, payload_len)};
+  switch (type_raw) {
+    case static_cast<uint8_t>(RecordType::kInsertSandbox): {
+      rec.type = RecordType::kInsertSandbox;
+      rec.node = NodeId{static_cast<int32_t>(p.U32())};
+      rec.sandbox = SandboxId{p.U64()};
+      const uint32_t num_pages = p.U32();
+      for (uint32_t i = 0; i < num_pages && p.ok; ++i) {
+        PageFingerprint fp;
+        const uint32_t num_chunks = p.U32();
+        for (uint32_t c = 0; c < num_chunks && p.ok; ++c) {
+          SampledChunk chunk;
+          chunk.key = p.U64();
+          chunk.offset = p.U32();
+          fp.chunks.push_back(chunk);
+        }
+        rec.fingerprints.push_back(std::move(fp));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(RecordType::kRemoveSandbox): {
+      rec.type = RecordType::kRemoveSandbox;
+      rec.sandbox = SandboxId{p.U64()};
+      break;
+    }
+    case static_cast<uint8_t>(RecordType::kBasePageWrite): {
+      rec.type = RecordType::kBasePageWrite;
+      rec.node = NodeId{static_cast<int32_t>(p.U32())};
+      rec.sandbox = SandboxId{p.U64()};
+      rec.page_index = PageIndex{p.U32()};
+      const uint32_t nbytes = p.U32();
+      if (p.pos + nbytes > payload_len) {
+        p.ok = false;
+        break;
+      }
+      const auto* data = bytes.data() + kHeaderBytes + p.pos;
+      rec.page_bytes.assign(data, data + nbytes);
+      p.pos += nbytes;
+      break;
+    }
+    default:
+      result.status = DecodeStatus::kCorrupt;
+      return result;
+  }
+  // A record whose payload parses short or leaves trailing garbage passed the
+  // CRC only because it was *written* malformed — treat as corrupt, not torn.
+  if (!p.ok || p.pos != payload_len) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.consumed = total;
+  result.record = std::move(rec);
+  return result;
+}
+
+}  // namespace medes::store

@@ -1,0 +1,84 @@
+// Framed binary records for the persistent state-store log and checkpoints.
+//
+// Every durable mutation of dedup state (base-sandbox fingerprint inserts,
+// sandbox invalidations, base-page writes) is one self-delimiting record:
+//
+//   u32 magic | u64 seq | u8 type | u32 payload_len | payload | u32 crc32
+//
+// all little-endian. The CRC covers seq..payload, so a torn write (short
+// read) and a corrupted write (bad magic / bad CRC) are distinguishable from
+// a clean end-of-log: DecodeRecord reports kTorn when the buffer ends inside
+// a record and kCorrupt when the bytes are there but wrong. Recovery uses
+// exactly this distinction — torn tails are truncated, corruption fails the
+// replay closed at the last good prefix (store/log_store.cc).
+//
+// Sequence numbers are assigned by the writer, strictly increasing from 1.
+// A compacted checkpoint stores the seq of the last folded record, so log
+// records at or below it are stale duplicates and must be skipped on replay.
+#ifndef MEDES_STORE_RECORD_H_
+#define MEDES_STORE_RECORD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chunking/fingerprint.h"
+#include "common/types.h"
+
+namespace medes::store {
+
+inline constexpr uint32_t kRecordMagic = 0x4d454453;  // "MEDS"
+
+enum class RecordType : uint8_t {
+  // Base-sandbox registration: node + sandbox + per-page fingerprints.
+  kInsertSandbox = 1,
+  // Sandbox invalidation (eviction / base retirement).
+  kRemoveSandbox = 2,
+  // One base page's bytes, keyed (node, sandbox, page_index).
+  kBasePageWrite = 3,
+};
+
+// Decoded view of a single record.
+struct Record {
+  uint64_t seq = 0;
+  RecordType type = RecordType::kInsertSandbox;
+
+  // kInsertSandbox
+  NodeId node = kInvalidNode;
+  SandboxId sandbox = kNoSandbox;
+  std::vector<PageFingerprint> fingerprints;
+
+  // kBasePageWrite (node/sandbox above also apply)
+  PageIndex page_index{0};
+  std::vector<uint8_t> page_bytes;
+};
+
+enum class DecodeStatus {
+  kOk,       // one full record decoded; `consumed` bytes were used
+  kTorn,     // buffer ends mid-record (clean EOF or torn tail)
+  kCorrupt,  // framing present but magic/CRC/payload malformed
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kTorn;
+  size_t consumed = 0;  // valid only for kOk
+  Record record;        // valid only for kOk
+};
+
+// CRC-32 (IEEE, reflected) over `bytes`. Software table; deterministic.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+// Appends the framed encoding of one record to `out`.
+void EncodeInsertSandbox(uint64_t seq, NodeId node, SandboxId sandbox,
+                         const std::vector<PageFingerprint>& fingerprints,
+                         std::vector<uint8_t>& out);
+void EncodeRemoveSandbox(uint64_t seq, SandboxId sandbox, std::vector<uint8_t>& out);
+void EncodeBasePageWrite(uint64_t seq, NodeId node, SandboxId sandbox, PageIndex page_index,
+                         std::span<const uint8_t> page_bytes, std::vector<uint8_t>& out);
+
+// Decodes the record starting at the front of `bytes`.
+[[nodiscard]] DecodeResult DecodeRecord(std::span<const uint8_t> bytes);
+
+}  // namespace medes::store
+
+#endif  // MEDES_STORE_RECORD_H_

@@ -1,0 +1,212 @@
+#include "store/state_store.h"
+
+#include "store/log_store.h"
+#include "store/memory_store.h"
+
+namespace medes::store {
+
+namespace {
+
+// Logical RAM footprint of a registry entry (fingerprint set): a fixed
+// header plus per-page and per-chunk costs. Deterministic by construction;
+// only relative sizes matter to the eviction model.
+uint64_t RegistryEntryBytes(const std::vector<PageFingerprint>& fingerprints) {
+  uint64_t bytes = 24;
+  for (const PageFingerprint& fp : fingerprints) {
+    bytes += 8 + 12 * static_cast<uint64_t>(fp.chunks.size());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+const char* ToString(StoreBackend backend) {
+  switch (backend) {
+    case StoreBackend::kMemory:
+      return "memory";
+    case StoreBackend::kPersistent:
+      return "persistent";
+  }
+  return "unknown";
+}
+
+StateStore::StateStore(StoreOptions options) : options_(std::move(options)) {}
+
+void StateStore::AppendInsertSandbox(NodeId node, SandboxId sandbox,
+                                     const std::vector<PageFingerprint>& fingerprints) {
+  MutexLock lock(store_mu_);
+  const uint64_t bytes = RegistryEntryBytes(fingerprints);
+  ++stats_.appends;
+  stats_.append_bytes += bytes;
+  const TierKey key{sandbox, /*kind=*/0, PageIndex{0}};
+  if (!residency_.contains(key)) {
+    ++stats_.registry_entries;
+  }
+  Admit(key, bytes);
+  if (!replaying_) {
+    PersistInsertSandbox(node, sandbox, fingerprints);
+  }
+}
+
+void StateStore::AppendRemoveSandbox(SandboxId sandbox) {
+  MutexLock lock(store_mu_);
+  ++stats_.removes;
+  // The whole sandbox (registry entry + pages) is one contiguous key range.
+  const TierKey lo{sandbox, /*kind=*/0, PageIndex{0}};
+  SandboxId next = sandbox;
+  ++next;
+  const TierKey hi{next, /*kind=*/0, PageIndex{0}};
+  auto it = residency_.lower_bound(lo);
+  const auto end = residency_.lower_bound(hi);
+  const bool hand_in_range = clock_hand_ >= lo && clock_hand_ < hi;
+  while (it != end) {
+    const Resident& r = it->second;
+    if (r.hot) {
+      stats_.hot_bytes -= r.bytes;
+    } else {
+      stats_.cold_bytes -= r.bytes;
+    }
+    if (it->first.kind == 0) {
+      --stats_.registry_entries;
+    } else {
+      --stats_.base_pages;
+    }
+    it = residency_.erase(it);
+  }
+  if (hand_in_range) {
+    clock_hand_ = it == residency_.end() ? TierKey{} : it->first;
+  }
+  if (!replaying_) {
+    PersistRemoveSandbox(sandbox);
+  }
+}
+
+void StateStore::AppendBasePage(NodeId node, SandboxId sandbox, PageIndex page_index,
+                                std::span<const uint8_t> page_bytes) {
+  MutexLock lock(store_mu_);
+  ++stats_.appends;
+  stats_.append_bytes += page_bytes.size();
+  const TierKey key{sandbox, /*kind=*/1, page_index};
+  if (!residency_.contains(key)) {
+    ++stats_.base_pages;
+  }
+  Admit(key, page_bytes.size());
+  if (!replaying_) {
+    PersistBasePage(node, sandbox, page_index, page_bytes);
+  }
+}
+
+void StateStore::TouchRegistryEntry(SandboxId sandbox, SimDuration* cost) {
+  MutexLock lock(store_mu_);
+  Touch(TierKey{sandbox, /*kind=*/0, PageIndex{0}}, cost);
+}
+
+void StateStore::TouchBasePage(SandboxId sandbox, PageIndex page_index, SimDuration* cost) {
+  MutexLock lock(store_mu_);
+  Touch(TierKey{sandbox, /*kind=*/1, page_index}, cost);
+}
+
+void StateStore::SetReplaying(bool replaying) {
+  MutexLock lock(store_mu_);
+  replaying_ = replaying;
+}
+
+StoreStats StateStore::stats() const {
+  MutexLock lock(store_mu_);
+  return stats_;
+}
+
+void StateStore::Admit(const TierKey& key, uint64_t bytes) {
+  auto [it, inserted] = residency_.try_emplace(key);
+  Resident& r = it->second;
+  if (!inserted) {
+    // Refresh: drop the old accounting before re-admitting.
+    if (r.hot) {
+      stats_.hot_bytes -= r.bytes;
+    } else {
+      stats_.cold_bytes -= r.bytes;
+    }
+  }
+  r.bytes = bytes;
+  r.hot = true;
+  r.ref = true;
+  stats_.hot_bytes += bytes;
+  // Peak total state is what a bounded-memory run sizes its budget against
+  // (bench/registry_persistence derives "50% RAM" from the unbounded peak).
+  if (stats_.hot_bytes + stats_.cold_bytes > stats_.peak_state_bytes) {
+    stats_.peak_state_bytes = stats_.hot_bytes + stats_.cold_bytes;
+  }
+  EvictUntilWithinBudget();
+}
+
+void StateStore::ChargeFetch(uint64_t bytes, SimDuration* cost) {
+  const double fetch_us = static_cast<double>(bytes) / options_.ssd_read_bytes_per_us;
+  const SimDuration fetch =
+      options_.ssd_read_latency + SimDuration{static_cast<int64_t>(fetch_us)};
+  ++stats_.cold_fetches;
+  stats_.cold_fetch_bytes += bytes;
+  stats_.ssd_time_us += static_cast<uint64_t>(fetch.value());
+  if (cost != nullptr) {
+    *cost += fetch;
+  }
+}
+
+void StateStore::Touch(const TierKey& key, SimDuration* cost) {
+  const auto it = residency_.find(key);
+  if (it == residency_.end()) {
+    return;  // not tracked (store unbound at insert time, or already removed)
+  }
+  Resident& r = it->second;
+  if (r.hot) {
+    r.ref = true;
+    ++stats_.hot_hits;
+    return;
+  }
+  // Demand-page the cold entry back to the hot tier.
+  ChargeFetch(r.bytes, cost);
+  r.hot = true;
+  r.ref = true;
+  stats_.cold_bytes -= r.bytes;
+  stats_.hot_bytes += r.bytes;
+  EvictUntilWithinBudget();
+}
+
+void StateStore::EvictUntilWithinBudget() {
+  if (options_.ram_budget_bytes == 0) {
+    return;  // unbounded: never evict, never charge
+  }
+  auto it = residency_.lower_bound(clock_hand_);
+  // Loop invariant: hot_bytes > budget implies at least one hot entry, so a
+  // full sweep always finds one; each visit either clears a ref bit or
+  // evicts, so the scan terminates.
+  while (stats_.hot_bytes > options_.ram_budget_bytes) {
+    if (it == residency_.end()) {
+      it = residency_.begin();
+    }
+    Resident& r = it->second;
+    if (r.hot) {
+      if (r.ref) {
+        r.ref = false;  // second chance
+      } else {
+        r.hot = false;
+        stats_.hot_bytes -= r.bytes;
+        stats_.cold_bytes += r.bytes;
+        ++stats_.evictions;
+      }
+    }
+    ++it;
+  }
+  clock_hand_ = it == residency_.end() ? TierKey{} : it->first;
+}
+
+std::unique_ptr<StateStore> MakeStateStore(const StoreOptions& options) {
+  switch (options.backend) {
+    case StoreBackend::kMemory:
+      return std::make_unique<MemoryStore>(options);
+    case StoreBackend::kPersistent:
+      return std::make_unique<LogStore>(options);
+  }
+  return std::make_unique<MemoryStore>(options);
+}
+
+}  // namespace medes::store

@@ -1,0 +1,220 @@
+// The pluggable durability + tiering seam under the fingerprint registry and
+// the base-page store.
+//
+// Everything above this seam (registry, RDMA fabric, dedup agent, platform)
+// sees one interface, StateStore, with two backends:
+//
+//   - MemoryStore (store/memory_store.h): records are accounted but nothing
+//     is written anywhere. The default; the deterministic-test path.
+//   - LogStore (store/log_store.h): an append-only record log plus periodic
+//     compacted checkpoints in a directory, with ctor-time crash recovery.
+//
+// Both backends share the bounded-memory model implemented in the base
+// class: every registry entry (a base sandbox's fingerprint set) and every
+// base page has a residency bit. When `ram_budget_bytes` is nonzero, a CLOCK
+// (second-chance) policy evicts cold entries to the SSD tier; a later touch
+// of an evicted entry charges the modelled SSD fetch cost
+// (`ssd_read_latency` + bytes / `ssd_read_bytes_per_us`) into the caller's
+// cost accumulator and promotes the entry back to hot. With the budget at 0
+// (unbounded) nothing is ever evicted and touches charge zero — which is
+// what makes the in-memory and persistent backends produce byte-identical
+// dedup decisions and RunMetrics (persistence is pure spill, never a policy
+// input; pinned by tests/registry_persistence_test.cc).
+//
+// Determinism contract: Touch*/Append* mutate shared CLOCK state, so they
+// must only be called from serial points of the pipeline (the dedup agent's
+// post-lookup join, the fabric's serial ReadPage paths) — never from
+// ParallelFor workers. The call sites honour this; the store itself is
+// internally locked only so concurrent *readers* of stats stay safe.
+#ifndef MEDES_STORE_STATE_STORE_H_
+#define MEDES_STORE_STATE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chunking/fingerprint.h"
+#include "common/mutex.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace medes::store {
+
+enum class StoreBackend {
+  kMemory,      // accounting only; no durability (default)
+  kPersistent,  // append-only log + compacted checkpoints on disk
+};
+
+const char* ToString(StoreBackend backend);
+
+struct StoreOptions {
+  StoreBackend backend = StoreBackend::kMemory;
+  // Directory for the persistent backend's log + checkpoint files. Required
+  // (non-empty) when backend == kPersistent.
+  std::string directory;
+  // Hot-tier RAM budget for registry entries + base pages. 0 = unbounded:
+  // nothing is evicted and demand-paging costs are never charged.
+  uint64_t ram_budget_bytes = 0;
+  // Modelled cold-tier (SSD) fetch cost: fixed latency plus throughput term.
+  SimDuration ssd_read_latency{80};       // ~80us NVMe read latency
+  double ssd_read_bytes_per_us = 2000.0;  // ~2 GB/s sequential read
+  // Persistent backend: fold the log into a compacted checkpoint every this
+  // many appended records.
+  uint64_t checkpoint_every_records = 4096;
+};
+
+// Backend-independent accounting. Lives in RunMetrics, so it must be
+// byte-identical between backends at unbounded budget — durable-I/O counts
+// live in DurabilityStats instead.
+struct StoreStats {
+  uint64_t appends = 0;            // Append* calls accepted
+  uint64_t append_bytes = 0;       // logical bytes appended (page + fingerprint)
+  uint64_t removes = 0;            // sandbox invalidations
+  uint64_t registry_entries = 0;   // live registry entries tracked
+  uint64_t base_pages = 0;         // live base pages tracked
+  uint64_t hot_bytes = 0;          // resident (hot-tier) bytes
+  uint64_t cold_bytes = 0;         // evicted (cold-tier) bytes
+  uint64_t hot_hits = 0;           // touches that found the entry hot
+  uint64_t cold_fetches = 0;       // touches that demand-paged a cold entry
+  uint64_t cold_fetch_bytes = 0;   // bytes demand-paged back to hot
+  uint64_t evictions = 0;          // hot -> cold demotions
+  uint64_t ssd_time_us = 0;        // modelled SSD time charged to callers
+  uint64_t peak_state_bytes = 0;   // high-water mark of hot + cold bytes
+};
+
+// Durable-I/O accounting for the persistent backend. Deliberately NOT part
+// of RunMetrics: it differs between backends by construction.
+struct DurabilityStats {
+  uint64_t log_bytes = 0;          // bytes appended to the live log
+  uint64_t checkpoints = 0;        // compactions performed
+  uint64_t checkpoint_bytes = 0;   // bytes in the last written checkpoint
+  uint64_t recoveries = 0;         // ctor-time recoveries performed
+  uint64_t recovered_records = 0;  // records replayed during recovery
+  uint64_t torn_bytes = 0;         // bytes truncated from torn log tails
+};
+
+// One base sandbox as reconstructed from checkpoint + log.
+struct RecoveredSandbox {
+  NodeId node = kInvalidNode;
+  SandboxId sandbox = kNoSandbox;
+  std::vector<PageFingerprint> fingerprints;
+  // Base pages recorded for this sandbox, ascending page index.
+  std::vector<std::pair<PageIndex, std::vector<uint8_t>>> pages;
+};
+
+// Result of crash recovery. `clean` is false when the log or checkpoint had
+// to be truncated / discarded; the surviving `sandboxes` are still a
+// prefix-consistent view (every entry was CRC-verified and in-sequence).
+struct RecoveredState {
+  std::vector<RecoveredSandbox> sandboxes;  // ascending sandbox id
+  uint64_t checkpoint_records = 0;
+  uint64_t log_records = 0;
+  uint64_t stale_records = 0;   // log records already folded into the checkpoint
+  uint64_t torn_bytes = 0;      // bytes dropped from the torn tail
+  uint64_t corrupt_records = 0; // records rejected by magic/CRC/seq checks
+  bool clean = true;
+};
+
+// Abstract store. Owns the residency model; subclasses add durability.
+class StateStore {
+ public:
+  explicit StateStore(StoreOptions options);
+  virtual ~StateStore() = default;
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  const StoreOptions& options() const { return options_; }
+  virtual const char* name() const = 0;
+
+  // ---- Durable mutations -------------------------------------------------
+  // Called by the registry (inserts/removals) and the dedup agent (base-page
+  // writes) at serial points. Appends charge no modelled time: the log write
+  // is off the critical path (group commit), and the paper's restore/dedup
+  // latencies never include it.
+  void AppendInsertSandbox(NodeId node, SandboxId sandbox,
+                          const std::vector<PageFingerprint>& fingerprints);
+  void AppendRemoveSandbox(SandboxId sandbox);
+  void AppendBasePage(NodeId node, SandboxId sandbox, PageIndex page_index,
+                      std::span<const uint8_t> page_bytes);
+
+  // Forces the persistent backend to fold its log into a fresh checkpoint.
+  // No-op for the memory backend.
+  virtual void Checkpoint() {}
+
+  // Returns the state recovered when this store was opened (the persistent
+  // backend replays checkpoint + log tail in its constructor). The memory
+  // backend always recovers empty/clean.
+  [[nodiscard]] virtual RecoveredState Recover() = 0;
+
+  // ---- Residency / tier model --------------------------------------------
+  // Touches a base sandbox's registry entry (fingerprint set) on lookup. If
+  // the entry was evicted to the cold tier, charges the modelled SSD fetch
+  // into *cost and promotes it. Unknown entries are ignored.
+  void TouchRegistryEntry(SandboxId sandbox, SimDuration* cost);
+  // Same for one base page on ReadPage.
+  void TouchBasePage(SandboxId sandbox, PageIndex page_index, SimDuration* cost);
+
+  // While replaying recovered state back into a registry, re-inserts must
+  // not be re-logged (they are already durable). Residency is still
+  // admitted, so a recovered store has the same hot set as a fresh one.
+  void SetReplaying(bool replaying);
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] virtual DurabilityStats durability_stats() const { return {}; }
+
+ protected:
+  // Durable hooks, called with store_mu_ held, after residency accounting,
+  // and only when not replaying.
+  virtual void PersistInsertSandbox(NodeId /*node*/, SandboxId /*sandbox*/,
+                                    const std::vector<PageFingerprint>& /*fingerprints*/)
+      REQUIRES(store_mu_) {}
+  virtual void PersistRemoveSandbox(SandboxId /*sandbox*/) REQUIRES(store_mu_) {}
+  virtual void PersistBasePage(NodeId /*node*/, SandboxId /*sandbox*/, PageIndex /*page_index*/,
+                               std::span<const uint8_t> /*page_bytes*/) REQUIRES(store_mu_) {}
+
+  mutable Mutex store_mu_{"state store", LockRank::kStateStore};
+
+ private:
+  // Residency key: registry entries sort before pages of the same sandbox,
+  // and an entire sandbox is one contiguous key range (removal = range
+  // erase; iteration order is deterministic).
+  struct TierKey {
+    SandboxId sandbox = kNoSandbox;
+    uint32_t kind = 0;  // 0 = registry entry, 1 = base page
+    PageIndex page{0};
+
+    friend constexpr auto operator<=>(const TierKey&, const TierKey&) = default;
+  };
+
+  struct Resident {
+    uint64_t bytes = 0;
+    bool hot = true;
+    bool ref = true;  // CLOCK reference bit (hot entries only)
+  };
+
+  // Admits a new entry to the hot tier, evicting via CLOCK if over budget.
+  void Admit(const TierKey& key, uint64_t bytes) REQUIRES(store_mu_);
+  // Charges an SSD fetch for `bytes` into *cost and the stats.
+  void ChargeFetch(uint64_t bytes, SimDuration* cost) REQUIRES(store_mu_);
+  void Touch(const TierKey& key, SimDuration* cost) REQUIRES(store_mu_);
+  void EvictUntilWithinBudget() REQUIRES(store_mu_);
+
+  const StoreOptions options_;
+  std::map<TierKey, Resident> residency_ GUARDED_BY(store_mu_);
+  // CLOCK hand: the key the next eviction scan starts from.
+  TierKey clock_hand_ GUARDED_BY(store_mu_);
+  bool replaying_ GUARDED_BY(store_mu_) = false;
+  StoreStats stats_ GUARDED_BY(store_mu_);
+};
+
+// Builds the backend selected by `options.backend`.
+std::unique_ptr<StateStore> MakeStateStore(const StoreOptions& options);
+
+}  // namespace medes::store
+
+#endif  // MEDES_STORE_STATE_STORE_H_
