@@ -5,6 +5,7 @@ Usage:
     python3 -m scripts lint --self-test            # fixture corpus
     python3 -m scripts check-bench-json FILE ...   # bench JSON validator
     python3 -m scripts check-prometheus FILE ...   # Prometheus text validator
+    python3 -m scripts check-trace-json FILE ...   # Chrome trace validator
 
 Each subcommand forwards its remaining arguments verbatim to the underlying
 tool, so CI invokes every gate through one stable interface.
@@ -12,12 +13,13 @@ tool, so CI invokes every gate through one stable interface.
 
 import sys
 
-from scripts import check_bench_json, check_prometheus_text, medes_lint
+from scripts import check_bench_json, check_prometheus_text, check_trace_json, medes_lint
 
 COMMANDS = {
     "lint": "medes-lint determinism/invariant analyzer",
     "check-bench-json": "validate a bench JSON report",
     "check-prometheus": "validate a Prometheus text exposition",
+    "check-trace-json": "validate a Chrome trace-event JSON export",
 }
 
 
@@ -40,6 +42,8 @@ def main() -> int:
     if command == "check-prometheus":
         sys.argv = [f"{sys.argv[0]} check-prometheus"] + rest
         return check_prometheus_text.main()
+    if command == "check-trace-json":
+        return check_trace_json.main(rest)
     print(f"unknown command: {command}\n\n{usage()}", file=sys.stderr)
     return 2
 

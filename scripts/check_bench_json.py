@@ -16,6 +16,12 @@ Checks, without external dependencies:
     carries the eager-vs-lazy critical-path percentiles with sane values and
     a working-set hit rate in [0,1]; --min-lazy-p99-speedup gates the
     eager/lazy P99 ratio at the largest node count;
+  - for trace_analysis reports (bench/trace_analysis): the sampling block is
+    sane, no span's parent link failed to resolve, the per-stage critical-path
+    attribution sums to within --max-attribution-error of the measured
+    latency for both the request and restore views, the restore P99 clears
+    --min-restore-p99-us, and the top-slowest exemplar trees are sorted with
+    every parent id resolving inside its tree;
   - optional floor gates on scheduler throughput (--min-replay-events-per-sec,
     from the op-stream replay, which is machine-dependent but far above any
     plausible regression) and on the scheduler-isolated before/after ratio
@@ -273,6 +279,137 @@ def check_restore_latency(doc: dict, args: argparse.Namespace) -> str:
             f"{top['nodes']} nodes, hit rate {top['ws_hit_rate']:.0%}")
 
 
+ATTRIBUTION_SAMPLING_FIELDS = {
+    "total_requests": (int,),
+    "sample_every": (int,),
+    "sampled_traces": (int,),
+    "sampled_spans": (int,),
+    "unresolved_parents": (int,),
+}
+
+ATTRIBUTION_SUMMARY_FIELDS = {
+    "traces": (int,),
+    "total_us": (int,),
+    "p50_total_us": (int,),
+    "p99_total_us": (int,),
+    "attribution_fraction_sum": (int, float),
+}
+
+ATTRIBUTION_STAGE_FIELDS = {
+    "stage": (str,),
+    "traces": (int,),
+    "total_us": (int,),
+    "p50_us": (int,),
+    "p99_us": (int,),
+    "fraction": (int, float),
+}
+
+
+def check_attribution_summary(doc: dict, key: str, args: argparse.Namespace,
+                              required: bool) -> dict:
+    summary = doc.get(key)
+    if not isinstance(summary, dict):
+        fail(f"missing {key} block")
+    require(summary, key, ATTRIBUTION_SUMMARY_FIELDS)
+    if required and summary["traces"] <= 0:
+        fail(f"{key}: no sampled traces attributed")
+    stages = summary.get("stages")
+    if not isinstance(stages, list):
+        fail(f"{key}.stages: expected an array")
+    fraction_total = 0.0
+    for i, stage in enumerate(stages):
+        block = f"{key}.stages[{i}]"
+        require(stage, block, ATTRIBUTION_STAGE_FIELDS)
+        if not 0 <= stage["fraction"] <= 1:
+            fail(f"{block}: fraction out of [0,1]")
+        if stage["p50_us"] > stage["p99_us"]:
+            fail(f"{block}: P50 above P99")
+        fraction_total += stage["fraction"]
+    # Two sum-to-one invariants: the per-trace sweep (attributed self time vs
+    # measured root duration) and the reported per-stage fractions.
+    if summary["traces"] > 0:
+        err = abs(summary["attribution_fraction_sum"] - 1.0)
+        if err > args.max_attribution_error:
+            fail(f"{key}: attributed time is {summary['attribution_fraction_sum']:.6f} "
+                 f"of measured latency (|err| {err:.6f} > {args.max_attribution_error})")
+        if abs(fraction_total - 1.0) > args.max_attribution_error:
+            fail(f"{key}: stage fractions sum to {fraction_total:.6f}, not ~1")
+    return summary
+
+
+def check_span_tree(node: dict, block: str, span_ids: set, depth: int = 0) -> None:
+    if depth > 64:
+        fail(f"{block}: span tree deeper than 64 (cycle?)")
+    for name, types in (("name", (str,)), ("ts_us", (int,)), ("dur_us", (int,)),
+                        ("span_id", (int,)), ("parent_span_id", (int,))):
+        if name not in node:
+            fail(f"{block}: missing field {name!r}")
+        if not isinstance(node[name], types) or isinstance(node[name], bool):
+            fail(f"{block}.{name}: expected {types}")
+    span_ids.add(node["span_id"])
+    for i, child in enumerate(node.get("children", [])):
+        check_span_tree(child, f"{block}.children[{i}]", span_ids, depth + 1)
+
+
+def check_trace_analysis(doc: dict, args: argparse.Namespace) -> str:
+    sampling = doc.get("sampling")
+    if not isinstance(sampling, dict):
+        fail("missing sampling block")
+    require(sampling, "sampling", ATTRIBUTION_SAMPLING_FIELDS)
+    if sampling["total_requests"] <= 0:
+        fail("sampling: empty run")
+    if sampling["sample_every"] < 1:
+        fail("sampling: sample_every below 1")
+    if sampling["sampled_traces"] <= 0:
+        fail("sampling: no traces sampled")
+    if sampling["unresolved_parents"] != 0:
+        fail(f"sampling: {sampling['unresolved_parents']} spans had unresolvable "
+             "parent links (every context used as a parent must be recorded)")
+
+    requests = check_attribution_summary(doc, "requests", args, required=True)
+    restores = check_attribution_summary(doc, "restores", args, required=False)
+    if restores["traces"] > 0 and restores["p99_total_us"] < args.min_restore_p99_us:
+        fail(f"restores: P99 {restores['p99_total_us']}us below floor "
+             f"{args.min_restore_p99_us:.0f}us — restore spans are not "
+             "covering the modelled restore work")
+
+    top = doc.get("top_slowest")
+    if not isinstance(top, list) or not top:
+        fail("top_slowest: expected a non-empty array")
+    if len(top) > 10:
+        fail(f"top_slowest: {len(top)} entries, expected at most 10")
+    previous = None
+    for i, entry in enumerate(top):
+        block = f"top_slowest[{i}]"
+        require(entry, block, {"trace_id": (int,), "total_us": (int,),
+                               "unresolved_parents": (int,)})
+        if previous is not None and entry["total_us"] > previous:
+            fail(f"{block}: not sorted slowest-first")
+        previous = entry["total_us"]
+        if entry["unresolved_parents"] != 0:
+            fail(f"{block}: unresolvable parent links in exemplar tree")
+        root = entry.get("root")
+        if not isinstance(root, dict):
+            fail(f"{block}: missing root span tree")
+        span_ids = set()
+        check_span_tree(root, f"{block}.root", span_ids)
+        # Every nested child's parent is its enclosing span by construction;
+        # re-check the flat invariant: all parent ids resolve inside the tree.
+        def walk(node, path):
+            if node is not root and node["parent_span_id"] not in span_ids:
+                fail(f"{path}: parent_span_id {node['parent_span_id']} does not "
+                     "resolve within the trace")
+            for j, child in enumerate(node.get("children", [])):
+                walk(child, f"{path}.children[{j}]")
+        walk(root, f"{block}.root")
+
+    return (f"{sampling['sampled_traces']} traces / {sampling['total_requests']} requests "
+            f"(1/{sampling['sample_every']}), request fraction sum "
+            f"{requests['attribution_fraction_sum']:.4f}, restore P99 "
+            f"{restores['p99_total_us']}us over {restores['traces']} restores, "
+            f"{len(top)} exemplar trees")
+
+
 def compare_ignoring_metadata(path_a: str, path_b: str) -> None:
     docs = []
     for path in (path_a, path_b):
@@ -313,6 +450,8 @@ def check(path: str, args: argparse.Namespace) -> int:
         detail = check_registry_persistence(doc, args)
     elif metadata["bench"] == "restore_latency":
         detail = check_restore_latency(doc, args)
+    elif metadata["bench"] == "trace_analysis":
+        detail = check_trace_analysis(doc, args)
     print(f"{path}: OK ({detail})")
     return 0
 
@@ -327,6 +466,12 @@ def main() -> int:
     parser.add_argument("--max-saved-drift", type=float, default=0.05,
                         help="cap on bounded-vs-unbounded dedup-savings drift "
                              "(registry_persistence)")
+    parser.add_argument("--max-attribution-error", type=float, default=0.01,
+                        help="cap on |attribution fraction sum - 1| "
+                             "(trace_analysis)")
+    parser.add_argument("--min-restore-p99-us", type=float, default=0.0,
+                        help="floor on the attributed restore P99 "
+                             "(trace_analysis)")
     parser.add_argument("--compare-ignoring-metadata", default="",
                         metavar="OTHER", help="second report to diff against")
     args = parser.parse_args()

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (as emitted by obs::ChromeTraceJson).
+
+Checks, without external dependencies:
+  - the file parses as a JSON object with a traceEvents array;
+  - every event carries the required fields for its phase ("X" complete
+    spans need a non-negative dur; "i" instants must not carry one) with
+    the right types, and args values are integers;
+  - event timestamps are sorted non-decreasing (the exporter's determinism
+    contract: drained spans are canonically ordered);
+  - causal identity is coherent: an event carrying trace_id also carries a
+    nonzero span_id, span ids are unique within a trace, every
+    parent_span_id resolves to a span recorded in the same trace, and each
+    trace contains its root span (the span whose id equals the trace id);
+  - --min-events places a floor on the total event count.
+
+Usage: check_trace_json.py FILE [--min-events N]
+       check_trace_json.py --self-test   # run the known-bad fixture corpus
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+PHASES = {"X", "i"}
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "trace_fixtures")
+
+# fixture file -> substring the failure message must contain (None = clean).
+FIXTURE_EXPECTATIONS = {
+    "good.json": None,
+    "bad_truncated.json": "not valid JSON",
+    "bad_no_events.json": "traceEvents",
+    "bad_missing_field.json": "missing field 'dur'",
+    "bad_bad_phase.json": "unknown phase",
+    "bad_unsorted.json": "not sorted",
+    "bad_negative_dur.json": "negative dur",
+    "bad_instant_dur.json": "instant with dur",
+    "bad_zero_span_id.json": "zero span_id",
+    "bad_duplicate_span.json": "duplicate span id",
+    "bad_dangling_parent.json": "does not resolve",
+    "bad_missing_root.json": "has no root span",
+}
+
+
+class CheckError(Exception):
+    pass
+
+
+def require_int(event: dict, index: int, name: str) -> int:
+    if name not in event:
+        raise CheckError(f"traceEvents[{index}]: missing field {name!r}")
+    value = event[name]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise CheckError(f"traceEvents[{index}].{name}: expected integer, "
+                         f"got {type(value).__name__}")
+    return value
+
+
+def check_events(events: list) -> dict:
+    """Validates every event; returns per-trace stats for the summary line."""
+    last_ts = None
+    spans_by_trace: dict = {}    # trace_id -> {span_id: index}
+    parents_by_trace: dict = {}  # trace_id -> [(index, parent_span_id)]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise CheckError(f"traceEvents[{i}]: expected an object")
+        for name in ("name", "cat"):
+            if not isinstance(event.get(name), str) or not event.get(name):
+                raise CheckError(f"traceEvents[{i}]: missing field {name!r}")
+        ph = event.get("ph")
+        if ph not in PHASES:
+            raise CheckError(f"traceEvents[{i}]: unknown phase {ph!r}")
+        ts = require_int(event, i, "ts")
+        require_int(event, i, "pid")
+        require_int(event, i, "tid")
+        if ts < 0:
+            raise CheckError(f"traceEvents[{i}]: negative ts")
+        if ph == "X":
+            if require_int(event, i, "dur") < 0:
+                raise CheckError(f"traceEvents[{i}]: negative dur")
+        elif "dur" in event:
+            raise CheckError(f"traceEvents[{i}]: instant with dur")
+        if last_ts is not None and ts < last_ts:
+            raise CheckError(f"traceEvents[{i}]: timestamps not sorted "
+                             f"({ts} after {last_ts})")
+        last_ts = ts
+
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            raise CheckError(f"traceEvents[{i}]: args is not an object")
+        for key, value in args.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise CheckError(f"traceEvents[{i}].args.{key}: expected integer")
+        if "trace_id" in args:
+            trace_id = args["trace_id"]
+            span_id = args.get("span_id", 0)
+            if span_id == 0:
+                raise CheckError(f"traceEvents[{i}]: zero span_id on a traced event")
+            spans = spans_by_trace.setdefault(trace_id, {})
+            if span_id in spans:
+                raise CheckError(
+                    f"traceEvents[{i}]: duplicate span id {span_id} in trace "
+                    f"{trace_id} (first at traceEvents[{spans[span_id]}])")
+            spans[span_id] = i
+            parent = args.get("parent_span_id", 0)
+            if parent != 0:
+                parents_by_trace.setdefault(trace_id, []).append((i, parent))
+
+    for trace_id, parents in parents_by_trace.items():
+        spans = spans_by_trace[trace_id]
+        for index, parent in parents:
+            if parent not in spans:
+                raise CheckError(
+                    f"traceEvents[{index}]: parent_span_id {parent} does not "
+                    f"resolve within trace {trace_id}")
+    for trace_id, spans in spans_by_trace.items():
+        if trace_id not in spans:
+            raise CheckError(f"trace {trace_id} has no root span "
+                             "(no span whose id equals the trace id)")
+    return spans_by_trace
+
+
+def check_file(path: str, min_events: int) -> str:
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise CheckError(f"not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise CheckError("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if len(events) < min_events:
+        raise CheckError(f"{len(events)} events, below the --min-events "
+                         f"floor of {min_events}")
+    spans_by_trace = check_events(events)
+    traced = sum(len(s) for s in spans_by_trace.values())
+    return (f"{len(events)} events, {len(spans_by_trace)} traces, "
+            f"{traced} traced spans")
+
+
+def self_test() -> int:
+    failures = 0
+    for name, expected in sorted(FIXTURE_EXPECTATIONS.items()):
+        path = os.path.join(FIXTURE_DIR, name)
+        if not os.path.exists(path):
+            print(f"self-test FAIL: fixture {name} missing")
+            failures += 1
+            continue
+        try:
+            check_file(path, min_events=1)
+            message = None
+        except CheckError as e:
+            message = str(e)
+        if expected is None:
+            if message is not None:
+                print(f"self-test FAIL: {name} should pass, got: {message}")
+                failures += 1
+            else:
+                print(f"self-test ok: {name} -> clean")
+        elif message is None:
+            print(f"self-test FAIL: {name} should fail with {expected!r}")
+            failures += 1
+        elif expected not in message:
+            print(f"self-test FAIL: {name} expected {expected!r} in: {message}")
+            failures += 1
+        else:
+            print(f"self-test ok: {name} -> {expected!r}")
+    if failures:
+        print(f"self-test: {failures} failure(s)")
+        return 1
+    print(f"self-test: all {len(FIXTURE_EXPECTATIONS)} fixtures behaved")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="trace JSON to validate")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="floor on the traceEvents count (default 1)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the known-bad fixture corpus")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.file:
+        parser.error("FILE is required unless --self-test")
+    try:
+        detail = check_file(args.file, args.min_events)
+    except CheckError as e:
+        sys.exit(f"check_trace_json: {args.file}: {e}")
+    print(f"{args.file}: OK ({detail})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,8 +99,9 @@ double MedesController::AlphaFor(FunctionId function) const {
   return options_.alpha;
 }
 
-IdleDecision MedesController::OnIdleExpiry(const Sandbox& sb, SimTime now) {
-  const IdleDecision decision = DecideIdleExpiry(sb, now);
+IdleDecision MedesController::OnIdleExpiry(const Sandbox& sb, SimTime now,
+                                           const obs::MessageTrace& trace) {
+  const IdleDecision decision = DecideIdleExpiry(sb, now, trace);
   if (obs::MetricsEnabled()) {
     struct DecisionCounters {
       obs::Counter* keep_warm;
@@ -131,14 +132,15 @@ IdleDecision MedesController::OnIdleExpiry(const Sandbox& sb, SimTime now) {
   return decision;
 }
 
-IdleDecision MedesController::DecideIdleExpiry(const Sandbox& sb, SimTime now) {
+IdleDecision MedesController::DecideIdleExpiry(const Sandbox& sb, SimTime now,
+                                               const obs::MessageTrace& trace) {
   // The decision itself is computed controller-side; delivering it to the
   // sandbox's node is one small control-plane message. Drops are ignored —
   // an undelivered decision just leaves the sandbox warm until the next
   // idle-period expiry re-raises it.
   if (transport_ != nullptr) {
     (void)transport_->Send(MessageType::kControlDecision, controller_node_, sb.node,
-                     kControlDecisionBytes);
+                     kControlDecisionBytes, /*requests=*/1, trace);
   }
   const FunctionId f = sb.function;
   const int dedups = cluster_.CountIn(f, SandboxState::kDedup);

@@ -88,8 +88,10 @@ class MedesController {
   void RecordDedupResult(FunctionId function, const DedupOpResult& result);
   void RecordRestoreResult(FunctionId function, const RestoreOpResult& result);
 
-  // The policy decision for an idle warm sandbox.
-  IdleDecision OnIdleExpiry(const Sandbox& sb, SimTime now);
+  // The policy decision for an idle warm sandbox. `trace`, when sampled,
+  // parents the kControlDecision wire span delivering the verdict.
+  IdleDecision OnIdleExpiry(const Sandbox& sb, SimTime now,
+                            const obs::MessageTrace& trace = {});
 
   // Exposed for tests/benches: the optimisation inputs currently estimated
   // for a function.
@@ -103,7 +105,7 @@ class MedesController {
   double AlphaFor(FunctionId function) const;
 
  private:
-  IdleDecision DecideIdleExpiry(const Sandbox& sb, SimTime now);
+  IdleDecision DecideIdleExpiry(const Sandbox& sb, SimTime now, const obs::MessageTrace& trace);
 
   struct FunctionTracking {
     RateTracker rate;

@@ -134,10 +134,16 @@ std::vector<PageFingerprint> DedupAgent::FingerprintPages(const MemoryCheckpoint
   return fingerprints;
 }
 
-DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
+DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now, const obs::TraceContext& ctx) {
   if (sb.state != SandboxState::kWarm) {
     throw std::logic_error("DedupOp: sandbox must be warm");
   }
+  // Span-tree skeleton for this op: every stage context is a pure function
+  // of the caller's context, so message spans sent from inside ParallelFor
+  // below still get deterministic ids (the batch index is the ordinal).
+  const obs::TraceContext op_ctx = ctx.Child("dedup_op");
+  const obs::TraceContext lookup_ctx = op_ctx.Child("dedup/registry_lookup");
+  const obs::TraceContext read_ctx = op_ctx.Child("dedup/base_read");
   // Re-dedup while a lazy restore's background phase is still outstanding:
   // the fresh checkpoint captured below supersedes the old one, so abandon
   // the pending fetch and release the leftover base refs instead of pulling
@@ -186,12 +192,17 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   const size_t batch = std::max<size_t>(options_.lookup_batch_pages, 1);
   const size_t num_batches = (n + batch - 1) / batch;
   std::vector<SimDuration> batch_costs(num_batches);
+  // Lookups leave the node once the checkpoint is captured; the batch index
+  // is the ordinal, so message span ids are independent of which worker
+  // issues which batch.
+  const SimTime lookup_at = now + result.checkpoint_time;
   pool_->ParallelFor(0, num_batches, [&](size_t b) {
     const size_t lo = b * batch;
     const size_t hi = std::min(n, lo + batch);
     auto out = registry_.FindBasePagesBatch(
         std::span<const PageFingerprint>(fingerprints).subspan(lo, hi - lo), sb.node, sb.id,
-        options_.max_base_pages_per_page, &batch_costs[b]);
+        options_.max_base_pages_per_page, &batch_costs[b],
+        obs::MessageTrace{lookup_ctx, lookup_at, b});
     std::move(out.begin(), out.end(), candidates.begin() + static_cast<ptrdiff_t>(lo));
   });
   SimDuration lookup_cost;
@@ -215,12 +226,19 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     }
   }
 
+  // Lookup time is now final (state-store touches included); scale it here
+  // so the base-read stage below knows its position in the op's timeline.
+  result.lookup_time =
+      SimDuration{static_cast<int64_t>(static_cast<double>(lookup_cost.value()) * scale)};
+
   // 4. Base-page reads, serial in canonical page order: the fabric cache's
   // hit/miss sequence — and therefore the modelled RDMA cost — depends only
   // on page order, never on worker interleaving. A read dropped by the
   // transport's fault policy degrades that page to unique (the candidate is
   // discarded) instead of failing the op.
   SimDuration rdma_cost;
+  const SimTime read_at = lookup_at + result.lookup_time;
+  uint64_t read_ordinal = 0;
   std::vector<std::vector<uint8_t>> base_bytes(n);
   for (size_t i = 0; i < n; ++i) {
     if (candidates[i].empty()) {
@@ -231,7 +249,9 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     base_bytes[i].reserve(candidates[i].size() * kPageSize);
     try {
       for (const BasePageCandidate& candidate : candidates[i]) {
-        std::vector<uint8_t> one = fabric_.ReadPage(candidate.location, sb.node, &rdma_cost);
+        std::vector<uint8_t> one = fabric_.ReadPage(candidate.location, sb.node, &rdma_cost,
+                                                    obs::MessageTrace{read_ctx, read_at,
+                                                                      read_ordinal++});
         base_bytes[i].insert(base_bytes[i].end(), one.begin(), one.end());
       }
     } catch (const RdmaUnavailable&) {
@@ -295,8 +315,6 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
   // Zero pages also count as saved memory relative to the warm state.
   result.saved_bytes += result.pages_zero * kPageSize;
 
-  result.lookup_time =
-      SimDuration{static_cast<int64_t>(static_cast<double>(lookup_cost.value()) * scale)};
   result.patch_time =
       SimDuration{static_cast<int64_t>(static_cast<double>(rdma_cost.value()) * scale)} +
       SimDuration{static_cast<int64_t>(static_cast<double>(result.patch_bytes) * scale /
@@ -337,14 +355,17 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     const SimDuration base_read_time =
         SimDuration{static_cast<int64_t>(static_cast<double>(rdma_cost.value()) * scale)};
     const SimDuration delta_time = result.patch_time - base_read_time;
-    obs::ScopedSpan op("dedup_op", "dedup", now, sb.node.value());
+    obs::ScopedSpan op("dedup_op", "dedup", now, sb.node.value(), op_ctx);
     op.SetSimDuration(result.total_time);
     op.AddArg("pages", static_cast<int64_t>(result.pages_total));
     op.AddArg("deduped", static_cast<int64_t>(result.pages_deduped));
     op.AddArg("patch_bytes", static_cast<int64_t>(result.patch_bytes));
     SimTime cursor = now;
+    // Stage contexts re-derive via op_ctx.Child(name) — the same pure
+    // function the message sends above used, so the recorded lookup/read
+    // stage spans carry exactly the ids their wire children point at.
     auto stage = [&](const char* name, SimDuration dur) {
-      obs::ScopedSpan span(name, "dedup", cursor, sb.node.value());
+      obs::ScopedSpan span(name, "dedup", cursor, sb.node.value(), op_ctx.Child(name));
       span.SetSimDuration(dur);
       cursor += dur;
     };
@@ -353,20 +374,25 @@ DedupOpResult DedupAgent::DedupOp(Sandbox& sb, SimTime now) {
     stage("dedup/registry_lookup", result.lookup_time);
     stage("dedup/base_read", base_read_time);
     stage("dedup/delta_encode", delta_time);
-    obs::RecordInstant("dedup/merge", "dedup", cursor, sb.node.value());
+    obs::RecordInstant("dedup/merge", "dedup", cursor, sb.node.value(),
+                       op_ctx.Child("dedup/merge"));
   }
   return result;
 }
 
-RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify) {
+RestoreOpResult DedupAgent::RestoreOp(Sandbox& sb, SimTime now, bool verify,
+                                      const obs::TraceContext& ctx) {
   if (sb.state != SandboxState::kDedup || !sb.checkpoint.has_value()) {
     throw std::logic_error("RestoreOp: sandbox not in dedup state");
   }
-  return options_.restore_mode == RestoreMode::kEager ? RestoreEager(sb, now, verify)
-                                                      : RestoreLazy(sb, now, verify);
+  return options_.restore_mode == RestoreMode::kEager ? RestoreEager(sb, now, verify, ctx)
+                                                      : RestoreLazy(sb, now, verify, ctx);
 }
 
-RestoreOpResult DedupAgent::RestoreEager(Sandbox& sb, SimTime now, bool verify) {
+RestoreOpResult DedupAgent::RestoreEager(Sandbox& sb, SimTime now, bool verify,
+                                         const obs::TraceContext& ctx) {
+  const obs::TraceContext op_ctx = ctx.Child("restore_op");
+  const obs::TraceContext read_ctx = op_ctx.Child("restore/base_read");
   RestoreOpResult result;
   result.mode = RestoreMode::kEager;
   const double scale = ScaleFactor();
@@ -378,12 +404,14 @@ RestoreOpResult DedupAgent::RestoreEager(Sandbox& sb, SimTime now, bool verify) 
   // behaviour — see DedupOp), plus refcount release.
   SimDuration rdma_cost;
   size_t patch_bytes_applied = 0;
+  uint64_t read_ordinal = 0;
   std::vector<std::vector<uint8_t>> base_bytes(n);
   for (size_t i = 0; i < n; ++i) {
     const PatchRecord& record = sb.patches[i];
     base_bytes[i].reserve(record.bases.size() * kPageSize);
     for (const PageLocation& base : record.bases) {
-      std::vector<uint8_t> one = fabric_.ReadPage(base, sb.node, &rdma_cost);
+      std::vector<uint8_t> one = fabric_.ReadPage(
+          base, sb.node, &rdma_cost, obs::MessageTrace{read_ctx, now, read_ordinal++});
       ++result.base_pages_read;
       result.base_bytes_read += one.size();
       if (base.node != sb.node) {
@@ -459,14 +487,14 @@ RestoreOpResult DedupAgent::RestoreEager(Sandbox& sb, SimTime now, bool verify) 
     // The three restore components of the paper's Fig. 8, sequential in the
     // modelled timeline: base page reading, original page computing, and
     // sandbox restoration (CRIU rebuild).
-    obs::ScopedSpan op("restore_op", "restore", now, sb.node.value());
+    obs::ScopedSpan op("restore_op", "restore", now, sb.node.value(), op_ctx);
     op.SetSimDuration(result.total_time);
     op.AddArg("patched_pages", static_cast<int64_t>(n));
     op.AddArg("base_pages_read", static_cast<int64_t>(result.base_pages_read));
     op.AddArg("remote_reads", static_cast<int64_t>(result.remote_reads));
     SimTime cursor = now;
     auto stage = [&](const char* name, SimDuration dur) {
-      obs::ScopedSpan span(name, "restore", cursor, sb.node.value());
+      obs::ScopedSpan span(name, "restore", cursor, sb.node.value(), op_ctx.Child(name));
       span.SetSimDuration(dur);
       cursor += dur;
     };
@@ -479,7 +507,7 @@ RestoreOpResult DedupAgent::RestoreEager(Sandbox& sb, SimTime now, bool verify) 
 
 std::vector<std::vector<uint8_t>> DedupAgent::FetchBasesBatched(
     Sandbox& sb, const std::vector<size_t>& records, SimDuration* cost, size_t* pages_read,
-    size_t* bytes_read, size_t* remote_reads) {
+    size_t* bytes_read, size_t* remote_reads, const obs::MessageTrace& trace) {
   std::vector<PageLocation> locations;
   size_t total_bases = 0;
   for (size_t idx : records) {
@@ -491,7 +519,8 @@ std::vector<std::vector<uint8_t>> DedupAgent::FetchBasesBatched(
       locations.push_back(base);
     }
   }
-  std::vector<std::vector<uint8_t>> pages = fabric_.ReadPageBatch(locations, sb.node, cost);
+  std::vector<std::vector<uint8_t>> pages =
+      fabric_.ReadPageBatch(locations, sb.node, cost, trace);
   std::vector<std::vector<uint8_t>> base_bytes(records.size());
   size_t k = 0;
   for (size_t j = 0; j < records.size(); ++j) {
@@ -534,7 +563,9 @@ size_t DedupAgent::DecodeAndRestore(Sandbox& sb, const std::vector<size_t>& reco
   return patch_bytes_applied;
 }
 
-RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
+RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify,
+                                        const obs::TraceContext& ctx) {
+  const obs::TraceContext op_ctx = ctx.Child("restore_op");
   RestoreOpResult result;
   result.mode = RestoreMode::kLazy;
   const double scale = ScaleFactor();
@@ -594,39 +625,15 @@ RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
   // coalesced message per owner node), parallel decode, and a CRIU rebuild
   // that maps only the predicted pages.
   SimDuration ws_fetch_cost;
-  std::vector<std::vector<uint8_t>> critical_bases =
-      FetchBasesBatched(sb, critical_records, &ws_fetch_cost, &result.base_pages_read,
-                        &result.base_bytes_read, &result.remote_reads);
+  std::vector<std::vector<uint8_t>> critical_bases = FetchBasesBatched(
+      sb, critical_records, &ws_fetch_cost, &result.base_pages_read, &result.base_bytes_read,
+      &result.remote_reads, obs::MessageTrace{op_ctx.Child("restore/ws_fetch"), now, 0});
   const size_t critical_base_bytes = result.base_bytes_read;
   const size_t critical_patch_bytes = DecodeAndRestore(sb, critical_records, critical_bases);
 
-  // 4. Demand faults: touched pages the prediction missed. Still-patched
-  // ones pay an unbatched on-demand fetch + decode; every mispredicted
-  // touch pays the minor-fault trap cost. This is the penalty that keeps a
-  // bad working set from being free.
-  SimDuration fault_fetch_cost;
-  size_t fault_base_bytes = 0;
-  std::vector<std::vector<uint8_t>> fault_bases(fault_records.size());
-  for (size_t j = 0; j < fault_records.size(); ++j) {
-    const PatchRecord& record = sb.patches[fault_records[j]];
-    fault_bases[j].reserve(record.bases.size() * kPageSize);
-    for (const PageLocation& base : record.bases) {
-      std::vector<uint8_t> one = fabric_.ReadPage(base, sb.node, &fault_fetch_cost);
-      ++result.base_pages_read;
-      result.base_bytes_read += one.size();
-      fault_base_bytes += one.size();
-      if (base.node != sb.node) {
-        ++result.remote_reads;
-      }
-      fault_bases[j].insert(fault_bases[j].end(), one.begin(), one.end());
-      registry_.Unref(base.sandbox);
-    }
-  }
-  const size_t fault_patch_bytes = DecodeAndRestore(sb, fault_records, fault_bases);
-
-  // 5. Modelled timing. The Fig. 8 components cover the critical phase; the
-  // fault penalty lands after resume and is reported separately (the
-  // platform still charges it to the request's startup).
+  // Critical-phase timing (the Fig. 8 components) is final here; computing
+  // it before the fault loop lets the on-demand fetches below anchor their
+  // wire spans after resume, where they land in the modelled timeline.
   result.read_base_time = scaled(static_cast<double>(ws_fetch_cost.value()) * scale);
   result.compute_time =
       scaled(static_cast<double>(critical_base_bytes + critical_patch_bytes) * scale /
@@ -639,6 +646,37 @@ RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
   result.sandbox_restore_time = criu;
   result.critical_path_time =
       result.read_base_time + result.compute_time + result.sandbox_restore_time;
+
+  // 4. Demand faults: touched pages the prediction missed. Still-patched
+  // ones pay an unbatched on-demand fetch + decode; every mispredicted
+  // touch pays the minor-fault trap cost. This is the penalty that keeps a
+  // bad working set from being free.
+  SimDuration fault_fetch_cost;
+  size_t fault_base_bytes = 0;
+  const obs::TraceContext fault_ctx = op_ctx.Child("restore/fault_fetch");
+  const SimTime fault_at = now + result.critical_path_time;
+  uint64_t fault_ordinal = 0;
+  std::vector<std::vector<uint8_t>> fault_bases(fault_records.size());
+  for (size_t j = 0; j < fault_records.size(); ++j) {
+    const PatchRecord& record = sb.patches[fault_records[j]];
+    fault_bases[j].reserve(record.bases.size() * kPageSize);
+    for (const PageLocation& base : record.bases) {
+      std::vector<uint8_t> one = fabric_.ReadPage(
+          base, sb.node, &fault_fetch_cost, obs::MessageTrace{fault_ctx, fault_at, fault_ordinal++});
+      ++result.base_pages_read;
+      result.base_bytes_read += one.size();
+      fault_base_bytes += one.size();
+      if (base.node != sb.node) {
+        ++result.remote_reads;
+      }
+      fault_bases[j].insert(fault_bases[j].end(), one.begin(), one.end());
+      registry_.Unref(base.sandbox);
+    }
+  }
+  const size_t fault_patch_bytes = DecodeAndRestore(sb, fault_records, fault_bases);
+
+  // 5. Post-resume fault penalty (the platform still charges it to the
+  // request's startup).
   result.fault_time =
       scaled((static_cast<double>(options_.minor_fault_cost.value()) *
                   static_cast<double>(result.ws_fault_pages) +
@@ -678,6 +716,7 @@ RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
     sb.patches = std::move(remaining);
     PendingRestore pending;
     pending.verify = verify && payloads;
+    pending.ctx = op_ctx;
     if (pending.verify) {
       MemoryImage original = cluster_.BuildImage(sb);
       pending.expected = Sha1::Hash(original.bytes());
@@ -714,7 +753,7 @@ RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
   if (obs::TraceEnabled()) {
     // Critical phase laid out sequentially; the fault penalty is an arg on
     // the op span (it has no fixed position in the modelled timeline).
-    obs::ScopedSpan op("restore_op", "restore", now, sb.node.value());
+    obs::ScopedSpan op("restore_op", "restore", now, sb.node.value(), op_ctx);
     op.SetSimDuration(result.total_time);
     op.AddArg("patched_pages", static_cast<int64_t>(sb.patches.size() + critical_records.size() +
                                                     fault_records.size()));
@@ -725,13 +764,21 @@ RestoreOpResult DedupAgent::RestoreLazy(Sandbox& sb, SimTime now, bool verify) {
     op.AddArg("fault_us", result.fault_time.value());
     SimTime cursor = now;
     auto stage = [&](const char* name, SimDuration dur) {
-      obs::ScopedSpan span(name, "restore", cursor, sb.node.value());
+      obs::ScopedSpan span(name, "restore", cursor, sb.node.value(), op_ctx.Child(name));
       span.SetSimDuration(dur);
       cursor += dur;
     };
     stage("restore/ws_fetch", result.read_base_time);
     stage("restore/patch_apply", result.compute_time);
     stage("restore/criu_rebuild", result.sandbox_restore_time);
+    if (!fault_records.empty()) {
+      // Anchors the on-demand fetches' wire spans: they were parented to
+      // this context, so it must be recorded for parent links to resolve.
+      obs::ScopedSpan faults("restore/fault_fetch", "restore", cursor, sb.node.value(),
+                             op_ctx.Child("restore/fault_fetch"));
+      faults.SetSimDuration(result.fault_time);
+      faults.AddArg("pages", static_cast<int64_t>(fault_records.size()));
+    }
   }
   return result;
 }
@@ -754,6 +801,9 @@ BackgroundRestoreResult DedupAgent::CompleteBackgroundRestore(Sandbox& sb, SimTi
   const double scale = ScaleFactor();
   MemoryCheckpoint& cp = *sb.checkpoint;
 
+  // Same trace as the restore op that deferred this work: the background
+  // span is a child of the op span captured in the pending record.
+  const obs::TraceContext bg_ctx = pending.ctx.Child("restore/bg_fault");
   std::vector<size_t> records(sb.patches.size());
   for (size_t i = 0; i < records.size(); ++i) {
     records[i] = i;
@@ -761,7 +811,8 @@ BackgroundRestoreResult DedupAgent::CompleteBackgroundRestore(Sandbox& sb, SimTi
   SimDuration fetch_cost;
   std::vector<std::vector<uint8_t>> bases =
       FetchBasesBatched(sb, records, &fetch_cost, &result.base_pages_read,
-                        &result.base_bytes_read, &result.remote_reads);
+                        &result.base_bytes_read, &result.remote_reads,
+                        obs::MessageTrace{bg_ctx, now, 0});
   const size_t patch_bytes = DecodeAndRestore(sb, records, bases);
   result.pages = records.size();
   result.total_time =
@@ -796,7 +847,7 @@ BackgroundRestoreResult DedupAgent::CompleteBackgroundRestore(Sandbox& sb, SimTi
     ins.restore_background_us->Record(result.total_time.value());
   }
   if (obs::TraceEnabled()) {
-    obs::ScopedSpan span("restore/bg_fault", "restore", now, sb.node.value());
+    obs::ScopedSpan span("restore/bg_fault", "restore", now, sb.node.value(), bg_ctx);
     span.SetSimDuration(result.total_time);
     span.AddArg("pages", static_cast<int64_t>(result.pages));
     span.AddArg("base_pages_read", static_cast<int64_t>(result.base_pages_read));
@@ -815,10 +866,15 @@ void DedupAgent::AbandonBackgroundRestore(SandboxId id) {
   pending_.erase(id);
 }
 
-BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {
+BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb, SimTime now, const obs::TraceContext& ctx) {
   if (sb.state != SandboxState::kWarm) {
     throw std::logic_error("DesignateBase: sandbox must be warm");
   }
+  // Recorded even when untraced (legacy behaviourally invisible: spans
+  // without ids only appear once tracing is on). The designation span
+  // anchors the registry-insert wire spans sent below.
+  const obs::TraceContext designate_ctx = ctx.Child("designate_base");
+  obs::ScopedSpan designate("designate_base", "dedup", now, sb.node.value(), designate_ctx);
   MemoryImage image = cluster_.BuildImage(sb);
   MemoryCheckpoint cp = MemoryCheckpoint::Capture(image);
   std::vector<size_t> resident;
@@ -834,7 +890,8 @@ BaseSnapshot& DedupAgent::DesignateBase(Sandbox& sb) {
   for (size_t i = 0; i < resident.size(); ++i) {
     fingerprints[resident[i]] = std::move(resident_fps[i]);
   }
-  registry_.InsertBaseSandbox(sb.node, sb.id, fingerprints);
+  registry_.InsertBaseSandbox(sb.node, sb.id, fingerprints,
+                              obs::MessageTrace{designate_ctx, now, 0});
   // Append the base's resident pages to the tiered store — but only when
   // the insert actually registered (a transport drop leaves the sandbox
   // unregistered, and an unregistered base must not be durable either).

@@ -51,6 +51,7 @@
 #include "common/thread_pool.h"
 #include "delta/delta.h"
 #include "memstate/working_set.h"
+#include "obs/trace_context.h"
 #include "rdma/rdma.h"
 #include "registry/fingerprint_registry.h"
 
@@ -207,15 +208,19 @@ class DedupAgent {
 
   // Converts a warm sandbox into the dedup state. Builds the sandbox's
   // current image, checkpoints it, and eliminates redundancy page by page.
-  DedupOpResult DedupOp(Sandbox& sb, SimTime now);
+  // `ctx`, when sampled, becomes the parent of the op span and — through it
+  // — of every stage span and wire-message span the op emits.
+  DedupOpResult DedupOp(Sandbox& sb, SimTime now, const obs::TraceContext& ctx = {});
 
   // Restores a dedup sandbox to warm. When `verify` is set (and payloads
   // were kept) the reconstructed image is compared byte-for-byte against the
   // sandbox's regenerated source image — immediately when the restore
   // completes in one phase, or at background completion via a digest
   // captured here (the source image depends on the sandbox's generation,
-  // which advances when it runs again).
-  RestoreOpResult RestoreOp(Sandbox& sb, SimTime now, bool verify = false);
+  // which advances when it runs again). `ctx`, when sampled, parents the
+  // restore's span tree (including the deferred background phase).
+  RestoreOpResult RestoreOp(Sandbox& sb, SimTime now, bool verify = false,
+                            const obs::TraceContext& ctx = {});
 
   // Completes the background phase of a lazy restore: batched fetch + decode
   // of every still-patched page, then releases the checkpoint. Returns a
@@ -234,8 +239,10 @@ class DedupAgent {
   WorkingSetTable& working_sets() { return *working_sets_; }
 
   // Snapshot + fingerprint + registry insertion for a base sandbox
-  // designation. Returns the registered snapshot.
-  BaseSnapshot& DesignateBase(Sandbox& sb);
+  // designation. Returns the registered snapshot. `now`/`ctx` anchor the
+  // designation span in the trace timeline and parent the registry-insert
+  // wire spans; the defaults keep standalone callers untraced.
+  BaseSnapshot& DesignateBase(Sandbox& sb, SimTime now = {}, const obs::TraceContext& ctx = {});
 
   // Represented-scale multiplier for this cluster's image scale.
   double ScaleFactor() const;
@@ -253,6 +260,9 @@ class DedupAgent {
   struct PendingRestore {
     Sha1Digest expected;
     bool verify = false;
+    // Restore-op context captured at RestoreLazy time: the background phase
+    // runs later (event engine) but its spans belong to the same trace.
+    obs::TraceContext ctx;
   };
 
   // Fingerprints of all resident pages (parallel stage; `pages[i]` indexes
@@ -260,16 +270,20 @@ class DedupAgent {
   std::vector<PageFingerprint> FingerprintPages(const MemoryCheckpoint& cp,
                                                 const std::vector<size_t>& pages);
 
-  RestoreOpResult RestoreEager(Sandbox& sb, SimTime now, bool verify);
-  RestoreOpResult RestoreLazy(Sandbox& sb, SimTime now, bool verify);
+  RestoreOpResult RestoreEager(Sandbox& sb, SimTime now, bool verify,
+                               const obs::TraceContext& ctx);
+  RestoreOpResult RestoreLazy(Sandbox& sb, SimTime now, bool verify,
+                              const obs::TraceContext& ctx);
 
   // Batched base fetch for the patch records selected by `records` (indexes
   // into sb.patches). Returns per-record concatenated base bytes; updates
-  // the read counters and releases the records' base refs.
+  // the read counters and releases the records' base refs. `trace` parents
+  // the batch's wire spans (forwarded to RdmaFabric::ReadPageBatch).
   std::vector<std::vector<uint8_t>> FetchBasesBatched(Sandbox& sb,
                                                       const std::vector<size_t>& records,
                                                       SimDuration* cost, size_t* pages_read,
-                                                      size_t* bytes_read, size_t* remote_reads);
+                                                      size_t* bytes_read, size_t* remote_reads,
+                                                      const obs::MessageTrace& trace = {});
 
   // Decode + merge `records` back into the checkpoint (parallel decode,
   // serial merge in record order). Returns decoded patch bytes applied.

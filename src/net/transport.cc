@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace medes {
 
@@ -62,6 +63,24 @@ const char* ToString(MessageType type) {
       return "base_read_batch";
   }
   return "?";
+}
+
+const char* MessageSpanName(MessageType type) {
+  switch (type) {
+    case MessageType::kRegistryLookup:
+      return "net/registry_lookup";
+    case MessageType::kRegistryInsert:
+      return "net/registry_insert";
+    case MessageType::kBaseRead:
+      return "net/base_read";
+    case MessageType::kControlDecision:
+      return "net/control_decision";
+    case MessageType::kReplicaSync:
+      return "net/replica_sync";
+    case MessageType::kBaseReadBatch:
+      return "net/base_read_batch";
+  }
+  return "net/?";
 }
 
 SimDuration LinkCost(Bytes bytes, const LinkModel& link) {
@@ -174,7 +193,7 @@ bool Transport::NodeUp(NodeId node) const {
 }
 
 Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, Bytes bytes,
-                                      uint64_t requests) {
+                                      uint64_t requests, const obs::MessageTrace& trace) {
   Fault fault;
   if (std::shared_ptr<FaultPolicy> policy = CurrentPolicy()) {
     if (policy->NodePartitioned(src) || policy->NodePartitioned(dst)) {
@@ -210,6 +229,23 @@ Transport::SendResult Transport::Send(MessageType type, NodeId src, NodeId dst, 
     } else {
       ins.dropped[idx]->Add(1);
     }
+  }
+  if (obs::TraceEnabled() && trace.ctx.sampled()) {
+    const obs::TraceContext msg_ctx = MessageSpanContext(type, trace);
+    obs::Span span;
+    span.name = MessageSpanName(type);
+    span.category = "net";
+    span.ts = trace.at;
+    span.dur = result.cost;
+    span.lane = static_cast<int32_t>(dst.value());
+    span.trace_id = msg_ctx.trace_id;
+    span.span_id = msg_ctx.span_id;
+    span.parent_span_id = msg_ctx.parent_span_id;
+    span.num_args = 3;
+    span.args[0] = obs::SpanArg{"bytes", static_cast<int64_t>(bytes.value())};
+    span.args[1] = obs::SpanArg{"requests", static_cast<int64_t>(requests)};
+    span.args[2] = obs::SpanArg{"delivered", result.delivered ? 1 : 0};
+    obs::Tracer::Default().Record(span);
   }
   return result;
 }

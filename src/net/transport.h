@@ -42,6 +42,7 @@
 #include "common/mutex.h"
 #include "common/time.h"
 #include "common/types.h"
+#include "obs/trace_context.h"
 
 namespace medes {
 
@@ -58,6 +59,18 @@ enum class MessageType : int {
 inline constexpr size_t kNumMessageTypes = 6;
 
 const char* ToString(MessageType type);
+
+// Span name a traced message of `type` records under (e.g. kRegistryLookup
+// -> "net/registry_lookup"). Stable string literals so span ids derived from
+// them (obs/trace_context.h) are reproducible.
+const char* MessageSpanName(MessageType type);
+
+// The context of the span Transport::Send records for a traced message:
+// derived, not carried, so the receiving side can re-derive the identical
+// context (same pure function) and parent its own server-side spans to it.
+inline obs::TraceContext MessageSpanContext(MessageType type, const obs::MessageTrace& trace) {
+  return trace.ctx.Child(MessageSpanName(type), trace.ordinal);
+}
 
 // ---- Links and topology --------------------------------------------------
 
@@ -251,8 +264,12 @@ class Transport {
   // The result carries the modelled cost the *caller* must charge (and the
   // delivered flag it must branch on); dropping it silently desyncs the
   // timing model, hence [[nodiscard]].
+  // When `trace` carries a sampled context, the send records a
+  // MessageSpanName(type) span at trace.at with the modelled cost as its
+  // duration, parented to trace.ctx (see obs/trace_context.h).
   [[nodiscard]] SendResult Send(MessageType type, NodeId src, NodeId dst, Bytes bytes,
-                                uint64_t requests = 1) EXCLUDES(policy_mu_, stats_mu_);
+                                uint64_t requests = 1, const obs::MessageTrace& trace = {})
+      EXCLUDES(policy_mu_, stats_mu_);
 
   // Installs (or clears, with nullptr) the fault seam. The policy is shared:
   // tests keep their handle to flip partitions mid-run.

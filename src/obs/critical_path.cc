@@ -1,0 +1,224 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+namespace medes::obs {
+
+namespace {
+
+// Instants (dur == kInstantDuration) occupy no time in the attribution.
+int64_t DurOf(const Span& span) {
+  return span.dur.value() < 0 ? 0 : span.dur.value();
+}
+
+bool SpanOrderLess(const std::vector<Span>& spans, size_t a, size_t b) {
+  if (spans[a].ts != spans[b].ts) {
+    return spans[a].ts < spans[b].ts;
+  }
+  return spans[a].span_id < spans[b].span_id;
+}
+
+// Left-to-right sweep (see header): attributes node `n`'s window, recursing
+// into each child's clipped segment. `self` accumulates per-stage exclusive
+// time; keys are the spans' string-literal names (outlive the map).
+void Attribute(const std::vector<Span>& spans, const TraceTree& tree, size_t n,
+               int64_t win_start, int64_t win_end,
+               std::map<std::string_view, int64_t>& self) {
+  const Span& span = spans[tree.nodes[n].span];
+  int64_t cursor = win_start;
+  int64_t covered = 0;
+  for (size_t c : tree.nodes[n].children) {
+    const Span& child = spans[tree.nodes[c].span];
+    const int64_t child_start = child.ts.value();
+    const int64_t child_end = child_start + DurOf(child);
+    const int64_t lo = std::max(child_start, cursor);
+    const int64_t hi = std::min(child_end, win_end);
+    if (hi <= lo) {
+      continue;  // instant, fully clipped, or entirely behind the sweep
+    }
+    Attribute(spans, tree, c, lo, hi, self);
+    covered += hi - lo;
+    cursor = hi;
+  }
+  self[span.name] += (win_end - win_start) - covered;
+}
+
+}  // namespace
+
+std::vector<TraceTree> BuildTraceTrees(const std::vector<Span>& spans) {
+  // std::map: trees come out in ascending trace-id order, deterministically.
+  std::map<uint64_t, std::vector<size_t>> by_trace;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].trace_id != 0) {
+      by_trace[spans[i].trace_id].push_back(i);
+    }
+  }
+  std::vector<TraceTree> trees;
+  trees.reserve(by_trace.size());
+  for (auto& [trace_id, idxs] : by_trace) {
+    std::sort(idxs.begin(), idxs.end(),
+              [&](size_t a, size_t b) { return SpanOrderLess(spans, a, b); });
+    TraceTree tree;
+    tree.trace_id = trace_id;
+    tree.nodes.reserve(idxs.size());
+    std::unordered_map<uint64_t, size_t> node_by_span_id;
+    node_by_span_id.reserve(idxs.size());
+    for (size_t i : idxs) {
+      // First occurrence wins on (pathological) duplicate span ids.
+      node_by_span_id.emplace(spans[i].span_id, tree.nodes.size());
+      tree.nodes.push_back(TraceNode{i, {}});
+    }
+    // Root: the span whose id is the trace id; fall back to the earliest
+    // parentless span, then to the earliest span outright.
+    size_t root = tree.nodes.size();
+    for (size_t n = 0; n < tree.nodes.size(); ++n) {
+      const Span& span = spans[tree.nodes[n].span];
+      if (span.span_id == trace_id && span.parent_span_id == 0) {
+        root = n;
+        break;
+      }
+      if (root == tree.nodes.size() && span.parent_span_id == 0) {
+        root = n;  // keep scanning for the canonical root
+      }
+    }
+    if (root == tree.nodes.size()) {
+      root = 0;
+    }
+    tree.root = root;
+    for (size_t n = 0; n < tree.nodes.size(); ++n) {
+      if (n == root) {
+        continue;
+      }
+      const Span& span = spans[tree.nodes[n].span];
+      auto it = span.parent_span_id != 0 ? node_by_span_id.find(span.parent_span_id)
+                                         : node_by_span_id.end();
+      if (it == node_by_span_id.end() || it->second == n) {
+        ++tree.unresolved_parents;
+        tree.nodes[root].children.push_back(n);
+      } else {
+        tree.nodes[it->second].children.push_back(n);
+      }
+    }
+    // Children were appended in node order == (ts, span_id) order already,
+    // but attaching unresolved spans to the root can break that for the
+    // root's list; re-sort every list to keep the invariant simple.
+    for (TraceNode& node : tree.nodes) {
+      std::sort(node.children.begin(), node.children.end(), [&](size_t a, size_t b) {
+        return SpanOrderLess(spans, tree.nodes[a].span, tree.nodes[b].span);
+      });
+    }
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+std::optional<size_t> FindNode(const std::vector<Span>& spans, const TraceTree& tree,
+                               const char* name) {
+  for (size_t n = 0; n < tree.nodes.size(); ++n) {
+    if (std::strcmp(spans[tree.nodes[n].span].name, name) == 0) {
+      return n;  // nodes are (ts, span_id)-ordered, so this is the earliest
+    }
+  }
+  return std::nullopt;
+}
+
+TraceAttribution AttributeSubtree(const std::vector<Span>& spans, const TraceTree& tree,
+                                  size_t node) {
+  TraceAttribution out;
+  out.trace_id = tree.trace_id;
+  const Span& root = spans[tree.nodes[node].span];
+  const int64_t start = root.ts.value();
+  const int64_t end = start + DurOf(root);
+  out.total_us = end - start;
+  std::map<std::string_view, int64_t> self;
+  Attribute(spans, tree, node, start, end, self);
+  out.stages.reserve(self.size());
+  for (const auto& [stage, us] : self) {
+    out.stages.push_back(StageSelf{std::string(stage), us});
+  }
+  return out;
+}
+
+TraceAttribution AttributeTrace(const std::vector<Span>& spans, const TraceTree& tree) {
+  return AttributeSubtree(spans, tree, tree.root);
+}
+
+namespace {
+
+// Nearest-rank percentile of an ascending-sorted vector.
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) {
+    ++index;  // ceil
+  }
+  if (index == 0) {
+    index = 1;
+  }
+  return sorted[std::min(index, sorted.size()) - 1];
+}
+
+}  // namespace
+
+AttributionSummary Summarize(const std::vector<TraceAttribution>& attributions, size_t top_k) {
+  AttributionSummary summary;
+  summary.traces = attributions.size();
+  struct StageAccum {
+    uint64_t traces = 0;
+    int64_t total_us = 0;
+    std::vector<int64_t> samples;
+  };
+  std::map<std::string, StageAccum> stages;
+  std::vector<int64_t> totals;
+  totals.reserve(attributions.size());
+  for (const TraceAttribution& attribution : attributions) {
+    summary.total_us += attribution.total_us;
+    totals.push_back(attribution.total_us);
+    for (const StageSelf& stage : attribution.stages) {
+      StageAccum& accum = stages[stage.stage];
+      ++accum.traces;
+      accum.total_us += stage.self_us;
+      accum.samples.push_back(stage.self_us);
+    }
+  }
+  std::sort(totals.begin(), totals.end());
+  summary.p50_total_us = Percentile(totals, 50.0);
+  summary.p99_total_us = Percentile(totals, 99.0);
+  summary.stages.reserve(stages.size());
+  for (auto& [name, accum] : stages) {
+    std::sort(accum.samples.begin(), accum.samples.end());
+    StageStats stats;
+    stats.stage = name;
+    stats.traces = accum.traces;
+    stats.total_us = accum.total_us;
+    stats.p50_us = Percentile(accum.samples, 50.0);
+    stats.p99_us = Percentile(accum.samples, 99.0);
+    stats.fraction = summary.total_us > 0 ? static_cast<double>(accum.total_us) /
+                                                static_cast<double>(summary.total_us)
+                                          : 0.0;
+    summary.stages.push_back(std::move(stats));
+  }
+  summary.top_slowest.resize(attributions.size());
+  for (size_t i = 0; i < attributions.size(); ++i) {
+    summary.top_slowest[i] = i;
+  }
+  std::sort(summary.top_slowest.begin(), summary.top_slowest.end(), [&](size_t a, size_t b) {
+    if (attributions[a].total_us != attributions[b].total_us) {
+      return attributions[a].total_us > attributions[b].total_us;
+    }
+    return attributions[a].trace_id < attributions[b].trace_id;
+  });
+  if (summary.top_slowest.size() > top_k) {
+    summary.top_slowest.resize(top_k);
+  }
+  return summary;
+}
+
+}  // namespace medes::obs

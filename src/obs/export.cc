@@ -1,8 +1,11 @@
 #include "obs/export.h"
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+
+#include "store/artifact_sink.h"
 
 namespace medes::obs {
 
@@ -98,19 +101,35 @@ std::string ChromeTraceJson(const std::vector<Span>& spans) {
     if (instant) {
       out += ",\"s\":\"t\"";  // thread-scoped instant marker
     }
-    if (span.num_args > 0 || span.wall_ns >= 0) {
+    if (span.num_args > 0 || span.wall_ns >= 0 || span.trace_id != 0) {
       out += ",\"args\":{";
+      bool first_arg = true;
       for (uint32_t i = 0; i < span.num_args; ++i) {
-        if (i > 0) {
+        if (!first_arg) {
           out += ',';
         }
+        first_arg = false;
         out += '"';
         AppendJsonEscaped(out, span.args[i].key);
         out += "\":";
         AppendInt(out, span.args[i].value);
       }
+      if (span.trace_id != 0) {
+        if (!first_arg) {
+          out += ',';
+        }
+        first_arg = false;
+        out += "\"trace_id\":";
+        AppendUint(out, span.trace_id);
+        out += ",\"span_id\":";
+        AppendUint(out, span.span_id);
+        if (span.parent_span_id != 0) {
+          out += ",\"parent_span_id\":";
+          AppendUint(out, span.parent_span_id);
+        }
+      }
       if (span.wall_ns >= 0) {
-        if (span.num_args > 0) {
+        if (!first_arg) {
           out += ',';
         }
         out += "\"wall_ns\":";
@@ -250,15 +269,20 @@ std::string SeriesJson(const std::vector<SnapshotSeries::Point>& points) {
   return out;
 }
 
+namespace {
+
+std::atomic<FileSink> g_file_sink{nullptr};
+
+}  // namespace
+
+void SetFileSink(FileSink sink) { g_file_sink.store(sink, std::memory_order_relaxed); }
+
 bool WriteFile(const std::string& path, std::string_view content) {
-  // medes-lint: allow(direct-filesystem) exporter artifact sink, not durable state
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return false;
+  const FileSink sink = g_file_sink.load(std::memory_order_relaxed);
+  if (sink != nullptr) {
+    return sink(path, content);
   }
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const int close_rc = std::fclose(f);
-  return written == content.size() && close_rc == 0;
+  return store::WriteArtifactFile(path, content);
 }
 
 }  // namespace medes::obs

@@ -9,6 +9,10 @@
 //   - MEDES_TRACE_WALL=1 additionally stamps spans with measured wall-clock
 //     durations. Wall times are inherently nondeterministic, so this knob is
 //     excluded from the bit-identical-across-thread-counts contract.
+//   - MEDES_TRACE_SAMPLE=1/N (or plain N) keeps one request trace in N,
+//     decided deterministically from the trace id at mint time
+//     (obs/trace_context.h), so sampling IS part of the bit-identical
+//     contract: the sampled span set never depends on thread count.
 //
 // Tests and tools can flip the flags programmatically (SetTraceEnabled etc.);
 // the environment variables only seed the initial state. Building with
@@ -28,9 +32,11 @@ namespace medes::obs {
 inline constexpr bool TraceEnabled() { return false; }
 inline constexpr bool MetricsEnabled() { return false; }
 inline constexpr bool WallClockProfilingEnabled() { return false; }
+inline constexpr unsigned TraceSampleEvery() { return 1; }
 inline void SetTraceEnabled(bool /*enabled*/) {}
 inline void SetMetricsEnabled(bool /*enabled*/) {}
 inline void SetWallClockProfiling(bool /*enabled*/) {}
+inline void SetTraceSampleEvery(unsigned /*every*/) {}
 
 #else
 
@@ -40,7 +46,11 @@ namespace internal {
 extern std::atomic<int> g_trace_enabled;
 extern std::atomic<int> g_metrics_enabled;
 extern std::atomic<int> g_wall_profiling;
+// Sampling period: -1 = not yet initialised from MEDES_TRACE_SAMPLE, else
+// the clamped keep-1-in-N period (>= 1).
+extern std::atomic<int64_t> g_trace_sample_every;
 bool SlowInit(std::atomic<int>& flag, const char* env_var);
+unsigned SlowInitSampleEvery();
 
 inline bool Enabled(std::atomic<int>& flag, const char* env_var) {
   const int v = flag.load(std::memory_order_relaxed);
@@ -61,9 +71,20 @@ inline bool WallClockProfilingEnabled() {
   return internal::Enabled(internal::g_wall_profiling, "MEDES_TRACE_WALL");
 }
 
+// Keep-1-in-N trace sampling period (>= 1; 1 = keep every trace). Seeded
+// from MEDES_TRACE_SAMPLE ("1/N" or plain "N") on first read.
+inline unsigned TraceSampleEvery() {
+  const int64_t v = internal::g_trace_sample_every.load(std::memory_order_relaxed);
+  if (v >= 1) {
+    return static_cast<unsigned>(v);
+  }
+  return internal::SlowInitSampleEvery();
+}
+
 void SetTraceEnabled(bool enabled);
 void SetMetricsEnabled(bool enabled);
 void SetWallClockProfiling(bool enabled);
+void SetTraceSampleEvery(unsigned every);  // 0 is clamped to 1
 
 #endif  // MEDES_OBS_DISABLED
 

@@ -39,7 +39,13 @@ bool SpanLess(const Span& a, const Span& b) {
       return a.args[i].value < b.args[i].value;
     }
   }
-  return false;
+  if (a.trace_id != b.trace_id) {
+    return a.trace_id < b.trace_id;
+  }
+  if (a.span_id != b.span_id) {
+    return a.span_id < b.span_id;
+  }
+  return a.parent_span_id < b.parent_span_id;
 }
 
 ThreadSpanBuffer& LocalBuffer() {
@@ -138,6 +144,23 @@ void RecordInstant(const char* name, const char* category, SimTime ts, int32_t l
   span.ts = ts;
   span.lane = lane;
   span.dur = kInstantDuration;
+  Tracer::Default().Record(span);
+}
+
+void RecordInstant(const char* name, const char* category, SimTime ts, int32_t lane,
+                   const TraceContext& ctx) {
+  if (!TraceEnabled() || ctx.dropped()) {
+    return;
+  }
+  Span span;
+  span.name = name;
+  span.category = category;
+  span.ts = ts;
+  span.lane = lane;
+  span.dur = kInstantDuration;
+  span.trace_id = ctx.trace_id;
+  span.span_id = ctx.span_id;
+  span.parent_span_id = ctx.parent_span_id;
   Tracer::Default().Record(span);
 }
 

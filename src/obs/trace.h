@@ -38,6 +38,7 @@
 #include "common/mutex.h"
 #include "common/time.h"
 #include "obs/obs.h"
+#include "obs/trace_context.h"
 
 namespace medes::obs {
 
@@ -61,6 +62,10 @@ struct Span {
   uint32_t num_args = 0;
   std::array<SpanArg, kMaxSpanArgs> args = {};
   int64_t wall_ns = -1;  // measured wall duration; -1 unless MEDES_TRACE_WALL
+  // Causal identity (obs/trace_context.h); all zero for untraced spans.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct ThreadSpanBuffer;
@@ -76,8 +81,8 @@ class Tracer {
   void Record(const Span& span);
 
   // Removes and returns every recorded span, sorted canonically by content
-  // (ts, lane, name, category, dur, args; wall_ns excluded) so the result is
-  // independent of buffer and flush interleaving.
+  // (ts, lane, name, category, dur, args, trace/span/parent ids; wall_ns
+  // excluded) so the result is independent of buffer and flush interleaving.
   std::vector<Span> Drain();
 
   // Discards all recorded spans.
@@ -118,7 +123,9 @@ struct ThreadSpanBuffer {
   std::vector<Span> spans GUARDED_BY(mu);
 };
 
-// RAII span. Records on destruction iff tracing was enabled at construction.
+// RAII span. Records on destruction iff tracing was enabled at construction
+// (and, for the context-carrying constructor, the context was not dropped by
+// sampling).
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* category, SimTime sim_start, int32_t lane = 0)
@@ -126,14 +133,22 @@ class ScopedSpan {
     if (!enabled_) {
       return;
     }
-    span_.name = name;
-    span_.category = category;
-    span_.ts = sim_start;
-    span_.lane = lane;
-    if (WallClockProfilingEnabled()) {
-      wall_ = true;
-      wall_start_ = std::chrono::steady_clock::now();
+    Init(name, category, sim_start, lane);
+  }
+
+  // Context-carrying form: the span adopts `ctx`'s identity. A sampled
+  // context stamps trace/span/parent ids; an untraced (default) context
+  // records without ids; a sampling-dropped context suppresses the span.
+  ScopedSpan(const char* name, const char* category, SimTime sim_start, int32_t lane,
+             const TraceContext& ctx)
+      : enabled_(TraceEnabled() && !ctx.dropped()) {
+    if (!enabled_) {
+      return;
     }
+    Init(name, category, sim_start, lane);
+    span_.trace_id = ctx.trace_id;
+    span_.span_id = ctx.span_id;
+    span_.parent_span_id = ctx.parent_span_id;
   }
 
   ~ScopedSpan() {
@@ -173,6 +188,17 @@ class ScopedSpan {
   bool enabled() const { return enabled_; }
 
  private:
+  void Init(const char* name, const char* category, SimTime sim_start, int32_t lane) {
+    span_.name = name;
+    span_.category = category;
+    span_.ts = sim_start;
+    span_.lane = lane;
+    if (WallClockProfilingEnabled()) {
+      wall_ = true;
+      wall_start_ = std::chrono::steady_clock::now();
+    }
+  }
+
   Span span_;
   bool enabled_ = false;
   bool wall_ = false;
@@ -181,6 +207,11 @@ class ScopedSpan {
 
 // Records a standalone instant event (no RAII scope needed).
 void RecordInstant(const char* name, const char* category, SimTime ts, int32_t lane = 0);
+
+// Context-carrying instant: stamps ids from a sampled context, suppressed
+// for a sampling-dropped one.
+void RecordInstant(const char* name, const char* category, SimTime ts, int32_t lane,
+                   const TraceContext& ctx);
 
 }  // namespace medes::obs
 

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace medes {
 
@@ -266,7 +267,7 @@ class ServerlessPlatform::Impl {
   // making room for a base snapshot — displacing warm sandboxes for a base
   // costs more cold starts than the base saves).
   bool EnsureFits(NodeId node, double required_mb, SandboxId exclude = kNoSandbox,
-                  bool spare_warm = false) {
+                  bool spare_warm = false, const obs::TraceContext& ctx = {}) {
     const double limit = cluster_.node(node).options.memory_limit_mb;
     while (cluster_.node(node).used_mb + required_mb > limit) {
       Sandbox* warm_victim = nullptr;
@@ -286,7 +287,7 @@ class ServerlessPlatform::Impl {
       if (warm_victim != nullptr && options_.policy == PolicyKind::kMedes &&
           !cluster_.base_snapshots().empty() &&
           cluster_.FindBaseSnapshot(warm_victim->id) == nullptr) {
-        PressureDedup(*warm_victim);
+        PressureDedup(*warm_victim, ctx);
         continue;
       }
       if (warm_victim != nullptr) {
@@ -337,9 +338,19 @@ class ServerlessPlatform::Impl {
 
   // Dedups an idle warm sandbox to relieve memory pressure (keeps it usable
   // as a dedup start instead of destroying it).
-  void PressureDedup(Sandbox& sb) {
+  void PressureDedup(Sandbox& sb, const obs::TraceContext& ctx = {}) {
     CancelTimer(sb);
-    RecordDedup(sb, agent_.DedupOp(sb, sim_.Now()));
+    const SimTime now = sim_.Now();
+    // Several pressure dedups can hang off one root context (EnsureFits
+    // loops over victims); the victim's id keeps their span ids distinct.
+    const obs::TraceContext pd_ctx = ctx.Child("pressure_dedup", sb.id.value());
+    const DedupOpResult result = agent_.DedupOp(sb, now, pd_ctx);
+    {
+      obs::ScopedSpan span("pressure_dedup", "platform", now, sb.node.value(), pd_ctx);
+      span.SetSimDuration(result.total_time);
+      span.AddArg("sandbox", static_cast<int64_t>(sb.id.value()));
+    }
+    RecordDedup(sb, result);
     const SandboxId id = sb.id;
     sb.pending_timer =
         sim_.ScheduleAfter(options_.medes.keep_dedup, [this, id] { OnKeepDedupTimer(id); });
@@ -389,6 +400,10 @@ class ServerlessPlatform::Impl {
   void HandleRequest(const TraceEvent& ev) {
     const FunctionProfile& profile = Profile(ev.function);
     const SimTime now = sim_.Now();
+    // Root trace identity for this invocation. The event loop is
+    // single-threaded, so the serial sequence counter — and through it every
+    // derived span id — is a pure function of arrival order.
+    const obs::TraceContext ctx = obs::MintTraceContext(next_trace_seq_++);
     controller_.RecordArrival(ev.function, now);
     adaptive_[static_cast<size_t>(ev.function)].RecordArrival(now);
 
@@ -402,7 +417,7 @@ class ServerlessPlatform::Impl {
       cluster_.MarkRunning(*sb, now);
     } else if ((sb = PickDedup(ev.function)) != nullptr) {
       CancelTimer(*sb);
-      RestoreOpResult restore = agent_.RestoreOp(*sb, now, options_.verify_restores);
+      RestoreOpResult restore = agent_.RestoreOp(*sb, now, options_.verify_restores, ctx);
       controller_.RecordRestoreResult(ev.function, restore);
       {
         MutexLock lock(metrics_mu_);
@@ -437,7 +452,7 @@ class ServerlessPlatform::Impl {
       cluster_.MarkRunning(*sb, now);
     } else {
       NodeId node = cluster_.LeastUsedNode();
-      if (!EnsureFits(node, profile.memory_mb)) {
+      if (!EnsureFits(node, profile.memory_mb, kNoSandbox, /*spare_warm=*/false, ctx)) {
         {
           MutexLock lock(metrics_mu_);
           ++metrics_.overcommit_events;
@@ -497,7 +512,7 @@ class ServerlessPlatform::Impl {
       ins.startup_us->Record(startup.value());
     }
     if (obs::TraceEnabled()) {
-      obs::ScopedSpan span("request", "platform", now, sb->node.value());
+      obs::ScopedSpan span("request", "platform", now, sb->node.value(), ctx);
       span.SetSimDuration(e2e);
       span.AddArg("function", static_cast<int64_t>(ev.function));
       span.AddArg("start_type", static_cast<int64_t>(type));
@@ -618,7 +633,17 @@ class ServerlessPlatform::Impl {
     const SandboxId id = sb->id;
     const SimTime now = sim_.Now();
     const bool keep_alive_expired = now - sb->last_used >= options_.medes.keep_alive;
-    const IdleDecision decision = controller_.OnIdleExpiry(*sb, now);
+    // Idle decisions get their own root trace (they are not caused by any
+    // single request): the decision message, a designation's registry
+    // inserts, and a dedup op's whole span tree hang off this root.
+    const obs::TraceContext ctx = obs::MintTraceContext(next_trace_seq_++);
+    const IdleDecision decision =
+        controller_.OnIdleExpiry(*sb, now, obs::MessageTrace{ctx, now, 0});
+    // Function-scope RAII: the kDedup branch stamps the dedup op's modelled
+    // duration so critical-path attribution over idle trees is meaningful.
+    obs::ScopedSpan span("idle_decision", "platform", now, sb->node.value(), ctx);
+    span.AddArg("decision", static_cast<int64_t>(decision));
+    span.AddArg("function", static_cast<int64_t>(sb->function));
     switch (decision) {
       case IdleDecision::kKeepWarm: {
         if (keep_alive_expired) {
@@ -633,8 +658,8 @@ class ServerlessPlatform::Impl {
         // Make room by purging dedup sandboxes / unreferenced bases if
         // necessary, but never displace warm sandboxes for it.
         if (EnsureFits(sb->node, cluster_.ProfileOf(*sb).memory_mb, sb->id,
-                       /*spare_warm=*/true)) {
-          agent_.DesignateBase(*sb);
+                       /*spare_warm=*/true, ctx)) {
+          agent_.DesignateBase(*sb, now, ctx);
           {
             MutexLock lock(metrics_mu_);
             ++metrics_.base_designations;
@@ -653,7 +678,9 @@ class ServerlessPlatform::Impl {
         break;
       }
       case IdleDecision::kDedup: {
-        RecordDedup(*sb, agent_.DedupOp(*sb, now));
+        const DedupOpResult result = agent_.DedupOp(*sb, now, ctx);
+        span.SetSimDuration(result.total_time);
+        RecordDedup(*sb, result);
         sb->pending_timer =
             sim_.ScheduleAfter(options_.medes.keep_dedup, [this, id] { OnKeepDedupTimer(id); });
         break;
@@ -727,6 +754,10 @@ class ServerlessPlatform::Impl {
   bool ran_ = false;
   // First reserved tie-break seq of the streamed arrival chain.
   uint64_t arrival_seq_base_ = 0;
+  // Serial trace-root counter (requests and idle decisions). Only the
+  // single-threaded event loop advances it, so minted trace ids are a pure
+  // function of event order.
+  uint64_t next_trace_seq_ = 0;
 };
 
 ServerlessPlatform::ServerlessPlatform(PlatformOptions options)

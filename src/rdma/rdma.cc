@@ -101,7 +101,7 @@ void RdmaFabric::CacheInsert(const PageLocation& location, const std::vector<uin
 }
 
 std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId reader_node,
-                                          SimDuration* cost) {
+                                          SimDuration* cost, const obs::MessageTrace& trace) {
   if (options_.page_cache_capacity > 0) {
     MutexLock lock(cache_mu_);
     if (const std::vector<uint8_t>* cached = CacheLookup(location)) {
@@ -126,8 +126,8 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
   // One-sided read: the bytes travel owner -> reader as one kBaseRead
   // message. A drop (fault policy) aborts the read before any stats or
   // cache mutation, so degraded runs stay a pure function of page order.
-  const auto sent =
-      transport_->Send(MessageType::kBaseRead, location.node, reader_node, Bytes{bytes.size()});
+  const auto sent = transport_->Send(MessageType::kBaseRead, location.node, reader_node,
+                                     Bytes{bytes.size()}, /*requests=*/1, trace);
   if (!sent.delivered) {
     throw RdmaUnavailable("RdmaFabric: base-page read dropped by fault policy");
   }
@@ -175,7 +175,8 @@ std::vector<uint8_t> RdmaFabric::ReadPage(const PageLocation& location, NodeId r
 }
 
 std::vector<std::vector<uint8_t>> RdmaFabric::ReadPageBatch(
-    std::span<const PageLocation> locations, NodeId reader_node, SimDuration* cost) {
+    std::span<const PageLocation> locations, NodeId reader_node, SimDuration* cost,
+    const obs::MessageTrace& trace) {
   const size_t n = locations.size();
   std::vector<std::vector<uint8_t>> results(n);
   if (n == 0) {
@@ -238,8 +239,12 @@ std::vector<std::vector<uint8_t>> RdmaFabric::ReadPageBatch(
       }
       group_bytes += results[i].size();
     }
+    // Fold the owner node into the trace ordinal: the per-node groups of a
+    // batch are distinct sends and need distinct, deterministic span ids.
+    const obs::MessageTrace group_trace{
+        trace.ctx, trace.at, trace.ordinal * 1024 + static_cast<uint64_t>(node.value())};
     const auto sent = transport_->Send(MessageType::kBaseReadBatch, node, reader_node,
-                                       Bytes{group_bytes}, idxs.size());
+                                       Bytes{group_bytes}, idxs.size(), group_trace);
     if (!sent.delivered) {
       throw RdmaUnavailable("RdmaFabric: batched base-page read dropped by fault policy");
     }

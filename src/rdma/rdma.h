@@ -110,9 +110,12 @@ class RdmaFabric {
   // cost. Returns the bytes and adds the modelled cost to `*cost`. Served
   // from the cache when possible (a hit charges `cache_hit_latency` locally
   // and sends no message — the bytes never cross the wire). Throws
-  // RdmaUnavailable when the fault policy drops the read.
+  // RdmaUnavailable when the fault policy drops the read. `trace`, when
+  // sampled, parents the kBaseRead wire span — callers supply a per-read
+  // ordinal so concurrent reads get distinct, deterministic span ids.
   [[nodiscard]] std::vector<uint8_t> ReadPage(const PageLocation& location, NodeId reader_node,
-                                SimDuration* cost) EXCLUDES(cache_mu_);
+                                SimDuration* cost,
+                                const obs::MessageTrace& trace = {}) EXCLUDES(cache_mu_);
 
   // Batched one-sided read of many base pages (lazy-restore prefetch).
   // The whole batch is classified against the cache in one pass under one
@@ -124,10 +127,12 @@ class RdmaFabric {
   // topology-aware coalescing: per-message link latency is paid once per
   // node instead of once per page. Results are positionally aligned with
   // `locations`. Throws RdmaUnavailable when a group's message is dropped
-  // (the restore cannot proceed without its bases).
+  // (the restore cannot proceed without its bases). `trace`, when sampled,
+  // parents each group's kBaseReadBatch wire span; the owner node id is
+  // folded into the ordinal so per-node groups get distinct span ids.
   [[nodiscard]] std::vector<std::vector<uint8_t>> ReadPageBatch(
-      std::span<const PageLocation> locations, NodeId reader_node, SimDuration* cost)
-      EXCLUDES(cache_mu_);
+      std::span<const PageLocation> locations, NodeId reader_node, SimDuration* cost,
+      const obs::MessageTrace& trace = {}) EXCLUDES(cache_mu_);
 
   // Pure timing model (used when the caller already has byte counts):
   // LinkCost over the transport topology's default remote or local link.

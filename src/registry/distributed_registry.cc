@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "store/state_store.h"
 
 namespace medes {
@@ -92,8 +93,19 @@ bool DistributedRegistry::ShardAvailable(int shard) const {
   return EffectiveTail(shards_.at(static_cast<size_t>(shard)), shard) >= 0;
 }
 
+namespace {
+
+// Folds a shard index into the caller's trace ordinal so each shard's wire
+// message derives a distinct span id (injective while num_shards < 1024).
+obs::MessageTrace ShardTrace(const obs::MessageTrace& trace, size_t shard) {
+  return obs::MessageTrace{trace.ctx, trace.at, trace.ordinal * 1024 + shard};
+}
+
+}  // namespace
+
 void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
-                                            const std::vector<PageFingerprint>& fingerprints) {
+                                            const std::vector<PageFingerprint>& fingerprints,
+                                            const obs::MessageTrace& trace) {
   // Partition each page's sampled chunks by owning shard.
   std::vector<std::vector<PageFingerprint>> per_shard(
       static_cast<size_t>(options_.num_shards),
@@ -130,7 +142,7 @@ void DistributedRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
         transport_->Send(MessageType::kRegistryInsert, node, ReplicaNode(s, entry),
                          static_cast<uint64_t>(keys_per_shard[static_cast<size_t>(s)]) *
                              kRegistryWireBytesPerKey,
-                         fingerprints.size());
+                         fingerprints.size(), ShardTrace(trace, static_cast<size_t>(s)));
     if (!sent.delivered) {
       if (obs::MetricsEnabled()) {
         Instruments().dropped_writes->Add(1);
@@ -209,7 +221,8 @@ std::vector<BasePageCandidate> DistributedRegistry::FindBasePages(
 
 std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBatch(
     std::span<const PageFingerprint> fingerprints, NodeId local_node,
-    SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
+    SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost,
+    const obs::MessageTrace& trace) {
   // Partition the batch's sampled chunks by owning shard, keeping the chunks
   // grouped per fingerprint so per-shard tallies land in the right slot.
   const auto num_shards = static_cast<size_t>(options_.num_shards);
@@ -251,14 +264,27 @@ std::vector<std::vector<BasePageCandidate>> DistributedRegistry::FindBasePagesBa
       dist_stats_.unavailable_lookups += page_lookups;
       continue;
     }
+    const obs::MessageTrace shard_trace = ShardTrace(trace, s);
     const auto sent = transport_->Send(MessageType::kRegistryLookup, local_node,
                                        ReplicaNode(static_cast<int>(s), tail),
                                        static_cast<uint64_t>(keys_per_shard[s]) *
                                            kRegistryWireBytesPerKey,
-                                       page_lookups);
+                                       page_lookups, shard_trace);
     slowest_shard = std::max(
         slowest_shard,
         sent.cost + static_cast<int64_t>(keys_per_shard[s]) * options_.per_key_lookup);
+    if (sent.delivered && obs::TraceEnabled() && shard_trace.ctx.sampled()) {
+      // Shard-side work span, parented to the wire-message span (re-derived
+      // on the "receiving" shard — same pure function as the transport).
+      const obs::TraceContext msg_ctx =
+          MessageSpanContext(MessageType::kRegistryLookup, shard_trace);
+      obs::ScopedSpan work("registry/lookup_work", "registry", trace.at + sent.cost,
+                           static_cast<int32_t>(ReplicaNode(static_cast<int>(s), tail).value()),
+                           msg_ctx.Child("registry/lookup_work"));
+      work.SetSimDuration(static_cast<int64_t>(keys_per_shard[s]) * options_.per_key_lookup);
+      work.AddArg("pages", static_cast<int64_t>(page_lookups));
+      work.AddArg("keys", static_cast<int64_t>(keys_per_shard[s]));
+    }
     if (!sent.delivered) {
       // Lost on the wire (link fault): same client-visible outcome as an
       // all-down shard — the batch degrades to fewer candidates.

@@ -73,7 +73,8 @@ class DistributedRegistry : public RegistryBackend {
                                std::shared_ptr<Transport> transport = nullptr);
 
   void InsertBaseSandbox(NodeId node, SandboxId sandbox,
-                         const std::vector<PageFingerprint>& fingerprints) override;
+                         const std::vector<PageFingerprint>& fingerprints,
+                         const obs::MessageTrace& trace = {}) override;
   void RemoveBaseSandbox(SandboxId sandbox) override;
   [[nodiscard]] bool IsBaseSandbox(SandboxId sandbox) const override;
 
@@ -89,7 +90,8 @@ class DistributedRegistry : public RegistryBackend {
   using RegistryBackend::FindBasePagesBatch;
   [[nodiscard]] std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
-      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) override;
+      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost,
+      const obs::MessageTrace& trace = {}) override;
 
   void Ref(SandboxId base_sandbox) override;
   void Unref(SandboxId base_sandbox) override;

@@ -7,6 +7,7 @@
 #include "common/mutex.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "store/state_store.h"
 
 namespace medes {
@@ -131,7 +132,8 @@ void FingerprintRegistry::BindStateStore(std::shared_ptr<store::StateStore> stor
 }
 
 void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
-                                            const std::vector<PageFingerprint>& fingerprints) {
+                                            const std::vector<PageFingerprint>& fingerprints,
+                                            const obs::MessageTrace& trace) {
   if (transport_ != nullptr) {
     size_t keys = 0;
     for (const PageFingerprint& fp : fingerprints) {
@@ -139,7 +141,7 @@ void FingerprintRegistry::InsertBaseSandbox(NodeId node, SandboxId sandbox,
     }
     const auto sent = transport_->Send(MessageType::kRegistryInsert, node, registry_node_,
                                        static_cast<uint64_t>(keys) * kRegistryWireBytesPerKey,
-                           fingerprints.size());
+                           fingerprints.size(), trace);
     if (!sent.delivered) {
       return;  // insert lost: the sandbox is simply never registered
     }
@@ -246,7 +248,8 @@ std::vector<BasePageCandidate> FingerprintRegistry::FindBasePages(
 
 std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBatch(
     std::span<const PageFingerprint> fingerprints, NodeId local_node,
-    SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
+    SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost,
+    const obs::MessageTrace& trace) {
   lookups_.fetch_add(fingerprints.size(), std::memory_order_relaxed);
   if (obs::MetricsEnabled()) {
     Instruments().lookups->Add(fingerprints.size());
@@ -268,9 +271,22 @@ std::vector<std::vector<BasePageCandidate>> FingerprintRegistry::FindBasePagesBa
       const auto sent =
           transport_->Send(MessageType::kRegistryLookup, local_node, registry_node_,
                            static_cast<uint64_t>(keys) * kRegistryWireBytesPerKey,
-                           fingerprints.size());
+                           fingerprints.size(), trace);
       cost += sent.cost;
       delivered = sent.delivered;
+      if (delivered && obs::TraceEnabled() && trace.ctx.sampled()) {
+        // Registry-side work span, parented to the wire-message span the
+        // transport just recorded (re-derived — same pure function).
+        const obs::TraceContext msg_ctx =
+            MessageSpanContext(MessageType::kRegistryLookup, trace);
+        obs::ScopedSpan work("registry/lookup_work", "registry", trace.at + sent.cost,
+                             static_cast<int32_t>(registry_node_.value()),
+                             msg_ctx.Child("registry/lookup_work"));
+        work.SetSimDuration(static_cast<int64_t>(fingerprints.size()) *
+                            options_.lookup_per_page);
+        work.AddArg("pages", static_cast<int64_t>(fingerprints.size()));
+        work.AddArg("keys", static_cast<int64_t>(keys));
+      }
     }
     if (lookup_cost != nullptr) {
       *lookup_cost += cost;

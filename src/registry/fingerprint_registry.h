@@ -57,7 +57,8 @@ class FingerprintRegistry : public RegistryBackend {
   FingerprintRegistry& operator=(const FingerprintRegistry& other);
 
   void InsertBaseSandbox(NodeId node, SandboxId sandbox,
-                         const std::vector<PageFingerprint>& fingerprints) override;
+                         const std::vector<PageFingerprint>& fingerprints,
+                         const obs::MessageTrace& trace = {}) override;
 
   // Removes every entry belonging to `sandbox` via the reverse index:
   // O(keys the sandbox owns), not O(table size).
@@ -78,7 +79,8 @@ class FingerprintRegistry : public RegistryBackend {
   using RegistryBackend::FindBasePagesBatch;
   [[nodiscard]] std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
-      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) override;
+      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost,
+      const obs::MessageTrace& trace = {}) override;
 
   // Binds the shared cluster transport: lookups/inserts from node N are
   // charged as messages N -> `registry_node`. Configuration-time only (not

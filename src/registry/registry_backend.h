@@ -19,6 +19,7 @@
 #include "chunking/fingerprint.h"
 #include "common/time.h"
 #include "common/types.h"
+#include "obs/trace_context.h"
 
 namespace medes {
 
@@ -101,8 +102,11 @@ class RegistryBackend {
   virtual ~RegistryBackend() = default;
 
   // Registers all pages of a base sandbox. `fingerprints[i]` describes page i.
+  // `trace`, when sampled, parents the insert's wire-message spans (backends
+  // with a transport fold their shard index into the trace ordinal).
   virtual void InsertBaseSandbox(NodeId node, SandboxId sandbox,
-                                 const std::vector<PageFingerprint>& fingerprints) = 0;
+                                 const std::vector<PageFingerprint>& fingerprints,
+                                 const obs::MessageTrace& trace = {}) = 0;
 
   // Removes every entry belonging to `sandbox`.
   virtual void RemoveBaseSandbox(SandboxId sandbox) = 0;
@@ -126,10 +130,14 @@ class RegistryBackend {
   // registry's real topology-dependent cost rather than a flat constant.
   // The added cost is a pure function of the batch's contents (never of
   // thread interleaving), preserving the pipeline determinism contract.
+  // `trace`, when sampled, parents the lookup's wire-message spans and the
+  // registry-side work span.
   [[nodiscard]] virtual std::vector<std::vector<BasePageCandidate>> FindBasePagesBatch(
       std::span<const PageFingerprint> fingerprints, NodeId local_node,
-      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost) {
+      SandboxId exclude_sandbox, size_t max_results, SimDuration* lookup_cost,
+      const obs::MessageTrace& trace = {}) {
     (void)lookup_cost;  // backends without a wire model charge nothing
+    (void)trace;
     std::vector<std::vector<BasePageCandidate>> results;
     results.reserve(fingerprints.size());
     for (const PageFingerprint& fp : fingerprints) {

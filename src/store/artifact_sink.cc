@@ -1,0 +1,17 @@
+#include "store/artifact_sink.h"
+
+#include <cstdio>
+
+namespace medes::store {
+
+bool WriteArtifactFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == content.size() && close_rc == 0;
+}
+
+}  // namespace medes::store

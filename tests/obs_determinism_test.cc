@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/critical_path.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -105,6 +106,93 @@ TEST(ObsDeterminismTest, ExportsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.chrome_trace, parallel.chrome_trace) << "threads=" << threads;
     EXPECT_EQ(serial.series, parallel.series) << "threads=" << threads;
   }
+}
+
+// One sampled run: the Chrome trace JSON (ids included) plus a canonical
+// serialization of every sampled trace's parent/child structure — trace id,
+// root, and each node's children in recorded order — so link-order identity
+// is asserted directly, not just via the flat export.
+struct SampledArtifacts {
+  std::string chrome_trace;
+  std::string linkage;
+  size_t traces = 0;
+};
+
+SampledArtifacts RunSampled(size_t agent_threads, unsigned sample_every,
+                            const std::vector<TraceEvent>& trace) {
+  WarmUpInstruments();
+  obs::MetricsRegistry::Default().ResetValues();
+  obs::Tracer::Default().Clear();
+  obs::SnapshotSeries::Default().Clear();
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  obs::SetTraceSampleEvery(sample_every);
+  obs::SetWallClockProfiling(false);
+
+  ServerlessPlatform platform(FastOptions(agent_threads));
+  platform.Run(trace);
+
+  SampledArtifacts out;
+  const std::vector<obs::Span> spans = obs::Tracer::Default().Drain();
+  out.chrome_trace = obs::ChromeTraceJson(spans);
+  for (const obs::TraceTree& tree : obs::BuildTraceTrees(spans)) {
+    ++out.traces;
+    out.linkage += std::to_string(tree.trace_id) + " root=" + std::to_string(tree.root);
+    for (const obs::TraceNode& node : tree.nodes) {
+      out.linkage += " " + std::string(spans[node.span].name) + "(" +
+                     std::to_string(spans[node.span].span_id) + "<-" +
+                     std::to_string(spans[node.span].parent_span_id) + "):[";
+      for (size_t c : node.children) {
+        out.linkage += std::to_string(c) + ",";
+      }
+      out.linkage += "]";
+    }
+    out.linkage += "\n";
+  }
+
+  obs::MetricsRegistry::Default().ResetValues();
+  obs::SnapshotSeries::Default().Clear();
+  obs::SetTraceSampleEvery(1);
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  return out;
+}
+
+// The satellite contract for MEDES_TRACE_SAMPLE: the sampled span set, its
+// ids, and every parent/child link come out byte-identical at any thread
+// count and across runs.
+TEST(ObsDeterminismTest, SampledTracesBitIdenticalAcrossThreadCounts) {
+  TraceOptions topts;
+  topts.duration = 8 * kMinute;
+  topts.rate_scale = 2.0;
+  const auto trace = GenerateTrace(DefaultAzurePatterns(), topts);
+
+  const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  const SampledArtifacts serial = RunSampled(1, 4, trace);
+  EXPECT_GT(serial.traces, 0u);
+  EXPECT_NE(serial.chrome_trace.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(serial.chrome_trace.find("\"parent_span_id\":"), std::string::npos);
+
+  // 1-in-4 head sampling really drops traces: an unsampled run sees more.
+  const SampledArtifacts unsampled = RunSampled(1, 1, trace);
+  EXPECT_GT(unsampled.traces, serial.traces);
+
+  for (size_t threads : {size_t{4}, hw}) {
+    const SampledArtifacts parallel = RunSampled(threads, 4, trace);
+    EXPECT_EQ(serial.chrome_trace, parallel.chrome_trace) << "threads=" << threads;
+    EXPECT_EQ(serial.linkage, parallel.linkage) << "threads=" << threads;
+  }
+}
+
+TEST(ObsDeterminismTest, SampledTracesBitIdenticalAcrossRuns) {
+  TraceOptions topts;
+  topts.duration = 5 * kMinute;
+  topts.rate_scale = 2.0;
+  const auto trace = GenerateTrace(DefaultAzurePatterns(), topts);
+  const SampledArtifacts a = RunSampled(2, 4, trace);
+  const SampledArtifacts b = RunSampled(2, 4, trace);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.linkage, b.linkage);
 }
 
 TEST(ObsDeterminismTest, RepeatedRunsAreBitIdentical) {

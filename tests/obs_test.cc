@@ -5,6 +5,9 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -243,6 +246,160 @@ TEST_F(ObsTest, SnapshotSeriesSamplesCountersAndGauges) {
   EXPECT_EQ(value_of(points[1], "obs_test_series_total"), 3);
   const std::string json = SeriesJson(points);
   EXPECT_NE(json.find("{\"t\":1000,\"values\":{"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// File-sink seam: exporters never touch the filesystem directly; every write
+// goes through the installed FileSink (default: the store layer).
+// ---------------------------------------------------------------------------
+
+std::string* g_sink_path = nullptr;
+std::string* g_sink_content = nullptr;
+
+bool CaptureSink(const std::string& path, std::string_view content) {
+  *g_sink_path = path;
+  *g_sink_content = std::string(content);
+  return true;
+}
+
+bool RejectSink(const std::string&, std::string_view) { return false; }
+
+TEST_F(ObsTest, FileSinkSeamCapturesWrites) {
+  std::string path;
+  std::string content;
+  g_sink_path = &path;
+  g_sink_content = &content;
+  SetFileSink(&CaptureSink);
+  EXPECT_TRUE(WriteFile("capture/me.json", "payload"));
+  SetFileSink(&RejectSink);
+  EXPECT_FALSE(WriteFile("reject/me.json", "x"));
+  SetFileSink(nullptr);  // restore the store-backed default
+  EXPECT_EQ(path, "capture/me.json");
+  EXPECT_EQ(content, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Label-cardinality guard
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CardinalityGuardAbsorbsNewSeriesPastTheCap) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const size_t old_max = registry.MaxSeries();
+  registry.GetCounter("obs_test_guard_seed_total", "test").Add(1);
+  registry.SetMaxSeries(registry.NumInstruments());  // cap at current size
+
+  Counter& a = registry.GetCounter("obs_test_guard_over_a_total", "test");
+  Counter& b = registry.GetCounter("obs_test_guard_over_b_total", "test");
+  EXPECT_EQ(&a, &b);  // both land on the shared counter overflow sink
+  EXPECT_EQ(registry.DroppedSeries(), 2u);
+  a.Add(5);  // valid reference: call sites never crash past the cap
+
+  // Existing series are unaffected, and the snapshot reports the drops.
+  Counter& seed = registry.GetCounter("obs_test_guard_seed_total", "test");
+  seed.Add(1);
+  EXPECT_EQ(seed.Value(), 2u);
+  EXPECT_EQ(registry.DroppedSeries(), 2u);  // re-lookup of existing: no drop
+  bool saw_dropped_counter = false;
+  for (const auto& snap : registry.Snapshot()) {
+    if (snap.name == "medes_obs_series_dropped_total") {
+      saw_dropped_counter = true;
+      EXPECT_EQ(snap.value, 2);
+    }
+  }
+  EXPECT_TRUE(saw_dropped_counter);
+
+  registry.SetMaxSeries(old_max);
+  registry.ResetValues();  // clears dropped_series_ for later tests
+  EXPECT_EQ(registry.DroppedSeries(), 0u);
+}
+
+TEST_F(ObsTest, CardinalityGuardSinksPerKind) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const size_t old_max = registry.MaxSeries();
+  registry.SetMaxSeries(registry.NumInstruments());
+  Counter& c = registry.GetCounter("obs_test_guard_kind_total", "test");
+  Gauge& g = registry.GetGauge("obs_test_guard_kind_level", "test");
+  Histogram& h = registry.GetHistogram("obs_test_guard_kind_us", "test");
+  c.Add(1);
+  g.Set(2);
+  h.Record(3);  // distinct sinks per kind: no type confusion
+  EXPECT_EQ(registry.DroppedSeries(), 3u);
+  registry.SetMaxSeries(old_max);
+  registry.ResetValues();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter edge cases, cross-checked against the repository's
+// text-format validator (scripts/check_prometheus_text.py).
+// ---------------------------------------------------------------------------
+
+std::string ScriptsDir() {
+  const std::string file = __FILE__;  // .../tests/obs_test.cc (absolute via CMake)
+  return file.substr(0, file.find_last_of('/')) + "/../scripts";
+}
+
+bool PrometheusCheckerAgrees(const std::string& text, const std::string& tag,
+                             int min_series) {
+  const std::string path = "obs_test_" + tag + ".prom";
+  EXPECT_TRUE(WriteFile(path, text));
+  const std::string cmd = "python3 " + ScriptsDir() + "/check_prometheus_text.py " + path +
+                          " --min-series " + std::to_string(min_series) + " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::remove(path.c_str());
+  return rc == 0;
+}
+
+class PromEdgeCaseTest : public ObsTest {
+ protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    if (std::system("python3 --version >/dev/null 2>&1") != 0) {
+      GTEST_SKIP() << "python3 unavailable";
+    }
+    if (std::system(("test -f " + ScriptsDir() + "/check_prometheus_text.py").c_str()) != 0) {
+      GTEST_SKIP() << "checker script not found relative to test source";
+    }
+  }
+};
+
+std::vector<MetricSnapshot> SnapshotOf(const std::string& name) {
+  std::vector<MetricSnapshot> out;
+  for (auto& snap : MetricsRegistry::Default().Snapshot()) {
+    if (snap.name == name) {
+      out.push_back(snap);
+    }
+  }
+  return out;
+}
+
+TEST_F(PromEdgeCaseTest, EmptyRegistryExportsEmptyText) {
+  const std::string text = PrometheusText({});
+  EXPECT_TRUE(text.empty());
+  EXPECT_TRUE(PrometheusCheckerAgrees(text, "empty", 0));
+}
+
+TEST_F(PromEdgeCaseTest, SingleBucketHistogram) {
+  Histogram& h = MetricsRegistry::Default().GetHistogram("obs_test_edge_single_us", "test");
+  h.Record(0);  // only the first bucket (le="0") is occupied
+  const std::string text = PrometheusText(SnapshotOf("obs_test_edge_single_us"));
+  EXPECT_NE(text.find("obs_test_edge_single_us_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_edge_single_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_edge_single_us_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_edge_single_us_count 1"), std::string::npos);
+  EXPECT_TRUE(PrometheusCheckerAgrees(text, "single_bucket", 1));
+}
+
+TEST_F(PromEdgeCaseTest, InfOnlyObservations) {
+  Histogram& h = MetricsRegistry::Default().GetHistogram("obs_test_edge_inf_us", "test");
+  const int64_t huge = int64_t{1} << (Histogram::kNumBuckets + 2);
+  h.Record(huge);
+  h.Record(huge);  // every finite bucket stays 0; only +Inf advances
+  const std::string text = PrometheusText(SnapshotOf("obs_test_edge_inf_us"));
+  EXPECT_NE(text.find("obs_test_edge_inf_us_bucket{le=\"0\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_edge_inf_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_edge_inf_us_count 2"), std::string::npos);
+  EXPECT_EQ(text.find("obs_test_edge_inf_us_bucket{le=\"+Inf\"} 0"), std::string::npos);
+  EXPECT_TRUE(PrometheusCheckerAgrees(text, "inf_only", 1));
 }
 
 #endif  // MEDES_OBS_DISABLED
